@@ -1,0 +1,240 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark wraps the corresponding driver in
+// internal/experiments (Quick scale so `go test -bench=.` completes in
+// minutes; run cmd/benchall for full scale) and reports the headline
+// quantity the paper gives for that figure as a custom metric.
+package repro_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Seed: 2024, Quick: true}
+}
+
+// BenchmarkFig1WeakScaling: Fig 1 — weak scaling, per-task completion
+// distribution; reports the largest run's max completion (paper: 561 s at
+// 9,000 nodes; Quick runs at 1/10 node count).
+func BenchmarkFig1WeakScaling(b *testing.B) {
+	var maxS float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig1WeakScaling(benchOpts())
+		maxS = rows[len(rows)-1].Max
+	}
+	b.ReportMetric(maxS, "max_completion_s")
+}
+
+// BenchmarkFig2GPUScaling: Fig 2 — Celeritas GPU weak scaling; reports
+// makespan spread across node counts (paper: <10 s).
+func BenchmarkFig2GPUScaling(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig2GPUScaling(benchOpts())
+		lo, hi := rows[0].MakespanS, rows[0].MakespanS
+		for _, r := range rows {
+			if r.MakespanS < lo {
+				lo = r.MakespanS
+			}
+			if r.MakespanS > hi {
+				hi = r.MakespanS
+			}
+		}
+		spread = hi - lo
+	}
+	b.ReportMetric(spread, "makespan_spread_s")
+}
+
+// BenchmarkFig3LaunchRate: Fig 3 — simulated launch-rate ceilings
+// (paper: 470/s single instance, ~6,400/s aggregate).
+func BenchmarkFig3LaunchRate(b *testing.B) {
+	single, saturated := time.Duration(0), time.Duration(0)
+	for i := 0; i < b.N; i++ {
+		single, saturated = experiments.FullUtilizationTaskFloor(benchOpts())
+	}
+	b.ReportMetric(single.Seconds()*1000, "single_floor_ms")
+	b.ReportMetric(saturated.Seconds()*1000, "saturated_floor_ms")
+}
+
+// BenchmarkFig3RealDispatch: the real-execution counterpart of Fig 3 —
+// how fast this library actually launches /bin/true processes on this
+// machine (GNU Parallel's perl implementation measured 470/s).
+func BenchmarkFig3RealDispatch(b *testing.B) {
+	inputs := make([]string, b.N)
+	spec, err := repro.NewSpec("true", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.AppendArgsIfNoPlaceholder = false
+	eng, err := repro.NewEngine(spec, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	start := time.Now()
+	stats, _, err := eng.Run(context.Background(), repro.Literal(inputs...))
+	if err != nil || stats.Succeeded != b.N {
+		b.Fatalf("stats=%+v err=%v", stats, err)
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "procs/s")
+}
+
+// BenchmarkFig4Shifter: Fig 4 — Shifter container launch ceiling
+// (paper: ~5,200/s, 19% over bare metal).
+func BenchmarkFig4Shifter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = mustRun(b, "fig4")
+	}
+}
+
+// BenchmarkFig5Podman: Fig 5 — Podman-HPC ceiling (~65/s) and failures.
+func BenchmarkFig5Podman(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = mustRun(b, "fig5")
+	}
+}
+
+// BenchmarkWMSOverhead: §II — central WMS orchestration overhead vs
+// decentralized dispatch (paper: 500s@50k, 5,000s@100k vs 561s@1.152M).
+func BenchmarkWMSOverhead(b *testing.B) {
+	var at50k float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.WMSComparison(benchOpts())
+		for _, r := range rows {
+			if r.Tasks == 50_000 {
+				at50k = r.WMSOverheadS
+			}
+		}
+	}
+	b.ReportMetric(at50k, "wms_overhead_s_at_50k")
+}
+
+// BenchmarkFig7DarshanPipeline: Fig 7 / §IV-B — staged NVMe pipeline vs
+// Lustre-only (paper: 358 vs 430 min, 17% improvement).
+func BenchmarkFig7DarshanPipeline(b *testing.B) {
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig7DarshanPipeline(benchOpts())
+		base := res.LustreOnly.Total.Minutes()
+		improvement = (base - res.Staged.Total.Minutes()) / base * 100
+	}
+	b.ReportMetric(improvement, "improvement_%")
+}
+
+// BenchmarkSrunVsParallel: §IV-B Listings 4/5 — srun loop vs parallel
+// one-liner launch overhead.
+func BenchmarkSrunVsParallel(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.SrunVsParallel(benchOpts())
+		ratio = rows[0].MakespanS / rows[1].MakespanS
+	}
+	b.ReportMetric(ratio, "srun_over_parallel")
+}
+
+// BenchmarkDataMotion: §IV-E — 256-stream DTN transfer (paper: ~200x
+// sequential, >10x WMS protocol, 2,385 Mb/s per node).
+func BenchmarkDataMotion(b *testing.B) {
+	var speedup, mbps float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.DataMotion(benchOpts())
+		speedup = rows[2].Speedup
+		mbps = rows[2].NodeMbpsMean
+	}
+	b.ReportMetric(speedup, "speedup_vs_seq")
+	b.ReportMetric(mbps, "node_Mbps")
+}
+
+// BenchmarkFetchProcess: §IV-A — queue-linked overlap vs barrier.
+func BenchmarkFetchProcess(b *testing.B) {
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.FetchProcess(benchOpts())
+		saved = rows[1].MakespanS - rows[0].MakespanS
+	}
+	b.ReportMetric(saved, "overlap_savings_s")
+}
+
+// BenchmarkGPUIsolation: §IV-D — slot-pinned GPU binding vs none.
+func BenchmarkGPUIsolation(b *testing.B) {
+	var contention float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.GPUIsolation(benchOpts())
+		contention = float64(rows[1].Contention)
+	}
+	b.ReportMetric(contention, "naive_contention")
+}
+
+// BenchmarkForgeCuration: §IV-C — real parallel text curation.
+func BenchmarkForgeCuration(b *testing.B) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.ForgeCuration(benchOpts())
+		rate = rows[len(rows)-1].DocsPerS
+	}
+	b.ReportMetric(rate, "docs/s")
+}
+
+// Ablation benches (DESIGN.md §4).
+
+func BenchmarkAblationStaticSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = mustRun(b, "ablation-static")
+	}
+}
+
+func BenchmarkAblationCentral(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = mustRun(b, "ablation-central")
+	}
+}
+
+func BenchmarkAblationDispatchCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = mustRun(b, "ablation-dispatch")
+	}
+}
+
+func BenchmarkAblationNVMeStaging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = mustRun(b, "ablation-nvme")
+	}
+}
+
+// BenchmarkKeepOrder measures the real engine's keep-order buffering
+// overhead against unordered emission.
+func BenchmarkKeepOrder(b *testing.B) {
+	for _, keep := range []bool{false, true} {
+		name := "unordered"
+		if keep {
+			name = "keep-order"
+		}
+		b.Run(name, func(b *testing.B) {
+			runner := repro.FuncRunner(func(ctx context.Context, job *repro.Job) ([]byte, error) {
+				return nil, nil
+			})
+			items := make([]string, b.N)
+			spec, _ := repro.NewSpec("", 8)
+			spec.KeepOrder = keep
+			eng, _ := repro.NewEngine(spec, runner)
+			b.ResetTimer()
+			if _, _, err := eng.Run(context.Background(), repro.Literal(items...)); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func mustRun(b *testing.B, id string) string {
+	b.Helper()
+	e, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("experiment %q missing", id)
+	}
+	return e.Run(benchOpts()).String()
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDtncpEndToEnd(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "dtncp")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	src := t.TempDir()
+	dst := t.TempDir()
+	os.MkdirAll(filepath.Join(src, "sub"), 0o755)
+	os.WriteFile(filepath.Join(src, "a.txt"), []byte("alpha"), 0o644)
+	os.WriteFile(filepath.Join(src, "sub", "b.txt"), []byte("bravo"), 0o644)
+
+	// Copy.
+	out, err := exec.Command(bin, "-j", "4", src, dst).CombinedOutput()
+	if err != nil {
+		t.Fatalf("copy: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "copied 2") {
+		t.Fatalf("output: %s", out)
+	}
+	data, err := os.ReadFile(filepath.Join(dst, "sub", "b.txt"))
+	if err != nil || string(data) != "bravo" {
+		t.Fatalf("copied content: %q, %v", data, err)
+	}
+
+	// Dry run after copy: empty delta.
+	out, err = exec.Command(bin, "-n", src, dst).CombinedOutput()
+	if err != nil {
+		t.Fatalf("dry run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "0 of 2 files") {
+		t.Fatalf("dry-run output: %s", out)
+	}
+
+	// Usage error.
+	if err := exec.Command(bin, "only-one-arg").Run(); err == nil {
+		t.Fatal("missing DST accepted")
+	}
+}

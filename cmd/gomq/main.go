@@ -1,0 +1,166 @@
+// Command gomq is the message-queue stage link: a single-node broker and
+// CLI producer/consumer, the §IV-A extension for production workflows
+// ("centralized message queue systems such as Apache Kafka").
+//
+// Usage:
+//
+//	gomq serve   -listen 127.0.0.1:7548 -dir /nvme/mq     # broker
+//	... | gomq produce -b 127.0.0.1:7548 batches           # one msg per line
+//	gomq consume -b 127.0.0.1:7548 -g workers batches |    # follows the topic
+//	  gopar -j 8 'process {}'
+//
+// Like gopard, the protocol is unauthenticated: trusted networks only.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/mq"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, rest := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "serve":
+		os.Exit(serveCmd(rest))
+	case "produce":
+		os.Exit(produceCmd(rest))
+	case "consume":
+		os.Exit(consumeCmd(rest))
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  gomq serve   [-listen ADDR] [-dir DIR]
+  gomq produce [-b ADDR] TOPIC        (one message per stdin line)
+  gomq consume [-b ADDR] [-g GROUP] [-follow] TOPIC
+`)
+}
+
+func serveCmd(argv []string) int {
+	fs := flag.NewFlagSet("gomq serve", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7548", "TCP address to listen on")
+	dir := fs.String("dir", "./mqdata", "topic storage directory")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gomq:", err)
+		return 2
+	}
+	log.Printf("gomq: broker on %s, storing topics in %s (unauthenticated — trusted networks only)",
+		l.Addr(), *dir)
+	b := mq.NewBroker(*dir)
+	defer b.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := b.Serve(ctx, l); err != nil {
+		fmt.Fprintln(os.Stderr, "gomq:", err)
+		return 2
+	}
+	return 0
+}
+
+func produceCmd(argv []string) int {
+	fs := flag.NewFlagSet("gomq produce", flag.ContinueOnError)
+	broker := fs.String("b", "127.0.0.1:7548", "broker address")
+	if err := fs.Parse(argv); err != nil || fs.NArg() != 1 {
+		usage()
+		return 2
+	}
+	topic := fs.Arg(0)
+	c, err := mq.DialBroker(*broker)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gomq:", err)
+		return 2
+	}
+	defer c.Close()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		if _, err := c.Produce(topic, append([]byte(nil), sc.Bytes()...)); err != nil {
+			fmt.Fprintln(os.Stderr, "gomq:", err)
+			return 2
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "gomq:", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "gomq: produced %d messages to %s\n", n, topic)
+	return 0
+}
+
+func consumeCmd(argv []string) int {
+	fs := flag.NewFlagSet("gomq consume", flag.ContinueOnError)
+	broker := fs.String("b", "127.0.0.1:7548", "broker address")
+	group := fs.String("g", "default", "consumer group (offset tracking)")
+	follow := fs.Bool("follow", false, "keep waiting for new messages (tail -f style)")
+	if err := fs.Parse(argv); err != nil || fs.NArg() != 1 {
+		usage()
+		return 2
+	}
+	topic := fs.Arg(0)
+	c, err := mq.DialBroker(*broker)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gomq:", err)
+		return 2
+	}
+	defer c.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	next, err := c.Committed(topic, *group)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gomq:", err)
+		return 2
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	for ctx.Err() == nil {
+		wait := time.Duration(0)
+		if *follow {
+			wait = time.Second
+		}
+		msg, ok, err := c.Consume(topic, next, wait)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gomq:", err)
+			return 2
+		}
+		if !ok {
+			if *follow {
+				continue
+			}
+			return 0
+		}
+		out.Write(msg)
+		out.WriteByte('\n')
+		out.Flush()
+		next++
+		if err := c.Commit(topic, *group, next); err != nil {
+			fmt.Fprintln(os.Stderr, "gomq:", err)
+			return 2
+		}
+	}
+	return 0
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"net"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGomqEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "gomq")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	// Pick a free port, then start the broker on it.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	broker := exec.Command(bin, "serve", "-listen", addr, "-dir", filepath.Join(dir, "data"))
+	if err := broker.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { broker.Process.Kill(); broker.Wait() })
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("broker never came up")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Produce three messages.
+	prod := exec.Command(bin, "produce", "-b", addr, "jobs")
+	prod.Stdin = strings.NewReader("m1\nm2\nm3\n")
+	if out, err := prod.CombinedOutput(); err != nil || !strings.Contains(string(out), "produced 3") {
+		t.Fatalf("produce: %v\n%s", err, out)
+	}
+
+	// Consume them (non-follow drains and exits).
+	out, err := exec.Command(bin, "consume", "-b", addr, "-g", "g1", "jobs").Output()
+	if err != nil {
+		t.Fatalf("consume: %v", err)
+	}
+	if string(out) != "m1\nm2\nm3\n" {
+		t.Fatalf("consumed = %q", out)
+	}
+
+	// Offsets committed: second consume drains nothing.
+	out, err = exec.Command(bin, "consume", "-b", addr, "-g", "g1", "jobs").Output()
+	if err != nil || len(out) != 0 {
+		t.Fatalf("re-consume = %q, %v", out, err)
+	}
+
+	// A different group sees everything.
+	out, _ = exec.Command(bin, "consume", "-b", addr, "-g", "g2", "jobs").Output()
+	if string(out) != "m1\nm2\nm3\n" {
+		t.Fatalf("fresh group consumed = %q", out)
+	}
+
+	// Usage error.
+	if err := exec.Command(bin, "bogus-op").Run(); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}

@@ -1,0 +1,398 @@
+// Command gopar is a GNU-Parallel-style parallel process launcher built
+// on the repro engine.
+//
+// Usage:
+//
+//	gopar [flags] command [:::  args...] [::::  argfile] [:::+ linked...]
+//	... | gopar [flags] command
+//
+// Examples:
+//
+//	gopar -j 8 'gzip -9 {}' ::: *.log
+//	gopar -j 128 ./payload.sh ::: $(cat inputs.txt)
+//	find /data -type f | gopar -j 32 'rsync -R -Ha {} /dest/'
+//	gopar -j 8 --gpu-env HIP 'celer-sim {}' ::: runs/*.inp.json
+//	gopar --dry-run 'convert {} {.}.png' ::: a.jpg b.jpg
+//
+// The command template supports {}, {.}, {/}, {//}, {/.}, {#}, {%} and
+// positional {n} forms. Multiple ::: groups combine as a cartesian
+// product; :::+ zips with the previous group; :::: reads a file.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/args"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/gpu"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sem" {
+		os.Exit(runSem(os.Args[2:]))
+	}
+	os.Exit(run())
+}
+
+// runSem implements `gopar sem`: a cross-process counting semaphore in
+// the spirit of GNU Parallel's sem command. Independent invocations
+// sharing an --id throttle each other:
+//
+//	for f in *.big; do gopar sem --id convert -j 4 convert "$f" "$f.png"; done
+func runSem(argv []string) int {
+	fs := flag.NewFlagSet("gopar sem", flag.ContinueOnError)
+	var (
+		jobs = fs.Int("j", 1, "semaphore slots shared across processes")
+		id   = fs.String("id", "default", "semaphore name")
+		dir  = fs.String("semdir", "", "semaphore directory (default $HOME/.gopar/sem)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: gopar sem [-j N] [--id NAME] command args...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	cmdWords := fs.Args()
+	if len(cmdWords) == 0 {
+		fs.Usage()
+		return 2
+	}
+	base := *dir
+	if base == "" {
+		home, err := os.UserHomeDir()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gopar sem:", err)
+			return 2
+		}
+		base = home + "/.gopar/sem"
+	}
+	sem, err := core.NewFileSemaphore(base+"/"+*id, *jobs, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gopar sem:", err)
+		return 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	slot, err := sem.Acquire(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gopar sem:", err)
+		return 2
+	}
+	defer sem.Release(slot)
+
+	runner := &core.ExecRunner{}
+	res := runner.Run(ctx, &core.Job{Seq: 1, Slot: slot + 1, Command: strings.Join(cmdWords, " ")})
+	os.Stdout.Write(res.Stdout)
+	os.Stderr.Write(res.Stderr)
+	if res.Err != nil {
+		fmt.Fprintln(os.Stderr, "gopar sem:", res.Err)
+		return 2
+	}
+	return res.ExitCode
+}
+
+func run() int {
+	fs := flag.NewFlagSet("gopar", flag.ContinueOnError)
+	var (
+		jobs      = fs.Int("j", 8, "number of parallel job slots")
+		keepOrder = fs.Bool("k", false, "output results in input order")
+		dryRun    = fs.Bool("dry-run", false, "print commands without running them")
+		tag       = fs.Bool("tag", false, "prefix output lines with the input value")
+		retries   = fs.Int("retries", 1, "total attempts per job")
+		timeout   = fs.Duration("timeout", 0, "per-job timeout (0 = none)")
+		delay     = fs.Duration("delay", 0, "pause between consecutive job starts")
+		maxLoad   = fs.Float64("load", 0, "pause dispatch while 1-min load average >= this (0 = off)")
+		haltSpec  = fs.String("halt", "", "halt policy: soon,fail=N | now,fail=N | soon,success=N | now,success=N")
+		joblog    = fs.String("joblog", "", "append a GNU-Parallel-format job log to this file")
+		resume    = fs.Bool("resume", false, "skip jobs already completed per --joblog")
+		gpuEnv    = fs.String("gpu-env", "", `set <VENDOR>_VISIBLE_DEVICES from the slot number ("HIP" or "CUDA")`)
+		shell     = fs.Bool("shell", false, "always run commands through /bin/sh -c")
+		dir       = fs.String("dir", "", "working directory for jobs")
+		quiet     = fs.Bool("quiet", false, "suppress the summary line")
+		pipe      = fs.Bool("pipe", false, "split stdin into blocks fed to each job's stdin (--pipe mode)")
+		block     = fs.Int("block", 1<<20, "target block size in bytes for --pipe")
+		workers   = fs.String("S", "", `run jobs on gopard workers: "[slots/]host:port,..." (e.g. 8/n1:7547,8/n2:7547)`)
+		progress  = fs.Bool("progress", false, "show a live progress/ETA line on stderr")
+		colsep    = fs.String("colsep", "", "split input records into columns on this separator ({1}, {2}, ...)")
+		shuf      = fs.Bool("shuf", false, "process inputs in random order")
+		shufSeed  = fs.Uint64("shuf-seed", 0, "seed for --shuf (0 = time-based)")
+		results   = fs.String("results", "", "save per-job stdout/stderr/exitval under this directory")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: gopar [flags] command [::: args...] [:::: argfile]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	cmdWords, src, err := splitInputs(rest)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gopar:", err)
+		return 2
+	}
+	if *pipe {
+		src = args.Blocks(os.Stdin, *block)
+	}
+	if *colsep != "" {
+		// Accept the common escapes GNU Parallel's regex colsep allows.
+		sep := strings.NewReplacer(`\t`, "\t", `\n`, "\n").Replace(*colsep)
+		src = args.Colsep(src, sep)
+	}
+	if *shuf {
+		seed := *shufSeed
+		if seed == 0 {
+			seed = uint64(time.Now().UnixNano())
+		}
+		src = args.Shuffle(src, seed)
+	}
+	command := strings.Join(cmdWords, " ")
+
+	spec, err := core.NewSpec(command, *jobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gopar:", err)
+		return 2
+	}
+	spec.KeepOrder = *keepOrder
+	spec.Pipe = *pipe
+	spec.DryRun = *dryRun
+	spec.Tag = *tag
+	spec.Retries = *retries
+	spec.Timeout = *timeout
+	spec.Delay = *delay
+	spec.MaxLoad = *maxLoad
+	spec.ResultsDir = *results
+	spec.Out = os.Stdout
+	spec.Errout = os.Stderr
+	if *gpuEnv != "" {
+		vendor := *gpuEnv
+		spec.SlotEnv = func(slot int) []string {
+			return []string{gpu.VisibleEnv(vendor, gpu.SlotDevice(slot))}
+		}
+	}
+	if *progress {
+		spec.OnProgress = func(p core.Progress) { core.RenderProgress(os.Stderr, p) }
+	}
+	if spec.Halt, err = parseHalt(*haltSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "gopar:", err)
+		return 2
+	}
+
+	if *joblog != "" {
+		if *resume {
+			if f, err := os.Open(*joblog); err == nil {
+				entries, perr := core.ParseJoblog(f)
+				f.Close()
+				if perr != nil {
+					fmt.Fprintln(os.Stderr, "gopar: reading joblog:", perr)
+					return 2
+				}
+				spec.ResumeFrom = core.CompletedSeqs(entries)
+			}
+		}
+		lf, err := os.OpenFile(*joblog, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gopar:", err)
+			return 2
+		}
+		defer lf.Close()
+		if info, _ := lf.Stat(); info != nil && info.Size() == 0 {
+			core.WriteJoblogHeader(lf)
+		}
+		spec.Joblog = lf
+	}
+
+	var runner core.Runner = &core.ExecRunner{Dir: *dir, ForceShell: *shell}
+	if *workers != "" {
+		specs, perr := parseWorkers(*workers)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "gopar:", perr)
+			return 2
+		}
+		pool, derr := dist.Dial(specs)
+		if derr != nil {
+			fmt.Fprintln(os.Stderr, "gopar:", derr)
+			return 2
+		}
+		defer pool.Close()
+		runner = pool
+		// The pool's capacity is the natural slot count unless the user
+		// explicitly lowered -j.
+		if spec.Jobs > pool.Slots() || spec.Jobs == 8 /* default */ {
+			spec.Jobs = pool.Slots()
+		}
+	}
+	eng, err := core.NewEngine(spec, runner)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gopar:", err)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	stats, _, err := eng.Run(ctx, src)
+	if *progress {
+		fmt.Fprintln(os.Stderr) // finish the in-place progress line
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gopar:", err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "gopar: %d jobs, %d ok, %d failed, %d skipped in %v (%.0f jobs/s, avg dispatch %v)\n",
+			stats.Total, stats.Succeeded, stats.Failed, stats.Skipped,
+			time.Since(start).Round(time.Millisecond), stats.LaunchRate,
+			stats.AvgDispatchDelay.Round(time.Microsecond))
+	}
+	switch {
+	case err != nil:
+		return 2
+	case stats.Failed > 0:
+		if stats.Failed > 101 {
+			return 101
+		}
+		return stats.Failed // GNU Parallel exit convention: 1-101 = failed jobs
+	default:
+		return 0
+	}
+}
+
+// parseWorkers parses the -S list: comma-separated [slots/]host:port
+// entries, mirroring GNU Parallel's --sshlogin 8/host syntax.
+func parseWorkers(s string) ([]dist.WorkerSpec, error) {
+	var specs []dist.WorkerSpec
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		spec := dist.WorkerSpec{Addr: entry}
+		if i := strings.IndexByte(entry, '/'); i >= 0 {
+			n, err := strconv.Atoi(entry[:i])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad worker slots in %q", entry)
+			}
+			spec.Slots = n
+			spec.Addr = entry[i+1:]
+		}
+		if !strings.Contains(spec.Addr, ":") {
+			return nil, fmt.Errorf("worker %q needs host:port", entry)
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("-S given but no workers parsed from %q", s)
+	}
+	return specs, nil
+}
+
+// splitInputs separates command words from input-source groups.
+func splitInputs(rest []string) ([]string, args.Source, error) {
+	sepAt := -1
+	for i, w := range rest {
+		if w == ":::" || w == "::::" || w == ":::+" {
+			sepAt = i
+			break
+		}
+	}
+	if sepAt < 0 {
+		// No ::: groups: read stdin lines.
+		return rest, args.FromReader(os.Stdin), nil
+	}
+	cmdWords := rest[:sepAt]
+	if len(cmdWords) == 0 {
+		return nil, nil, fmt.Errorf("no command before %s", rest[sepAt])
+	}
+
+	type group struct {
+		sep   string
+		items []string
+	}
+	var groups []group
+	for i := sepAt; i < len(rest); i++ {
+		w := rest[i]
+		if w == ":::" || w == "::::" || w == ":::+" {
+			groups = append(groups, group{sep: w})
+			continue
+		}
+		if len(groups) == 0 {
+			return nil, nil, fmt.Errorf("argument %q outside any ::: group", w)
+		}
+		groups[len(groups)-1].items = append(groups[len(groups)-1].items, w)
+	}
+
+	var crossSources []args.Source
+	for _, g := range groups {
+		var s args.Source
+		switch g.sep {
+		case ":::":
+			s = args.Literal(g.items...)
+		case "::::":
+			if len(g.items) != 1 {
+				return nil, nil, fmt.Errorf(":::: takes exactly one file, got %d", len(g.items))
+			}
+			s = args.FromFile(g.items[0])
+		case ":::+":
+			if len(crossSources) == 0 {
+				return nil, nil, fmt.Errorf(":::+ needs a preceding ::: group")
+			}
+			prev := crossSources[len(crossSources)-1]
+			crossSources[len(crossSources)-1] = args.Zip(prev, args.Literal(g.items...))
+			continue
+		}
+		crossSources = append(crossSources, s)
+	}
+	return cmdWords, args.Cross(crossSources...), nil
+}
+
+func parseHalt(s string) (core.HaltPolicy, error) {
+	if s == "" {
+		return core.HaltPolicy{}, nil
+	}
+	parts := strings.SplitN(s, ",", 2)
+	if len(parts) != 2 {
+		return core.HaltPolicy{}, fmt.Errorf("bad --halt %q (want e.g. soon,fail=1)", s)
+	}
+	var p core.HaltPolicy
+	switch parts[0] {
+	case "soon":
+		p.When = core.HaltSoon
+	case "now":
+		p.When = core.HaltNow
+	default:
+		return p, fmt.Errorf("bad --halt timing %q", parts[0])
+	}
+	kv := strings.SplitN(parts[1], "=", 2)
+	if len(kv) != 2 {
+		return p, fmt.Errorf("bad --halt condition %q", parts[1])
+	}
+	n, err := strconv.Atoi(kv[1])
+	if err != nil || n < 1 {
+		return p, fmt.Errorf("bad --halt threshold %q", kv[1])
+	}
+	p.Threshold = n
+	switch kv[0] {
+	case "fail":
+	case "success":
+		p.OnSuccess = true
+	default:
+		return p, fmt.Errorf("bad --halt condition %q", kv[0])
+	}
+	return p, nil
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/args"
+	"repro/internal/core"
+)
+
+func collect(t *testing.T, s args.Source) [][]string {
+	t.Helper()
+	recs, err := args.Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestSplitInputsLiteral(t *testing.T) {
+	cmd, src, err := splitInputs([]string{"echo", "{}", ":::", "a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cmd, []string{"echo", "{}"}) {
+		t.Fatalf("cmd = %v", cmd)
+	}
+	recs := collect(t, src)
+	if !reflect.DeepEqual(recs, [][]string{{"a"}, {"b"}}) {
+		t.Fatalf("recs = %v", recs)
+	}
+}
+
+func TestSplitInputsCartesian(t *testing.T) {
+	_, src, err := splitInputs([]string{"cmd", ":::", "a", "b", ":::", "1", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, src)
+	want := [][]string{{"a", "1"}, {"a", "2"}, {"b", "1"}, {"b", "2"}}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("recs = %v", recs)
+	}
+}
+
+func TestSplitInputsZip(t *testing.T) {
+	_, src, err := splitInputs([]string{"cmd", ":::", "a", "b", ":::+", "1", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, src)
+	want := [][]string{{"a", "1"}, {"b", "2"}}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("recs = %v", recs)
+	}
+}
+
+func TestSplitInputsErrors(t *testing.T) {
+	if _, _, err := splitInputs([]string{":::", "a"}); err == nil {
+		t.Error("missing command accepted")
+	}
+	if _, _, err := splitInputs([]string{"cmd", ":::+", "a"}); err == nil {
+		t.Error(":::+ without preceding group accepted")
+	}
+	if _, _, err := splitInputs([]string{"cmd", "::::", "f1", "f2"}); err == nil {
+		t.Error(":::: with two files accepted")
+	}
+}
+
+func TestSplitInputsStdinFallback(t *testing.T) {
+	cmd, src, err := splitInputs([]string{"wc", "-l"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmd) != 2 || src == nil {
+		t.Fatalf("cmd=%v src=%v", cmd, src)
+	}
+}
+
+func TestParseHalt(t *testing.T) {
+	cases := []struct {
+		in   string
+		want core.HaltPolicy
+		ok   bool
+	}{
+		{"", core.HaltPolicy{}, true},
+		{"soon,fail=1", core.HaltPolicy{When: core.HaltSoon, Threshold: 1}, true},
+		{"now,fail=3", core.HaltPolicy{When: core.HaltNow, Threshold: 3}, true},
+		{"now,success=2", core.HaltPolicy{When: core.HaltNow, Threshold: 2, OnSuccess: true}, true},
+		{"sometime,fail=1", core.HaltPolicy{}, false},
+		{"soon,fail", core.HaltPolicy{}, false},
+		{"soon,fail=zero", core.HaltPolicy{}, false},
+		{"soon,fail=0", core.HaltPolicy{}, false},
+		{"soon", core.HaltPolicy{}, false},
+		{"soon,crash=1", core.HaltPolicy{}, false},
+	}
+	for _, c := range cases {
+		got, err := parseHalt(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("parseHalt(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("parseHalt(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command gopard is the gparallel worker daemon: it executes jobs sent
+// by a gopar coordinator (`gopar -S host:port ...`) over TCP.
+//
+// Usage:
+//
+//	gopard -listen :7547 -slots 16          # on each worker node
+//	gopar -S 16/node1:7547,16/node2:7547 'process {}' ::: inputs...
+//
+// SECURITY: the protocol is unauthenticated — anyone who can reach the
+// port can run commands as this user. Bind to localhost or a trusted
+// cluster network only.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7547", "TCP address to listen on")
+		slots  = flag.Int("slots", runtime.GOMAXPROCS(0), "advertised concurrent job slots")
+		name   = flag.String("name", "", "worker name in joblogs (default: hostname)")
+		dir    = flag.String("dir", "", "working directory for jobs")
+		shell  = flag.Bool("shell", false, "always run commands through /bin/sh -c")
+	)
+	flag.Parse()
+
+	wname := *name
+	if wname == "" {
+		if h, err := os.Hostname(); err == nil {
+			wname = h
+		}
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gopard:", err)
+		os.Exit(2)
+	}
+	log.Printf("gopard: %q serving %d slots on %s (unauthenticated — trusted networks only)",
+		wname, *slots, l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = dist.Serve(ctx, l, dist.WorkerConfig{
+		Name:   wname,
+		Slots:  *slots,
+		Runner: &core.ExecRunner{Dir: *dir, ForceShell: *shell},
+		Logf:   log.Printf,
+	})
+	if err != nil {
+		log.Fatal("gopard: ", err)
+	}
+}

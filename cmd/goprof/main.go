@@ -1,0 +1,70 @@
+// Command goprof extracts a parallel profile from a gopar/GNU-Parallel
+// joblog — the paper's closing use-case: run a workload once under the
+// launcher, then read off its concurrency timeline, utilization, and a
+// recommended -j.
+//
+// Usage:
+//
+//	gopar --joblog run.log 'work {}' ::: inputs...
+//	goprof run.log
+//	goprof -dispatch 2.128ms run.log   # recommend -j for a dispatch cost
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+func main() {
+	dispatch := flag.Duration("dispatch", 2128*time.Microsecond,
+		"per-task dispatch cost used for the -j recommendation (GNU Parallel measures ~2.1ms)")
+	traceOut := flag.String("trace", "",
+		"also write a Chrome/Perfetto trace (load in ui.perfetto.dev) to this file")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: goprof [-dispatch D] [-trace out.json] JOBLOG\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goprof:", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	entries, err := core.ParseJoblog(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goprof:", err)
+		os.Exit(2)
+	}
+	p, err := profile.Analyze(entries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goprof:", err)
+		os.Exit(2)
+	}
+	fmt.Print(p.Render())
+	fmt.Printf("recommended -j:        %d (at %v dispatch cost)\n",
+		p.RecommendSlots(*dispatch), *dispatch)
+
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "goprof:", err)
+			os.Exit(2)
+		}
+		defer tf.Close()
+		if err := profile.ChromeTrace(tf, entries); err != nil {
+			fmt.Fprintln(os.Stderr, "goprof:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("trace written:         %s (open in ui.perfetto.dev)\n", *traceOut)
+	}
+}

@@ -1,0 +1,70 @@
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+// ExampleRun shows the one-call form: parallel -j2 'echo hi {}' ::: a b.
+func ExampleRun() {
+	var out strings.Builder
+	stats, err := repro.Run(context.Background(), "echo hi {}", 2, &out, "a", "b")
+	if err != nil {
+		panic(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	fmt.Println(len(lines), "lines,", stats.Succeeded, "ok")
+	// Output: 2 lines, 2 ok
+}
+
+// ExampleNewEngine demonstrates keep-order output with sequence and slot
+// placeholders.
+func ExampleNewEngine() {
+	spec, _ := repro.NewSpec("echo job {#} got {}", 4)
+	spec.KeepOrder = true
+	spec.Out = os.Stdout
+	eng, _ := repro.NewEngine(spec, nil)
+	eng.Run(context.Background(), repro.Literal("x", "y", "z"))
+	// Output:
+	// job 1 got x
+	// job 2 got y
+	// job 3 got z
+}
+
+// ExampleFuncRunner runs in-process Go payloads — no fork at all.
+func ExampleFuncRunner() {
+	runner := repro.FuncRunner(func(ctx context.Context, job *repro.Job) ([]byte, error) {
+		return []byte(strings.ToUpper(job.Args[0]) + "\n"), nil
+	})
+	spec, _ := repro.NewSpec("", 2)
+	spec.KeepOrder = true
+	spec.Out = os.Stdout
+	eng, _ := repro.NewEngine(spec, runner)
+	eng.Run(context.Background(), repro.Literal("alpha", "beta"))
+	// Output:
+	// ALPHA
+	// BETA
+}
+
+// ExampleCross combines input sources as a cartesian product, like
+// `parallel cmd ::: 1 2 ::: a b`.
+func ExampleCross() {
+	spec, _ := repro.NewSpec("echo {1}-{2}", 1)
+	spec.KeepOrder = true
+	spec.DryRun = true
+	spec.Out = os.Stdout
+	eng, _ := repro.NewEngine(spec, nil)
+	eng.Run(context.Background(), repro.Cross(
+		repro.Literal("1", "2"),
+		repro.Literal("a", "b"),
+	))
+	// Output:
+	// echo 1-a
+	// echo 1-b
+	// echo 2-a
+	// echo 2-b
+}

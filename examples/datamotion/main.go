@@ -1,0 +1,107 @@
+// Data motion: the paper's §IV-E parallel incremental transfer, for real.
+//
+// Builds a source tree of files, migrates it with N parallel streams
+// (the `find | parallel -j32 rsync -R -Ha` pattern), then demonstrates
+// rsync-style incrementality: a second run after touching a few files
+// moves only the delta.
+//
+//	go run ./examples/datamotion [-files 400] [-j 16]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/transfer"
+)
+
+func main() {
+	nfiles := flag.Int("files", 400, "files in the source tree")
+	jobs := flag.Int("j", 16, "parallel copy streams")
+	flag.Parse()
+
+	root, err := os.MkdirTemp("", "datamotion-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+	src := filepath.Join(root, "gpfs", "proj", "data")
+	dst := filepath.Join(root, "lustre", "proj")
+
+	// Build the source project tree.
+	rng := rand.New(rand.NewPCG(7, 11))
+	var total int64
+	for i := 0; i < *nfiles; i++ {
+		rel := fmt.Sprintf("d%02d/d%02d/file%04d.dat", rng.IntN(16), rng.IntN(16), i)
+		size := 1024 + rng.IntN(64*1024)
+		data := make([]byte, size)
+		for j := range data {
+			data[j] = byte(rng.IntN(256))
+		}
+		p := filepath.Join(src, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		total += int64(size)
+	}
+	log.Printf("source tree: %d files, %.1f MB", *nfiles, float64(total)/1e6)
+
+	// Pass 1: full migration.
+	start := time.Now()
+	stats, err := transfer.CopyTree(context.Background(), src, dst, *jobs, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	el := time.Since(start)
+	fmt.Printf("pass 1: copied %d files (%.1f MB) with %d streams in %v (%.0f Mb/s)\n",
+		stats.Copied, float64(stats.Bytes)/1e6, *jobs, el.Round(time.Millisecond),
+		float64(stats.Bytes)*8/1e6/el.Seconds())
+	if stats.Copied != *nfiles || stats.Failed != 0 {
+		log.Fatalf("pass 1 incomplete: %+v", stats)
+	}
+
+	// Pass 2: nothing changed — nothing moves.
+	stats2, err := transfer.CopyTree(context.Background(), src, dst, *jobs, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pass 2: copied %d, skipped %d (incremental no-op)\n", stats2.Copied, stats2.Skipped)
+	if stats2.Copied != 0 {
+		log.Fatalf("pass 2 should copy nothing: %+v", stats2)
+	}
+
+	// Pass 3: touch 5%% of files; only those move.
+	touched := 0
+	err = filepath.WalkDir(src, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if rng.IntN(20) == 0 {
+			touched++
+			return os.WriteFile(p, []byte("modified content"), 0o644)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats3, err := transfer.CopyTree(context.Background(), src, dst, *jobs, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pass 3: touched %d files, copied %d, skipped %d\n",
+		touched, stats3.Copied, stats3.Skipped)
+	if stats3.Copied != touched {
+		log.Fatalf("incremental delta wrong: touched %d, copied %d", touched, stats3.Copied)
+	}
+	fmt.Println("incremental parallel transfer verified")
+}

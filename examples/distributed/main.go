@@ -1,0 +1,102 @@
+// Distributed execution: fan work out across worker daemons over TCP —
+// the library-native equivalent of GNU Parallel's --sshlogin, and the
+// scheduler-free alternative to the paper's Listing 1 driver script.
+//
+// This example starts three in-process workers on loopback listeners
+// (in production they would be `gopard` daemons on other hosts), dials
+// them as a Pool, and drives the standard engine through it: every
+// engine feature — keep-order, retries, joblogs with host attribution —
+// composes with remote execution unchanged.
+//
+//	go run ./examples/distributed [-tasks 24]
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+func main() {
+	ntasks := flag.Int("tasks", 24, "number of jobs to distribute")
+	flag.Parse()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Start three "hosts". Each executes jobs with a FuncRunner here so
+	// the example is hermetic; gopard would use real processes.
+	var specs []dist.WorkerSpec
+	for i, name := range []string{"node01", "node02", "node03"} {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		worker := name
+		runner := repro.FuncRunner(func(ctx context.Context, job *repro.Job) ([]byte, error) {
+			time.Sleep(10 * time.Millisecond) // the "work"
+			return []byte(fmt.Sprintf("%s processed %s\n", worker, job.Args[0])), nil
+		})
+		go dist.Serve(ctx, l, dist.WorkerConfig{Name: name, Slots: 2 + i, Runner: runner})
+		specs = append(specs, dist.WorkerSpec{Addr: l.Addr().String()})
+	}
+
+	pool, err := dist.Dial(specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+	log.Printf("pool connected: %d total slots across %d workers", pool.Slots(), len(specs))
+
+	inputs := make([]string, *ntasks)
+	for i := range inputs {
+		inputs[i] = fmt.Sprintf("item-%02d", i)
+	}
+
+	var joblog bytes.Buffer
+	spec, err := repro.NewSpec("", pool.Slots())
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.KeepOrder = true
+	spec.Joblog = &joblog
+	perHost := map[string]int{}
+	spec.OnResult = func(r repro.Result) {
+		perHost[r.Host]++
+		fmt.Print(string(r.Stdout))
+	}
+	eng, err := repro.NewEngine(spec, pool)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	stats, _, err := eng.Run(ctx, repro.Literal(inputs...))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%d jobs in %v across %d hosts:\n",
+		stats.Succeeded, time.Since(start).Round(time.Millisecond), len(perHost))
+	for _, h := range []string{"node01", "node02", "node03"} {
+		fmt.Printf("  %s: %d jobs\n", h, perHost[h])
+	}
+	if len(perHost) != 3 || stats.Succeeded != *ntasks {
+		log.Fatal("distribution incomplete")
+	}
+
+	// The joblog attributes every job to the host that ran it.
+	entries, err := core.ParseJoblog(strings.NewReader(joblog.String()))
+	if err != nil || len(entries) != *ntasks {
+		log.Fatalf("joblog: %v (%d entries)", err, len(entries))
+	}
+	fmt.Println("joblog host attribution verified")
+}

@@ -1,0 +1,149 @@
+// Fetch-process: the paper's §IV-A motivating workflow, for real.
+//
+// A fetcher stage "downloads" image batches (synthetic pixel data
+// standing in for the NOAA GOES regions of Listing 2) every interval and
+// appends each batch's timestamp to a queue file. Concurrently, a
+// processor stage tails the queue file — the `tail -n+0 -f q.proc |
+// parallel` pattern of Listing 3 — and computes an image statistic per
+// batch while later batches are still downloading.
+//
+//	go run ./examples/fetchprocess [-batches 4] [-interval 2s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro"
+)
+
+var regions = []string{"cgl", "ne", "nr", "se", "sp", "sr", "pr", "pnw"}
+
+func main() {
+	batches := flag.Int("batches", 4, "number of fetch rounds")
+	interval := flag.Duration("interval", 2*time.Second, "fetch loop period (paper: 30s)")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "fetchproc-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	dataDir := filepath.Join(dir, "data")
+	os.MkdirAll(dataDir, 0o755)
+	queueFile := filepath.Join(dir, "q.proc")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// --- getdata (Listing 2): fetch 8 regions per round, then append
+	// the round's timestamp to the queue file.
+	fetchDone := make(chan struct{})
+	go func() {
+		defer close(fetchDone)
+		for b := 0; b < *batches; b++ {
+			ts := fmt.Sprintf("ts%04d", b)
+			spec, _ := repro.NewSpec("", len(regions))
+			fetcher := repro.FuncRunner(func(ctx context.Context, job *repro.Job) ([]byte, error) {
+				return nil, fetchImage(dataDir, job.Args[0], ts, int64(b))
+			})
+			eng, _ := repro.NewEngine(spec, fetcher)
+			if _, _, err := eng.Run(ctx, repro.Literal(regions...)); err != nil {
+				log.Printf("fetch round %d: %v", b, err)
+				return
+			}
+			f, err := os.OpenFile(queueFile, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			fmt.Fprintln(f, ts)
+			f.Close()
+			log.Printf("getdata: fetched batch %s (%d regions)", ts, len(regions))
+			if b+1 < *batches {
+				time.Sleep(*interval)
+			}
+		}
+	}()
+
+	// --- procdata (Listing 3): tail the queue and process each batch
+	// as its timestamp appears. Processing = mean pixel value across
+	// the batch's region images (the paper's `convert ... fx:mean`).
+	processed := 0
+	spec, _ := repro.NewSpec("", 8)
+	spec.KeepOrder = true
+	spec.OnResult = func(r repro.Result) {
+		if r.OK() {
+			processed++
+			fmt.Printf("procdata: batch %s %s", r.Job.Args[0], r.Stdout)
+		} else {
+			log.Printf("procdata: batch %s failed: %v", r.Job.Args[0], r.Err)
+		}
+	}
+	processor := repro.FuncRunner(func(ctx context.Context, job *repro.Job) ([]byte, error) {
+		mean, n, err := batchMean(dataDir, job.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []byte(fmt.Sprintf("mean brightness %.2f over %d images\n", mean, n)), nil
+	})
+	eng, _ := repro.NewEngine(spec, processor)
+
+	// The queue source ends when fetching is done and the file has been
+	// drained: cancel the follow a moment after the fetcher exits.
+	followCtx, stopFollow := context.WithCancel(ctx)
+	go func() {
+		<-fetchDone
+		time.Sleep(300 * time.Millisecond) // let the tail catch the last line
+		stopFollow()
+	}()
+	stats, _, err := eng.Run(ctx, repro.FollowFile(followCtx, queueFile, 50*time.Millisecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprocessed %d/%d batches concurrently with fetching (engine: %+d ok)\n",
+		processed, *batches, stats.Succeeded)
+	if processed != *batches {
+		os.Exit(1)
+	}
+}
+
+// fetchImage writes a synthetic 64x64 grayscale "image" for a region.
+func fetchImage(dir, region, ts string, seed int64) error {
+	rng := rand.New(rand.NewPCG(uint64(seed), uint64(len(region))))
+	px := make([]byte, 64*64)
+	base := byte(rng.IntN(200))
+	for i := range px {
+		px[i] = base + byte(rng.IntN(56))
+	}
+	return os.WriteFile(filepath.Join(dir, fmt.Sprintf("%s_%s.img", region, ts)), px, 0o644)
+}
+
+// batchMean computes the mean pixel value across a batch's images.
+func batchMean(dir, ts string) (float64, int, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*_"+ts+".img"))
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(matches) == 0 {
+		return 0, 0, fmt.Errorf("no images for batch %s", ts)
+	}
+	var sum, count float64
+	for _, m := range matches {
+		data, err := os.ReadFile(m)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, b := range data {
+			sum += float64(b)
+			count++
+		}
+	}
+	return sum / count, len(matches), nil
+}

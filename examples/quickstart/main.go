@@ -1,0 +1,79 @@
+// Quickstart: the library in five minutes.
+//
+// Runs real shell commands in parallel with slot-limited dispatch,
+// keep-order output, retries, a GNU-Parallel-format joblog, and the
+// replacement-string template language.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// 1. One-liner: `parallel -j4 'echo processed {}' ::: a b c d e`.
+	fmt.Println("--- one-liner ---")
+	stats, err := repro.Run(ctx, "echo processed {}", 4, os.Stdout, "a", "b", "c", "d", "e")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran %d jobs, %d ok, avg dispatch %v\n\n",
+		stats.Total, stats.Succeeded, stats.AvgDispatchDelay)
+
+	// 2. Full Spec: keep-order, sequence/slot templates, joblog.
+	fmt.Println("--- keep-order with templates and joblog ---")
+	spec, err := repro.NewSpec(`sh -c 'echo "job {#} on slot {%}: {} -> {.}.out"'`, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.KeepOrder = true
+	spec.Out = os.Stdout
+	var joblog bytes.Buffer
+	spec.Joblog = &joblog
+	eng, err := repro.NewEngine(spec, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := eng.Run(ctx, repro.Literal("alpha.txt", "beta.txt", "gamma.txt")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\njoblog:\n%s\n", joblog.String())
+
+	// 3. Cartesian input combination: ::: {1..3} ::: {x,y}.
+	fmt.Println("--- cartesian product ---")
+	spec2, _ := repro.NewSpec("echo combo month={1} app={2}", 4)
+	spec2.Out = os.Stdout
+	spec2.KeepOrder = true
+	eng2, _ := repro.NewEngine(spec2, nil)
+	if _, _, err := eng2.Run(ctx, repro.Cross(
+		repro.Literal("1", "2", "3"),
+		repro.Literal("x", "y"),
+	)); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. In-process Go payloads: no fork at all.
+	fmt.Println("\n--- FuncRunner: Go payloads ---")
+	runner := repro.FuncRunner(func(ctx context.Context, job *repro.Job) ([]byte, error) {
+		sum := 0
+		for _, c := range job.Args[0] {
+			sum += int(c)
+		}
+		return []byte(fmt.Sprintf("checksum(%s) = %d\n", job.Args[0], sum)), nil
+	})
+	spec3, _ := repro.NewSpec("", 8)
+	spec3.Out = os.Stdout
+	eng3, _ := repro.NewEngine(spec3, runner)
+	if _, _, err := eng3.Run(ctx, repro.Literal("hello", "parallel", "world")); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,464 @@
+// Package args implements GNU-Parallel-style input sources and their
+// combination rules.
+//
+// A Source yields records; each record is one job's positional arguments
+// (one string per input-source column). Literal lists correspond to
+// ":::", files to "::::", Cross to multiple sources (cartesian product,
+// last source varying fastest), Zip to ":::+" linking, and Chan/FollowFile
+// to the streaming "tail -f queuefile | parallel" pattern the paper uses
+// for asynchronous workflow stages.
+package args
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"strings"
+	"time"
+)
+
+// Source yields successive records. Next returns io.EOF when exhausted.
+// Next may block (streaming sources); engines consume sources from a
+// dedicated goroutine.
+type Source interface {
+	Next() ([]string, error)
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func() ([]string, error)
+
+// Next implements Source.
+func (f SourceFunc) Next() ([]string, error) { return f() }
+
+// Literal returns a source yielding one single-column record per item.
+func Literal(items ...string) Source {
+	i := 0
+	return SourceFunc(func() ([]string, error) {
+		if i >= len(items) {
+			return nil, io.EOF
+		}
+		v := items[i]
+		i++
+		return []string{v}, nil
+	})
+}
+
+// FromReader returns a source yielding one record per line of r. Lines are
+// terminated by '\n'; a trailing '\r' is stripped. A final unterminated
+// line is yielded. Empty lines are yielded as empty strings (GNU Parallel
+// passes them through).
+func FromReader(r io.Reader) Source {
+	br := bufio.NewReader(r)
+	done := false
+	return SourceFunc(func() ([]string, error) {
+		if done {
+			return nil, io.EOF
+		}
+		line, err := br.ReadString('\n')
+		if err == io.EOF {
+			done = true
+			if line == "" {
+				return nil, io.EOF
+			}
+			return []string{trimEOL(line)}, nil
+		}
+		if err != nil {
+			done = true
+			return nil, err
+		}
+		return []string{trimEOL(line)}, nil
+	})
+}
+
+func trimEOL(s string) string {
+	s = strings.TrimSuffix(s, "\n")
+	return strings.TrimSuffix(s, "\r")
+}
+
+// FromFile returns a source yielding one record per line of the named
+// file. The file is opened lazily on first Next and closed at EOF or
+// error.
+func FromFile(path string) Source {
+	var f *os.File
+	var inner Source
+	closed := false
+	return SourceFunc(func() ([]string, error) {
+		if closed {
+			return nil, io.EOF
+		}
+		if inner == nil {
+			var err error
+			f, err = os.Open(path)
+			if err != nil {
+				closed = true
+				return nil, err
+			}
+			inner = FromReader(f)
+		}
+		rec, err := inner.Next()
+		if err != nil {
+			closed = true
+			f.Close()
+			return nil, err
+		}
+		return rec, nil
+	})
+}
+
+// Chan returns a source that yields values received from ch until it is
+// closed. It backs the streaming queue-file pattern in real executions.
+func Chan(ch <-chan string) Source {
+	return SourceFunc(func() ([]string, error) {
+		v, ok := <-ch
+		if !ok {
+			return nil, io.EOF
+		}
+		return []string{v}, nil
+	})
+}
+
+// Slice returns a source yielding the given pre-built records verbatim.
+func Slice(records [][]string) Source {
+	i := 0
+	return SourceFunc(func() ([]string, error) {
+		if i >= len(records) {
+			return nil, io.EOF
+		}
+		r := records[i]
+		i++
+		return r, nil
+	})
+}
+
+// Collect drains src into a slice. It is used by combinators that must
+// materialize a source, and by tests.
+func Collect(src Source) ([][]string, error) {
+	var out [][]string
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Cross combines sources as a cartesian product: one record per element of
+// the product, columns concatenated, with the last source varying fastest
+// (matching `parallel ::: a b ::: 1 2` → a 1, a 2, b 1, b 2).
+//
+// Only the first source is streamed; the rest are materialized up front,
+// so a blocking/streaming source may only appear first. A materialized
+// empty source makes the whole product empty.
+func Cross(sources ...Source) Source {
+	switch len(sources) {
+	case 0:
+		return Literal()
+	case 1:
+		return sources[0]
+	}
+	var rest [][][]string // materialized records of sources[1:]
+	restErr := error(nil)
+	loaded := false
+	var cur []string // current record of first source
+	idx := make([]int, len(sources)-1)
+	exhausted := false
+
+	return SourceFunc(func() ([]string, error) {
+		if exhausted {
+			return nil, io.EOF
+		}
+		if !loaded {
+			loaded = true
+			for _, s := range sources[1:] {
+				recs, err := Collect(s)
+				if err != nil {
+					restErr = err
+					break
+				}
+				rest = append(rest, recs)
+			}
+			if restErr == nil {
+				for _, recs := range rest {
+					if len(recs) == 0 {
+						exhausted = true
+						return nil, io.EOF
+					}
+				}
+			}
+		}
+		if restErr != nil {
+			exhausted = true
+			return nil, restErr
+		}
+		if cur == nil {
+			rec, err := sources[0].Next()
+			if err != nil {
+				exhausted = true
+				return nil, err
+			}
+			cur = rec
+			for i := range idx {
+				idx[i] = 0
+			}
+		}
+		// Build the combined record.
+		out := append([]string(nil), cur...)
+		for i, recs := range rest {
+			out = append(out, recs[idx[i]]...)
+		}
+		// Advance odometer, last column fastest.
+		for i := len(idx) - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(rest[i]) {
+				return out, nil
+			}
+			idx[i] = 0
+		}
+		cur = nil // first source advances next call
+		return out, nil
+	})
+}
+
+// ErrZipLength reports :::+ sources of unequal length.
+var ErrZipLength = errors.New("args: zipped sources have unequal lengths")
+
+// Zip links sources positionally (GNU Parallel's :::+): record i combines
+// the i-th element of every source. If sources have different lengths the
+// final record returns ErrZipLength (GNU Parallel pads; we fail loudly, a
+// deliberate strictness documented in README).
+func Zip(sources ...Source) Source {
+	if len(sources) == 0 {
+		return Literal()
+	}
+	done := false
+	return SourceFunc(func() ([]string, error) {
+		if done {
+			return nil, io.EOF
+		}
+		var out []string
+		eofs := 0
+		for _, s := range sources {
+			rec, err := s.Next()
+			if err == io.EOF {
+				eofs++
+				continue
+			}
+			if err != nil {
+				done = true
+				return nil, err
+			}
+			out = append(out, rec...)
+		}
+		if eofs == len(sources) {
+			done = true
+			return nil, io.EOF
+		}
+		if eofs > 0 {
+			done = true
+			return nil, fmt.Errorf("%w (short by %d)", ErrZipLength, eofs)
+		}
+		return out, nil
+	})
+}
+
+// ChunkN regroups a source's records into flat records of up to n columns,
+// GNU Parallel's -N: with n=3, single-column inputs a b c d e become
+// records [a b c] and [d e].
+func ChunkN(src Source, n int) Source {
+	if n < 1 {
+		panic("args: ChunkN n must be >= 1")
+	}
+	done := false
+	return SourceFunc(func() ([]string, error) {
+		if done {
+			return nil, io.EOF
+		}
+		var out []string
+		for len(out) < n {
+			rec, err := src.Next()
+			if err == io.EOF {
+				done = true
+				if len(out) == 0 {
+					return nil, io.EOF
+				}
+				return out, nil
+			}
+			if err != nil {
+				done = true
+				return nil, err
+			}
+			out = append(out, rec...)
+		}
+		return out, nil
+	})
+}
+
+// Colsep splits each record's columns further on sep (GNU Parallel's
+// --colsep): a single-column source of TSV lines becomes multi-column
+// records addressable as {1}, {2}, ... Empty sep panics.
+func Colsep(src Source, sep string) Source {
+	if sep == "" {
+		panic("args: Colsep separator must be non-empty")
+	}
+	return SourceFunc(func() ([]string, error) {
+		rec, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		var out []string
+		for _, col := range rec {
+			out = append(out, strings.Split(col, sep)...)
+		}
+		return out, nil
+	})
+}
+
+// Shuffle materializes src and yields its records in a deterministic
+// pseudo-random order for the given seed (GNU Parallel's --shuf).
+func Shuffle(src Source, seed uint64) Source {
+	var recs [][]string
+	var loadErr error
+	loaded := false
+	i := 0
+	return SourceFunc(func() ([]string, error) {
+		if !loaded {
+			loaded = true
+			recs, loadErr = Collect(src)
+			if loadErr == nil {
+				rng := rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15))
+				rng.Shuffle(len(recs), func(a, b int) {
+					recs[a], recs[b] = recs[b], recs[a]
+				})
+			}
+		}
+		if loadErr != nil {
+			err := loadErr
+			loadErr = nil
+			return nil, err
+		}
+		if i >= len(recs) {
+			return nil, io.EOF
+		}
+		r := recs[i]
+		i++
+		return r, nil
+	})
+}
+
+// Blocks splits r into line-aligned blocks of roughly blockSize bytes for
+// pipe-mode execution (GNU Parallel's --pipe --block): each record's
+// single column is a block of complete lines. A line longer than
+// blockSize becomes its own oversized block rather than being split
+// mid-record.
+func Blocks(r io.Reader, blockSize int) Source {
+	if blockSize < 1 {
+		blockSize = 1 << 20
+	}
+	br := bufio.NewReaderSize(r, 64*1024)
+	done := false
+	var pending string // a line that overflowed the previous block
+	return SourceFunc(func() ([]string, error) {
+		if done && pending == "" {
+			return nil, io.EOF
+		}
+		var b strings.Builder
+		b.WriteString(pending)
+		pending = ""
+		for b.Len() < blockSize && !done {
+			line, err := br.ReadString('\n')
+			if err == io.EOF {
+				done = true
+			} else if err != nil {
+				done = true
+				if b.Len() == 0 && line == "" {
+					return nil, err
+				}
+			}
+			if line == "" {
+				continue
+			}
+			if b.Len() > 0 && b.Len()+len(line) > blockSize {
+				pending = line
+				break
+			}
+			b.WriteString(line)
+		}
+		if b.Len() == 0 {
+			return nil, io.EOF
+		}
+		return []string{b.String()}, nil
+	})
+}
+
+// FollowFile tails the named file like `tail -n+0 -f`: it yields every
+// line ever appended, polling every interval for growth, until ctx is
+// done (then io.EOF). This powers the paper's queue-file stage link
+// (Listing 3) in real executions.
+func FollowFile(ctx context.Context, path string, interval time.Duration) Source {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	var f *os.File
+	var br *bufio.Reader
+	var partial strings.Builder
+	done := false
+	return SourceFunc(func() ([]string, error) {
+		if done {
+			return nil, io.EOF
+		}
+		for {
+			if f == nil {
+				var err error
+				f, err = os.Open(path)
+				if err != nil {
+					if ctx.Err() != nil {
+						done = true
+						return nil, io.EOF
+					}
+					// File may not exist yet; wait for it.
+					select {
+					case <-ctx.Done():
+						done = true
+						return nil, io.EOF
+					case <-time.After(interval):
+						continue
+					}
+				}
+				br = bufio.NewReader(f)
+			}
+			line, err := br.ReadString('\n')
+			partial.WriteString(line)
+			if err == nil {
+				out := trimEOL(partial.String())
+				partial.Reset()
+				return []string{out}, nil
+			}
+			if err != io.EOF {
+				done = true
+				f.Close()
+				return nil, err
+			}
+			// At EOF: wait for growth or cancellation.
+			select {
+			case <-ctx.Done():
+				done = true
+				f.Close()
+				if partial.Len() > 0 {
+					out := partial.String()
+					partial.Reset()
+					return []string{out}, nil
+				}
+				return nil, io.EOF
+			case <-time.After(interval):
+			}
+		}
+	})
+}

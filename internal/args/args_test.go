@@ -1,0 +1,416 @@
+package args
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func collect(t *testing.T, s Source) [][]string {
+	t.Helper()
+	recs, err := Collect(s)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	return recs
+}
+
+func TestLiteral(t *testing.T) {
+	recs := collect(t, Literal("a", "b", "c"))
+	want := [][]string{{"a"}, {"b"}, {"c"}}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("got %v", recs)
+	}
+	if _, err := Literal().Next(); err != io.EOF {
+		t.Fatal("empty literal should EOF")
+	}
+}
+
+func TestFromReader(t *testing.T) {
+	recs := collect(t, FromReader(strings.NewReader("one\ntwo\r\n\nfour")))
+	want := [][]string{{"one"}, {"two"}, {""}, {"four"}}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("got %v", recs)
+	}
+	if len(collect(t, FromReader(strings.NewReader("")))) != 0 {
+		t.Fatal("empty reader should yield nothing")
+	}
+	// Source stays EOF after exhaustion.
+	s := FromReader(strings.NewReader("x"))
+	s.Next()
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatal("want EOF")
+	}
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatal("want sticky EOF")
+	}
+}
+
+func TestFromFile(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "inputs.txt")
+	if err := os.WriteFile(p, []byte("l1\nl2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, FromFile(p))
+	if len(recs) != 2 || recs[0][0] != "l1" || recs[1][0] != "l2" {
+		t.Fatalf("got %v", recs)
+	}
+	if _, err := FromFile(filepath.Join(dir, "missing")).Next(); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestChan(t *testing.T) {
+	ch := make(chan string, 3)
+	ch <- "x"
+	ch <- "y"
+	close(ch)
+	recs := collect(t, Chan(ch))
+	if len(recs) != 2 || recs[0][0] != "x" {
+		t.Fatalf("got %v", recs)
+	}
+}
+
+func TestCrossOrder(t *testing.T) {
+	// parallel echo ::: a b ::: 1 2 => a1 a2 b1 b2 (last varies fastest)
+	recs := collect(t, Cross(Literal("a", "b"), Literal("1", "2")))
+	want := [][]string{{"a", "1"}, {"a", "2"}, {"b", "1"}, {"b", "2"}}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("got %v, want %v", recs, want)
+	}
+}
+
+func TestCrossThree(t *testing.T) {
+	recs := collect(t, Cross(Literal("a"), Literal("1", "2"), Literal("x", "y")))
+	want := [][]string{{"a", "1", "x"}, {"a", "1", "y"}, {"a", "2", "x"}, {"a", "2", "y"}}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("got %v", recs)
+	}
+}
+
+func TestCrossDarshanGrid(t *testing.T) {
+	// The paper's Listing 5: {1..12} x {0..2} = 36 combinations.
+	months := make([]string, 12)
+	for i := range months {
+		months[i] = string(rune('1' + i)) // content irrelevant, count matters
+	}
+	recs := collect(t, Cross(Slice(toRecords(months)), Literal("0", "1", "2")))
+	if len(recs) != 36 {
+		t.Fatalf("got %d records, want 36", len(recs))
+	}
+}
+
+func toRecords(items []string) [][]string {
+	out := make([][]string, len(items))
+	for i, v := range items {
+		out[i] = []string{v}
+	}
+	return out
+}
+
+func TestCrossEmptySource(t *testing.T) {
+	recs := collect(t, Cross(Literal("a", "b"), Literal()))
+	if len(recs) != 0 {
+		t.Fatalf("product with empty source = %v, want empty", recs)
+	}
+	recs = collect(t, Cross(Literal(), Literal("1")))
+	if len(recs) != 0 {
+		t.Fatalf("empty first source = %v, want empty", recs)
+	}
+}
+
+func TestCrossStreamsFirstSource(t *testing.T) {
+	// First source delivered incrementally through a channel: Cross must
+	// produce each block without waiting for channel close... but since
+	// Next is pull-based, it suffices that records appear as soon as the
+	// first source yields.
+	ch := make(chan string, 1)
+	src := Cross(Chan(ch), Literal("1", "2"))
+	ch <- "a"
+	r1, err := src.Next()
+	if err != nil || !reflect.DeepEqual(r1, []string{"a", "1"}) {
+		t.Fatalf("r1 = %v, %v", r1, err)
+	}
+	r2, _ := src.Next()
+	if !reflect.DeepEqual(r2, []string{"a", "2"}) {
+		t.Fatalf("r2 = %v", r2)
+	}
+	close(ch)
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestZip(t *testing.T) {
+	recs := collect(t, Zip(Literal("a", "b"), Literal("1", "2")))
+	want := [][]string{{"a", "1"}, {"b", "2"}}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("got %v", recs)
+	}
+}
+
+func TestZipUnequal(t *testing.T) {
+	src := Zip(Literal("a", "b"), Literal("1"))
+	if _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := src.Next()
+	if !errors.Is(err, ErrZipLength) {
+		t.Fatalf("want ErrZipLength, got %v", err)
+	}
+}
+
+func TestChunkN(t *testing.T) {
+	recs := collect(t, ChunkN(Literal("a", "b", "c", "d", "e"), 2))
+	want := [][]string{{"a", "b"}, {"c", "d"}, {"e"}}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("got %v", recs)
+	}
+	recs = collect(t, ChunkN(Literal(), 3))
+	if len(recs) != 0 {
+		t.Fatalf("chunk of empty = %v", recs)
+	}
+}
+
+func TestChunkNInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ChunkN(0) should panic")
+		}
+	}()
+	ChunkN(Literal("a"), 0)
+}
+
+func TestFollowFile(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "q.proc")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	src := FollowFile(ctx, p, 5*time.Millisecond)
+	got := make(chan string, 10)
+	go func() {
+		for {
+			rec, err := src.Next()
+			if err != nil {
+				close(got)
+				return
+			}
+			got <- rec[0]
+		}
+	}()
+
+	// File does not exist yet; create and append in two stages.
+	time.Sleep(10 * time.Millisecond)
+	if err := os.WriteFile(p, []byte("ts1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectRecv(t, got, "ts1")
+
+	f, err := os.OpenFile(p, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("ts2\n")
+	f.Close()
+	expectRecv(t, got, "ts2")
+
+	cancel()
+	select {
+	case _, ok := <-got:
+		if ok {
+			t.Fatal("unexpected extra record")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("source did not terminate after cancel")
+	}
+}
+
+func expectRecv(t *testing.T, ch <-chan string, want string) {
+	t.Helper()
+	select {
+	case v := <-ch:
+		if v != want {
+			t.Fatalf("got %q, want %q", v, want)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("timed out waiting for %q", want)
+	}
+}
+
+// Property: Cross record count is the product of source lengths, and every
+// record has one column per source.
+func TestPropertyCrossCount(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		na, nb, nc := int(a%5), int(b%5), int(c%5)
+		mk := func(n int) Source {
+			items := make([]string, n)
+			for i := range items {
+				items[i] = "v"
+			}
+			return Literal(items...)
+		}
+		recs, err := Collect(Cross(mk(na), mk(nb), mk(nc)))
+		if err != nil {
+			return false
+		}
+		if len(recs) != na*nb*nc {
+			return false
+		}
+		for _, r := range recs {
+			if len(r) != 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ChunkN yields ceil(n/k) records and preserves order/content.
+func TestPropertyChunkN(t *testing.T) {
+	f := func(n16 uint16, k8 uint8) bool {
+		n, k := int(n16%200), int(k8%10)+1
+		items := make([]string, n)
+		for i := range items {
+			items[i] = string(rune('a' + i%26))
+		}
+		recs, err := Collect(ChunkN(Literal(items...), k))
+		if err != nil {
+			return false
+		}
+		wantRecs := (n + k - 1) / k
+		if len(recs) != wantRecs {
+			return false
+		}
+		var flat []string
+		for _, r := range recs {
+			flat = append(flat, r...)
+		}
+		return reflect.DeepEqual(flat, items) || (n == 0 && len(flat) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlocksLineAligned(t *testing.T) {
+	in := "aaaa\nbb\ncccccc\ndd\n"
+	recs := collect(t, Blocks(strings.NewReader(in), 8))
+	var rebuilt strings.Builder
+	for _, r := range recs {
+		if len(r) != 1 {
+			t.Fatalf("record has %d cols", len(r))
+		}
+		if !strings.HasSuffix(r[0], "\n") {
+			t.Fatalf("block %q not newline-terminated", r[0])
+		}
+		rebuilt.WriteString(r[0])
+	}
+	if rebuilt.String() != in {
+		t.Fatalf("blocks lost content: %q", rebuilt.String())
+	}
+	if len(recs) < 2 {
+		t.Fatalf("expected multiple blocks, got %d", len(recs))
+	}
+}
+
+func TestBlocksOversizedLine(t *testing.T) {
+	long := strings.Repeat("x", 100) + "\n"
+	recs := collect(t, Blocks(strings.NewReader("a\n"+long+"b\n"), 10))
+	var all string
+	for _, r := range recs {
+		all += r[0]
+	}
+	if all != "a\n"+long+"b\n" {
+		t.Fatal("oversized line mangled")
+	}
+}
+
+func TestBlocksEmptyAndUnterminated(t *testing.T) {
+	if recs := collect(t, Blocks(strings.NewReader(""), 10)); len(recs) != 0 {
+		t.Fatalf("empty input produced %v", recs)
+	}
+	recs := collect(t, Blocks(strings.NewReader("no newline at end"), 1000))
+	if len(recs) != 1 || recs[0][0] != "no newline at end" {
+		t.Fatalf("unterminated final line: %v", recs)
+	}
+}
+
+// Property: Blocks partitions any line stream exactly (concatenation
+// identity) for any block size.
+func TestPropertyBlocksPartition(t *testing.T) {
+	f := func(lines []string, bs16 uint16) bool {
+		var in strings.Builder
+		for _, l := range lines {
+			l = strings.ReplaceAll(l, "\n", "")
+			in.WriteString(l + "\n")
+		}
+		bs := int(bs16%256) + 1
+		recs, err := Collect(Blocks(strings.NewReader(in.String()), bs))
+		if err != nil {
+			return false
+		}
+		var out strings.Builder
+		for _, r := range recs {
+			out.WriteString(r[0])
+		}
+		return out.String() == in.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColsep(t *testing.T) {
+	recs := collect(t, Colsep(Literal("a\tb\tc", "d\te"), "\t"))
+	want := [][]string{{"a", "b", "c"}, {"d", "e"}}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("got %v", recs)
+	}
+	// No separator present: record unchanged.
+	recs = collect(t, Colsep(Literal("plain"), ","))
+	if !reflect.DeepEqual(recs, [][]string{{"plain"}}) {
+		t.Fatalf("got %v", recs)
+	}
+}
+
+func TestColsepInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty colsep accepted")
+		}
+	}()
+	Colsep(Literal("a"), "")
+}
+
+func TestShuffleDeterministicPermutation(t *testing.T) {
+	items := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	a := collect(t, Shuffle(Literal(items...), 42))
+	b := collect(t, Shuffle(Literal(items...), 42))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same-seed shuffles differ")
+	}
+	c := collect(t, Shuffle(Literal(items...), 43))
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different-seed shuffles identical (suspicious)")
+	}
+	// Permutation: same multiset.
+	seen := map[string]bool{}
+	for _, r := range a {
+		seen[r[0]] = true
+	}
+	if len(seen) != len(items) {
+		t.Fatalf("shuffle lost items: %v", a)
+	}
+}

@@ -1,0 +1,158 @@
+// Package celeritas implements a miniature Monte Carlo particle-transport
+// kernel standing in for the Celeritas detector-simulation code the paper
+// uses as its GPU workload (§IV-D, Fig 2).
+//
+// The physics is deliberately simple — mono-energetic photons in a 1-D
+// multi-layer slab with isotropic scattering and absorption — but it is
+// real computation with real statistical output, so examples and tests
+// exercise a genuine payload. For simulated-cluster experiments, Cost
+// converts a problem size into a virtual GPU execution time.
+package celeritas
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+	"time"
+)
+
+// Config describes one simulation input (the `.inp.json` files of the
+// paper's launch line).
+type Config struct {
+	// Name labels the run (output file naming).
+	Name string `json:"name"`
+	// Photons is the number of source particles.
+	Photons int `json:"photons"`
+	// Layers is the number of equal-thickness tally layers.
+	Layers int `json:"layers"`
+	// SlabDepth is total slab thickness in cm.
+	SlabDepth float64 `json:"slab_depth_cm"`
+	// MuAbs and MuScat are absorption/scattering coefficients (1/cm).
+	MuAbs  float64 `json:"mu_abs"`
+	MuScat float64 `json:"mu_scat"`
+	// EnergyMeV is the photon energy deposited on absorption.
+	EnergyMeV float64 `json:"energy_mev"`
+	// Seed makes runs reproducible.
+	Seed uint64 `json:"seed"`
+}
+
+// DefaultConfig returns a physically sensible small problem.
+func DefaultConfig(name string) Config {
+	return Config{
+		Name: name, Photons: 100_000, Layers: 10, SlabDepth: 10,
+		MuAbs: 0.2, MuScat: 0.8, EnergyMeV: 1.0, Seed: 1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.Photons < 1:
+		return errors.New("celeritas: photons must be >= 1")
+	case c.Layers < 1:
+		return errors.New("celeritas: layers must be >= 1")
+	case c.SlabDepth <= 0:
+		return errors.New("celeritas: slab depth must be positive")
+	case c.MuAbs < 0 || c.MuScat < 0 || c.MuAbs+c.MuScat == 0:
+		return errors.New("celeritas: cross-sections must be non-negative and not both zero")
+	default:
+		return nil
+	}
+}
+
+// ParseConfig reads a JSON input file.
+func ParseConfig(r io.Reader) (Config, error) {
+	var c Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return c, fmt.Errorf("celeritas: parsing input: %w", err)
+	}
+	return c, c.Validate()
+}
+
+// Tally is the simulation output.
+type Tally struct {
+	Config      Config    `json:"config"`
+	Deposited   []float64 `json:"deposited_mev"` // per layer
+	Transmitted int       `json:"transmitted"`
+	Reflected   int       `json:"reflected"`
+	Absorbed    int       `json:"absorbed"`
+	// Histories is photons simulated (== Config.Photons).
+	Histories int `json:"histories"`
+}
+
+// TotalDeposited sums energy across layers.
+func (t *Tally) TotalDeposited() float64 {
+	var s float64
+	for _, v := range t.Deposited {
+		s += v
+	}
+	return s
+}
+
+// Run executes the transport kernel (real CPU work, deterministic per
+// seed).
+func Run(cfg Config) (*Tally, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xD1B54A32D192ED03))
+	muTotal := cfg.MuAbs + cfg.MuScat
+	pAbs := cfg.MuAbs / muTotal
+	layerW := cfg.SlabDepth / float64(cfg.Layers)
+
+	t := &Tally{Config: cfg, Deposited: make([]float64, cfg.Layers), Histories: cfg.Photons}
+	for i := 0; i < cfg.Photons; i++ {
+		depth := 0.0
+		mu := 1.0 // entering normal to the slab face
+		for {
+			// Sample free path and advance.
+			u := rng.Float64()
+			for u == 0 {
+				u = rng.Float64()
+			}
+			depth += -math.Log(u) / muTotal * mu
+			if depth < 0 {
+				t.Reflected++
+				break
+			}
+			if depth >= cfg.SlabDepth {
+				t.Transmitted++
+				break
+			}
+			if rng.Float64() < pAbs {
+				layer := int(depth / layerW)
+				if layer >= cfg.Layers {
+					layer = cfg.Layers - 1
+				}
+				t.Deposited[layer] += cfg.EnergyMeV
+				t.Absorbed++
+				break
+			}
+			// Isotropic scatter: new direction cosine.
+			mu = 2*rng.Float64() - 1
+			if mu == 0 {
+				mu = 1e-12
+			}
+		}
+	}
+	return t, nil
+}
+
+// GPUHistoriesPerSecond is the calibrated device throughput used by the
+// simulated-cluster cost model. Celeritas tracks O(10^7) photon histories
+// per second per GCD for simple geometries.
+const GPUHistoriesPerSecond = 2e7
+
+// Cost returns the virtual GPU execution time for a config: kernel time
+// proportional to histories plus fixed setup (geometry/physics init),
+// which is what gives Fig 2 its small constant variance.
+func Cost(cfg Config) time.Duration {
+	kernel := float64(cfg.Photons) / GPUHistoriesPerSecond
+	setup := 3 * time.Second // process start, geometry build, H2D copies
+	return setup + time.Duration(kernel*float64(time.Second))
+}

@@ -1,0 +1,164 @@
+package celeritas
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConservationOfHistories(t *testing.T) {
+	cfg := DefaultConfig("t")
+	cfg.Photons = 50_000
+	tally, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := tally.Transmitted + tally.Reflected + tally.Absorbed
+	if sum != cfg.Photons {
+		t.Fatalf("histories: %d+%d+%d = %d, want %d",
+			tally.Transmitted, tally.Reflected, tally.Absorbed, sum, cfg.Photons)
+	}
+	if tally.Histories != cfg.Photons {
+		t.Fatalf("Histories = %d", tally.Histories)
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	cfg := DefaultConfig("t")
+	cfg.Photons = 20_000
+	tally, _ := Run(cfg)
+	want := float64(tally.Absorbed) * cfg.EnergyMeV
+	if math.Abs(tally.TotalDeposited()-want) > 1e-6 {
+		t.Fatalf("deposited %.3f MeV, absorbed %d x %.1f MeV", tally.TotalDeposited(), tally.Absorbed, cfg.EnergyMeV)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	cfg := DefaultConfig("t")
+	cfg.Photons = 10_000
+	a, _ := Run(cfg)
+	b, _ := Run(cfg)
+	if a.Transmitted != b.Transmitted || a.Absorbed != b.Absorbed {
+		t.Fatal("runs with same seed differ")
+	}
+	cfg.Seed = 2
+	c, _ := Run(cfg)
+	if a.Transmitted == c.Transmitted && a.Reflected == c.Reflected && a.Absorbed == c.Absorbed {
+		t.Fatal("different seeds produced identical tallies (suspicious)")
+	}
+}
+
+func TestPhysicsShape(t *testing.T) {
+	// Thick absorbing slab: almost nothing transmits.
+	cfg := Config{Name: "thick", Photons: 20_000, Layers: 10, SlabDepth: 100,
+		MuAbs: 1.0, MuScat: 0.1, EnergyMeV: 1, Seed: 3}
+	tally, _ := Run(cfg)
+	if frac := float64(tally.Transmitted) / float64(cfg.Photons); frac > 0.001 {
+		t.Fatalf("thick slab transmitted %.4f of photons", frac)
+	}
+	// Thin slab: most photons transmit.
+	cfg2 := Config{Name: "thin", Photons: 20_000, Layers: 5, SlabDepth: 0.01,
+		MuAbs: 0.1, MuScat: 0.1, EnergyMeV: 1, Seed: 3}
+	t2, _ := Run(cfg2)
+	if frac := float64(t2.Transmitted) / float64(cfg2.Photons); frac < 0.95 {
+		t.Fatalf("thin slab transmitted only %.4f", frac)
+	}
+}
+
+func TestAttenuationMonotone(t *testing.T) {
+	// Energy deposition should decay with depth in a purely forward
+	// entry (first layer >= last layer by a wide margin).
+	cfg := Config{Name: "atten", Photons: 100_000, Layers: 10, SlabDepth: 20,
+		MuAbs: 0.5, MuScat: 0.2, EnergyMeV: 1, Seed: 5}
+	tally, _ := Run(cfg)
+	if tally.Deposited[0] < 5*tally.Deposited[9] {
+		t.Fatalf("no attenuation: first layer %.1f, last %.1f",
+			tally.Deposited[0], tally.Deposited[9])
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Photons: 0, Layers: 1, SlabDepth: 1, MuAbs: 1},
+		{Photons: 1, Layers: 0, SlabDepth: 1, MuAbs: 1},
+		{Photons: 1, Layers: 1, SlabDepth: 0, MuAbs: 1},
+		{Photons: 1, Layers: 1, SlabDepth: 1, MuAbs: 0, MuScat: 0},
+		{Photons: 1, Layers: 1, SlabDepth: 1, MuAbs: -1, MuScat: 2},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d validated: %+v", i, c)
+		}
+	}
+	good := DefaultConfig("x")
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	in := `{"name":"tilecal","photons":1000,"layers":4,"slab_depth_cm":5,
+	        "mu_abs":0.3,"mu_scat":0.7,"energy_mev":1.5,"seed":9}`
+	cfg, err := ParseConfig(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "tilecal" || cfg.Photons != 1000 || cfg.EnergyMeV != 1.5 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if _, err := ParseConfig(strings.NewReader(`{"photons": -3}`)); err == nil {
+		t.Fatal("invalid config parsed")
+	}
+	if _, err := ParseConfig(strings.NewReader(`{"bogus_field": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ParseConfig(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("non-JSON accepted")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	small := Cost(Config{Photons: 1})
+	big := Cost(Config{Photons: 2_000_000_00})
+	if big <= small {
+		t.Fatal("cost not increasing with problem size")
+	}
+	if small.Seconds() < 2.5 {
+		t.Fatalf("setup floor missing: %v", small)
+	}
+}
+
+// Property: histories always conserve for any valid small config.
+func TestPropertyConservation(t *testing.T) {
+	f := func(p16 uint16, l8, seed uint8, abs, scat uint8) bool {
+		cfg := Config{
+			Photons: int(p16%2000) + 1, Layers: int(l8%8) + 1,
+			SlabDepth: 5, MuAbs: float64(abs%5) * 0.1, MuScat: float64(scat%5) * 0.1,
+			EnergyMeV: 1, Seed: uint64(seed),
+		}
+		if cfg.MuAbs+cfg.MuScat == 0 {
+			return true
+		}
+		tally, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		return tally.Transmitted+tally.Reflected+tally.Absorbed == cfg.Photons
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTransportKernel(b *testing.B) {
+	cfg := DefaultConfig("bench")
+	cfg.Photons = 10_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Node is one simulated compute node.
+type Node struct {
+	ID      int
+	Profile Profile
+	Eng     *sim.Engine
+	// Cores bounds concurrently running task payloads (one per thread).
+	Cores *sim.Resource
+	// Launch bounds concurrent process-launch work node-wide; it is
+	// what caps aggregate dispatch rate across parallel instances.
+	Launch *sim.Resource
+	// GPUs are the node's accelerators (nil if none).
+	GPUs *gpu.Set
+	// NVMe is the node-local filesystem.
+	NVMe *storage.FS
+	// RNG is the node's private random stream.
+	RNG *sim.RNG
+}
+
+// Hostname returns a Frontier-style node name.
+func (n *Node) Hostname() string { return fmt.Sprintf("node%05d", n.ID) }
+
+// Cluster is a set of identical nodes sharing a parallel filesystem.
+type Cluster struct {
+	Eng     *sim.Engine
+	Profile Profile
+	Nodes   []*Node
+	// Lustre is the shared parallel filesystem (nil if not configured).
+	Lustre *storage.FS
+}
+
+// Option configures cluster construction.
+type Option func(*options)
+
+type options struct {
+	lustre  *storage.Config
+	noLocal bool
+}
+
+// WithLustre attaches a shared filesystem with the given profile.
+func WithLustre(cfg storage.Config) Option {
+	return func(o *options) { o.lustre = &cfg }
+}
+
+// WithoutNVMe builds nodes without local storage (DTN-style nodes that
+// only move data between shared filesystems).
+func WithoutNVMe() Option {
+	return func(o *options) { o.noLocal = true }
+}
+
+// New builds a cluster of n nodes with the given profile on engine e.
+func New(e *sim.Engine, p Profile, n int, opts ...Option) *Cluster {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	c := &Cluster{Eng: e, Profile: p}
+	if o.lustre != nil {
+		c.Lustre = storage.New(e, *o.lustre)
+	}
+	for i := 0; i < n; i++ {
+		node := &Node{
+			ID:      i,
+			Profile: p,
+			Eng:     e,
+			Cores:   sim.NewResource(e, p.Cores),
+			Launch:  sim.NewResource(e, p.LaunchCapacity),
+			RNG:     e.RNG().Split(fmt.Sprintf("node/%d", i)),
+		}
+		if p.GPUs > 0 {
+			node.GPUs = gpu.NewSet(e, p.GPUs)
+		}
+		if !o.noLocal && p.NVMe != nil {
+			node.NVMe = storage.New(e, p.NVMe(i))
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	return c
+}
+
+// Distribute shards items across nnodes the way the paper's driver script
+// does (Listing 1): awk 'NR % NNODE == NODEID' with 1-based line numbers,
+// so node k receives items whose 1-based index i satisfies i % nnodes == k.
+func Distribute[T any](items []T, nnodes int) [][]T {
+	if nnodes < 1 {
+		panic("cluster: Distribute needs >= 1 node")
+	}
+	out := make([][]T, nnodes)
+	for i, v := range items {
+		nr := i + 1 // awk NR is 1-based
+		node := nr % nnodes
+		out[node] = append(out[node], v)
+	}
+	return out
+}

@@ -1,0 +1,367 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/container"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func newTestCluster(t *testing.T, nodes int) *Cluster {
+	t.Helper()
+	e := sim.NewEngine(11)
+	return New(e, Frontier(), nodes, WithLustre(storage.LustreProfile()))
+}
+
+func TestClusterConstruction(t *testing.T) {
+	c := newTestCluster(t, 4)
+	if len(c.Nodes) != 4 {
+		t.Fatalf("nodes = %d", len(c.Nodes))
+	}
+	n := c.Nodes[2]
+	if n.Hostname() != "node00002" {
+		t.Fatalf("hostname = %s", n.Hostname())
+	}
+	if n.Cores.Cap() != 128 || n.GPUs.Len() != 8 || n.NVMe == nil {
+		t.Fatal("frontier node facilities wrong")
+	}
+	if c.Lustre == nil {
+		t.Fatal("lustre missing")
+	}
+}
+
+func TestClusterOptions(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e, DTN(), 2, WithoutNVMe())
+	if c.Nodes[0].NVMe != nil {
+		t.Fatal("WithoutNVMe ignored")
+	}
+	if c.Lustre != nil {
+		t.Fatal("unrequested lustre present")
+	}
+	if c.Nodes[0].GPUs != nil {
+		t.Fatal("DTN should have no GPUs")
+	}
+}
+
+func TestDistributeMatchesAwk(t *testing.T) {
+	// awk 'NR % NNODE == NODEID': 1-based NR, so with 3 nodes items
+	// 1..7 land on nodes 1,2,0,1,2,0,1.
+	items := []int{1, 2, 3, 4, 5, 6, 7}
+	got := Distribute(items, 3)
+	want := [][]int{{3, 6}, {1, 4, 7}, {2, 5}}
+	for n := range want {
+		if len(got[n]) != len(want[n]) {
+			t.Fatalf("node %d got %v, want %v", n, got[n], want[n])
+		}
+		for i := range want[n] {
+			if got[n][i] != want[n][i] {
+				t.Fatalf("node %d got %v, want %v", n, got[n], want[n])
+			}
+		}
+	}
+}
+
+func TestDistributeSingleNode(t *testing.T) {
+	got := Distribute([]string{"a", "b"}, 1)
+	if len(got) != 1 || len(got[0]) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDistributeInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Distribute(0 nodes) should panic")
+		}
+	}()
+	Distribute([]int{1}, 0)
+}
+
+func TestSingleInstanceLaunchRate470(t *testing.T) {
+	// Fig 3 calibration: one instance, null tasks, rate ~470/s.
+	e := sim.NewEngine(2)
+	c := New(e, PerlmutterCPU(), 1)
+	n := c.Nodes[0]
+	const ntasks = 2000
+	var rep *Report
+	e.Spawn("driver", func(p *sim.Proc) {
+		rep = n.RunParallel(p, InstanceConfig{Jobs: 256}, NullTasks(ntasks))
+	})
+	end := e.Run()
+	rate := float64(ntasks) / end.Seconds()
+	if rate < 440 || rate > 500 {
+		t.Fatalf("single-instance launch rate = %.0f/s, want ~470/s", rate)
+	}
+	if rep.Succeeded != ntasks || rep.Failed != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestMultiInstanceCeiling6400(t *testing.T) {
+	// Fig 3: 32 instances on one node saturate at ~6,400/s.
+	e := sim.NewEngine(3)
+	c := New(e, PerlmutterCPU(), 1)
+	n := c.Nodes[0]
+	const instances = 32
+	const perInstance = 400
+	for i := 0; i < instances; i++ {
+		e.Spawn(fmt.Sprintf("driver%d", i), func(p *sim.Proc) {
+			n.RunParallel(p, InstanceConfig{Jobs: 8}, NullTasks(perInstance))
+		})
+	}
+	end := e.Run()
+	rate := float64(instances*perInstance) / end.Seconds()
+	if rate < 5500 || rate > 7500 {
+		t.Fatalf("aggregate launch rate = %.0f/s, want ~6,400/s", rate)
+	}
+}
+
+func TestInstanceSlotsBounded(t *testing.T) {
+	e := sim.NewEngine(4)
+	c := New(e, Frontier(), 1)
+	n := c.Nodes[0]
+	running, peak := 0, 0
+	tasks := make([]Task, 40)
+	for i := range tasks {
+		tasks[i] = Task{Payload: func(p *sim.Proc, tc TaskContext) error {
+			running++
+			if running > peak {
+				peak = running
+			}
+			p.Sleep(time.Second)
+			running--
+			return nil
+		}}
+	}
+	e.Spawn("driver", func(p *sim.Proc) {
+		n.RunParallel(p, InstanceConfig{Jobs: 8}, tasks)
+	})
+	e.Run()
+	if peak != 8 {
+		t.Fatalf("peak concurrency = %d, want 8", peak)
+	}
+}
+
+func TestInstanceSlotNumbersDistinct(t *testing.T) {
+	// Concurrent tasks must hold distinct {%} slot numbers — the
+	// invariant GPU isolation depends on.
+	e := sim.NewEngine(5)
+	c := New(e, Frontier(), 1)
+	n := c.Nodes[0]
+	held := map[int]bool{}
+	tasks := make([]Task, 64)
+	for i := range tasks {
+		tasks[i] = Task{Payload: func(p *sim.Proc, tc TaskContext) error {
+			if tc.Slot < 1 || tc.Slot > 8 {
+				t.Errorf("slot %d out of range", tc.Slot)
+			}
+			if held[tc.Slot] {
+				t.Errorf("slot %d held by two concurrent tasks", tc.Slot)
+			}
+			held[tc.Slot] = true
+			p.Sleep(time.Duration(100+tc.Seq) * time.Millisecond)
+			held[tc.Slot] = false
+			return nil
+		}}
+	}
+	e.Spawn("driver", func(p *sim.Proc) {
+		n.RunParallel(p, InstanceConfig{Jobs: 8}, tasks)
+	})
+	e.Run()
+}
+
+func TestInstanceGPUIsolationEndToEnd(t *testing.T) {
+	// 8 slots -> 8 GPUs via slot-1 arithmetic: zero contention and
+	// perfect weak scaling on the node.
+	e := sim.NewEngine(6)
+	c := New(e, Frontier(), 1)
+	n := c.Nodes[0]
+	tasks := make([]Task, 24)
+	for i := range tasks {
+		tasks[i] = Task{Payload: func(p *sim.Proc, tc TaskContext) error {
+			dev, err := tc.Node.GPUs.Device(gpu.SlotDevice(tc.Slot))
+			if err != nil {
+				return err
+			}
+			dev.Exec(p, time.Second)
+			return nil
+		}}
+	}
+	e.Spawn("driver", func(p *sim.Proc) {
+		rep := n.RunParallel(p, InstanceConfig{Jobs: 8}, tasks)
+		if rep.Failed != 0 {
+			t.Errorf("failures: %+v", rep)
+		}
+	})
+	e.Run()
+	if got := n.GPUs.TotalContention(); got != 0 {
+		t.Fatalf("GPU contention = %d, want 0 under isolation", got)
+	}
+	for _, d := range n.GPUs.Devices() {
+		if d.Kernels != 3 {
+			t.Fatalf("device %d ran %d kernels, want 3 (balanced)", d.ID, d.Kernels)
+		}
+	}
+}
+
+func TestInstanceContainerRuntime(t *testing.T) {
+	e := sim.NewEngine(7)
+	c := New(e, PerlmutterCPU(), 1)
+	n := c.Nodes[0]
+	rt := container.PodmanHPC(e)
+	var rep *Report
+	e.Spawn("driver", func(p *sim.Proc) {
+		rep = n.RunParallel(p, InstanceConfig{Jobs: 16, Runtime: rt}, NullTasks(200))
+	})
+	end := e.Run()
+	rate := float64(200) / end.Seconds()
+	if rate > 100 {
+		t.Fatalf("podman-wrapped rate = %.0f/s, want ~65/s", rate)
+	}
+	if rep.Launched != 200 {
+		t.Fatalf("launched = %d", rep.Launched)
+	}
+}
+
+func TestInstanceTaskFailureCounted(t *testing.T) {
+	e := sim.NewEngine(8)
+	c := New(e, Frontier(), 1)
+	n := c.Nodes[0]
+	boom := errors.New("boom")
+	tasks := []Task{
+		{Payload: func(p *sim.Proc, tc TaskContext) error { return nil }},
+		{Payload: func(p *sim.Proc, tc TaskContext) error { return boom }},
+	}
+	var results []TaskResult
+	e.Spawn("driver", func(p *sim.Proc) {
+		rep := n.RunParallel(p, InstanceConfig{
+			Jobs:    2,
+			Collect: true,
+			OnResult: func(r TaskResult) {
+				results = append(results, r)
+			},
+		}, tasks)
+		if rep.Succeeded != 1 || rep.Failed != 1 {
+			t.Errorf("report: %+v", rep)
+		}
+	})
+	e.Run()
+	if len(results) != 2 {
+		t.Fatalf("OnResult delivered %d results", len(results))
+	}
+}
+
+func TestInstanceUseCoresContention(t *testing.T) {
+	// Two instances of -j128 on a 128-core node with UseCores: total
+	// running payloads capped at 128.
+	e := sim.NewEngine(9)
+	c := New(e, Frontier(), 1)
+	n := c.Nodes[0]
+	running, peak := 0, 0
+	mkTasks := func(cnt int) []Task {
+		tasks := make([]Task, cnt)
+		for i := range tasks {
+			tasks[i] = Task{Payload: func(p *sim.Proc, tc TaskContext) error {
+				running++
+				if running > peak {
+					peak = running
+				}
+				p.Sleep(time.Second)
+				running--
+				return nil
+			}}
+		}
+		return tasks
+	}
+	for i := 0; i < 2; i++ {
+		e.Spawn("driver", func(p *sim.Proc) {
+			n.RunParallel(p, InstanceConfig{Jobs: 128, UseCores: true}, mkTasks(256))
+		})
+	}
+	e.Run()
+	if peak > 128 {
+		t.Fatalf("peak running = %d > 128 cores", peak)
+	}
+}
+
+func TestInstanceDefaultJobsIsCores(t *testing.T) {
+	e := sim.NewEngine(10)
+	c := New(e, Frontier(), 1)
+	n := c.Nodes[0]
+	maxSlot := 0
+	tasks := make([]Task, 300)
+	for i := range tasks {
+		tasks[i] = Task{Payload: func(p *sim.Proc, tc TaskContext) error {
+			if tc.Slot > maxSlot {
+				maxSlot = tc.Slot
+			}
+			p.Sleep(time.Second)
+			return nil
+		}}
+	}
+	e.Spawn("driver", func(p *sim.Proc) {
+		n.RunParallel(p, InstanceConfig{}, tasks)
+	})
+	e.Run()
+	if maxSlot != 128 {
+		t.Fatalf("max slot = %d, want 128 (default -j = cores)", maxSlot)
+	}
+}
+
+func TestSleepTasksWeakScalingLinear(t *testing.T) {
+	// Weak scaling shape check: per-node work fixed => makespan roughly
+	// constant as nodes grow (Fig 1/Fig 2's expectation).
+	makespan := func(nodes int) time.Duration {
+		e := sim.NewEngine(12)
+		c := New(e, Frontier(), nodes)
+		done := sim.NewCounter(e, nodes)
+		for _, n := range c.Nodes {
+			n := n
+			e.Spawn("driver", func(p *sim.Proc) {
+				n.RunParallel(p, InstanceConfig{Jobs: 128},
+					SleepTasks(128, func(int) time.Duration { return 10 * time.Second }))
+				done.Done()
+			})
+		}
+		return e.Run()
+	}
+	m2, m8 := makespan(2), makespan(8)
+	ratio := float64(m8) / float64(m2)
+	if ratio > 1.15 {
+		t.Fatalf("weak scaling broken: 8 nodes %v vs 2 nodes %v", m8, m2)
+	}
+}
+
+// Property: Distribute is a partition — every item appears exactly once,
+// and node k receives exactly the items with (1-based idx) % n == k.
+func TestPropertyDistributePartition(t *testing.T) {
+	f := func(n16 uint16, k8 uint8) bool {
+		total := int(n16 % 500)
+		nodes := int(k8%16) + 1
+		items := make([]int, total)
+		for i := range items {
+			items[i] = i + 1
+		}
+		parts := Distribute(items, nodes)
+		count := 0
+		for node, part := range parts {
+			for _, v := range part {
+				if v%nodes != node {
+					return false
+				}
+				count++
+			}
+		}
+		return count == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

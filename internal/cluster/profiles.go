@@ -1,0 +1,82 @@
+// Package cluster models compute nodes and clusters, and provides the
+// simulated counterpart of the parallel engine: Instance, a GNU-Parallel-
+// style greedy slot dispatcher whose per-launch costs are calibrated to
+// the paper's measured rates. The same dispatch semantics as
+// internal/core — greedy refill of a fixed slot pool — execute here in
+// virtual time, which is what lets a laptop reproduce 9,000-node runs.
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/storage"
+)
+
+// Calibration constants (single source of truth; see DESIGN.md §6).
+const (
+	// DispatchCost is the serial per-task launch cost of one parallel
+	// instance. Fig 3: a single instance launches ~470 procs/s,
+	// 1/470 s ≈ 2.128 ms.
+	DispatchCost = 2128 * time.Microsecond
+
+	// LaunchCapacity is how many process launches a node's OS can
+	// progress concurrently. Fig 3: many instances together reach
+	// ~6,400 procs/s; 6,400/s × 2.128 ms ≈ 13.6 → 14.
+	LaunchCapacity = 14
+)
+
+// Profile describes a node architecture.
+type Profile struct {
+	Name string
+	// Cores is the schedulable CPU thread count (the default -j).
+	Cores int
+	// GPUs is the schedulable accelerator count.
+	GPUs int
+	// LaunchCapacity bounds concurrent process launches node-wide.
+	LaunchCapacity int
+	// DispatchCost is the default per-task dispatch cost of one
+	// parallel instance on this node.
+	DispatchCost time.Duration
+	// NVMe returns the node-local storage profile for node id.
+	NVMe func(node int) storage.Config
+}
+
+// Frontier approximates an OLCF Frontier compute node: 64 dual-threaded
+// cores (128 schedulable), 4 MI250X (8 schedulable GCDs), node-local NVMe.
+func Frontier() Profile {
+	return Profile{
+		Name:           "frontier",
+		Cores:          128,
+		GPUs:           8,
+		LaunchCapacity: LaunchCapacity,
+		DispatchCost:   DispatchCost,
+		NVMe:           storage.NVMeProfile,
+	}
+}
+
+// PerlmutterCPU approximates a NERSC Perlmutter CPU node: 2×64 cores
+// dual-threaded (256 schedulable).
+func PerlmutterCPU() Profile {
+	return Profile{
+		Name:           "perlmutter-cpu",
+		Cores:          256,
+		GPUs:           0,
+		LaunchCapacity: LaunchCapacity,
+		DispatchCost:   DispatchCost,
+		NVMe:           storage.NVMeProfile,
+	}
+}
+
+// DTN approximates a data-transfer node: few cores, no GPUs, high-speed
+// network to both filesystems (§IV-E: measured 2,385 Mb/s per node at 32
+// rsync streams).
+func DTN() Profile {
+	return Profile{
+		Name:           "dtn",
+		Cores:          32,
+		GPUs:           0,
+		LaunchCapacity: LaunchCapacity,
+		DispatchCost:   DispatchCost,
+		NVMe:           storage.NVMeProfile,
+	}
+}

@@ -1,0 +1,128 @@
+package container
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestBareMetalNoCost(t *testing.T) {
+	e := sim.NewEngine(1)
+	r := BareMetal()
+	var took sim.Time
+	e.Spawn("l", func(p *sim.Proc) {
+		start := p.Now()
+		if err := r.Launch(p); err != nil {
+			t.Errorf("bare metal launch failed: %v", err)
+		}
+		took = p.Now() - start
+	})
+	e.Run()
+	if took != 0 {
+		t.Fatalf("bare metal launch cost %v, want 0", took)
+	}
+	if r.Launches != 1 || r.TotalFailures() != 0 {
+		t.Fatalf("stats: %s", r)
+	}
+}
+
+func TestShifterOverheadModest(t *testing.T) {
+	r := Shifter(sim.NewEngine(1))
+	// ~19% of the 2.13ms bare dispatch cost.
+	if r.StartupOverhead < 300*time.Microsecond || r.StartupOverhead > 600*time.Microsecond {
+		t.Fatalf("shifter startup = %v", r.StartupOverhead)
+	}
+	if r.lock != nil {
+		t.Fatal("shifter should not serialize launches")
+	}
+}
+
+func TestPodmanSerializesLaunches(t *testing.T) {
+	e := sim.NewEngine(1)
+	r := PodmanHPC(e)
+	const n = 20
+	for i := 0; i < n; i++ {
+		e.Spawn("l", func(p *sim.Proc) { r.Launch(p) })
+	}
+	end := e.Run()
+	// 20 launches through a ~15ms serial lock: >= ~270ms even with all
+	// launchers running concurrently => rate ~65/s.
+	if end < 250*time.Millisecond {
+		t.Fatalf("20 podman launches took %v; database lock not serializing", end)
+	}
+	rate := float64(n) / end.Seconds()
+	if rate < 40 || rate > 90 {
+		t.Fatalf("podman launch rate = %.0f/s, want ~65/s", rate)
+	}
+}
+
+func TestPodmanFailuresGrowWithConcurrency(t *testing.T) {
+	countFailures := func(concurrent int) int {
+		e := sim.NewEngine(42)
+		r := PodmanHPC(e)
+		gate := sim.NewResource(e, concurrent)
+		for i := 0; i < 3000; i++ {
+			e.Spawn("l", func(p *sim.Proc) {
+				gate.Acquire(p, 1)
+				r.Launch(p)
+				gate.Release(1)
+			})
+		}
+		e.Run()
+		return r.TotalFailures()
+	}
+	low := countFailures(2)
+	high := countFailures(32)
+	if high <= low {
+		t.Fatalf("failures at high concurrency (%d) not above low (%d)", high, low)
+	}
+	if high == 0 {
+		t.Fatal("no failures injected at high concurrency")
+	}
+}
+
+func TestPodmanFailureKindsAreTheObservedOnes(t *testing.T) {
+	e := sim.NewEngine(3)
+	r := PodmanHPC(e)
+	for i := 0; i < 5000; i++ {
+		e.Spawn("l", func(p *sim.Proc) { r.Launch(p) })
+	}
+	e.Run()
+	known := map[string]bool{
+		ErrUserNamespace.Error(): true,
+		ErrDatabaseLock.Error():  true,
+		ErrSetgid.Error():        true,
+		ErrTmpDir.Error():        true,
+	}
+	for kind := range r.Failures {
+		if !known[kind] {
+			t.Fatalf("unexpected failure kind %q", kind)
+		}
+	}
+	if r.Launches != 5000 {
+		t.Fatalf("launches = %d", r.Launches)
+	}
+}
+
+func TestShifterFasterThanPodman(t *testing.T) {
+	run := func(mk func(*sim.Engine) *Runtime) time.Duration {
+		e := sim.NewEngine(5)
+		r := mk(e)
+		slots := sim.NewResource(e, 16)
+		for i := 0; i < 500; i++ {
+			e.Spawn("l", func(p *sim.Proc) {
+				slots.Acquire(p, 1)
+				p.Sleep(r.StartupOverhead)
+				r.Launch(p)
+				slots.Release(1)
+			})
+		}
+		return e.Run()
+	}
+	shifter := run(Shifter)
+	podman := run(PodmanHPC)
+	if podman < 20*shifter {
+		t.Fatalf("podman (%v) should be >>20x slower than shifter (%v)", podman, shifter)
+	}
+}

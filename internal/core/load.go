@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Load gating (GNU Parallel's --load): when Spec.MaxLoad > 0, the
+// dispatcher pauses launching new jobs while the system 1-minute load
+// average is at or above the threshold, protecting shared login/DTN
+// nodes from launcher-induced overload.
+
+// readLoadAvg returns the 1-minute load average. Overridable for tests
+// and non-Linux platforms.
+var readLoadAvg = readProcLoadAvg
+
+// loadPollInterval is how often a gated dispatcher rechecks.
+var loadPollInterval = 200 * time.Millisecond
+
+func readProcLoadAvg() (float64, error) {
+	data, err := os.ReadFile("/proc/loadavg")
+	if err != nil {
+		return 0, err
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 1 {
+		return 0, fmt.Errorf("core: malformed /proc/loadavg %q", data)
+	}
+	return strconv.ParseFloat(fields[0], 64)
+}
+
+// waitForLoad blocks until the load average drops below max or the stop
+// channel closes. Errors reading the load (non-Linux, missing /proc)
+// disable gating rather than stalling the run.
+func waitForLoad(max float64, stop <-chan struct{}) {
+	for {
+		load, err := readLoadAvg()
+		if err != nil || load < max {
+			return
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(loadPollInterval):
+		}
+	}
+}

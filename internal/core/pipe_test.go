@@ -1,0 +1,297 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/args"
+)
+
+func TestPipeModeExec(t *testing.T) {
+	// The classic --pipe demo: parallel line counting.
+	// printf lines | gopar --pipe --block small 'wc -l'
+	input := strings.Repeat("line\n", 100)
+	s := mustSpec(t, "wc -l", 4)
+	s.Pipe = true
+	var buf bytes.Buffer
+	s.Out = &buf
+	stats, _ := run(t, s, &ExecRunner{}, args.Blocks(strings.NewReader(input), 64))
+	if stats.Total < 2 {
+		t.Fatalf("expected multiple blocks, got %d", stats.Total)
+	}
+	if stats.Failed != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Sum of per-block wc -l outputs must equal 100.
+	total := 0
+	for _, line := range strings.Fields(buf.String()) {
+		n, err := strconv.Atoi(line)
+		if err != nil {
+			t.Fatalf("non-numeric wc output %q", line)
+		}
+		total += n
+	}
+	if total != 100 {
+		t.Fatalf("total lines = %d, want 100", total)
+	}
+}
+
+func TestPipeModeNoArgsAppended(t *testing.T) {
+	var captured []string
+	runner := FuncRunner(func(ctx context.Context, job *Job) ([]byte, error) {
+		captured = append(captured, job.Command)
+		if len(job.Args) != 0 {
+			t.Errorf("pipe-mode job has args %v", job.Args)
+		}
+		if len(job.Stdin) == 0 {
+			t.Error("pipe-mode job has empty stdin")
+		}
+		return nil, nil
+	})
+	s := mustSpec(t, "sort", 1)
+	s.Pipe = true
+	run(t, s, runner, args.Blocks(strings.NewReader("b\na\n"), 1024))
+	if len(captured) != 1 || captured[0] != "sort" {
+		t.Fatalf("commands = %v (no ' {}' must be appended in pipe mode)", captured)
+	}
+}
+
+func TestPipeModePreservesAllContent(t *testing.T) {
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	var got []string
+	runner := FuncRunner(func(ctx context.Context, job *Job) ([]byte, error) {
+		<-mu
+		got = append(got, string(job.Stdin))
+		mu <- struct{}{}
+		return nil, nil
+	})
+	var input strings.Builder
+	for i := 0; i < 500; i++ {
+		input.WriteString(strconv.Itoa(i) + "\n")
+	}
+	s := mustSpec(t, "", 4)
+	s.Pipe = true
+	run(t, s, runner, args.Blocks(strings.NewReader(input.String()), 128))
+	var lines []int
+	for _, block := range got {
+		for _, l := range strings.Fields(block) {
+			n, _ := strconv.Atoi(l)
+			lines = append(lines, n)
+		}
+	}
+	if len(lines) != 500 {
+		t.Fatalf("lines across blocks = %d, want 500", len(lines))
+	}
+	sort.Ints(lines)
+	for i, v := range lines {
+		if v != i {
+			t.Fatalf("line %d missing/duplicated", i)
+		}
+	}
+}
+
+func TestDelayStaggersStarts(t *testing.T) {
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	var starts []time.Time
+	runner := FuncRunner(func(ctx context.Context, job *Job) ([]byte, error) {
+		<-mu
+		starts = append(starts, time.Now())
+		mu <- struct{}{}
+		return nil, nil
+	})
+	s := mustSpec(t, "", 4)
+	s.Delay = 30 * time.Millisecond
+	begin := time.Now()
+	stats, _ := run(t, s, runner, args.Literal("a", "b", "c"))
+	if stats.Succeeded != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Three jobs with two 30ms gaps: total >= 60ms.
+	if el := time.Since(begin); el < 55*time.Millisecond {
+		t.Fatalf("run with delay finished in %v, want >= 60ms", el)
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	var snaps []Progress
+	runner := FuncRunner(func(ctx context.Context, job *Job) ([]byte, error) {
+		time.Sleep(2 * time.Millisecond)
+		if job.Seq == 2 {
+			return nil, context.DeadlineExceeded
+		}
+		return nil, nil
+	})
+	s := mustSpec(t, "", 2)
+	s.OnProgress = func(p Progress) { snaps = append(snaps, p) }
+	run(t, s, runner, args.Literal("a", "b", "c", "d"))
+	if len(snaps) != 4 {
+		t.Fatalf("snapshots = %d, want one per completion", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+	if last.Done != 4 || last.Failed != 1 || last.Running != 0 {
+		t.Fatalf("final snapshot = %+v", last)
+	}
+	if !last.Final || last.Total != 4 {
+		t.Fatalf("final totals = %+v", last)
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Done != snaps[i-1].Done+1 {
+			t.Fatalf("done not monotone: %+v -> %+v", snaps[i-1], snaps[i])
+		}
+	}
+}
+
+func TestProgressString(t *testing.T) {
+	p := Progress{Done: 3, Total: 10, Final: true, Running: 2, Failed: 1,
+		Elapsed: 3 * time.Second, ETA: 7 * time.Second}
+	s := p.String()
+	for _, want := range []string{"3/10 done", "2 running", "1 failed", "ETA 7s"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("progress string %q missing %q", s, want)
+		}
+	}
+	open := Progress{Done: 1, Total: 5, Final: false}
+	if !strings.Contains(open.String(), "1/5+") {
+		t.Fatalf("non-final total not marked: %q", open.String())
+	}
+	var buf bytes.Buffer
+	RenderProgress(&buf, p)
+	if !strings.Contains(buf.String(), "\r") {
+		t.Fatal("RenderProgress missing carriage return")
+	}
+}
+
+func TestResultsDir(t *testing.T) {
+	dir := t.TempDir()
+	runner := FuncRunner(func(ctx context.Context, job *Job) ([]byte, error) {
+		if job.Args[0] == "bad" {
+			return []byte("partial"), context.DeadlineExceeded
+		}
+		return []byte("out-" + job.Args[0]), nil
+	})
+	s := mustSpec(t, "", 2)
+	s.ResultsDir = dir
+	stats, _ := run(t, s, runner, args.Literal("x", "bad"))
+	if stats.Done() != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "1", "stdout"))
+	if err != nil || string(got) != "out-x" {
+		t.Fatalf("stdout file: %q, %v", got, err)
+	}
+	exitval, err := os.ReadFile(filepath.Join(dir, "2", "exitval"))
+	if err != nil || strings.TrimSpace(string(exitval)) != "1" {
+		t.Fatalf("exitval file: %q, %v", exitval, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "2", "stderr")); err != nil {
+		t.Fatalf("stderr file missing: %v", err)
+	}
+}
+
+func TestEngineStress50k(t *testing.T) {
+	// High-volume sanity: 50k no-op jobs through 512 slots complete
+	// with exact accounting and no goroutine leaks visible as hangs.
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	var count atomic.Int64
+	runner := FuncRunner(func(ctx context.Context, job *Job) ([]byte, error) {
+		count.Add(1)
+		return nil, nil
+	})
+	s := mustSpec(t, "", 512)
+	e, _ := NewEngine(s, runner)
+	items := make([]string, 50_000)
+	stats, _, err := e.Run(context.Background(), args.Literal(items...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Succeeded != 50_000 || count.Load() != 50_000 {
+		t.Fatalf("stats=%+v count=%d", stats, count.Load())
+	}
+	if stats.LaunchRate < 1000 {
+		t.Fatalf("launch rate %.0f/s suspiciously low for no-op jobs", stats.LaunchRate)
+	}
+}
+
+func TestTimeoutThenRetrySucceeds(t *testing.T) {
+	// First attempt exceeds the timeout; the retry is fast and wins.
+	var attempts atomic.Int64
+	runner := FuncRunner(func(ctx context.Context, job *Job) ([]byte, error) {
+		if attempts.Add(1) == 1 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(10 * time.Second):
+			}
+		}
+		return []byte("ok"), nil
+	})
+	s := mustSpec(t, "", 1)
+	s.Timeout = 30 * time.Millisecond
+	s.Retries = 2
+	s.CollectResults = true
+	stats, results := run(t, s, runner, args.Literal("x"))
+	if stats.Succeeded != 1 || stats.Retries != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if results[0].Attempts != 2 || results[0].TimedOut {
+		t.Fatalf("result = %+v", results[0])
+	}
+}
+
+func TestLoadGating(t *testing.T) {
+	origRead, origPoll := readLoadAvg, loadPollInterval
+	defer func() { readLoadAvg, loadPollInterval = origRead, origPoll }()
+	loadPollInterval = 5 * time.Millisecond
+
+	var load atomic.Value
+	load.Store(10.0)
+	readLoadAvg = func() (float64, error) { return load.Load().(float64), nil }
+	// Drop below threshold after 50ms.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		load.Store(0.5)
+	}()
+
+	runner := FuncRunner(func(ctx context.Context, job *Job) ([]byte, error) {
+		return nil, nil
+	})
+	s := mustSpec(t, "", 2)
+	s.MaxLoad = 4.0
+	begin := time.Now()
+	stats, _ := run(t, s, runner, args.Literal("a", "b"))
+	if stats.Succeeded != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if el := time.Since(begin); el < 40*time.Millisecond {
+		t.Fatalf("run finished in %v; load gate did not hold dispatch", el)
+	}
+}
+
+func TestLoadGatingDisabledOnReadError(t *testing.T) {
+	origRead := readLoadAvg
+	defer func() { readLoadAvg = origRead }()
+	readLoadAvg = func() (float64, error) { return 0, os.ErrNotExist }
+
+	runner := FuncRunner(func(ctx context.Context, job *Job) ([]byte, error) {
+		return nil, nil
+	})
+	s := mustSpec(t, "", 2)
+	s.MaxLoad = 0.0001 // would gate forever if errors stalled
+	begin := time.Now()
+	stats, _ := run(t, s, runner, args.Literal("a"))
+	if stats.Succeeded != 1 || time.Since(begin) > 5*time.Second {
+		t.Fatalf("stats=%+v; unreadable loadavg must disable gating", stats)
+	}
+}

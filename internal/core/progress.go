@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is a point-in-time view of a run, delivered to
+// Spec.OnProgress after every job completion.
+type Progress struct {
+	// Done is completed jobs (success + failure); Failed the failures.
+	Done, Failed int
+	// Total is the number of inputs consumed so far. While the input
+	// source is still producing this is a lower bound; Final reports
+	// whether it is exact.
+	Total int
+	Final bool
+	// Running is the number of jobs currently executing.
+	Running int
+	// Elapsed is time since the run started.
+	Elapsed time.Duration
+	// ETA estimates remaining time from observed throughput; it is
+	// zero until Final and at least one job has finished.
+	ETA time.Duration
+}
+
+// progressTracker computes Progress snapshots for the engine.
+type progressTracker struct {
+	mu      sync.Mutex
+	start   time.Time
+	done    int
+	failed  int
+	running int
+	total   func() (n int, final bool)
+}
+
+func newProgressTracker(total func() (int, bool)) *progressTracker {
+	return &progressTracker{start: time.Now(), total: total}
+}
+
+func (pt *progressTracker) jobStarted() {
+	pt.mu.Lock()
+	pt.running++
+	pt.mu.Unlock()
+}
+
+func (pt *progressTracker) jobFinished(ok bool) Progress {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	pt.running--
+	pt.done++
+	if !ok {
+		pt.failed++
+	}
+	return pt.snapshotLocked()
+}
+
+func (pt *progressTracker) snapshotLocked() Progress {
+	n, final := pt.total()
+	p := Progress{
+		Done: pt.done, Failed: pt.failed, Total: n, Final: final,
+		Running: pt.running, Elapsed: time.Since(pt.start),
+	}
+	if final && pt.done > 0 && n > pt.done {
+		perJob := p.Elapsed / time.Duration(pt.done)
+		p.ETA = perJob * time.Duration(n-pt.done)
+	}
+	return p
+}
+
+// String renders a single-line progress report (the CLI's --progress
+// output).
+func (p Progress) String() string {
+	totalStr := fmt.Sprint(p.Total)
+	if !p.Final {
+		totalStr += "+"
+	}
+	s := fmt.Sprintf("%d/%s done, %d running, %d failed, %v elapsed",
+		p.Done, totalStr, p.Running, p.Failed, p.Elapsed.Round(time.Second))
+	if p.ETA > 0 {
+		s += fmt.Sprintf(", ETA %v", p.ETA.Round(time.Second))
+	}
+	return s
+}
+
+// RenderProgress writes p as a carriage-return-terminated status line,
+// suitable for repeated in-place terminal updates.
+func RenderProgress(w io.Writer, p Progress) {
+	fmt.Fprintf(w, "\r\033[K%s", p.String())
+}

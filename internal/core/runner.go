@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"os/exec"
+	"time"
+
+	"repro/internal/shell"
+)
+
+// Runner executes a single job attempt. Implementations must be safe for
+// concurrent use by multiple goroutines.
+type Runner interface {
+	Run(ctx context.Context, job *Job) Result
+}
+
+// FuncRunner adapts an in-process Go payload to the Runner interface. The
+// function receives the job and returns stdout bytes and an error; exit
+// code is derived (0 on nil error, 1 otherwise).
+type FuncRunner func(ctx context.Context, job *Job) ([]byte, error)
+
+// Run implements Runner.
+func (f FuncRunner) Run(ctx context.Context, job *Job) Result {
+	start := time.Now()
+	out, err := f(ctx, job)
+	res := Result{
+		Job:    *job,
+		Stdout: out,
+		Start:  start,
+		End:    time.Now(),
+	}
+	if err != nil {
+		res.Err = err
+		res.ExitCode = 1
+	}
+	return res
+}
+
+// ExecRunner runs jobs as real OS processes. Commands without shell
+// metacharacters are exec'd directly (no /bin/sh fork — the fast path that
+// keeps dispatch overhead low); anything needing expansion goes through
+// "sh -c".
+type ExecRunner struct {
+	// Dir is the working directory for jobs ("" = inherit).
+	Dir string
+	// Shell overrides the shell binary (default "/bin/sh").
+	Shell string
+	// ForceShell routes every command through the shell, disabling the
+	// direct-exec fast path.
+	ForceShell bool
+}
+
+// errNoCommand reports an empty rendered command line.
+var errNoCommand = errors.New("core: empty command")
+
+// Run implements Runner.
+func (r *ExecRunner) Run(ctx context.Context, job *Job) Result {
+	res := Result{Job: *job, ExitCode: -1, Start: time.Now()}
+
+	argv, err := r.argv(job.Command)
+	if err != nil {
+		res.Err = err
+		res.End = time.Now()
+		return res
+	}
+
+	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
+	cmd.Dir = r.Dir
+	if len(job.Env) > 0 {
+		cmd.Env = append(os.Environ(), job.Env...)
+	}
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if len(job.Stdin) > 0 {
+		cmd.Stdin = bytes.NewReader(job.Stdin)
+	}
+
+	res.Start = time.Now()
+	err = cmd.Run()
+	res.End = time.Now()
+	res.Stdout = stdout.Bytes()
+	res.Stderr = stderr.Bytes()
+
+	switch e := err.(type) {
+	case nil:
+		res.ExitCode = 0
+	case *exec.ExitError:
+		res.ExitCode = e.ExitCode()
+	default:
+		res.Err = err
+	}
+	if ctx.Err() != nil && res.ExitCode != 0 {
+		res.Err = ctx.Err()
+	}
+	return res
+}
+
+func (r *ExecRunner) argv(command string) ([]string, error) {
+	if command == "" {
+		return nil, errNoCommand
+	}
+	sh := r.Shell
+	if sh == "" {
+		sh = "/bin/sh"
+	}
+	if r.ForceShell || shell.NeedsShell(command) {
+		return []string{sh, "-c", command}, nil
+	}
+	words, err := shell.Split(command)
+	if err != nil || len(words) == 0 {
+		// Let the shell produce the diagnostic.
+		return []string{sh, "-c", command}, nil
+	}
+	return words, nil
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/args"
+)
+
+func TestExecRunnerDirect(t *testing.T) {
+	r := &ExecRunner{}
+	res := r.Run(context.Background(), &Job{Seq: 1, Command: "echo hello world"})
+	if !res.OK() {
+		t.Fatalf("res = %+v", res)
+	}
+	if got := strings.TrimSpace(string(res.Stdout)); got != "hello world" {
+		t.Fatalf("stdout = %q", got)
+	}
+}
+
+func TestExecRunnerShellPipeline(t *testing.T) {
+	r := &ExecRunner{}
+	res := r.Run(context.Background(), &Job{Seq: 1, Command: "printf 'a\\nb\\nc\\n' | wc -l"})
+	if !res.OK() {
+		t.Fatalf("res err=%v exit=%d stderr=%s", res.Err, res.ExitCode, res.Stderr)
+	}
+	if got := strings.TrimSpace(string(res.Stdout)); got != "3" {
+		t.Fatalf("stdout = %q", got)
+	}
+}
+
+func TestExecRunnerExitCode(t *testing.T) {
+	r := &ExecRunner{}
+	res := r.Run(context.Background(), &Job{Command: "sh -c 'exit 7'"})
+	if res.ExitCode != 7 {
+		t.Fatalf("exit = %d, want 7", res.ExitCode)
+	}
+	if res.OK() {
+		t.Fatal("OK() true for nonzero exit")
+	}
+}
+
+func TestExecRunnerSpawnError(t *testing.T) {
+	r := &ExecRunner{}
+	res := r.Run(context.Background(), &Job{Command: "/nonexistent/binary arg"})
+	if res.OK() {
+		t.Fatal("nonexistent binary reported OK")
+	}
+}
+
+func TestExecRunnerEmptyCommand(t *testing.T) {
+	r := &ExecRunner{}
+	res := r.Run(context.Background(), &Job{Command: ""})
+	if res.Err == nil {
+		t.Fatal("empty command should error")
+	}
+}
+
+func TestExecRunnerEnv(t *testing.T) {
+	r := &ExecRunner{}
+	res := r.Run(context.Background(), &Job{
+		Command: "sh -c 'echo $MY_TEST_VAR'",
+		Env:     []string{"MY_TEST_VAR=from-gopar"},
+	})
+	if got := strings.TrimSpace(string(res.Stdout)); got != "from-gopar" {
+		t.Fatalf("env not passed: %q", got)
+	}
+}
+
+func TestExecRunnerDir(t *testing.T) {
+	dir := t.TempDir()
+	r := &ExecRunner{Dir: dir}
+	res := r.Run(context.Background(), &Job{Command: "pwd"})
+	got := strings.TrimSpace(string(res.Stdout))
+	// Resolve symlinks (macOS /tmp, etc.).
+	want, _ := filepath.EvalSymlinks(dir)
+	gotR, _ := filepath.EvalSymlinks(got)
+	if gotR != want {
+		t.Fatalf("pwd = %q, want %q", got, want)
+	}
+}
+
+func TestExecRunnerStderrCaptured(t *testing.T) {
+	r := &ExecRunner{}
+	res := r.Run(context.Background(), &Job{Command: "sh -c 'echo oops >&2'"})
+	if got := strings.TrimSpace(string(res.Stderr)); got != "oops" {
+		t.Fatalf("stderr = %q", got)
+	}
+}
+
+func TestExecRunnerContextKill(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	r := &ExecRunner{}
+	start := time.Now()
+	res := r.Run(ctx, &Job{Command: "sleep 10"})
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("context kill did not take effect")
+	}
+	if res.OK() {
+		t.Fatal("killed job reported OK")
+	}
+}
+
+func TestEngineEndToEndRealProcesses(t *testing.T) {
+	// The paper's Fig 1 payload shape: record an identifier per task via
+	// a real shell one-liner, then validate all outputs arrived.
+	var buf bytes.Buffer
+	s := mustSpec(t, "echo task-{#} input-{}", 4)
+	s.Out = &buf
+	s.KeepOrder = true
+	stats, _ := run(t, s, &ExecRunner{}, args.Literal("a", "b", "c", "d", "e", "f", "g", "h"))
+	if stats.Succeeded != 8 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0] != "task-1 input-a" || lines[7] != "task-8 input-h" {
+		t.Fatalf("lines = %v", lines)
+	}
+}
+
+func TestEngineRealProcessLaunchRate(t *testing.T) {
+	// Sanity check on the real dispatch path: launching 64 /bin/true
+	// processes should take well under a second on any machine; this
+	// guards against a pathological per-dispatch cost regression.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	items := make([]string, 64)
+	s := mustSpec(t, "true", 8)
+	s.AppendArgsIfNoPlaceholder = false
+	e, _ := NewEngine(s, &ExecRunner{})
+	start := time.Now()
+	stats, _, err := e.Run(context.Background(), args.Literal(items...))
+	if err != nil || stats.Succeeded != 64 {
+		t.Fatalf("stats=%+v err=%v", stats, err)
+	}
+	if el := time.Since(start); el > 30*time.Second {
+		t.Fatalf("64 trivial processes took %v", el)
+	}
+}
+
+func TestJoblogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	WriteJoblogHeader(&buf)
+	now := time.Now()
+	WriteJoblogLine(&buf, Result{
+		Job:      Job{Seq: 1, Command: "echo a"},
+		ExitCode: 0, Start: now, End: now.Add(1500 * time.Millisecond),
+		Stdout: []byte("a\n"),
+	})
+	WriteJoblogLine(&buf, Result{
+		Job:      Job{Seq: 2, Command: "fail cmd"},
+		ExitCode: 3, Start: now, End: now.Add(time.Second),
+	})
+	WriteJoblogLine(&buf, Result{
+		Job:      Job{Seq: 3, Command: "timed out"},
+		ExitCode: -1, TimedOut: true, Start: now, End: now.Add(time.Second),
+	})
+
+	entries, err := ParseJoblog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if entries[0].Seq != 1 || entries[0].Exitval != 0 || entries[0].Command != "echo a" {
+		t.Fatalf("entry0 = %+v", entries[0])
+	}
+	if entries[0].Runtime < 1.4 || entries[0].Runtime > 1.6 {
+		t.Fatalf("runtime = %v", entries[0].Runtime)
+	}
+	if entries[1].Exitval != 3 {
+		t.Fatalf("entry1 = %+v", entries[1])
+	}
+	if entries[2].Signal != 9 {
+		t.Fatalf("entry2 = %+v", entries[2])
+	}
+
+	done := CompletedSeqs(entries)
+	if !done[1] || done[2] || done[3] {
+		t.Fatalf("completed = %v", done)
+	}
+}
+
+func TestJoblogParseErrors(t *testing.T) {
+	if _, err := ParseJoblog(strings.NewReader("notanumber\tx\t0\t0\t0\t0\t0\t0\tcmd\n")); err == nil {
+		t.Fatal("bad seq accepted")
+	}
+	if _, err := ParseJoblog(strings.NewReader("1\tx\tshort\n")); err == nil {
+		t.Fatal("short line accepted")
+	}
+	// Header and blank lines are skipped.
+	entries, err := ParseJoblog(strings.NewReader(JoblogHeader + "\n\n"))
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("entries=%v err=%v", entries, err)
+	}
+}
+
+func TestEngineJoblogResumeEndToEnd(t *testing.T) {
+	// Run 1: two of four jobs fail. Run 2 with ResumeFrom: only the
+	// failures rerun.
+	var log1 bytes.Buffer
+	fail := map[string]bool{"b": true, "d": true}
+	runner := FuncRunner(func(ctx context.Context, job *Job) ([]byte, error) {
+		if fail[job.Args[0]] {
+			return nil, os.ErrInvalid
+		}
+		return nil, nil
+	})
+	s := mustSpec(t, "", 2)
+	s.Joblog = &log1
+	stats, _ := run(t, s, runner, args.Literal("a", "b", "c", "d"))
+	if stats.Failed != 2 {
+		t.Fatalf("run1 stats = %+v", stats)
+	}
+
+	entries, err := ParseJoblog(&log1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran []string
+	var mu2 = make(chan struct{}, 1)
+	mu2 <- struct{}{}
+	runner2 := FuncRunner(func(ctx context.Context, job *Job) ([]byte, error) {
+		<-mu2
+		ran = append(ran, job.Args[0])
+		mu2 <- struct{}{}
+		return nil, nil
+	})
+	s2 := mustSpec(t, "", 2)
+	s2.ResumeFrom = CompletedSeqs(entries)
+	stats2, _ := run(t, s2, runner2, args.Literal("a", "b", "c", "d"))
+	if stats2.Skipped != 2 || stats2.Succeeded != 2 {
+		t.Fatalf("run2 stats = %+v", stats2)
+	}
+	for _, v := range ran {
+		if v != "b" && v != "d" {
+			t.Fatalf("reran wrong job %q (ran=%v)", v, ran)
+		}
+	}
+}
+
+func TestFileSemaphore(t *testing.T) {
+	dir := t.TempDir()
+	sem, err := NewFileSemaphore(dir, 2, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	s1, err := sem.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := sem.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Fatal("same slot acquired twice")
+	}
+	if _, ok := sem.TryAcquire(); ok {
+		t.Fatal("third acquire should fail")
+	}
+	if sem.Held() != 2 {
+		t.Fatalf("held = %d", sem.Held())
+	}
+	if err := sem.Release(s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sem.TryAcquire(); !ok {
+		t.Fatal("acquire after release failed")
+	}
+	if err := sem.Release(99); err == nil {
+		t.Fatal("releasing unheld slot should error")
+	}
+}
+
+func TestFileSemaphoreStaleReclaim(t *testing.T) {
+	dir := t.TempDir()
+	// Simulate a crashed holder: lock file with a dead PID.
+	if err := os.WriteFile(filepath.Join(dir, "slot0.lock"), []byte("999999999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sem, err := NewFileSemaphore(dir, 1, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sem.TryAcquire(); !ok {
+		t.Fatal("stale slot not reclaimed")
+	}
+}
+
+func TestFileSemaphoreBlocksAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := NewFileSemaphore(dir, 1, time.Millisecond)
+	b, _ := NewFileSemaphore(dir, 1, time.Millisecond)
+	slot, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := b.Acquire(ctx); err == nil {
+		t.Fatal("second instance acquired a held semaphore")
+	}
+	a.Release(slot)
+	if _, ok := b.TryAcquire(); !ok {
+		t.Fatal("second instance cannot acquire after release")
+	}
+}
+
+func TestFileSemaphoreInvalid(t *testing.T) {
+	if _, err := NewFileSemaphore(t.TempDir(), 0, 0); err == nil {
+		t.Fatal("0 slots accepted")
+	}
+}

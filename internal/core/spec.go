@@ -1,0 +1,141 @@
+package core
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/tmpl"
+)
+
+// HaltWhen selects how aggressively a triggered halt policy stops the run.
+type HaltWhen int
+
+const (
+	// HaltNever runs every job regardless of failures (default).
+	HaltNever HaltWhen = iota
+	// HaltSoon stops launching new jobs but lets running jobs finish.
+	HaltSoon
+	// HaltNow additionally cancels running jobs.
+	HaltNow
+)
+
+// HaltPolicy mirrors GNU Parallel's --halt: stop the run once Threshold
+// jobs have failed (OnSuccess=false) or succeeded (OnSuccess=true).
+type HaltPolicy struct {
+	When      HaltWhen
+	Threshold int  // number of triggering jobs; <=0 means 1
+	OnSuccess bool // trigger on successes instead of failures
+}
+
+// Triggered reports whether the policy fires given current counts.
+func (h HaltPolicy) Triggered(succeeded, failed int) bool {
+	if h.When == HaltNever {
+		return false
+	}
+	th := h.Threshold
+	if th <= 0 {
+		th = 1
+	}
+	if h.OnSuccess {
+		return succeeded >= th
+	}
+	return failed >= th
+}
+
+// Spec configures an engine run. The zero value is not usable: Jobs and
+// either Template or a FuncRunner must be set; use NewSpec for defaults.
+type Spec struct {
+	// Jobs is the number of parallel slots (GNU Parallel -j).
+	Jobs int
+	// Template is the command template; nil for Func-only workloads
+	// whose Runner ignores Job.Command.
+	Template *tmpl.Template
+	// AppendArgsIfNoPlaceholder mirrors GNU Parallel: when the template
+	// has no input placeholder, " {}" is appended. Default true via
+	// NewSpec.
+	AppendArgsIfNoPlaceholder bool
+	// KeepOrder releases output and OnResult callbacks in input order
+	// (GNU Parallel -k).
+	KeepOrder bool
+	// Pipe switches to GNU Parallel's --pipe model: each input record's
+	// first column becomes the job's standard input rather than
+	// command-line arguments (pair with args.Blocks to split a stream
+	// into line-aligned blocks). No " {}" is appended to the template.
+	Pipe bool
+	// Retries is the maximum total attempts per job (GNU --retries);
+	// values < 1 mean 1.
+	Retries int
+	// Timeout kills a job attempt after this duration; 0 disables.
+	Timeout time.Duration
+	// Delay inserts a pause between consecutive job starts (GNU
+	// --delay), useful for staggering load on shared services.
+	Delay time.Duration
+	// MaxLoad pauses dispatch while the system 1-minute load average is
+	// at or above this value (GNU --load); 0 disables. Ignored on
+	// systems without /proc/loadavg.
+	MaxLoad float64
+	// Halt configures early termination.
+	Halt HaltPolicy
+	// DryRun renders commands without executing them; each job yields a
+	// Result with DryRun=true and the command written to Out.
+	DryRun bool
+	// Tag prefixes every output line with the job's first argument and
+	// a TAB (GNU --tag).
+	Tag bool
+	// Out and Errout receive grouped job stdout/stderr. Nil discards.
+	Out, Errout io.Writer
+	// Joblog, when non-nil, receives one GNU-Parallel-format log line
+	// per completed job.
+	Joblog io.Writer
+	// ResumeFrom contains seq numbers to skip (previously completed),
+	// typically from ReadJoblog.
+	ResumeFrom map[int]bool
+	// OnResult, when non-nil, is called for each finished job (ordered
+	// if KeepOrder). It runs on the collector goroutine: keep it fast.
+	OnResult func(Result)
+	// OnProgress, when non-nil, receives a snapshot after every job
+	// completion (unordered — progress is about throughput, not output
+	// order). It runs on the collector goroutine: keep it fast.
+	OnProgress func(Progress)
+	// CollectResults retains all results in the slice returned by Run.
+	// Off by default: million-task runs should not buffer everything.
+	CollectResults bool
+	// ResultsDir, when non-empty, saves each job's output under
+	// <dir>/<seq>/{stdout,stderr,exitval} (GNU Parallel's --results,
+	// simplified layout). Write failures surface through Stats via the
+	// collector's error return.
+	ResultsDir string
+	// Env holds extra KEY=VALUE pairs applied to every job.
+	Env []string
+	// SlotEnv, when non-nil, is called with each job's slot number and
+	// returns additional env entries — the "GPU isolation" hook
+	// (HIP_VISIBLE_DEVICES from {%}).
+	SlotEnv func(slot int) []string
+}
+
+// NewSpec returns a Spec with GNU-Parallel-like defaults: command cmd,
+// jobs slots, append-{} behavior on.
+func NewSpec(cmd string, jobs int) (*Spec, error) {
+	t, err := tmpl.Parse(cmd)
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Jobs:                      jobs,
+		Template:                  t,
+		AppendArgsIfNoPlaceholder: true,
+		Retries:                   1,
+	}, nil
+}
+
+// effectiveTemplate returns the template with " {}" appended when needed.
+func (s *Spec) effectiveTemplate() *tmpl.Template {
+	t := s.Template
+	if t == nil {
+		return nil
+	}
+	if s.AppendArgsIfNoPlaceholder && !s.Pipe && !t.HasInputPlaceholder() && t.Source() != "" {
+		return tmpl.MustParse(t.Source() + " {}")
+	}
+	return t
+}

@@ -1,0 +1,269 @@
+// Package darshan implements a Darshan-like I/O characterization log
+// substrate for the §IV-B massive log processing application: a compact
+// binary record format, a synthetic archive generator standing in for the
+// paper's five-year Summit dataset, a parser, and the per-(month, app)
+// analyzer the paper parallelizes with `parallel ::: {1..12} ::: {0..2}`.
+package darshan
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand/v2"
+	"time"
+)
+
+// Record is one job's I/O characterization, a simplified Darshan log.
+type Record struct {
+	JobID     uint64
+	UID       uint32
+	AppID     uint32 // application identifier (hashed executable name)
+	Month     uint8  // 1..12
+	NProcs    uint32
+	Runtime   uint32 // seconds
+	BytesRead uint64
+	BytesWrit uint64
+	FilesOpen uint32
+	PosixOps  uint64
+	MPIIOOps  uint64
+	StdioOps  uint64
+}
+
+// magic identifies the log format; version guards field layout.
+const (
+	magic   uint32 = 0xDA45A901
+	version uint16 = 2
+)
+
+// recordSize is the fixed on-disk record size in bytes.
+const recordSize = 8 + 4 + 4 + 1 + 3 /*pad*/ + 4 + 4 + 8 + 8 + 4 + 4 /*pad*/ + 8 + 8 + 8
+
+// ErrBadMagic reports a stream that is not a darshan archive.
+var ErrBadMagic = errors.New("darshan: bad magic (not a log archive)")
+
+// ErrBadVersion reports an unsupported format version.
+var ErrBadVersion = errors.New("darshan: unsupported version")
+
+// Writer encodes records to a stream.
+type Writer struct {
+	w     *bufio.Writer
+	n     int
+	begun bool
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+func (w *Writer) header() error {
+	var h [8]byte
+	binary.LittleEndian.PutUint32(h[0:], magic)
+	binary.LittleEndian.PutUint16(h[4:], version)
+	_, err := w.w.Write(h[:])
+	return err
+}
+
+// Write appends one record.
+func (w *Writer) Write(r *Record) error {
+	if !w.begun {
+		w.begun = true
+		if err := w.header(); err != nil {
+			return err
+		}
+	}
+	var b [recordSize]byte
+	le := binary.LittleEndian
+	le.PutUint64(b[0:], r.JobID)
+	le.PutUint32(b[8:], r.UID)
+	le.PutUint32(b[12:], r.AppID)
+	b[16] = r.Month
+	le.PutUint32(b[20:], r.NProcs)
+	le.PutUint32(b[24:], r.Runtime)
+	le.PutUint64(b[28:], r.BytesRead)
+	le.PutUint64(b[36:], r.BytesWrit)
+	le.PutUint32(b[44:], r.FilesOpen)
+	le.PutUint64(b[52:], r.PosixOps)
+	le.PutUint64(b[60:], r.MPIIOOps)
+	le.PutUint64(b[68:], r.StdioOps)
+	if _, err := w.w.Write(b[:]); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns records written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error {
+	if !w.begun {
+		w.begun = true
+		if err := w.header(); err != nil {
+			return err
+		}
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes records from a stream.
+type Reader struct {
+	r     *bufio.Reader
+	begun bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+// Next returns the next record or io.EOF.
+func (rd *Reader) Next() (*Record, error) {
+	if !rd.begun {
+		rd.begun = true
+		var h [8]byte
+		if _, err := io.ReadFull(rd.r, h[:]); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return nil, ErrBadMagic
+			}
+			return nil, err
+		}
+		if binary.LittleEndian.Uint32(h[0:]) != magic {
+			return nil, ErrBadMagic
+		}
+		if binary.LittleEndian.Uint16(h[4:]) != version {
+			return nil, fmt.Errorf("%w: %d", ErrBadVersion, binary.LittleEndian.Uint16(h[4:]))
+		}
+	}
+	var b [recordSize]byte
+	if _, err := io.ReadFull(rd.r, b[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("darshan: truncated record: %w", err)
+		}
+		return nil, err
+	}
+	le := binary.LittleEndian
+	r := &Record{
+		JobID:     le.Uint64(b[0:]),
+		UID:       le.Uint32(b[8:]),
+		AppID:     le.Uint32(b[12:]),
+		Month:     b[16],
+		NProcs:    le.Uint32(b[20:]),
+		Runtime:   le.Uint32(b[24:]),
+		BytesRead: le.Uint64(b[28:]),
+		BytesWrit: le.Uint64(b[36:]),
+		FilesOpen: le.Uint32(b[44:]),
+		PosixOps:  le.Uint64(b[52:]),
+		MPIIOOps:  le.Uint64(b[60:]),
+		StdioOps:  le.Uint64(b[68:]),
+	}
+	return r, nil
+}
+
+// AppName returns a synthetic application name for an app id.
+func AppName(appID uint32) string { return fmt.Sprintf("app-%02d", appID) }
+
+// HashApp derives an app id from an executable name (modulo the synthetic
+// app universe size).
+func HashApp(name string, apps int) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return h.Sum32() % uint32(apps)
+}
+
+// Generate writes n synthetic records for the given month/apps universe,
+// statistically resembling production logs (lognormal-ish volumes,
+// power-law process counts). Deterministic for a given seed.
+func Generate(w *Writer, n int, month int, apps int, seed uint64) error {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15))
+	for i := 0; i < n; i++ {
+		nprocs := uint32(1 << rng.IntN(12)) // 1..2048, power-of-two-ish
+		bytesR := uint64(rng.ExpFloat64() * 4e9)
+		bytesW := uint64(rng.ExpFloat64() * 2e9)
+		rec := &Record{
+			JobID:     uint64(month)<<32 | uint64(i),
+			UID:       uint32(1000 + rng.IntN(500)),
+			AppID:     uint32(rng.IntN(apps)),
+			Month:     uint8(month),
+			NProcs:    nprocs,
+			Runtime:   uint32(60 + rng.IntN(86_000)),
+			BytesRead: bytesR,
+			BytesWrit: bytesW,
+			FilesOpen: uint32(1 + rng.IntN(4096)),
+			PosixOps:  uint64(rng.IntN(1_000_000)),
+			MPIIOOps:  uint64(rng.IntN(100_000)),
+			StdioOps:  uint64(rng.IntN(10_000)),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary aggregates an analyzed shard.
+type Summary struct {
+	Month, App             int
+	Jobs                   int
+	TotalRead, TotalWrit   uint64
+	TotalOps               uint64
+	MaxNProcs              uint32
+	MeanRuntime            time.Duration
+	BytesPerProcessSeconds float64 // aggregate I/O intensity
+}
+
+// Analyze is the per-(month, app) shard analyzer — the body of the
+// paper's darshan_arch.py, consuming one archive stream and filtering to
+// the shard.
+func Analyze(r *Reader, month, app int) (*Summary, error) {
+	s := &Summary{Month: month, App: app}
+	var runtimeSum uint64
+	var procSeconds float64
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if int(rec.Month) != month || int(rec.AppID) != app {
+			continue
+		}
+		s.Jobs++
+		s.TotalRead += rec.BytesRead
+		s.TotalWrit += rec.BytesWrit
+		s.TotalOps += rec.PosixOps + rec.MPIIOOps + rec.StdioOps
+		if rec.NProcs > s.MaxNProcs {
+			s.MaxNProcs = rec.NProcs
+		}
+		runtimeSum += uint64(rec.Runtime)
+		procSeconds += float64(rec.NProcs) * float64(rec.Runtime)
+	}
+	if s.Jobs > 0 {
+		s.MeanRuntime = time.Duration(runtimeSum/uint64(s.Jobs)) * time.Second
+	}
+	if procSeconds > 0 {
+		s.BytesPerProcessSeconds = float64(s.TotalRead+s.TotalWrit) / procSeconds
+	}
+	return s, nil
+}
+
+// Merge combines shard summaries that share (month, app) — used when a
+// shard spans multiple archive files.
+func Merge(a, b *Summary) *Summary {
+	out := *a
+	out.Jobs += b.Jobs
+	out.TotalRead += b.TotalRead
+	out.TotalWrit += b.TotalWrit
+	out.TotalOps += b.TotalOps
+	if b.MaxNProcs > out.MaxNProcs {
+		out.MaxNProcs = b.MaxNProcs
+	}
+	if a.Jobs+b.Jobs > 0 {
+		out.MeanRuntime = time.Duration(
+			(int64(a.MeanRuntime)*int64(a.Jobs) + int64(b.MeanRuntime)*int64(b.Jobs)) /
+				int64(a.Jobs+b.Jobs))
+	}
+	return &out
+}

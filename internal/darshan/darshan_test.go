@@ -1,0 +1,246 @@
+package darshan
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := []*Record{
+		{JobID: 1, UID: 1000, AppID: 2, Month: 3, NProcs: 128, Runtime: 3600,
+			BytesRead: 1 << 40, BytesWrit: 1 << 30, FilesOpen: 42,
+			PosixOps: 999, MPIIOOps: 77, StdioOps: 3},
+		{JobID: 2, Month: 12, AppID: 0},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 2 {
+		t.Fatalf("count = %d", w.Count())
+	}
+
+	rd := NewReader(&buf)
+	for i, want := range recs {
+		got, err := rd.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if *got != *want {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	rd := NewReader(bytes.NewReader([]byte("notdarshanatall")))
+	if _, err := rd.Next(); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+	rd2 := NewReader(bytes.NewReader([]byte{1, 2}))
+	if _, err := rd2.Next(); err != ErrBadMagic {
+		t.Fatalf("short header err = %v", err)
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(&Record{JobID: 1})
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-5]
+	rd := NewReader(bytes.NewReader(data))
+	if _, err := rd.Next(); err == nil {
+		t.Fatal("truncated record read successfully")
+	}
+}
+
+func TestEmptyArchive(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd := NewReader(&buf)
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("empty archive: %v, want EOF", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	gen := func() []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := Generate(w, 100, 4, 3, 99); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		return buf.Bytes()
+	}
+	if !bytes.Equal(gen(), gen()) {
+		t.Fatal("Generate not deterministic for fixed seed")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := Generate(w, 500, 7, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	rd := NewReader(&buf)
+	apps := map[uint32]int{}
+	n := 0
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Month != 7 {
+			t.Fatalf("month = %d", rec.Month)
+		}
+		if rec.AppID > 2 {
+			t.Fatalf("app = %d", rec.AppID)
+		}
+		apps[rec.AppID]++
+		n++
+	}
+	if n != 500 {
+		t.Fatalf("records = %d", n)
+	}
+	if len(apps) != 3 {
+		t.Fatalf("apps seen = %v", apps)
+	}
+}
+
+func TestAnalyzeFilters(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(&Record{Month: 1, AppID: 0, BytesRead: 100, NProcs: 4, Runtime: 10, PosixOps: 5})
+	w.Write(&Record{Month: 1, AppID: 1, BytesRead: 999})
+	w.Write(&Record{Month: 2, AppID: 0, BytesRead: 999})
+	w.Write(&Record{Month: 1, AppID: 0, BytesWrit: 50, NProcs: 8, Runtime: 20, MPIIOOps: 7})
+	w.Flush()
+
+	s, err := Analyze(NewReader(&buf), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Jobs != 2 {
+		t.Fatalf("jobs = %d", s.Jobs)
+	}
+	if s.TotalRead != 100 || s.TotalWrit != 50 {
+		t.Fatalf("bytes = %d/%d", s.TotalRead, s.TotalWrit)
+	}
+	if s.TotalOps != 12 {
+		t.Fatalf("ops = %d", s.TotalOps)
+	}
+	if s.MaxNProcs != 8 {
+		t.Fatalf("maxprocs = %d", s.MaxNProcs)
+	}
+	if s.MeanRuntime.Seconds() != 15 {
+		t.Fatalf("mean runtime = %v", s.MeanRuntime)
+	}
+	if s.BytesPerProcessSeconds <= 0 {
+		t.Fatal("intensity not computed")
+	}
+}
+
+func TestAnalyzeEmptyShard(t *testing.T) {
+	var buf bytes.Buffer
+	NewWriter(&buf).Flush()
+	s, err := Analyze(NewReader(&buf), 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Jobs != 0 || s.MeanRuntime != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Summary{Month: 1, App: 0, Jobs: 2, TotalRead: 100, MaxNProcs: 4, MeanRuntime: 10e9}
+	b := &Summary{Month: 1, App: 0, Jobs: 2, TotalWrit: 60, MaxNProcs: 16, MeanRuntime: 30e9}
+	m := Merge(a, b)
+	if m.Jobs != 4 || m.TotalRead != 100 || m.TotalWrit != 60 || m.MaxNProcs != 16 {
+		t.Fatalf("merge = %+v", m)
+	}
+	if m.MeanRuntime != 20e9 {
+		t.Fatalf("mean runtime = %v", m.MeanRuntime)
+	}
+}
+
+func TestHashAppStable(t *testing.T) {
+	a := HashApp("lammps", 3)
+	b := HashApp("lammps", 3)
+	if a != b || a > 2 {
+		t.Fatalf("hash = %d/%d", a, b)
+	}
+	if AppName(2) != "app-02" {
+		t.Fatalf("AppName = %s", AppName(2))
+	}
+}
+
+// Property: any generated record survives an encode/decode round trip.
+func TestPropertyRecordRoundTrip(t *testing.T) {
+	f := func(jobID uint64, uid, app, nprocs, runtime uint32, br, bw, px uint64, month uint8, files uint32) bool {
+		rec := &Record{
+			JobID: jobID, UID: uid, AppID: app, Month: month%12 + 1,
+			NProcs: nprocs, Runtime: runtime, BytesRead: br, BytesWrit: bw,
+			FilesOpen: files, PosixOps: px,
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if w.Write(rec) != nil {
+			return false
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		got, err := NewReader(&buf).Next()
+		return err == nil && *got == *rec
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	w := NewWriter(io.Discard)
+	rec := &Record{JobID: 1, Month: 1, BytesRead: 1 << 30}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	Generate(w, 10_000, 1, 3, 5)
+	w.Flush()
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(NewReader(bytes.NewReader(data)), 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

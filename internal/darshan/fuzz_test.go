@@ -1,0 +1,32 @@
+package darshan
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader ensures arbitrary byte streams never panic the archive
+// reader: they must yield records, a clean EOF, or a typed error.
+func FuzzReader(f *testing.F) {
+	var good bytes.Buffer
+	w := NewWriter(&good)
+	w.Write(&Record{JobID: 1, Month: 3, BytesRead: 42})
+	w.Flush()
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("not a darshan log"))
+	f.Add(good.Bytes()[:10])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := NewReader(bytes.NewReader(data))
+		for i := 0; i < 1000; i++ {
+			_, err := rd.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	})
+}

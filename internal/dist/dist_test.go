@@ -1,0 +1,305 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/args"
+	"repro/internal/core"
+)
+
+// startWorker launches a Serve goroutine on a loopback listener and
+// returns its address.
+func startWorker(t *testing.T, name string, slots int, runner core.Runner) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go Serve(ctx, l, WorkerConfig{Name: name, Slots: slots, Runner: runner})
+	return l.Addr().String()
+}
+
+func echoRunner(prefix string) core.FuncRunner {
+	return func(ctx context.Context, job *core.Job) ([]byte, error) {
+		return []byte(fmt.Sprintf("%s:%s\n", prefix, strings.Join(job.Args, ","))), nil
+	}
+}
+
+func TestPoolSingleWorker(t *testing.T) {
+	addr := startWorker(t, "w1", 4, echoRunner("w1"))
+	pool, err := Dial([]WorkerSpec{{Addr: addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if pool.Slots() != 4 {
+		t.Fatalf("slots = %d", pool.Slots())
+	}
+	res := pool.Run(context.Background(), &core.Job{Seq: 1, Args: []string{"x"}})
+	if !res.OK() {
+		t.Fatalf("res = %+v", res)
+	}
+	if string(res.Stdout) != "w1:x\n" {
+		t.Fatalf("stdout = %q", res.Stdout)
+	}
+	if res.Host != "w1" {
+		t.Fatalf("host = %q", res.Host)
+	}
+}
+
+func TestPoolSlotCap(t *testing.T) {
+	addr := startWorker(t, "w", 8, echoRunner("w"))
+	pool, err := Dial([]WorkerSpec{{Addr: addr, Slots: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if pool.Slots() != 2 {
+		t.Fatalf("slots = %d, want cap 2", pool.Slots())
+	}
+}
+
+func TestEngineOverPool(t *testing.T) {
+	// Full engine -> pool -> two workers. Work lands on both.
+	var w1Jobs, w2Jobs atomic.Int64
+	mk := func(counter *atomic.Int64, d time.Duration) core.FuncRunner {
+		return func(ctx context.Context, job *core.Job) ([]byte, error) {
+			counter.Add(1)
+			time.Sleep(d)
+			return []byte(job.Args[0] + "\n"), nil
+		}
+	}
+	a1 := startWorker(t, "alpha", 2, mk(&w1Jobs, 5*time.Millisecond))
+	a2 := startWorker(t, "beta", 2, mk(&w2Jobs, 5*time.Millisecond))
+	pool, err := Dial([]WorkerSpec{{Addr: a1}, {Addr: a2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	spec, _ := core.NewSpec("", pool.Slots())
+	var hosts sync.Map
+	spec.OnResult = func(r core.Result) { hosts.Store(r.Host, true) }
+	eng, _ := core.NewEngine(spec, pool)
+	items := make([]string, 40)
+	for i := range items {
+		items[i] = fmt.Sprint(i)
+	}
+	stats, _, err := eng.Run(context.Background(), args.Literal(items...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Succeeded != 40 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if w1Jobs.Load() == 0 || w2Jobs.Load() == 0 {
+		t.Fatalf("work not distributed: alpha=%d beta=%d", w1Jobs.Load(), w2Jobs.Load())
+	}
+	if w1Jobs.Load()+w2Jobs.Load() != 40 {
+		t.Fatalf("job count mismatch: %d", w1Jobs.Load()+w2Jobs.Load())
+	}
+	for _, h := range []string{"alpha", "beta"} {
+		if _, ok := hosts.Load(h); !ok {
+			t.Fatalf("no results from %s", h)
+		}
+	}
+}
+
+func TestPoolRealProcesses(t *testing.T) {
+	addr := startWorker(t, "exec", 2, &core.ExecRunner{})
+	pool, err := Dial([]WorkerSpec{{Addr: addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	res := pool.Run(context.Background(), &core.Job{Seq: 1, Command: "echo remote hello"})
+	if !res.OK() || strings.TrimSpace(string(res.Stdout)) != "remote hello" {
+		t.Fatalf("res = %+v stdout=%q", res, res.Stdout)
+	}
+	// Exit codes propagate.
+	res = pool.Run(context.Background(), &core.Job{Seq: 2, Command: "sh -c 'exit 4'"})
+	if res.ExitCode != 4 {
+		t.Fatalf("exit = %d", res.ExitCode)
+	}
+	// Stdin (pipe mode) propagates.
+	res = pool.Run(context.Background(), &core.Job{Seq: 3, Command: "wc -l", Stdin: []byte("a\nb\n")})
+	if strings.TrimSpace(string(res.Stdout)) != "2" {
+		t.Fatalf("pipe stdout = %q", res.Stdout)
+	}
+	// Env propagates.
+	res = pool.Run(context.Background(), &core.Job{Seq: 4, Command: "sh -c 'echo $DISTVAR'", Env: []string{"DISTVAR=over-tcp"}})
+	if strings.TrimSpace(string(res.Stdout)) != "over-tcp" {
+		t.Fatalf("env stdout = %q", res.Stdout)
+	}
+}
+
+func TestPoolWorkerDeathAndRetry(t *testing.T) {
+	// Worker 1 dies mid-run; retries land on worker 2 and the run
+	// completes.
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	var served atomic.Int64
+	go Serve(ctx1, l1, WorkerConfig{Name: "doomed", Slots: 1, Runner: core.FuncRunner(
+		func(ctx context.Context, job *core.Job) ([]byte, error) {
+			served.Add(1)
+			time.Sleep(2 * time.Millisecond)
+			return nil, nil
+		})})
+	a2 := startWorker(t, "survivor", 2, core.FuncRunner(
+		func(ctx context.Context, job *core.Job) ([]byte, error) {
+			time.Sleep(2 * time.Millisecond)
+			return nil, nil
+		}))
+
+	pool, err := Dial([]WorkerSpec{{Addr: l1.Addr().String()}, {Addr: a2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// Kill worker 1 after a few jobs have flowed.
+	go func() {
+		for served.Load() < 2 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel1()
+	}()
+
+	spec, _ := core.NewSpec("", pool.Slots())
+	spec.Retries = 4
+	eng, _ := core.NewEngine(spec, pool)
+	items := make([]string, 60)
+	stats, _, err := eng.Run(context.Background(), args.Literal(items...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Succeeded != 60 {
+		t.Fatalf("stats = %+v (worker death not absorbed)", stats)
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial(nil); err == nil {
+		t.Fatal("empty worker list accepted")
+	}
+	if _, err := Dial([]WorkerSpec{{Addr: "127.0.0.1:1"}}); err == nil {
+		t.Fatal("unreachable worker accepted")
+	}
+}
+
+func TestProtocolVersionMismatch(t *testing.T) {
+	// A fake worker speaking the wrong version is rejected.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		c := newCodec(conn)
+		c.send(hello{Version: 99, Name: "future", Slots: 1})
+		conn.Close()
+	}()
+	if _, err := Dial([]WorkerSpec{{Addr: l.Addr().String()}}); err == nil {
+		t.Fatal("version mismatch accepted")
+	}
+}
+
+func TestPoolContextCancel(t *testing.T) {
+	addr := startWorker(t, "slow", 1, core.FuncRunner(
+		func(ctx context.Context, job *core.Job) ([]byte, error) {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(30 * time.Second):
+				return nil, nil
+			}
+		}))
+	pool, err := Dial([]WorkerSpec{{Addr: addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res := pool.Run(ctx, &core.Job{Seq: 1, Args: []string{"x"}})
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancel did not unblock the pool")
+	}
+	if res.OK() {
+		t.Fatal("cancelled job reported OK")
+	}
+	if res.Err == nil && !res.TimedOut {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestJoblogRecordsRemoteHost(t *testing.T) {
+	addr := startWorker(t, "hostx", 1, echoRunner("h"))
+	pool, err := Dial([]WorkerSpec{{Addr: addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	var log strings.Builder
+	spec, _ := core.NewSpec("", 1)
+	spec.Joblog = &log
+	eng, _ := core.NewEngine(spec, pool)
+	if _, _, err := eng.Run(context.Background(), args.Literal("a")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log.String(), "\thostx\t") {
+		t.Fatalf("joblog missing remote host: %q", log.String())
+	}
+	entries, err := core.ParseJoblog(strings.NewReader(log.String()))
+	if err != nil || len(entries) != 1 || entries[0].Host != "hostx" {
+		t.Fatalf("entries = %+v err=%v", entries, err)
+	}
+}
+
+// BenchmarkPoolDispatch measures remote job round-trips per second over
+// loopback — the distributed analogue of Fig 3's launch-rate ceiling.
+func BenchmarkPoolDispatch(b *testing.B) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	noop := core.FuncRunner(func(ctx context.Context, job *core.Job) ([]byte, error) {
+		return nil, nil
+	})
+	go Serve(ctx, l, WorkerConfig{Name: "bench", Slots: 8, Runner: noop})
+	pool, err := Dial([]WorkerSpec{{Addr: l.Addr().String()}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pool.Close()
+
+	spec, _ := core.NewSpec("", pool.Slots())
+	eng, _ := core.NewEngine(spec, pool)
+	items := make([]string, b.N)
+	b.ResetTimer()
+	start := time.Now()
+	stats, _, err := eng.Run(context.Background(), args.Literal(items...))
+	if err != nil || stats.Succeeded != b.N {
+		b.Fatalf("stats=%+v err=%v", stats, err)
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "jobs/s")
+}

@@ -1,0 +1,239 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// WorkerSpec names one worker to dial.
+type WorkerSpec struct {
+	// Addr is the worker's TCP address (host:port).
+	Addr string
+	// Slots caps connections to this worker; 0 uses the count the
+	// worker advertises.
+	Slots int
+}
+
+// Pool is a core.Runner that executes jobs on remote workers. It holds
+// one TCP connection per worker slot; Run borrows a free connection,
+// ships the job, and returns the result. Transport failures surface as
+// job errors (so Spec.Retries re-runs them, potentially on another
+// worker), and broken connections are redialed in the background.
+type Pool struct {
+	free   chan *wconn
+	total  int
+	closed chan struct{}
+	mu     sync.Mutex
+	conns  map[*wconn]bool
+}
+
+type wconn struct {
+	name string
+	addr string
+	nc   net.Conn
+	c    *codec
+}
+
+// Dial connects to every worker and returns the pool. It fails if any
+// worker is unreachable or speaks the wrong protocol version.
+func Dial(specs []WorkerSpec) (*Pool, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("dist: no workers given")
+	}
+	p := &Pool{closed: make(chan struct{}), conns: map[*wconn]bool{}}
+	var all []*wconn
+	for _, spec := range specs {
+		first, h, err := dialWorker(spec.Addr)
+		if err != nil {
+			closeAll(all)
+			return nil, err
+		}
+		slots := h.Slots
+		if spec.Slots > 0 && spec.Slots < slots {
+			slots = spec.Slots
+		}
+		all = append(all, first)
+		for i := 1; i < slots; i++ {
+			c, _, err := dialWorker(spec.Addr)
+			if err != nil {
+				closeAll(all)
+				return nil, fmt.Errorf("dist: opening slot %d to %s: %w", i+1, spec.Addr, err)
+			}
+			all = append(all, c)
+		}
+	}
+	p.total = len(all)
+	p.free = make(chan *wconn, p.total)
+	for _, c := range all {
+		p.conns[c] = true
+		p.free <- c
+	}
+	return p, nil
+}
+
+func dialWorker(addr string) (*wconn, hello, error) {
+	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, hello{}, fmt.Errorf("dist: dialing %s: %w", addr, err)
+	}
+	c := newCodec(nc)
+	var h hello
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if err := c.recv(&h); err != nil {
+		nc.Close()
+		return nil, hello{}, fmt.Errorf("dist: handshake with %s: %w", addr, err)
+	}
+	nc.SetReadDeadline(time.Time{})
+	if err := checkHello(h); err != nil {
+		nc.Close()
+		return nil, hello{}, err
+	}
+	return &wconn{name: h.Name, addr: addr, nc: nc, c: c}, h, nil
+}
+
+func closeAll(conns []*wconn) {
+	for _, c := range conns {
+		c.nc.Close()
+	}
+}
+
+// Slots returns the pool's total concurrent capacity — the natural
+// Spec.Jobs for an engine driving this pool.
+func (p *Pool) Slots() int { return p.total }
+
+// Close shuts every connection. In-flight jobs fail.
+func (p *Pool) Close() {
+	select {
+	case <-p.closed:
+		return
+	default:
+		close(p.closed)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := range p.conns {
+		c.nc.Close()
+	}
+}
+
+// Run implements core.Runner.
+func (p *Pool) Run(ctx context.Context, job *core.Job) core.Result {
+	res := core.Result{Job: *job, ExitCode: -1, Start: time.Now()}
+	var conn *wconn
+	select {
+	case conn = <-p.free:
+	case <-ctx.Done():
+		res.Err = ctx.Err()
+		res.End = time.Now()
+		return res
+	case <-p.closed:
+		res.Err = errors.New("dist: pool closed")
+		res.End = time.Now()
+		return res
+	}
+	res.Host = conn.name
+
+	req := request{
+		Seq:     job.Seq,
+		Slot:    job.Slot,
+		Command: job.Command,
+		Args:    job.Args,
+		Env:     job.Env,
+		Stdin:   job.Stdin,
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if left := time.Until(dl); left > 0 {
+			req.TimeoutNS = left.Nanoseconds()
+		}
+	}
+
+	// Unblock the connection read if ctx is cancelled mid-job.
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.nc.SetDeadline(time.Now())
+		case <-watchDone:
+		}
+	}()
+
+	var resp response
+	err := conn.c.send(req)
+	if err == nil {
+		err = conn.c.recv(&resp)
+	}
+	close(watchDone)
+	res.End = time.Now()
+
+	if err != nil {
+		// Transport failure: retire the connection and redial in the
+		// background so capacity recovers.
+		p.retire(conn)
+		if ctx.Err() != nil {
+			res.Err = ctx.Err()
+		} else {
+			res.Err = fmt.Errorf("dist: worker %s: %w", conn.name, err)
+		}
+		return res
+	}
+	conn.nc.SetDeadline(time.Time{})
+	p.free <- conn
+
+	res.ExitCode = resp.ExitCode
+	res.Stdout = resp.Stdout
+	res.Stderr = resp.Stderr
+	res.TimedOut = resp.TimedOut
+	if resp.StartNS > 0 {
+		res.Start = nsToTime(resp.StartNS)
+	}
+	if resp.EndNS > 0 {
+		res.End = nsToTime(resp.EndNS)
+	}
+	if resp.Err != "" {
+		res.Err = errors.New(resp.Err)
+	}
+	return res
+}
+
+// retire closes a broken connection and starts a background redialer
+// that restores the slot when the worker comes back.
+func (p *Pool) retire(c *wconn) {
+	c.nc.Close()
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	go func(addr string) {
+		backoff := 100 * time.Millisecond
+		for {
+			select {
+			case <-p.closed:
+				return
+			case <-time.After(backoff):
+			}
+			nc, _, err := dialWorker(addr)
+			if err == nil {
+				p.mu.Lock()
+				select {
+				case <-p.closed:
+					p.mu.Unlock()
+					nc.nc.Close()
+					return
+				default:
+				}
+				p.conns[nc] = true
+				p.mu.Unlock()
+				p.free <- nc
+				return
+			}
+			if backoff < 5*time.Second {
+				backoff *= 2
+			}
+		}
+	}(c.addr)
+}

@@ -1,0 +1,96 @@
+// Package dist adds multi-host execution to the engine: a worker daemon
+// (cmd/gopard) executes jobs sent over TCP, and Pool — a core.Runner —
+// fans an engine's jobs out across workers. Because remote execution is
+// just another Runner, every engine feature (slots, keep-order, retries,
+// halt policies, joblogs, resume) composes with it unchanged.
+//
+// This is the library-native equivalent of GNU Parallel's --sshlogin
+// (the paper instead shards input per node with a driver script —
+// Listing 1 — which internal/cluster models; dist covers the
+// direct-distribution alternative for clusters without a scheduler).
+//
+// The protocol is line-delimited JSON over TCP, one in-flight job per
+// connection; a Pool opens one connection per advertised worker slot.
+// There is no authentication: like rsh-era sshlogin, it is for trusted
+// networks (or localhost) only, and says so in cmd/gopard's usage.
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// protocolVersion guards against mismatched coordinator/worker builds.
+const protocolVersion = 1
+
+// hello is sent by the worker on connection accept.
+type hello struct {
+	Version int    `json:"version"`
+	Name    string `json:"name"`
+	Slots   int    `json:"slots"`
+}
+
+// request is one job execution request.
+type request struct {
+	Seq     int      `json:"seq"`
+	Slot    int      `json:"slot"`
+	Command string   `json:"command"`
+	Args    []string `json:"args,omitempty"`
+	Env     []string `json:"env,omitempty"`
+	Stdin   []byte   `json:"stdin,omitempty"`
+	// TimeoutNS caps execution worker-side (belt and braces: the
+	// coordinator also enforces it).
+	TimeoutNS int64 `json:"timeout_ns,omitempty"`
+}
+
+// response reports one job's outcome.
+type response struct {
+	Seq      int    `json:"seq"`
+	ExitCode int    `json:"exit_code"`
+	Err      string `json:"err,omitempty"`
+	Stdout   []byte `json:"stdout,omitempty"`
+	Stderr   []byte `json:"stderr,omitempty"`
+	StartNS  int64  `json:"start_ns"`
+	EndNS    int64  `json:"end_ns"`
+	TimedOut bool   `json:"timed_out,omitempty"`
+}
+
+// codec frames JSON messages over a stream.
+type codec struct {
+	enc *json.Encoder
+	dec *json.Decoder
+	bw  *bufio.Writer
+}
+
+func newCodec(rw io.ReadWriter) *codec {
+	bw := bufio.NewWriter(rw)
+	return &codec{
+		enc: json.NewEncoder(bw),
+		dec: json.NewDecoder(bufio.NewReader(rw)),
+		bw:  bw,
+	}
+}
+
+func (c *codec) send(v any) error {
+	if err := c.enc.Encode(v); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *codec) recv(v any) error { return c.dec.Decode(v) }
+
+func nsToTime(ns int64) time.Time { return time.Unix(0, ns) }
+
+func checkHello(h hello) error {
+	if h.Version != protocolVersion {
+		return fmt.Errorf("dist: protocol version %d, want %d", h.Version, protocolVersion)
+	}
+	if h.Slots < 1 {
+		return fmt.Errorf("dist: worker %q advertises %d slots", h.Name, h.Slots)
+	}
+	return nil
+}

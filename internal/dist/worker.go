@@ -1,0 +1,129 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// WorkerConfig configures Serve.
+type WorkerConfig struct {
+	// Name identifies this worker in joblogs (defaults to the
+	// listener address).
+	Name string
+	// Slots advertised to coordinators (a coordinator opens up to this
+	// many concurrent connections). Defaults to 8.
+	Slots int
+	// Runner executes jobs (default: real processes via ExecRunner).
+	Runner core.Runner
+	// Logf, when non-nil, receives connection lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// Serve accepts coordinator connections on l and executes their jobs
+// until ctx is done or the listener fails. Each connection is served by
+// its own goroutine; one job runs at a time per connection (the pool
+// provides parallelism by opening one connection per slot).
+func Serve(ctx context.Context, l net.Listener, cfg WorkerConfig) error {
+	if cfg.Slots < 1 {
+		cfg.Slots = 8
+	}
+	if cfg.Name == "" {
+		cfg.Name = l.Addr().String()
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = &core.ExecRunner{}
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		l.Close()
+	}()
+	defer close(done)
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			wg.Wait()
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			if err := serveConn(ctx, conn, cfg); err != nil && !errors.Is(err, context.Canceled) {
+				logf("dist worker: connection from %s ended: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+func serveConn(ctx context.Context, conn net.Conn, cfg WorkerConfig) error {
+	c := newCodec(conn)
+	if err := c.send(hello{Version: protocolVersion, Name: cfg.Name, Slots: cfg.Slots}); err != nil {
+		return err
+	}
+	for {
+		var req request
+		if err := c.recv(&req); err != nil {
+			if errors.Is(err, net.ErrClosed) || err.Error() == "EOF" {
+				return nil
+			}
+			return err
+		}
+		resp := execute(ctx, cfg.Runner, req)
+		if err := c.send(resp); err != nil {
+			return err
+		}
+	}
+}
+
+func execute(ctx context.Context, runner core.Runner, req request) response {
+	job := &core.Job{
+		Seq:     req.Seq,
+		Slot:    req.Slot,
+		Command: req.Command,
+		Args:    req.Args,
+		Env:     req.Env,
+		Stdin:   req.Stdin,
+	}
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if req.TimeoutNS > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutNS))
+		defer cancel()
+	}
+	res := runner.Run(runCtx, job)
+	resp := response{
+		Seq:      res.Job.Seq,
+		ExitCode: res.ExitCode,
+		Stdout:   res.Stdout,
+		Stderr:   res.Stderr,
+		StartNS:  res.Start.UnixNano(),
+		EndNS:    res.End.UnixNano(),
+		TimedOut: res.TimedOut || (req.TimeoutNS > 0 && runCtx.Err() == context.DeadlineExceeded),
+	}
+	if res.Err != nil {
+		resp.Err = res.Err.Error()
+	}
+	return resp
+}
+
+var _ = log.Printf // reserved for future default logging

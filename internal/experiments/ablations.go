@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/wms"
+)
+
+// Ablations probe the design decisions DESIGN.md §4 calls out.
+
+// ablationStaticTable: greedy slot refill vs xargs-style static pre-split
+// under heterogeneous task durations.
+func ablationStaticTable(opts Options) *metrics.Table {
+	n := 512
+	if opts.Quick {
+		n = 128
+	}
+	e := sim.NewEngine(opts.Seed + 71)
+	rng := e.RNG().Split("ablation/static")
+	durations := make([]time.Duration, n)
+	for i := range durations {
+		// Heavy-tailed task mix: mostly short, some multi-second.
+		durations[i] = rng.DurExp(500 * time.Millisecond)
+		if rng.Bernoulli(0.05) {
+			durations[i] += rng.DurExp(8 * time.Second)
+		}
+	}
+	// Inputs arrive sorted by size — the common real-world case (ls,
+	// find, du output) that makes static chunking cluster all the long
+	// tasks into the first workers' chunks.
+	sort.Slice(durations, func(i, j int) bool { return durations[i] > durations[j] })
+	var static, greedy wms.Report
+	e.Spawn("driver", func(p *sim.Proc) {
+		greedy = wms.RunGreedy(p, 32, cluster.DispatchCost, durations)
+		static = wms.RunStaticSplit(p, 32, cluster.DispatchCost, durations)
+	})
+	e.Run()
+
+	t := metrics.NewTable("Ablation: greedy slot refill vs static pre-split (heterogeneous tasks)",
+		"strategy", "tasks", "slots", "makespan_s")
+	t.AddRow("greedy (GNU Parallel model)", n, 32, fmt.Sprintf("%.2f", greedy.Makespan.Seconds()))
+	t.AddRow("static split (xargs -P model)", n, 32, fmt.Sprintf("%.2f", static.Makespan.Seconds()))
+	t.AddNote("greedy refill absorbs stragglers; static chunks strand short tasks behind long ones (%.1fx)",
+		static.Makespan.Seconds()/greedy.Makespan.Seconds())
+	return t
+}
+
+// ablationCentralTable: one central dispatcher for the full Fig 1 task
+// count vs per-node instances (the driver-script sharding).
+func ablationCentralTable(opts Options) *metrics.Table {
+	nodes := 9000
+	if opts.Quick {
+		nodes = 900
+	}
+	total := nodes * 128
+
+	// Central: a single instance must serially dispatch every task at
+	// DispatchCost; its makespan is dispatch-bound.
+	e1 := sim.NewEngine(opts.Seed + 81)
+	c1 := cluster.New(e1, cluster.Frontier(), 1)
+	var centralEnd sim.Time
+	e1.Spawn("central", func(p *sim.Proc) {
+		c1.Nodes[0].RunParallel(p, cluster.InstanceConfig{Jobs: 128}, cluster.NullTasks(total))
+		centralEnd = p.Now()
+	})
+	e1.Run()
+
+	// Distributed: every node dispatches only its 128-task shard.
+	distributedS := simDistributed(opts, total)
+
+	t := metrics.NewTable("Ablation: central dispatcher vs per-node instances",
+		"architecture", "tasks", "dispatch_makespan_s")
+	t.AddRow("central single instance", total, fmt.Sprintf("%.0f", centralEnd.Seconds()))
+	t.AddRow(fmt.Sprintf("distributed (%d nodes x 128)", nodes), total, fmt.Sprintf("%.2f", distributedS))
+	t.AddNote("a 470/s central dispatcher needs ~%.0f min just to launch %d tasks; sharding first (Listing 1) makes dispatch constant-time in scale",
+		centralEnd.Minutes(), total)
+	return t
+}
+
+// ablationDispatchTable: sensitivity of achievable launch rate and the
+// full-utilization task floor to per-dispatch cost.
+func ablationDispatchTable(opts Options) *metrics.Table {
+	perInstance := 1000
+	if opts.Quick {
+		perInstance = 250
+	}
+	costs := []time.Duration{
+		500 * time.Microsecond, time.Millisecond, cluster.DispatchCost,
+		5 * time.Millisecond, 10 * time.Millisecond,
+	}
+	t := metrics.NewTable("Ablation: dispatch-cost sensitivity (single instance, 256-thread node)",
+		"dispatch_cost_ms", "procs_per_sec", "min_task_ms_for_full_util")
+	for i, cost := range costs {
+		e := sim.NewEngine(opts.Seed + 91 + uint64(i))
+		c := cluster.New(e, cluster.PerlmutterCPU(), 1)
+		e.Spawn("driver", func(p *sim.Proc) {
+			c.Nodes[0].RunParallel(p, cluster.InstanceConfig{Jobs: 256, DispatchCost: cost},
+				cluster.NullTasks(perInstance))
+		})
+		end := e.Run()
+		rate := metrics.Rate(perInstance, end)
+		t.AddRow(fmt.Sprintf("%.3f", cost.Seconds()*1000),
+			fmt.Sprintf("%.0f", rate), fmt.Sprintf("%.0f", 256/rate*1000))
+	}
+	t.AddNote("at the calibrated 2.128ms (GNU Parallel's measured cost) the floor is ~545ms, the paper's Fig 3 number")
+	return t
+}
+
+// ablationNVMeTable isolates the Fig 1 best practice: per-task stdout to
+// NVMe vs directly to Lustre, at a scale where Lustre's metadata service
+// saturates.
+func ablationNVMeTable(opts Options) *metrics.Table {
+	nodes := 256
+	if opts.Quick {
+		nodes = 64
+	}
+	run := func(toLustre bool) time.Duration {
+		e := sim.NewEngine(opts.Seed + 95)
+		c := cluster.New(e, cluster.Frontier(), nodes,
+			cluster.WithLustre(lustreProfile()))
+		wg := sim.NewCounter(e, nodes)
+		for _, node := range c.Nodes {
+			node := node
+			e.Spawn(node.Hostname(), func(np *sim.Proc) {
+				tasks := make([]cluster.Task, 128)
+				for t := range tasks {
+					tasks[t] = cluster.Task{Payload: func(tp *sim.Proc, tc cluster.TaskContext) error {
+						tp.Sleep(100 * time.Millisecond)
+						if toLustre {
+							c.Lustre.CreateAndWrite(tp, 256)
+						} else {
+							tc.Node.NVMe.CreateAndWrite(tp, 256)
+						}
+						return nil
+					}}
+				}
+				node.RunParallel(np, cluster.InstanceConfig{Jobs: 128}, tasks)
+				if !toLustre {
+					c.Lustre.CreateAndWrite(np, 1<<20) // aggregated flush
+				}
+				wg.Done()
+			})
+		}
+		return e.Run()
+	}
+	nvme := run(false)
+	lustre := run(true)
+	t := metrics.NewTable("Ablation: per-task stdout to NVMe (staged) vs directly to Lustre",
+		"strategy", "nodes", "tasks", "makespan_s")
+	t.AddRow("NVMe + aggregated flush", nodes, nodes*128, fmt.Sprintf("%.1f", nvme.Seconds()))
+	t.AddRow("direct small files to Lustre", nodes, nodes*128, fmt.Sprintf("%.1f", lustre.Seconds()))
+	t.AddNote("small-file metadata storms on the shared filesystem cost %.1fx; the Fig 1 runs staged stdout on NVMe for this reason",
+		lustre.Seconds()/nvme.Seconds())
+	return t
+}
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-static",
+		Paper: "Design: greedy refill vs static pre-split under heterogeneous tasks",
+		Run:   ablationStaticTable,
+	})
+	register(Experiment{
+		ID:    "ablation-central",
+		Paper: "Design: central dispatcher vs per-node instances at Fig 1 scale",
+		Run:   ablationCentralTable,
+	})
+	register(Experiment{
+		ID:    "ablation-dispatch",
+		Paper: "Design: dispatch-cost sensitivity and the utilization task floor",
+		Run:   ablationDispatchTable,
+	})
+	register(Experiment{
+		ID:    "ablation-nvme",
+		Paper: "Design: NVMe stdout staging vs direct Lustre small files",
+		Run:   ablationNVMeTable,
+	})
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/transfer"
+)
+
+// DTNRow is one data-motion strategy's outcome.
+type DTNRow struct {
+	Method       string
+	Files        int
+	GB           float64
+	MakespanS    float64
+	Speedup      float64
+	NodeMbpsMean float64
+}
+
+// DataMotion reproduces §IV-E: migrating a project tree with (a) one
+// sequential rsync, (b) a conventional WMS staging protocol, and (c) the
+// paper's pattern — `find | driver.sh` sharding across an 8-node DTN
+// cluster, 32 rsync streams per node (256-way parallel transfer).
+func DataMotion(opts Options) []DTNRow {
+	nfiles, meanSize := 6000, int64(8<<20)
+	if opts.Quick {
+		nfiles = 1200
+	}
+	tree := transfer.GenerateTree(nfiles, meanSize, opts.Seed)
+	files := tree.Files()
+
+	run := func(f func(p *sim.Proc, e *sim.Engine) transfer.Report) transfer.Report {
+		e := sim.NewEngine(opts.Seed + 55)
+		var rep transfer.Report
+		e.Spawn("driver", func(p *sim.Proc) { rep = f(p, e) })
+		e.Run()
+		return rep
+	}
+	newDTNs := func(e *sim.Engine, n int) []*transfer.DTNNode {
+		c := cluster.New(e, cluster.DTN(), n, cluster.WithoutNVMe())
+		out := make([]*transfer.DTNNode, n)
+		for i, node := range c.Nodes {
+			out[i] = transfer.NewDTNNode(node)
+		}
+		return out
+	}
+
+	seq := run(func(p *sim.Proc, e *sim.Engine) transfer.Report {
+		return transfer.RunSequential(p, newDTNs(e, 1)[0], files, nil, nil)
+	})
+	wmsRep := run(func(p *sim.Proc, e *sim.Engine) transfer.Report {
+		return transfer.RunWMSProtocol(p, newDTNs(e, 8), files, 2, nil, nil)
+	})
+	par := run(func(p *sim.Proc, e *sim.Engine) transfer.Report {
+		return transfer.RunParallelDTN(p, newDTNs(e, 8), files, 32, nil, nil)
+	})
+
+	row := func(method string, r transfer.Report) DTNRow {
+		var mbps float64
+		for _, v := range r.NodeThroughputMbps() {
+			mbps += v
+		}
+		if len(r.NodeBytes) > 0 {
+			mbps /= float64(len(r.NodeBytes))
+		}
+		return DTNRow{
+			Method: method, Files: r.Files, GB: float64(r.Bytes) / 1e9,
+			MakespanS:    r.Makespan.Seconds(),
+			Speedup:      seq.Makespan.Seconds() / r.Makespan.Seconds(),
+			NodeMbpsMean: mbps,
+		}
+	}
+	return []DTNRow{
+		row("sequential rsync", seq),
+		row("WMS staging protocol (8 nodes x 2 streams)", wmsRep),
+		row("parallel DTN (8 nodes x 32 rsync = 256 streams)", par),
+	}
+}
+
+func dtnTable(opts Options) *metrics.Table {
+	rows := DataMotion(opts)
+	t := metrics.NewTable("§IV-E: data motion across parallel filesystems",
+		"method", "files", "GB", "makespan_s", "speedup_vs_seq", "node_Mb_per_s")
+	for _, r := range rows {
+		t.AddRow(r.Method, r.Files, fmt.Sprintf("%.1f", r.GB),
+			fmt.Sprintf("%.0f", r.MakespanS), fmt.Sprintf("%.1fx", r.Speedup),
+			fmt.Sprintf("%.0f", r.NodeMbpsMean))
+	}
+	t.AddNote("paper: ~200x over sequential, >10x over WMS transfer protocols, 2,385 Mb/s per node at 32 streams")
+	return t
+}
+
+func init() {
+	register(Experiment{
+		ID:    "dtn",
+		Paper: "Data motion: 256-stream DTN transfer, 200x vs sequential, >10x vs WMS, 2,385 Mb/s/node",
+		Run:   dtnTable,
+	})
+}

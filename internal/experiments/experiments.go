@@ -1,0 +1,59 @@
+// Package experiments contains one driver per table/figure of the paper's
+// evaluation, each returning the same rows/series the paper reports.
+// cmd/benchall and the root benchmark suite are thin wrappers over this
+// package; EXPERIMENTS.md is generated from its output.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// Options tune experiment scale.
+type Options struct {
+	// Seed drives every random stream; same seed, same tables.
+	Seed uint64
+	// Quick reduces scale (fewer nodes/tasks) for fast runs and tests;
+	// shapes are preserved, absolute counts shrink.
+	Quick bool
+}
+
+// DefaultOptions is the full-scale deterministic configuration.
+func DefaultOptions() Options { return Options{Seed: 2024} }
+
+// Experiment is a registered, runnable reproduction of one paper result.
+type Experiment struct {
+	// ID is the short name used on the command line (e.g. "fig1").
+	ID string
+	// Paper describes what the paper reports for this experiment.
+	Paper string
+	// Run executes the experiment and renders its table.
+	Run func(Options) *metrics.Table
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every registered experiment sorted by id.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options { return Options{Seed: 2024, Quick: true} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig7",
+		"wms", "srun", "dtn", "fetchproc", "forge", "gpuiso",
+		"ablation-static", "ablation-central", "ablation-dispatch", "ablation-nvme",
+	}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) < len(want) {
+		t.Fatalf("registry has %d experiments, want >= %d", len(All()), len(want))
+	}
+	// All() is sorted and every entry has paper text and a runner.
+	prev := ""
+	for _, e := range All() {
+		if e.ID <= prev {
+			t.Fatalf("All() not sorted: %q after %q", e.ID, prev)
+		}
+		prev = e.ID
+		if e.Paper == "" || e.Run == nil {
+			t.Fatalf("experiment %q incomplete", e.ID)
+		}
+	}
+	if _, ok := Get("nonexistent"); ok {
+		t.Fatal("Get of unknown id succeeded")
+	}
+}
+
+func TestFig1ShapeQuick(t *testing.T) {
+	rows := Fig1WeakScaling(quickOpts())
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Tasks != r.Nodes*128 {
+			t.Fatalf("row %d: tasks %d != nodes*128", i, r.Tasks)
+		}
+		if r.Median <= 0 || r.Median > 60 {
+			t.Fatalf("median %v out of paper band (<60s)", r.Median)
+		}
+		if r.P25 > r.Median || r.Median > r.P75 || r.P75 > r.Max {
+			t.Fatalf("quantiles not ordered: %+v", r)
+		}
+	}
+	// Tail (max) grows with node count: compare smallest and largest run.
+	if rows[len(rows)-1].Max <= rows[0].Max {
+		t.Fatalf("max did not grow with scale: %v vs %v", rows[0].Max, rows[len(rows)-1].Max)
+	}
+}
+
+func TestFig2ShapeQuick(t *testing.T) {
+	rows := Fig2GPUScaling(quickOpts())
+	var lo, hi float64
+	for i, r := range rows {
+		if r.Contention != 0 {
+			t.Fatalf("GPU contention %d at %d nodes", r.Contention, r.Nodes)
+		}
+		if r.GPUs != r.Nodes*8 {
+			t.Fatalf("gpus = %d", r.GPUs)
+		}
+		if i == 0 {
+			lo, hi = r.MakespanS, r.MakespanS
+		}
+		if r.MakespanS < lo {
+			lo = r.MakespanS
+		}
+		if r.MakespanS > hi {
+			hi = r.MakespanS
+		}
+	}
+	if spread := hi - lo; spread > 10 {
+		t.Fatalf("makespan spread %.1fs exceeds the paper's <10s variance", spread)
+	}
+}
+
+func TestFig3RatesQuick(t *testing.T) {
+	one := launchRateRun(1, 1, 16, 400, nil)
+	if one.RateProcsPerSec < 440 || one.RateProcsPerSec > 500 {
+		t.Fatalf("single instance rate = %.0f, want ~470", one.RateProcsPerSec)
+	}
+	if one.MinTaskMS < 500 || one.MinTaskMS > 600 {
+		t.Fatalf("single-instance utilization floor = %.0fms, want ~545", one.MinTaskMS)
+	}
+	many := launchRateRun(2, 32, 16, 400, nil)
+	if many.RateProcsPerSec < 5500 || many.RateProcsPerSec > 7500 {
+		t.Fatalf("aggregate rate = %.0f, want ~6400", many.RateProcsPerSec)
+	}
+	if many.MinTaskMS > 50 {
+		t.Fatalf("saturated utilization floor = %.0fms, want ~40", many.MinTaskMS)
+	}
+}
+
+func TestFig4ShifterOverheadQuick(t *testing.T) {
+	tbl := fig4Table(quickOpts())
+	out := tbl.String()
+	if !strings.Contains(out, "shifter") {
+		t.Fatalf("table missing shifter rows:\n%s", out)
+	}
+	// The note carries the computed overhead; recompute directly.
+	bare := launchRateRun(3, 32, 16, 400, nil)
+	shift := launchRateRun(4, 32, 16, 400, mkShifter)
+	overhead := 1 - shift.RateProcsPerSec/bare.RateProcsPerSec
+	if overhead < 0.12 || overhead > 0.26 {
+		t.Fatalf("shifter overhead = %.0f%%, want ~19%%", overhead*100)
+	}
+	if shift.RateProcsPerSec < 4500 || shift.RateProcsPerSec > 6200 {
+		t.Fatalf("shifter ceiling = %.0f, want ~5200", shift.RateProcsPerSec)
+	}
+}
+
+func TestFig5PodmanQuick(t *testing.T) {
+	r := launchRateRun(5, 4, 16, 100, mkPodman)
+	if r.RateProcsPerSec > 120 || r.RateProcsPerSec < 30 {
+		t.Fatalf("podman rate = %.0f, want ~65", r.RateProcsPerSec)
+	}
+	// Two orders of magnitude below shifter's ceiling (32 instances).
+	shift := launchRateRun(6, 32, 16, 400, mkShifter)
+	if shift.RateProcsPerSec/r.RateProcsPerSec < 30 {
+		t.Fatalf("podman (%.0f) vs shifter (%.0f): gap too small", r.RateProcsPerSec, shift.RateProcsPerSec)
+	}
+}
+
+func TestWMSComparisonQuick(t *testing.T) {
+	rows := WMSComparison(quickOpts())
+	for _, r := range rows {
+		if r.ParallelTimeS >= r.WMSOverheadS {
+			t.Fatalf("parallel (%.1fs) not below WMS (%.1fs) at %d tasks",
+				r.ParallelTimeS, r.WMSOverheadS, r.Tasks)
+		}
+	}
+	// 50k-task WMS overhead ~500s (calibration).
+	for _, r := range rows {
+		if r.Tasks == 50_000 && (r.WMSOverheadS < 450 || r.WMSOverheadS > 550) {
+			t.Fatalf("WMS overhead @50k = %.0fs, want ~500", r.WMSOverheadS)
+		}
+	}
+}
+
+func TestSrunVsParallelQuick(t *testing.T) {
+	rows := SrunVsParallel(quickOpts())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	srun, par := rows[0], rows[1]
+	if srun.MakespanS <= par.MakespanS {
+		t.Fatalf("srun loop (%.1fs) not slower than parallel (%.1fs)", srun.MakespanS, par.MakespanS)
+	}
+	if srun.LaunchS < 7 {
+		t.Fatalf("srun launch overhead = %.1fs, want >= 7.2s (36 x 0.2s sleeps)", srun.LaunchS)
+	}
+	if par.LaunchS > 0.5 {
+		t.Fatalf("parallel launch overhead = %.2fs, want ~0.08s", par.LaunchS)
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	res := Fig7DarshanPipeline(quickOpts())
+	staged := res.Staged.Total.Minutes()
+	base := res.LustreOnly.Total.Minutes()
+	improvement := (base - staged) / base
+	if improvement < 0.10 || improvement > 0.25 {
+		t.Fatalf("improvement = %.1f%% (staged %.1f vs base %.1f min), want ~17%%",
+			improvement*100, staged, base)
+	}
+	if len(res.Staged.Stages) != 5 {
+		t.Fatalf("stages = %d", len(res.Staged.Stages))
+	}
+}
+
+func TestDataMotionQuick(t *testing.T) {
+	rows := DataMotion(quickOpts())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	seq, wmsRow, par := rows[0], rows[1], rows[2]
+	if par.Speedup < 100 {
+		t.Fatalf("parallel speedup = %.0fx, want ~200x", par.Speedup)
+	}
+	if wmsRatio := wmsRow.MakespanS / par.MakespanS; wmsRatio < 8 {
+		t.Fatalf("WMS/parallel = %.1fx, want >10x", wmsRatio)
+	}
+	if par.NodeMbpsMean < 1200 || par.NodeMbpsMean > 3000 {
+		t.Fatalf("node throughput = %.0f Mb/s, want ~2385", par.NodeMbpsMean)
+	}
+	if seq.Speedup != 1 {
+		t.Fatalf("sequential speedup = %v", seq.Speedup)
+	}
+}
+
+func TestFetchProcessQuick(t *testing.T) {
+	rows := FetchProcess(quickOpts())
+	if rows[0].MakespanS >= rows[1].MakespanS {
+		t.Fatalf("overlap (%.0fs) not faster than barrier (%.0fs)", rows[0].MakespanS, rows[1].MakespanS)
+	}
+}
+
+func TestGPUIsolationQuick(t *testing.T) {
+	rows := GPUIsolation(quickOpts())
+	iso, naive := rows[0], rows[1]
+	if iso.Contention != 0 {
+		t.Fatalf("isolated contention = %d", iso.Contention)
+	}
+	if naive.Contention == 0 {
+		t.Fatal("naive placement shows no contention; model broken")
+	}
+	if naive.MakespanS < 4*iso.MakespanS {
+		t.Fatalf("naive (%.0fs) should be ~8x isolated (%.0fs)", naive.MakespanS, iso.MakespanS)
+	}
+}
+
+func TestForgeCurationQuick(t *testing.T) {
+	rows := ForgeCuration(quickOpts())
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Jobs != 1 || rows[0].SpeedupVs1 != 1 {
+		t.Fatalf("baseline row = %+v", rows[0])
+	}
+	for _, r := range rows {
+		if r.Kept == 0 || r.Kept >= r.Docs {
+			t.Fatalf("kept = %d of %d", r.Kept, r.Docs)
+		}
+	}
+}
+
+func TestAllTablesRenderQuick(t *testing.T) {
+	// Smoke: every registered experiment renders a non-trivial table in
+	// Quick mode (fig1 is exercised separately; it dominates runtime).
+	for _, e := range All() {
+		if e.ID == "fig1" || e.ID == "forge" {
+			continue // covered by dedicated tests above
+		}
+		tbl := e.Run(quickOpts())
+		out := tbl.String()
+		if len(out) < 80 || !strings.Contains(out, "==") {
+			t.Errorf("experiment %s rendered suspicious table:\n%s", e.ID, out)
+		}
+		if md := tbl.Markdown(); !strings.Contains(md, "|") {
+			t.Errorf("experiment %s markdown broken", e.ID)
+		}
+	}
+}
+
+func TestDeterministicTables(t *testing.T) {
+	// Same seed, same table, for a representative simulator experiment.
+	a := fig7Table(quickOpts()).String()
+	b := fig7Table(quickOpts()).String()
+	if a != b {
+		t.Fatal("fig7 table not deterministic")
+	}
+	c := fig0WMSTable(quickOpts()).String()
+	d := fig0WMSTable(quickOpts()).String()
+	if c != d {
+		t.Fatal("wms table not deterministic")
+	}
+}

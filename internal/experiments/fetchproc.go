@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workflow"
+)
+
+// FetchProcRow compares stage-coupling strategies for the §IV-A
+// fetch-process workflow.
+type FetchProcRow struct {
+	Method    string
+	Batches   int
+	MakespanS float64
+}
+
+// FetchProcess reproduces §IV-A: the getdata/procdata pair linked by a
+// queue file (overlapped I/O and compute) versus a hard barrier between
+// stages.
+func FetchProcess(opts Options) []FetchProcRow {
+	cfg := workflow.DefaultFetchProcess()
+	if opts.Quick {
+		cfg.Batches = 5
+	}
+	run := func(f func(p *sim.Proc, c workflow.FetchProcessConfig) workflow.FetchProcessResult) workflow.FetchProcessResult {
+		e := sim.NewEngine(opts.Seed + 31)
+		var res workflow.FetchProcessResult
+		e.Spawn("driver", func(p *sim.Proc) { res = f(p, cfg) })
+		e.Run()
+		return res
+	}
+	over := run(workflow.RunOverlapped)
+	barr := run(workflow.RunBarriered)
+	return []FetchProcRow{
+		{Method: "queue-linked overlap (tail -f q.proc | parallel)", Batches: over.Processed, MakespanS: over.Makespan.Seconds()},
+		{Method: "barrier (fetch all, then process all)", Batches: barr.Processed, MakespanS: barr.Makespan.Seconds()},
+	}
+}
+
+func fetchprocTable(opts Options) *metrics.Table {
+	rows := FetchProcess(opts)
+	t := metrics.NewTable("§IV-A: fetch-process workflow — overlapped stages vs barrier",
+		"method", "batches", "makespan_s")
+	for _, r := range rows {
+		t.AddRow(r.Method, r.Batches, fmt.Sprintf("%.0f", r.MakespanS))
+	}
+	saved := rows[1].MakespanS - rows[0].MakespanS
+	t.AddNote("overlap hides ~%.0fs of processing inside fetch intervals; only the final batch's compute remains exposed", saved)
+	return t
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fetchproc",
+		Paper: "Listing 2/3: asynchronous fetch-process via queue file keeps compute overlapped with I/O",
+		Run:   fetchprocTable,
+	})
+}

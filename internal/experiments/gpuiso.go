@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/celeritas"
+	"repro/internal/cluster"
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// GPUIsoRow contrasts slot-pinned device assignment with the naive
+// default (every process lands on device 0).
+type GPUIsoRow struct {
+	Method     string
+	Tasks      int
+	MakespanS  float64
+	Contention int
+	// UtilSpread is max-min device utilization (0 = perfectly even).
+	UtilSpread float64
+}
+
+// GPUIsolation reproduces §IV-D: 16 Celeritas inputs on one 8-GPU node,
+// with HIP_VISIBLE_DEVICES derived from the {%} slot versus without any
+// isolation.
+func GPUIsolation(opts Options) []GPUIsoRow {
+	const tasks = 16
+	cfg := celeritas.DefaultConfig("iso")
+	cfg.Photons = 600_000_000 // ~30s kernels
+
+	run := func(pick func(tc cluster.TaskContext, set *gpu.Set) *gpu.Device) GPUIsoRow {
+		e := sim.NewEngine(opts.Seed + 61)
+		c := cluster.New(e, cluster.Frontier(), 1)
+		node := c.Nodes[0]
+		kernelRNG := e.RNG().Split("gpuiso")
+		list := make([]cluster.Task, tasks)
+		for i := range list {
+			d := kernelRNG.Jitter(celeritas.Cost(cfg), 0.02)
+			list[i] = cluster.Task{Payload: func(tp *sim.Proc, tc cluster.TaskContext) error {
+				pick(tc, tc.Node.GPUs).Exec(tp, d)
+				return nil
+			}}
+		}
+		e.Spawn("driver", func(p *sim.Proc) {
+			node.RunParallel(p, cluster.InstanceConfig{Jobs: 8}, list)
+		})
+		end := e.Run()
+		util := node.GPUs.Utilization(end)
+		lo, hi := util[0], util[0]
+		for _, u := range util {
+			if u < lo {
+				lo = u
+			}
+			if u > hi {
+				hi = u
+			}
+		}
+		return GPUIsoRow{
+			Tasks: tasks, MakespanS: end.Seconds(),
+			Contention: node.GPUs.TotalContention(),
+			UtilSpread: hi - lo,
+		}
+	}
+
+	iso := run(func(tc cluster.TaskContext, set *gpu.Set) *gpu.Device {
+		dev, _ := set.Device(gpu.SlotDevice(tc.Slot))
+		return dev
+	})
+	iso.Method = `HIP_VISIBLE_DEVICES=$(({%} - 1)) (slot-pinned)`
+	naive := run(func(tc cluster.TaskContext, set *gpu.Set) *gpu.Device {
+		dev, _ := set.Device(0) // default visible device
+		return dev
+	})
+	naive.Method = "no isolation (all processes on GPU 0)"
+	return []GPUIsoRow{iso, naive}
+}
+
+func gpuisoTable(opts Options) *metrics.Table {
+	rows := GPUIsolation(opts)
+	t := metrics.NewTable("§IV-D: GPU isolation via {%} slot binding (16 Celeritas runs, 8 GPUs)",
+		"method", "tasks", "makespan_s", "contention", "util_spread")
+	for _, r := range rows {
+		t.AddRow(r.Method, r.Tasks, fmt.Sprintf("%.1f", r.MakespanS),
+			r.Contention, fmt.Sprintf("%.2f", r.UtilSpread))
+	}
+	slowdown := time.Duration((rows[1].MakespanS - rows[0].MakespanS) * float64(time.Second))
+	t.AddNote("without isolation all work serializes on one device (+%.0fs, %dx contention); slot binding gives even utilization and zero contention",
+		slowdown.Seconds(), rows[1].Contention)
+	return t
+}
+
+func init() {
+	register(Experiment{
+		ID:    "gpuiso",
+		Paper: "GPU isolation: {%}-derived HIP_VISIBLE_DEVICES pins one process per GPU",
+		Run:   gpuisoTable,
+	})
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/container"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func containerShifter(e *sim.Engine) *container.Runtime { return container.Shifter(e) }
+func containerPodman(e *sim.Engine) *container.Runtime  { return container.PodmanHPC(e) }
+
+// lustreProfile aliases the storage profile for experiment files.
+func lustreProfile() storage.Config { return storage.LustreProfile() }
+
+// clusterForDispatch builds n Frontier nodes without shared storage, for
+// dispatch-rate experiments.
+func clusterForDispatch(e *sim.Engine, n int) []*cluster.Node {
+	return cluster.New(e, cluster.Frontier(), n).Nodes
+}
+
+func instanceCfg() cluster.InstanceConfig {
+	return cluster.InstanceConfig{Jobs: 128}
+}
+
+func nullTasks(n int) []cluster.Task { return cluster.NullTasks(n) }
+
+// Container-runtime constructors in function-value form for launchRateRun.
+var (
+	mkShifter = containerShifter
+	mkPodman  = containerPodman
+)

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/slurm"
+)
+
+// SrunRow compares Listing 4 (srun loop) with Listing 5 (parallel
+// one-liner) for the Darshan invocation grid.
+type SrunRow struct {
+	Method    string
+	Tasks     int
+	MakespanS float64
+	LaunchS   float64 // time spent purely launching
+}
+
+// SrunVsParallel reproduces the §IV-B ease-of-use comparison with the
+// paper's exact workload shape: 12 months x 3 apps = 36 analyzer tasks on
+// one node. The srun path launches each task as a Slurm job step with the
+// script's defensive `sleep 0.2` throttle; the parallel path dispatches
+// all 36 through one instance with -j36.
+func SrunVsParallel(opts Options) []SrunRow {
+	const tasks = 36
+	payload := 60 * time.Second // one analyzer shard's runtime
+
+	// Baseline: Listing 4.
+	e1 := sim.NewEngine(opts.Seed + 41)
+	sched := slurm.NewScheduler(e1, slurm.DefaultConfig())
+	var srunMakespan time.Duration
+	e1.Spawn("sbatch", func(p *sim.Proc) {
+		srunMakespan = sched.SrunLoopBaseline(p, tasks, 200*time.Millisecond, payload)
+	})
+	e1.Run()
+
+	// Listing 5: parallel -j36.
+	e2 := sim.NewEngine(opts.Seed + 42)
+	c := cluster.New(e2, cluster.Frontier(), 1)
+	var rep *cluster.Report
+	e2.Spawn("driver", func(p *sim.Proc) {
+		rep = c.Nodes[0].RunParallel(p, cluster.InstanceConfig{Jobs: tasks},
+			cluster.SleepTasks(tasks, func(int) time.Duration { return payload }))
+	})
+	end2 := e2.Run()
+
+	return []SrunRow{
+		{
+			Method: "srun-loop (Listing 4)", Tasks: tasks,
+			MakespanS: srunMakespan.Seconds(),
+			LaunchS:   (srunMakespan - payload).Seconds(),
+		},
+		{
+			Method: "parallel -j36 (Listing 5)", Tasks: tasks,
+			MakespanS: end2.Seconds(),
+			LaunchS:   rep.DispatchBusy.Seconds(),
+		},
+	}
+}
+
+func srunTable(opts Options) *metrics.Table {
+	rows := SrunVsParallel(opts)
+	t := metrics.NewTable("§IV-B: srun loop vs parallel one-liner (12 months x 3 apps = 36 tasks, 60s each)",
+		"method", "tasks", "makespan_s", "launch_overhead_s")
+	for _, r := range rows {
+		t.AddRow(r.Method, r.Tasks, fmt.Sprintf("%.1f", r.MakespanS), fmt.Sprintf("%.2f", r.LaunchS))
+	}
+	t.AddNote("the srun path pays >=7.2s of sleep-throttle plus per-step scheduler RPCs; parallel pays ~77ms of dispatch")
+	t.AddNote("the paper additionally reports >90%% script-size reduction (Listings 4 vs 5)")
+	return t
+}
+
+func init() {
+	register(Experiment{
+		ID:    "srun",
+		Paper: "Listing 4 vs 5: srun-loop launch overhead vs parallel one-liner for the 36-task grid",
+		Run:   srunTable,
+	})
+}

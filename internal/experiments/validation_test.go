@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/args"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/wms"
+)
+
+// TestModelCrossValidation checks the simulator against reality: the
+// same task mix executed (a) by the real core engine with sleeping
+// payloads and (b) by the virtual greedy model must produce makespans
+// that agree within scheduling noise. This is the evidence that the
+// simulated figures exercise the same dispatch semantics as real runs.
+func TestModelCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock timing test")
+	}
+	const slots = 4
+	rng := sim.NewRNG(77)
+	durations := make([]time.Duration, 40)
+	for i := range durations {
+		durations[i] = time.Duration(rng.Uniform(5, 25)) * time.Millisecond
+	}
+
+	// Virtual execution.
+	e := sim.NewEngine(1)
+	var virtual wms.Report
+	e.Spawn("driver", func(p *sim.Proc) {
+		virtual = wms.RunGreedy(p, slots, 0, durations)
+	})
+	e.Run()
+
+	// Real execution: same durations through the real engine.
+	runner := core.FuncRunner(func(ctx context.Context, job *core.Job) ([]byte, error) {
+		time.Sleep(durations[job.Seq-1])
+		return nil, nil
+	})
+	spec, _ := core.NewSpec("", slots)
+	eng, _ := core.NewEngine(spec, runner)
+	items := make([]string, len(durations))
+	start := time.Now()
+	stats, _, err := eng.Run(context.Background(), args.Literal(items...))
+	if err != nil || stats.Succeeded != len(durations) {
+		t.Fatalf("stats=%+v err=%v", stats, err)
+	}
+	real := time.Since(start)
+
+	ratio := float64(real) / float64(virtual.Makespan)
+	if ratio < 0.85 || ratio > 2.0 {
+		t.Fatalf("real %v vs virtual %v (ratio %.2f): model diverged from the engine",
+			real, virtual.Makespan, ratio)
+	}
+	t.Logf("virtual %v, real %v (ratio %.2f)", virtual.Makespan, real, ratio)
+}

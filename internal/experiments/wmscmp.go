@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/wms"
+)
+
+// WMSRow compares orchestration overhead between a centralized WMS and
+// per-node parallel instances for the same task count.
+type WMSRow struct {
+	Tasks         int
+	WMSOverheadS  float64 // simulated central orchestrator (no compute)
+	ParallelTimeS float64 // simulated per-node parallel dispatch (no compute)
+	ParallelNodes int
+}
+
+// WMSComparison reproduces the §II motivating comparison: Swift/T-style
+// central orchestration overhead (500s @ 50k tasks, 5,000s @ 100k) versus
+// GNU-Parallel-style decentralized dispatch (128 tasks per node, one
+// instance per node) with zero-length payloads in both cases.
+func WMSComparison(opts Options) []WMSRow {
+	counts := []int{10_000, 50_000, 100_000}
+	if opts.Quick {
+		counts = []int{10_000, 50_000}
+	}
+	o := wms.SwiftT()
+	var rows []WMSRow
+	for _, n := range counts {
+		rows = append(rows, WMSRow{
+			Tasks:         n,
+			WMSOverheadS:  simCentral(opts, o, n),
+			ParallelTimeS: simDistributed(opts, n),
+			ParallelNodes: (n + 127) / 128,
+		})
+	}
+	return rows
+}
+
+func simCentral(opts Options, o wms.Overhead, n int) float64 {
+	e := sim.NewEngine(opts.Seed + uint64(n))
+	var rep wms.Report
+	e.Spawn("wms", func(p *sim.Proc) {
+		rep = wms.RunCentral(p, o, n, 128, 0)
+	})
+	e.Run()
+	return rep.Makespan.Seconds()
+}
+
+// simDistributed measures dispatch-only time for n tasks sharded 128 per
+// node: every node's instance dispatches its 128 tasks concurrently with
+// the others (the Listing 1 pattern), so the makespan is one node's
+// dispatch time regardless of total scale.
+func simDistributed(opts Options, n int) float64 {
+	e := sim.NewEngine(opts.Seed + uint64(n) + 1)
+	nodes := (n + 127) / 128
+	// All nodes behave identically and independently (separate Launch
+	// resources); simulating a handful is exact for makespan purposes,
+	// but simulate every node when feasible for honesty.
+	simNodes := nodes
+	if simNodes > 2000 {
+		simNodes = 2000
+	}
+	c := clusterForDispatch(e, simNodes)
+	wg := sim.NewCounter(e, simNodes)
+	for _, node := range c {
+		node := node
+		e.Spawn(node.Hostname(), func(p *sim.Proc) {
+			node.RunParallel(p, instanceCfg(), nullTasks(128))
+			wg.Done()
+		})
+	}
+	end := e.Run()
+	return end.Seconds()
+}
+
+func fig0WMSTable(opts Options) *metrics.Table {
+	rows := WMSComparison(opts)
+	t := metrics.NewTable("§II: orchestration overhead — centralized WMS vs per-node parallel instances (no compute, no data)",
+		"tasks", "wms_overhead_s", "parallel_dispatch_s", "parallel_nodes")
+	for _, r := range rows {
+		t.AddRow(r.Tasks, fmt.Sprintf("%.0f", r.WMSOverheadS),
+			fmt.Sprintf("%.2f", r.ParallelTimeS), r.ParallelNodes)
+	}
+	t.AddNote("paper cites WfBench/Swift-T: 500s @ 50k tasks, 5,000s @ 100k; GNU Parallel ran 1.152M tasks end-to-end in 561s max (Fig 1)")
+	t.AddNote("per-node dispatch is constant in total scale: 128 tasks x 2.128ms ~ 0.3s + payload/delays")
+	return t
+}
+
+func init() {
+	register(Experiment{
+		ID:    "wms",
+		Paper: "WMS overhead baseline (500s@50k, 5000s@100k) vs decentralized parallel dispatch",
+		Run:   fig0WMSTable,
+	})
+}

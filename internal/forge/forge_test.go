@@ -1,0 +1,247 @@
+package forge
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/args"
+	"repro/internal/core"
+)
+
+func TestScrub(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain text", "plain text"},
+		{"a\x00b\x07c", "abc"},
+		{"multi   space\tand\ttabs", "multi space and tabs"},
+		{"&amp; &lt;tag&gt; &quot;q&quot; x&nbsp;y", `& <tag> "q" x y`},
+		{"  trimmed  ", "trimmed"},
+		{"keep\nparagraphs", "keep\nparagraphs"},
+		{"rep�lacement", "replacement"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := Scrub(c.in); got != c.want {
+			t.Errorf("Scrub(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsEnglish(t *testing.T) {
+	if !IsEnglish("we present the results of a neutron scattering experiment with the model") {
+		t.Error("English text rejected")
+	}
+	if IsEnglish("данные модель результат энергия метод анализ эксперимент") {
+		t.Error("Cyrillic text accepted")
+	}
+	if IsEnglish("") {
+		t.Error("empty accepted")
+	}
+	if IsEnglish("zzz qqq xxx vvv kkk jjj www ppp") {
+		t.Error("gibberish with no function words accepted")
+	}
+}
+
+func TestExtractAbstract(t *testing.T) {
+	abs, body, err := ExtractAbstract("this is a long enough abstract with many words in it\nthe body follows here")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(abs, "this is") || body != "the body follows here" {
+		t.Fatalf("abs=%q body=%q", abs, body)
+	}
+	if _, _, err := ExtractAbstract("too short\nbody"); !errors.Is(err, ErrNoAbstract) {
+		t.Fatalf("err = %v", err)
+	}
+	// Single paragraph: body empty.
+	abs, body, err = ExtractAbstract("a single long paragraph with enough words to be an abstract here")
+	if err != nil || body != "" || abs == "" {
+		t.Fatalf("single-paragraph: abs=%q body=%q err=%v", abs, body, err)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	d := NewDedup()
+	if d.Check("abc") {
+		t.Fatal("first occurrence flagged")
+	}
+	if !d.Check("abc") {
+		t.Fatal("second occurrence not flagged")
+	}
+	if d.Check("xyz") {
+		t.Fatal("distinct content flagged")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("len = %d", d.Len())
+	}
+}
+
+func TestDedupConcurrent(t *testing.T) {
+	d := NewDedup()
+	var wg sync.WaitGroup
+	dups := make(chan bool, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dups <- d.Check("same-content")
+		}()
+	}
+	wg.Wait()
+	close(dups)
+	firsts := 0
+	for isDup := range dups {
+		if !isDup {
+			firsts++
+		}
+	}
+	if firsts != 1 {
+		t.Fatalf("%d goroutines saw first occurrence, want exactly 1", firsts)
+	}
+}
+
+func mkRaw(t *testing.T, id, title, text string) string {
+	t.Helper()
+	b, err := json.Marshal(RawDoc{ID: id, Title: title, Text: text})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestPipelineProcess(t *testing.T) {
+	pl := NewPipeline()
+	good := mkRaw(t, "d1", "a title",
+		"we present the results of a study of the model with data and analysis\nbody of the paper with results")
+	doc, err := pl.Process(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.ID != "d1" || doc.Abstract == "" || doc.Body == "" {
+		t.Fatalf("doc = %+v", doc)
+	}
+
+	if _, err := pl.Process(good); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if _, err := pl.Process("{broken"); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("malformed: %v", err)
+	}
+	if _, err := pl.Process(`{"id":"x"}`); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("missing text: %v", err)
+	}
+	nonEng := mkRaw(t, "d2", "заголовок",
+		"данные модель результат энергия метод анализ эксперимент физика материал квантовый\nтело статьи")
+	if _, err := pl.Process(nonEng); !errors.Is(err, ErrNonEnglish) {
+		t.Fatalf("non-english: %v", err)
+	}
+
+	st := pl.Stats.Snapshot()
+	if st.Processed != 5 || st.Kept != 1 || st.DroppedDuplicate != 1 ||
+		st.DroppedMalformed != 2 || st.DroppedNonEnglish != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPipelineScrubsNoise(t *testing.T) {
+	pl := NewPipeline()
+	noisy := mkRaw(t, "d1", "ti\x07tle",
+		"we present the  results &amp; analysis of the model with data in this work\nbody text of the paper")
+	doc, err := pl.Process(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.ContainsAny(doc.Abstract+doc.Title, "\x07") {
+		t.Fatal("control chars survived")
+	}
+	if strings.Contains(doc.Abstract, "&amp;") {
+		t.Fatal("entities survived")
+	}
+	if strings.Contains(doc.Abstract, "  ") {
+		t.Fatal("whitespace not collapsed")
+	}
+}
+
+func TestGenerateCorpusDeterministic(t *testing.T) {
+	a := GenerateCorpus(200, 42)
+	b := GenerateCorpus(200, 42)
+	if len(a) != 200 || len(b) != 200 {
+		t.Fatalf("lens = %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("corpus not deterministic")
+		}
+	}
+}
+
+func TestCorpusThroughPipeline(t *testing.T) {
+	corpus := GenerateCorpus(1000, 7)
+	pl := NewPipeline()
+	for _, line := range corpus {
+		pl.Process(line)
+	}
+	st := pl.Stats.Snapshot()
+	if st.Processed != 1000 {
+		t.Fatalf("processed = %d", st.Processed)
+	}
+	if st.Kept < 700 || st.Kept > 950 {
+		t.Fatalf("kept = %d, want most of the corpus", st.Kept)
+	}
+	for name, v := range map[string]int{
+		"malformed":  st.DroppedMalformed,
+		"nonenglish": st.DroppedNonEnglish,
+		"noabstract": st.DroppedNoAbstract,
+		"duplicate":  st.DroppedDuplicate,
+	} {
+		if v == 0 {
+			t.Errorf("defect class %s never triggered; generator mix broken", name)
+		}
+	}
+}
+
+func TestCurationThroughParallelEngine(t *testing.T) {
+	// End-to-end: the curation pipeline as a core-engine workload, the
+	// way §IV-C runs it.
+	corpus := GenerateCorpus(500, 9)
+	pl := NewPipeline()
+	runner := core.FuncRunner(func(ctx context.Context, job *core.Job) ([]byte, error) {
+		doc, err := pl.Process(job.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, _ := json.Marshal(doc)
+		return append(b, '\n'), nil
+	})
+	spec, err := core.NewSpec("", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(spec, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _, err := eng.Run(context.Background(), args.Literal(corpus...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pl.Stats.Snapshot()
+	if stats.Total != 500 || st.Processed != 500 {
+		t.Fatalf("engine=%+v pipeline=%+v", stats, st)
+	}
+	if stats.Succeeded != st.Kept {
+		t.Fatalf("engine successes %d != pipeline kept %d", stats.Succeeded, st.Kept)
+	}
+}
+
+func BenchmarkPipelineProcess(b *testing.B) {
+	corpus := GenerateCorpus(1000, 11)
+	pl := NewPipeline()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.Process(corpus[i%len(corpus)])
+	}
+}

@@ -1,0 +1,128 @@
+// Package gpu models the GPU devices of a simulated compute node and the
+// "GPU isolation" technique from §IV-D of the paper: each parallel slot
+// pins its process to one device by setting HIP_VISIBLE_DEVICES (or
+// CUDA_VISIBLE_DEVICES) derived from the slot number {%}.
+//
+// The model's purpose is twofold: account for device occupancy during
+// payload execution (Fig 2's weak scaling), and detect oversubscription —
+// two processes computing on the same device serialize and are counted,
+// which is exactly the failure mode slot isolation prevents.
+package gpu
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Device is one GPU.
+type Device struct {
+	ID   int
+	busy *sim.Resource
+	// Contended counts executions that found the device occupied and
+	// had to queue. Zero under correct 1-process-1-GPU isolation.
+	Contended int
+	// BusyTime accumulates total occupied virtual time (for utilization).
+	BusyTime time.Duration
+	// Kernels counts executed kernels.
+	Kernels int
+}
+
+// Set is the collection of devices on one node.
+type Set struct {
+	devices []*Device
+}
+
+// NewSet creates n devices on engine e.
+func NewSet(e *sim.Engine, n int) *Set {
+	s := &Set{}
+	for i := 0; i < n; i++ {
+		s.devices = append(s.devices, &Device{ID: i, busy: sim.NewResource(e, 1)})
+	}
+	return s
+}
+
+// Len returns the number of devices.
+func (s *Set) Len() int { return len(s.devices) }
+
+// Device returns device id, or an error for out-of-range ids (the
+// simulated equivalent of a HIP invalid-device error).
+func (s *Set) Device(id int) (*Device, error) {
+	if id < 0 || id >= len(s.devices) {
+		return nil, fmt.Errorf("gpu: device %d out of range [0,%d)", id, len(s.devices))
+	}
+	return s.devices[id], nil
+}
+
+// Devices returns all devices.
+func (s *Set) Devices() []*Device { return s.devices }
+
+// TotalContention sums contention counts across devices.
+func (s *Set) TotalContention() int {
+	n := 0
+	for _, d := range s.devices {
+		n += d.Contended
+	}
+	return n
+}
+
+// Utilization returns each device's busy fraction over the given span.
+func (s *Set) Utilization(span time.Duration) []float64 {
+	out := make([]float64, len(s.devices))
+	if span <= 0 {
+		return out
+	}
+	for i, d := range s.devices {
+		out[i] = float64(d.BusyTime) / float64(span)
+	}
+	return out
+}
+
+// Exec occupies the device for d of virtual time, queueing (and counting
+// contention) if another process holds it.
+func (dev *Device) Exec(p *sim.Proc, d time.Duration) {
+	if !dev.busy.TryAcquire(1) {
+		dev.Contended++
+		dev.busy.Acquire(p, 1)
+	}
+	p.Sleep(d)
+	dev.busy.Release(1)
+	dev.BusyTime += d
+	dev.Kernels++
+}
+
+// VisibleEnv formats the isolation environment entry for a device id,
+// e.g. VisibleEnv("HIP", 3) == "HIP_VISIBLE_DEVICES=3". Vendor is "HIP"
+// (AMD, Frontier) or "CUDA" (NVIDIA, Perlmutter).
+func VisibleEnv(vendor string, id int) string {
+	return fmt.Sprintf("%s_VISIBLE_DEVICES=%d", strings.ToUpper(vendor), id)
+}
+
+// SlotDevice maps a 1-based parallel slot to a device id, the paper's
+// HIP_VISIBLE_DEVICES=$(({%} - 1)) arithmetic.
+func SlotDevice(slot int) int { return slot - 1 }
+
+// ParseVisible extracts the first device id from a job environment,
+// honoring both HIP_ and CUDA_ prefixes. ok is false when no visibility
+// variable is present (process would see all GPUs — unisolated).
+func ParseVisible(env []string) (id int, ok bool) {
+	for _, kv := range env {
+		for _, prefix := range []string{"HIP_VISIBLE_DEVICES=", "CUDA_VISIBLE_DEVICES="} {
+			if v, found := strings.CutPrefix(kv, prefix); found {
+				first := v
+				if i := strings.IndexByte(v, ','); i >= 0 {
+					first = v[:i]
+				}
+				n, err := strconv.Atoi(strings.TrimSpace(first))
+				if err != nil {
+					return 0, false
+				}
+				return n, true
+			}
+		}
+	}
+	return 0, false
+}

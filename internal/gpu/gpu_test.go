@@ -1,0 +1,115 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestSetBasics(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := NewSet(e, 8)
+	if s.Len() != 8 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if _, err := s.Device(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Device(8); err == nil {
+		t.Fatal("device 8 of 8 should error")
+	}
+	if _, err := s.Device(-1); err == nil {
+		t.Fatal("device -1 should error")
+	}
+}
+
+func TestIsolatedExecNoContention(t *testing.T) {
+	// 8 slots -> 8 distinct GPUs: all run concurrently, no contention.
+	e := sim.NewEngine(1)
+	s := NewSet(e, 8)
+	for slot := 1; slot <= 8; slot++ {
+		dev, err := s.Device(SlotDevice(slot))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Spawn("job", func(p *sim.Proc) { dev.Exec(p, time.Second) })
+	}
+	end := e.Run()
+	if end != time.Second {
+		t.Fatalf("makespan = %v, want 1s (full parallelism)", end)
+	}
+	if s.TotalContention() != 0 {
+		t.Fatalf("contention = %d, want 0", s.TotalContention())
+	}
+}
+
+func TestOversubscriptionSerializesAndCounts(t *testing.T) {
+	// All jobs on device 0 (the bug GPU isolation prevents).
+	e := sim.NewEngine(1)
+	s := NewSet(e, 8)
+	dev, _ := s.Device(0)
+	for i := 0; i < 4; i++ {
+		e.Spawn("job", func(p *sim.Proc) { dev.Exec(p, time.Second) })
+	}
+	end := e.Run()
+	if end != 4*time.Second {
+		t.Fatalf("makespan = %v, want 4s (serialized)", end)
+	}
+	if s.TotalContention() != 3 {
+		t.Fatalf("contention = %d, want 3", s.TotalContention())
+	}
+	if dev.Kernels != 4 {
+		t.Fatalf("kernels = %d", dev.Kernels)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := NewSet(e, 2)
+	d0, _ := s.Device(0)
+	e.Spawn("j", func(p *sim.Proc) { d0.Exec(p, 2*time.Second) })
+	e.Spawn("idle", func(p *sim.Proc) { p.Sleep(4 * time.Second) })
+	e.Run()
+	u := s.Utilization(4 * time.Second)
+	if u[0] != 0.5 || u[1] != 0 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if z := s.Utilization(0); z[0] != 0 {
+		t.Fatal("zero-span utilization should be zero")
+	}
+}
+
+func TestVisibleEnvAndSlotDevice(t *testing.T) {
+	if got := VisibleEnv("HIP", 3); got != "HIP_VISIBLE_DEVICES=3" {
+		t.Fatalf("got %q", got)
+	}
+	if got := VisibleEnv("cuda", 0); got != "CUDA_VISIBLE_DEVICES=0" {
+		t.Fatalf("got %q", got)
+	}
+	// Paper: HIP_VISIBLE_DEVICES="$(({%} - 1))" -> slot 1 = device 0.
+	if SlotDevice(1) != 0 || SlotDevice(8) != 7 {
+		t.Fatal("SlotDevice arithmetic wrong")
+	}
+}
+
+func TestParseVisible(t *testing.T) {
+	cases := []struct {
+		env []string
+		id  int
+		ok  bool
+	}{
+		{[]string{"HIP_VISIBLE_DEVICES=3"}, 3, true},
+		{[]string{"PATH=/bin", "CUDA_VISIBLE_DEVICES=5"}, 5, true},
+		{[]string{"HIP_VISIBLE_DEVICES=2,3"}, 2, true},
+		{[]string{"PATH=/bin"}, 0, false},
+		{nil, 0, false},
+		{[]string{"HIP_VISIBLE_DEVICES=abc"}, 0, false},
+	}
+	for _, c := range cases {
+		id, ok := ParseVisible(c.env)
+		if id != c.id || ok != c.ok {
+			t.Errorf("ParseVisible(%v) = %d,%v want %d,%v", c.env, id, ok, c.id, c.ok)
+		}
+	}
+}

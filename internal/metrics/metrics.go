@@ -1,0 +1,197 @@
+// Package metrics provides the small statistics toolkit the benchmark
+// harness uses to summarize experiment results: duration samples,
+// percentiles, interquartile ranges, histograms, and throughput rates.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample accumulates float64 observations. The zero value is ready to use.
+type Sample struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+}
+
+// AddDur appends a duration observation in seconds.
+func (s *Sample) AddDur(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.vals) }
+
+// Values returns a copy of the raw observations.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.vals))
+	copy(out, s.vals)
+	return out
+}
+
+func (s *Sample) sortIfNeeded() {
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+}
+
+// Min returns the smallest observation (0 if empty).
+func (s *Sample) Min() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.sortIfNeeded()
+	return s.vals[0]
+}
+
+// Max returns the largest observation (0 if empty).
+func (s *Sample) Max() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.sortIfNeeded()
+	return s.vals[len(s.vals)-1]
+}
+
+// Mean returns the arithmetic mean (0 if empty).
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Stddev returns the population standard deviation (0 if n < 2).
+func (s *Sample) Stddev() float64 {
+	n := len(s.vals)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.vals {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. Empty samples return 0.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.vals)
+	if n == 0 {
+		return 0
+	}
+	s.sortIfNeeded()
+	if p <= 0 {
+		return s.vals[0]
+	}
+	if p >= 100 {
+		return s.vals[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.vals[lo]
+	}
+	frac := rank - float64(lo)
+	return s.vals[lo]*(1-frac) + s.vals[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// IQR returns the interquartile range (P75 - P25).
+func (s *Sample) IQR() float64 { return s.Percentile(75) - s.Percentile(25) }
+
+// Summary is a snapshot of a sample's descriptive statistics.
+type Summary struct {
+	N                  int
+	Min, Max           float64
+	Mean, Median       float64
+	P25, P75, P90, P99 float64
+	Stddev             float64
+}
+
+// Summarize computes a Summary of the sample.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		N:      s.N(),
+		Min:    s.Min(),
+		Max:    s.Max(),
+		Mean:   s.Mean(),
+		Median: s.Median(),
+		P25:    s.Percentile(25),
+		P75:    s.Percentile(75),
+		P90:    s.Percentile(90),
+		P99:    s.Percentile(99),
+		Stddev: s.Stddev(),
+	}
+}
+
+// String renders the summary compactly, interpreting values as seconds.
+func (sm Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3fs p25=%.3fs med=%.3fs p75=%.3fs p90=%.3fs max=%.3fs mean=%.3fs",
+		sm.N, sm.Min, sm.P25, sm.Median, sm.P75, sm.P90, sm.Max, sm.Mean)
+}
+
+// Histogram counts observations into fixed-width bins over [lo, hi); values
+// outside the range land in the first/last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with nbins bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins <= 0 || hi <= lo {
+		panic("metrics: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+}
+
+// Add records an observation.
+func (h *Histogram) Add(v float64) {
+	n := len(h.Counts)
+	idx := int(float64(n) * (v - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Bin returns the [lo, hi) bounds of bin i.
+func (h *Histogram) Bin(i int) (lo, hi float64) {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + float64(i)*w, h.Lo + float64(i+1)*w
+}
+
+// Rate computes events-per-second for count events over elapsed time.
+// Returns 0 for non-positive elapsed.
+func Rate(count int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(count) / elapsed.Seconds()
+}

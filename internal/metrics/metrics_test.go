@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Median() != 3 {
+		t.Fatalf("median = %v", s.Median())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 || s.Median() != 0 || s.Stddev() != 0 {
+		t.Fatal("empty sample stats should be zero")
+	}
+	sm := s.Summarize()
+	if sm.N != 0 {
+		t.Fatal("empty summary N != 0")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 4; i++ {
+		s.Add(float64(i))
+	}
+	// rank for p50 over 4 points = 1.5 -> 2.5
+	if got := s.Percentile(50); got != 2.5 {
+		t.Fatalf("p50 = %v, want 2.5", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v, want 1", got)
+	}
+	if got := s.Percentile(100); got != 4 {
+		t.Fatalf("p100 = %v, want 4", got)
+	}
+	if got := s.Percentile(-5); got != 1 {
+		t.Fatalf("p-5 = %v, want clamp to min", got)
+	}
+}
+
+func TestAddAfterSortedRead(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	_ = s.Median() // forces sort
+	s.Add(1)
+	if s.Min() != 1 {
+		t.Fatal("Add after sorted read not observed")
+	}
+}
+
+func TestIQRAndStddev(t *testing.T) {
+	var s Sample
+	for i := 0; i < 101; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.IQR(); got != 50 {
+		t.Fatalf("IQR = %v, want 50", got)
+	}
+	want := math.Sqrt(850) // population stddev of 0..100
+	if got := s.Stddev(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("stddev = %v, want %v", got, want)
+	}
+}
+
+func TestAddDurAndRate(t *testing.T) {
+	var s Sample
+	s.AddDur(1500 * time.Millisecond)
+	if s.Max() != 1.5 {
+		t.Fatalf("AddDur stored %v", s.Max())
+	}
+	if r := Rate(470, time.Second); r != 470 {
+		t.Fatalf("Rate = %v", r)
+	}
+	if r := Rate(10, 0); r != 0 {
+		t.Fatalf("Rate with zero elapsed = %v", r)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0, 1.9, 2, 9.9, 10, 100} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	// bins: [0,2) got -1,0,1.9 = 3; [2,4) got 2 = 1; [8,10) got 9.9,10,100 = 3
+	if h.Counts[0] != 3 || h.Counts[1] != 1 || h.Counts[4] != 3 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	lo, hi := h.Bin(1)
+	if lo != 2 || hi != 4 {
+		t.Fatalf("bin 1 = [%v,%v)", lo, hi)
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig X", "nodes", "tasks", "time")
+	tb.AddRow(1000, 128000, 61.5)
+	tb.AddRow("9000", 1152000, "561s")
+	tb.AddNote("paper max: %ds", 561)
+	out := tb.String()
+	for _, want := range []string{"Fig X", "nodes", "9000", "561s", "note: paper max: 561s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| nodes | tasks | time |") || !strings.Contains(md, "### Fig X") {
+		t.Fatalf("markdown rendering wrong:\n%s", md)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by [min, max].
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(vals []float64, a, b uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		var s Sample
+		for _, v := range vals {
+			s.Add(v)
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := s.Percentile(pa), s.Percentile(pb)
+		return va <= vb && va >= s.Min() && vb <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: median of an odd-length sample equals the middle order
+// statistic.
+func TestPropertyMedianExact(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals)%2 == 0 || len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		var s Sample
+		for _, v := range vals {
+			s.Add(v)
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		return s.Median() == sorted[len(sorted)/2]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

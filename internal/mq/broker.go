@@ -1,0 +1,170 @@
+package mq
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Broker serves topics over TCP with a line-delimited JSON protocol:
+// produce, consume (long-poll), and commit. Like cmd/gopard it is
+// unauthenticated and intended for trusted networks.
+type Broker struct {
+	dir string
+
+	mu     sync.Mutex
+	topics map[string]*Topic
+}
+
+// NewBroker creates a broker storing topics under dir.
+func NewBroker(dir string) *Broker {
+	return &Broker{dir: dir, topics: map[string]*Topic{}}
+}
+
+// Topic returns (opening or creating) the named topic.
+func (b *Broker) Topic(name string) (*Topic, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t, ok := b.topics[name]; ok {
+		return t, nil
+	}
+	t, err := OpenTopic(b.dir, name)
+	if err != nil {
+		return nil, err
+	}
+	b.topics[name] = t
+	return t, nil
+}
+
+// Close closes every open topic.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, t := range b.topics {
+		t.Close()
+	}
+	b.topics = map[string]*Topic{}
+}
+
+type brokerReq struct {
+	Op    string `json:"op"` // produce | consume | commit | len
+	Topic string `json:"topic"`
+	Group string `json:"group,omitempty"`
+	Seq   int64  `json:"seq,omitempty"`
+	Msg   []byte `json:"msg,omitempty"`
+	// WaitMS long-polls a consume for up to this many milliseconds.
+	WaitMS int64 `json:"wait_ms,omitempty"`
+}
+
+type brokerResp struct {
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+	Seq int64  `json:"seq,omitempty"`
+	Msg []byte `json:"msg,omitempty"`
+	// More reports whether a consume found a message (false = timeout).
+	More bool `json:"more,omitempty"`
+}
+
+// Serve accepts broker connections until ctx is done.
+func (b *Broker) Serve(ctx context.Context, l net.Listener) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		l.Close()
+	}()
+	var wg sync.WaitGroup
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			wg.Wait()
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			b.serveConn(ctx, conn)
+		}()
+	}
+}
+
+func (b *Broker) serveConn(ctx context.Context, conn net.Conn) {
+	bw := bufio.NewWriter(conn)
+	enc := json.NewEncoder(bw)
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	for {
+		var req brokerReq
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := b.handle(ctx, req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (b *Broker) handle(ctx context.Context, req brokerReq) brokerResp {
+	t, err := b.Topic(req.Topic)
+	if err != nil {
+		return brokerResp{Err: err.Error()}
+	}
+	switch req.Op {
+	case "produce":
+		seq, err := t.Append(req.Msg)
+		if err != nil {
+			return brokerResp{Err: err.Error()}
+		}
+		return brokerResp{OK: true, Seq: seq}
+	case "consume":
+		deadline := time.Now().Add(time.Duration(req.WaitMS) * time.Millisecond)
+		for {
+			msg, err := t.Read(req.Seq)
+			if err == nil {
+				return brokerResp{OK: true, Seq: req.Seq, Msg: msg, More: true}
+			}
+			if !errors.Is(err, ErrOutOfRange) {
+				return brokerResp{Err: err.Error()}
+			}
+			if req.WaitMS <= 0 || time.Now().After(deadline) {
+				return brokerResp{OK: true, More: false}
+			}
+			select {
+			case <-t.WaitFor(req.Seq):
+			case <-time.After(time.Until(deadline)):
+			case <-ctx.Done():
+				return brokerResp{OK: true, More: false}
+			}
+		}
+	case "commit":
+		if err := t.Commit(req.Group, req.Seq); err != nil {
+			return brokerResp{Err: err.Error()}
+		}
+		return brokerResp{OK: true}
+	case "committed":
+		seq, err := t.Committed(req.Group)
+		if err != nil {
+			return brokerResp{Err: err.Error()}
+		}
+		return brokerResp{OK: true, Seq: seq}
+	case "len":
+		return brokerResp{OK: true, Seq: t.Len()}
+	default:
+		return brokerResp{Err: fmt.Sprintf("mq: unknown op %q", req.Op)}
+	}
+}

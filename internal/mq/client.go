@@ -1,0 +1,139 @@
+package mq
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/args"
+)
+
+// Client talks to a Broker over TCP. Safe for concurrent use (requests
+// are serialized on one connection).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+	bw   *bufio.Writer
+}
+
+// DialBroker connects to a broker.
+func DialBroker(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("mq: dialing %s: %w", addr, err)
+	}
+	bw := bufio.NewWriter(conn)
+	return &Client{
+		conn: conn,
+		enc:  json.NewEncoder(bw),
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		bw:   bw,
+	}, nil
+}
+
+// Close shuts the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) call(req brokerReq) (brokerResp, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return brokerResp{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return brokerResp{}, err
+	}
+	var resp brokerResp
+	if err := c.dec.Decode(&resp); err != nil {
+		return brokerResp{}, err
+	}
+	if resp.Err != "" {
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// Produce appends msg to topic, returning its sequence.
+func (c *Client) Produce(topic string, msg []byte) (int64, error) {
+	resp, err := c.call(brokerReq{Op: "produce", Topic: topic, Msg: msg})
+	return resp.Seq, err
+}
+
+// Consume reads message seq from topic, long-polling up to wait for it
+// to appear. ok is false on timeout.
+func (c *Client) Consume(topic string, seq int64, wait time.Duration) (msg []byte, ok bool, err error) {
+	resp, err := c.call(brokerReq{Op: "consume", Topic: topic, Seq: seq, WaitMS: wait.Milliseconds()})
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Msg, resp.More, nil
+}
+
+// Commit durably records group's next-to-read sequence for topic.
+func (c *Client) Commit(topic, group string, next int64) error {
+	_, err := c.call(brokerReq{Op: "commit", Topic: topic, Group: group, Seq: next})
+	return err
+}
+
+// Committed returns group's committed next-to-read sequence.
+func (c *Client) Committed(topic, group string) (int64, error) {
+	resp, err := c.call(brokerReq{Op: "committed", Topic: topic, Group: group})
+	return resp.Seq, err
+}
+
+// Len returns the topic's message count.
+func (c *Client) Len(topic string) (int64, error) {
+	resp, err := c.call(brokerReq{Op: "len", Topic: topic})
+	return resp.Seq, err
+}
+
+// SourceFrom adapts a topic to an args.Source: the engine consumes one
+// message per job, resuming from the group's committed offset and
+// committing after each delivery (at-least-once). The source ends when
+// ctx is done; until then it long-polls for new messages — the
+// message-queue generalization of `tail -f q.proc | parallel`.
+func SourceFrom(ctx context.Context, c *Client, topic, group string) args.Source {
+	var next int64 = -1
+	done := false
+	return args.SourceFunc(func() ([]string, error) {
+		if done {
+			return nil, io.EOF
+		}
+		if next < 0 {
+			committed, err := c.Committed(topic, group)
+			if err != nil {
+				done = true
+				return nil, err
+			}
+			next = committed
+		}
+		for {
+			if ctx.Err() != nil {
+				done = true
+				return nil, io.EOF
+			}
+			msg, ok, err := c.Consume(topic, next, time.Second)
+			if err != nil {
+				done = true
+				return nil, err
+			}
+			if !ok {
+				continue // long-poll timeout; re-check ctx and retry
+			}
+			next++
+			if err := c.Commit(topic, group, next); err != nil {
+				done = true
+				return nil, err
+			}
+			return []string{string(msg)}, nil
+		}
+	})
+}

@@ -1,0 +1,197 @@
+// Package profile extracts an application's parallel profile from an
+// execution job log — the paper's closing use-case: run a workload once
+// under the launcher, then analyze where the time went, how parallel the
+// execution actually was, and what slot count the workload can use.
+//
+// The input is the GNU-Parallel-format joblog (core.JoblogEntry), which
+// carries per-job start times and runtimes — enough to reconstruct the
+// concurrency timeline exactly.
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Profile is the reconstructed parallel execution profile.
+type Profile struct {
+	Jobs     int
+	Failed   int
+	Makespan time.Duration
+	// TotalWork is the sum of job runtimes (serial time equivalent).
+	TotalWork time.Duration
+	// PeakConcurrency is the maximum number of simultaneously running
+	// jobs; EffectiveParallelism is TotalWork/Makespan.
+	PeakConcurrency      int
+	EffectiveParallelism float64
+	// Runtime distribution of individual jobs.
+	Runtime metrics.Summary
+	// DispatchGap is the distribution of idle gaps between one job's
+	// observed start and the previous start (launch pacing).
+	MeanDispatchGap time.Duration
+	// Utilization is EffectiveParallelism / PeakConcurrency: how fully
+	// the achieved slot pool was kept busy.
+	Utilization float64
+	// Timeline samples concurrency over the run (for plotting).
+	Timeline []TimelinePoint
+}
+
+// TimelinePoint is one sample of running-job count.
+type TimelinePoint struct {
+	T       time.Duration // offset from run start
+	Running int
+}
+
+// Analyze reconstructs the profile from joblog entries. It returns an
+// error if the log is empty.
+func Analyze(entries []core.JoblogEntry) (*Profile, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("profile: empty joblog")
+	}
+	type edge struct {
+		t     float64
+		delta int
+	}
+	var edges []edge
+	var runtimes metrics.Sample
+	p := &Profile{Jobs: len(entries)}
+
+	minStart := math.Inf(1)
+	maxEnd := math.Inf(-1)
+	starts := make([]float64, 0, len(entries))
+	for _, e := range entries {
+		if e.Exitval != 0 || e.Signal != 0 {
+			p.Failed++
+		}
+		end := e.Start + e.Runtime
+		edges = append(edges, edge{e.Start, +1}, edge{end, -1})
+		runtimes.Add(e.Runtime)
+		p.TotalWork += time.Duration(e.Runtime * float64(time.Second))
+		starts = append(starts, e.Start)
+		if e.Start < minStart {
+			minStart = e.Start
+		}
+		if end > maxEnd {
+			maxEnd = end
+		}
+	}
+	p.Makespan = time.Duration((maxEnd - minStart) * float64(time.Second))
+	p.Runtime = runtimes.Summarize()
+
+	// Concurrency timeline via sweep.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].t != edges[j].t {
+			return edges[i].t < edges[j].t
+		}
+		// Ends before starts at equal time: closed-open intervals.
+		return edges[i].delta < edges[j].delta
+	})
+	running := 0
+	for _, e := range edges {
+		running += e.delta
+		if running > p.PeakConcurrency {
+			p.PeakConcurrency = running
+		}
+		p.Timeline = append(p.Timeline, TimelinePoint{
+			T:       time.Duration((e.t - minStart) * float64(time.Second)),
+			Running: running,
+		})
+	}
+
+	if p.Makespan > 0 {
+		p.EffectiveParallelism = p.TotalWork.Seconds() / p.Makespan.Seconds()
+	}
+	if p.PeakConcurrency > 0 {
+		p.Utilization = p.EffectiveParallelism / float64(p.PeakConcurrency)
+	}
+
+	// Launch pacing: mean gap between consecutive starts.
+	sort.Float64s(starts)
+	if len(starts) > 1 {
+		gap := (starts[len(starts)-1] - starts[0]) / float64(len(starts)-1)
+		p.MeanDispatchGap = time.Duration(gap * float64(time.Second))
+	}
+	return p, nil
+}
+
+// RecommendSlots suggests a -j value: enough slots that launch pacing is
+// not the bottleneck for the observed task durations (the Fig 3
+// utilization-floor logic inverted), capped at the task count.
+func (p *Profile) RecommendSlots(dispatchCost time.Duration) int {
+	if dispatchCost <= 0 || p.Runtime.Median <= 0 {
+		return p.PeakConcurrency
+	}
+	// A single dispatcher sustains 1/dispatchCost launches/s; each slot
+	// frees every median-runtime seconds. Slots beyond
+	// median/dispatchCost can't be refilled fast enough.
+	max := int(p.Runtime.Median/dispatchCost.Seconds()) + 1
+	if max > p.Jobs {
+		max = p.Jobs
+	}
+	if max < 1 {
+		max = 1
+	}
+	return max
+}
+
+// Render prints a human-readable report.
+func (p *Profile) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "jobs:                  %d (%d failed)\n", p.Jobs, p.Failed)
+	fmt.Fprintf(&b, "makespan:              %v\n", p.Makespan.Round(time.Millisecond))
+	fmt.Fprintf(&b, "total work:            %v\n", p.TotalWork.Round(time.Millisecond))
+	fmt.Fprintf(&b, "peak concurrency:      %d\n", p.PeakConcurrency)
+	fmt.Fprintf(&b, "effective parallelism: %.2f\n", p.EffectiveParallelism)
+	fmt.Fprintf(&b, "slot utilization:      %.0f%%\n", p.Utilization*100)
+	fmt.Fprintf(&b, "job runtime:           med=%.3fs p90=%.3fs max=%.3fs\n",
+		p.Runtime.Median, p.Runtime.P90, p.Runtime.Max)
+	fmt.Fprintf(&b, "mean launch gap:       %v\n", p.MeanDispatchGap.Round(time.Microsecond))
+	fmt.Fprintf(&b, "concurrency sparkline: %s\n", p.Sparkline(60))
+	return b.String()
+}
+
+// Sparkline renders the concurrency timeline as a width-character strip.
+func (p *Profile) Sparkline(width int) string {
+	if len(p.Timeline) == 0 || width < 1 || p.Makespan <= 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	buckets := make([]int, width)
+	for i := 0; i+1 < len(p.Timeline); i++ {
+		// Each timeline segment [T_i, T_i+1) has constant concurrency.
+		lo := int(float64(p.Timeline[i].T) / float64(p.Makespan) * float64(width))
+		hi := int(float64(p.Timeline[i+1].T) / float64(p.Makespan) * float64(width))
+		if lo >= width {
+			lo = width - 1
+		}
+		if hi > width {
+			hi = width
+		}
+		for j := lo; j < hi || j == lo; j++ {
+			if j >= width {
+				break
+			}
+			if p.Timeline[i].Running > buckets[j] {
+				buckets[j] = p.Timeline[i].Running
+			}
+			if j == lo && hi <= lo {
+				break
+			}
+		}
+	}
+	var b strings.Builder
+	for _, v := range buckets {
+		idx := 0
+		if p.PeakConcurrency > 0 {
+			idx = v * (len(levels) - 1) / p.PeakConcurrency
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package profile
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/args"
+	"repro/internal/core"
+)
+
+func entry(seq int, start, runtime float64, exit int) core.JoblogEntry {
+	return core.JoblogEntry{Seq: seq, Start: start, Runtime: runtime, Exitval: exit}
+}
+
+func TestAnalyzeBasic(t *testing.T) {
+	// Two jobs overlap [0,2) and [1,3): peak 2, makespan 3, work 4.
+	p, err := Analyze([]core.JoblogEntry{
+		entry(1, 100.0, 2.0, 0),
+		entry(2, 101.0, 2.0, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Jobs != 2 || p.Failed != 0 {
+		t.Fatalf("jobs/failed = %d/%d", p.Jobs, p.Failed)
+	}
+	if p.Makespan != 3*time.Second {
+		t.Fatalf("makespan = %v", p.Makespan)
+	}
+	if p.TotalWork != 4*time.Second {
+		t.Fatalf("work = %v", p.TotalWork)
+	}
+	if p.PeakConcurrency != 2 {
+		t.Fatalf("peak = %d", p.PeakConcurrency)
+	}
+	if ep := p.EffectiveParallelism; ep < 1.32 || ep > 1.35 {
+		t.Fatalf("effective parallelism = %v, want 4/3", ep)
+	}
+}
+
+func TestAnalyzeSerial(t *testing.T) {
+	p, _ := Analyze([]core.JoblogEntry{
+		entry(1, 0, 1, 0), entry(2, 1, 1, 0), entry(3, 2, 1, 9),
+	})
+	if p.PeakConcurrency != 1 {
+		t.Fatalf("peak = %d", p.PeakConcurrency)
+	}
+	if p.Failed != 1 {
+		t.Fatalf("failed = %d", p.Failed)
+	}
+	if p.Utilization < 0.99 || p.Utilization > 1.01 {
+		t.Fatalf("utilization = %v, want 1.0", p.Utilization)
+	}
+	if p.MeanDispatchGap != time.Second {
+		t.Fatalf("gap = %v", p.MeanDispatchGap)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Fatal("empty joblog accepted")
+	}
+}
+
+func TestRecommendSlots(t *testing.T) {
+	p := &Profile{Jobs: 1000, PeakConcurrency: 64}
+	p.Runtime.Median = 0.5 // 500ms tasks
+	// At 2.128ms dispatch, one dispatcher refills ~235 slots of 500ms
+	// tasks; recommendation is bounded by that.
+	got := p.RecommendSlots(2128 * time.Microsecond)
+	if got < 200 || got > 260 {
+		t.Fatalf("recommended slots = %d, want ~235", got)
+	}
+	// Short tasks: recommendation collapses toward 1/dispatch-bound.
+	p.Runtime.Median = 0.004
+	if got := p.RecommendSlots(2128 * time.Microsecond); got > 3 {
+		t.Fatalf("short-task recommendation = %d, want <=3", got)
+	}
+	// Degenerate inputs fall back to peak.
+	p.Runtime.Median = 0
+	if got := p.RecommendSlots(time.Millisecond); got != p.PeakConcurrency {
+		t.Fatalf("fallback = %d", got)
+	}
+}
+
+func TestRenderAndSparkline(t *testing.T) {
+	p, _ := Analyze([]core.JoblogEntry{
+		entry(1, 0, 4, 0), entry(2, 0, 2, 0), entry(3, 2, 2, 0),
+	})
+	out := p.Render()
+	for _, want := range []string{"jobs:", "makespan:", "peak concurrency:      2", "sparkline"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	spark := p.Sparkline(20)
+	if len([]rune(spark)) != 20 {
+		t.Fatalf("sparkline width = %d", len([]rune(spark)))
+	}
+	if (&Profile{}).Sparkline(10) != "" {
+		t.Fatal("empty profile sparkline should be empty")
+	}
+}
+
+func TestEndToEndFromEngineJoblog(t *testing.T) {
+	// Run a real workload through the engine, then profile its joblog —
+	// the paper's "extract a parallel profile" loop.
+	var log bytes.Buffer
+	runner := core.FuncRunner(func(ctx context.Context, job *core.Job) ([]byte, error) {
+		time.Sleep(20 * time.Millisecond)
+		return nil, nil
+	})
+	spec, _ := core.NewSpec("", 4)
+	spec.Joblog = &log
+	eng, _ := core.NewEngine(spec, runner)
+	items := make([]string, 16)
+	if _, _, err := eng.Run(context.Background(), args.Literal(items...)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := core.ParseJoblog(&log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Analyze(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Jobs != 16 {
+		t.Fatalf("jobs = %d", p.Jobs)
+	}
+	if p.PeakConcurrency > 4 {
+		t.Fatalf("peak %d exceeds slot count 4", p.PeakConcurrency)
+	}
+	if p.PeakConcurrency < 3 {
+		t.Fatalf("peak %d; engine underutilized slots", p.PeakConcurrency)
+	}
+	if p.EffectiveParallelism < 2 {
+		t.Fatalf("effective parallelism = %v", p.EffectiveParallelism)
+	}
+}

@@ -1,0 +1,109 @@
+package profile
+
+import (
+	"container/heap"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// ChromeTrace writes joblog entries as a Chrome/Perfetto trace
+// (chrome://tracing JSON array format): one complete ("X") event per
+// job, laid out on execution lanes. The joblog does not record slot
+// numbers, so lanes are reconstructed by greedy interval assignment —
+// each job takes the lowest-numbered lane free at its start, which for
+// a slot-limited engine recovers a layout equivalent to the real slots.
+func ChromeTrace(w io.Writer, entries []core.JoblogEntry) error {
+	if len(entries) == 0 {
+		return fmt.Errorf("profile: empty joblog")
+	}
+	sorted := append([]core.JoblogEntry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	t0 := sorted[0].Start
+
+	lanes := assignLanes(sorted)
+
+	type traceEvent struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"` // microseconds
+		Dur  float64        `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args,omitempty"`
+	}
+	events := make([]traceEvent, 0, len(sorted))
+	for i, e := range sorted {
+		name := e.Command
+		if name == "" {
+			name = fmt.Sprintf("job %d", e.Seq)
+		}
+		if len(name) > 80 {
+			name = name[:77] + "..."
+		}
+		ev := traceEvent{
+			Name: name,
+			Ph:   "X",
+			Ts:   (e.Start - t0) * 1e6,
+			Dur:  e.Runtime * 1e6,
+			PID:  1,
+			TID:  lanes[i] + 1,
+			Args: map[string]any{"seq": e.Seq, "exitval": e.Exitval, "host": e.Host},
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// laneHeap orders lanes by the time they free up.
+type laneEnd struct {
+	lane int
+	end  float64
+}
+type laneHeap []laneEnd
+
+func (h laneHeap) Len() int           { return len(h) }
+func (h laneHeap) Less(i, j int) bool { return h[i].end < h[j].end }
+func (h laneHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *laneHeap) Push(x any)        { *h = append(*h, x.(laneEnd)) }
+func (h *laneHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// assignLanes maps start-sorted entries to execution lanes: reuse the
+// earliest-freed lane when it is free by the job's start, else open a
+// new lane. The lane count equals the peak concurrency.
+func assignLanes(sorted []core.JoblogEntry) []int {
+	lanes := make([]int, len(sorted))
+	var busy laneHeap
+	next := 0
+	// free holds lane ids available for reuse (LIFO keeps low ids hot).
+	var free []int
+	for i, e := range sorted {
+		for len(busy) > 0 && busy[0].end <= e.Start {
+			freed := heap.Pop(&busy).(laneEnd)
+			free = append(free, freed.lane)
+		}
+		// Prefer the lowest-numbered free lane for a stable layout.
+		sort.Sort(sort.Reverse(sort.IntSlice(free)))
+		var lane int
+		if len(free) > 0 {
+			lane = free[len(free)-1]
+			free = free[:len(free)-1]
+		} else {
+			lane = next
+			next++
+		}
+		lanes[i] = lane
+		heap.Push(&busy, laneEnd{lane: lane, end: e.Start + e.Runtime})
+	}
+	return lanes
+}

@@ -1,0 +1,105 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestChromeTraceFormat(t *testing.T) {
+	entries := []core.JoblogEntry{
+		{Seq: 1, Start: 100.0, Runtime: 2.0, Command: "echo a", Host: "n1"},
+		{Seq: 2, Start: 100.5, Runtime: 1.0, Exitval: 3},
+		{Seq: 3, Start: 102.5, Runtime: 1.0},
+	}
+	var buf bytes.Buffer
+	if err := ChromeTrace(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d", len(events))
+	}
+	first := events[0]
+	if first["ph"] != "X" || first["ts"].(float64) != 0 {
+		t.Fatalf("first event = %v", first)
+	}
+	if first["dur"].(float64) != 2e6 {
+		t.Fatalf("dur = %v", first["dur"])
+	}
+	// Jobs 1 and 2 overlap: distinct lanes. Job 3 starts after both
+	// ended: lane 1 reused.
+	tid1 := events[0]["tid"].(float64)
+	tid2 := events[1]["tid"].(float64)
+	tid3 := events[2]["tid"].(float64)
+	if tid1 == tid2 {
+		t.Fatalf("overlapping jobs share lane %v", tid1)
+	}
+	if tid3 != 1 {
+		t.Fatalf("lane not reused: job3 on %v", tid3)
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ChromeTrace(&buf, nil); err == nil {
+		t.Fatal("empty joblog accepted")
+	}
+}
+
+// Property: lane assignment is a proper interval coloring — no two
+// overlapping jobs share a lane, and lane count == peak concurrency.
+func TestPropertyLaneAssignment(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 || len(raw) > 60 {
+			return true
+		}
+		entries := make([]core.JoblogEntry, len(raw)/2)
+		for i := range entries {
+			start := float64(raw[2*i]%1000) / 10
+			dur := float64(raw[2*i+1]%100)/10 + 0.1
+			entries[i] = core.JoblogEntry{Seq: i + 1, Start: start, Runtime: dur}
+		}
+		sortByStart := append([]core.JoblogEntry(nil), entries...)
+		for i := 1; i < len(sortByStart); i++ {
+			for j := i; j > 0 && sortByStart[j].Start < sortByStart[j-1].Start; j-- {
+				sortByStart[j], sortByStart[j-1] = sortByStart[j-1], sortByStart[j]
+			}
+		}
+		lanes := assignLanes(sortByStart)
+		// No two overlapping intervals share a lane.
+		for i := range sortByStart {
+			for j := i + 1; j < len(sortByStart); j++ {
+				if lanes[i] != lanes[j] {
+					continue
+				}
+				aS, aE := sortByStart[i].Start, sortByStart[i].Start+sortByStart[i].Runtime
+				bS, bE := sortByStart[j].Start, sortByStart[j].Start+sortByStart[j].Runtime
+				if aS < bE && bS < aE {
+					return false
+				}
+			}
+		}
+		// Lane count equals peak concurrency.
+		p, err := Analyze(entries)
+		if err != nil {
+			return false
+		}
+		maxLane := 0
+		for _, l := range lanes {
+			if l > maxLane {
+				maxLane = l
+			}
+		}
+		return maxLane+1 == p.PeakConcurrency
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

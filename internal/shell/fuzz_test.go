@@ -1,0 +1,34 @@
+package shell
+
+import "testing"
+
+// FuzzSplit ensures Split/NeedsShell never panic and that quoting any
+// split result re-splits identically.
+func FuzzSplit(f *testing.F) {
+	for _, seed := range []string{
+		"echo hello", `echo 'a b' "c d"`, `a\ b`, "cmd | pipe",
+		`"unterminated`, `'u`, `tr \`, "", "a;b&&c", `echo "$HOME"`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		NeedsShell(s)
+		words, err := Split(s)
+		if err != nil {
+			return
+		}
+		requoted := QuoteAll(words)
+		again, err := Split(requoted)
+		if err != nil {
+			t.Fatalf("requoted %q failed to split: %v", requoted, err)
+		}
+		if len(again) != len(words) {
+			t.Fatalf("round trip changed arity: %v vs %v", words, again)
+		}
+		for i := range words {
+			if words[i] != again[i] {
+				t.Fatalf("round trip changed word %d: %q vs %q", i, words[i], again[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,153 @@
+// Package shell provides minimal POSIX-style word splitting and quoting
+// for command strings. The real-process runner uses Split to decide
+// whether a rendered command line can be exec'd directly (fast path, no
+// /bin/sh fork) and Quote to build safe shell lines when metacharacters
+// force a shell (pipes, redirections, substitutions).
+package shell
+
+import (
+	"errors"
+	"strings"
+)
+
+// ErrUnterminated reports an unterminated quote or trailing backslash.
+var ErrUnterminated = errors.New("shell: unterminated quote")
+
+// metaChars are characters whose presence outside quotes means the command
+// needs a real shell to evaluate.
+const metaChars = "|&;<>()$`\n*?[#~"
+
+// Split tokenizes s into words honoring single quotes, double quotes, and
+// backslash escapes. It returns ErrUnterminated for unbalanced quoting.
+// It does not perform expansion; callers use NeedsShell to detect commands
+// requiring one.
+func Split(s string) ([]string, error) {
+	var words []string
+	var cur strings.Builder
+	inWord := false
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch c {
+		case ' ', '\t':
+			if inWord {
+				words = append(words, cur.String())
+				cur.Reset()
+				inWord = false
+			}
+			i++
+		case '\'':
+			inWord = true
+			end := strings.IndexByte(s[i+1:], '\'')
+			if end < 0 {
+				return nil, ErrUnterminated
+			}
+			cur.WriteString(s[i+1 : i+1+end])
+			i += end + 2
+		case '"':
+			inWord = true
+			i++
+			for {
+				if i >= len(s) {
+					return nil, ErrUnterminated
+				}
+				if s[i] == '"' {
+					i++
+					break
+				}
+				if s[i] == '\\' && i+1 < len(s) && (s[i+1] == '"' || s[i+1] == '\\' || s[i+1] == '$' || s[i+1] == '`') {
+					cur.WriteByte(s[i+1])
+					i += 2
+					continue
+				}
+				cur.WriteByte(s[i])
+				i++
+			}
+		case '\\':
+			if i+1 >= len(s) {
+				return nil, ErrUnterminated
+			}
+			inWord = true
+			cur.WriteByte(s[i+1])
+			i += 2
+		default:
+			inWord = true
+			cur.WriteByte(c)
+			i++
+		}
+	}
+	if inWord {
+		words = append(words, cur.String())
+	}
+	return words, nil
+}
+
+// NeedsShell reports whether s contains unquoted shell metacharacters
+// (pipes, redirection, substitution, globs...) and therefore must run via
+// "sh -c" rather than direct exec.
+func NeedsShell(s string) bool {
+	i := 0
+	for i < len(s) {
+		switch c := s[i]; c {
+		case '\'':
+			end := strings.IndexByte(s[i+1:], '\'')
+			if end < 0 {
+				return true // malformed; let the shell report it
+			}
+			i += end + 2
+		case '"':
+			i++
+			for i < len(s) && s[i] != '"' {
+				if s[i] == '\\' {
+					i += 2
+					continue
+				}
+				if s[i] == '$' || s[i] == '`' {
+					return true
+				}
+				i++
+			}
+			if i >= len(s) {
+				return true
+			}
+			i++
+		case '\\':
+			i += 2
+		default:
+			if strings.IndexByte(metaChars, c) >= 0 {
+				return true
+			}
+			i++
+		}
+	}
+	return false
+}
+
+// Quote returns s quoted so a POSIX shell parses it as a single word.
+func Quote(s string) string {
+	if s == "" {
+		return "''"
+	}
+	safe := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c == '_' || c == '-' || c == '.' || c == '/' || c == ':' || c == '=' || c == ',' || c == '@' || c == '+' || c == '%' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) {
+			safe = false
+			break
+		}
+	}
+	if safe {
+		return s
+	}
+	return "'" + strings.ReplaceAll(s, "'", `'\''`) + "'"
+}
+
+// QuoteAll quotes each word and joins with spaces.
+func QuoteAll(words []string) string {
+	out := make([]string, len(words))
+	for i, w := range words {
+		out[i] = Quote(w)
+	}
+	return strings.Join(out, " ")
+}

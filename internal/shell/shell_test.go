@@ -1,0 +1,144 @@
+package shell
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"echo hello world", []string{"echo", "hello", "world"}},
+		{"  spaced   out  ", []string{"spaced", "out"}},
+		{"", nil},
+		{"single", []string{"single"}},
+		{`echo 'single quoted arg'`, []string{"echo", "single quoted arg"}},
+		{`echo "double quoted"`, []string{"echo", "double quoted"}},
+		{`echo a\ b`, []string{"echo", "a b"}},
+		{`echo ''`, []string{"echo", ""}},
+		{`echo "it's"`, []string{"echo", "it's"}},
+		{`echo 'a'"b"c`, []string{"echo", "abc"}},
+		{`echo "esc \" quote"`, []string{"echo", `esc " quote`}},
+		{`echo "keep \n backslash"`, []string{"echo", `keep \n backslash`}},
+		{"tabs\there", []string{"tabs", "here"}},
+	}
+	for _, c := range cases {
+		got, err := Split(c.in)
+		if err != nil {
+			t.Errorf("Split(%q) error: %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Split(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	for _, in := range []string{`echo 'unterminated`, `echo "unterminated`, `trailing\`} {
+		if _, err := Split(in); err == nil {
+			t.Errorf("Split(%q) should error", in)
+		}
+	}
+}
+
+func TestNeedsShell(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"echo hello", false},
+		{"./payload.sh arg1", false},
+		{"echo hi | wc -l", true},
+		{"echo hi > out.txt", true},
+		{"echo $HOME", true},
+		{"echo `date`", true},
+		{"ls *.json", true},
+		{"a && b", true},
+		{"sleep 1; echo done", true},
+		{"echo 'safe | inside quotes'", false},
+		{`echo "double $VAR"`, true},
+		{"echo (sub)", true},
+		{"grep -v '^#' file", false},
+		{"echo ~user", true},
+	}
+	for _, c := range cases {
+		if got := NeedsShell(c.in); got != c.want {
+			t.Errorf("NeedsShell(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQuote(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"simple", "simple"},
+		{"has space", "'has space'"},
+		{"", "''"},
+		{"a/b.c-d_e", "a/b.c-d_e"},
+		{"don't", `'don'\''t'`},
+		{"$HOME", "'$HOME'"},
+		{"a|b", "'a|b'"},
+	}
+	for _, c := range cases {
+		if got := Quote(c.in); got != c.want {
+			t.Errorf("Quote(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQuoteAll(t *testing.T) {
+	got := QuoteAll([]string{"rsync", "-R", "a file", "/dest"})
+	if got != "rsync -R 'a file' /dest" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// Property: Quote followed by Split round-trips any string to itself.
+func TestPropertyQuoteSplitRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		if strings.IndexByte(s, 0) >= 0 {
+			return true
+		}
+		got, err := Split("cmd " + Quote(s))
+		if err != nil {
+			return false
+		}
+		if s == "" {
+			return len(got) == 2 && got[1] == ""
+		}
+		return len(got) == 2 && got[1] == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: splitting never returns words containing raw quote characters
+// for well-formed single-quoted input.
+func TestPropertyQuotedNoMeta(t *testing.T) {
+	f := func(words []string) bool {
+		clean := make([]string, 0, len(words))
+		for _, w := range words {
+			if strings.IndexByte(w, 0) >= 0 || w == "" {
+				continue
+			}
+			clean = append(clean, w)
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		joined := QuoteAll(clean)
+		got, err := Split(joined)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, clean)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package sim
+
+import "time"
+
+// MonitorSample is one observation of a resource's state.
+type MonitorSample struct {
+	T     Time
+	InUse int
+	Queue int
+}
+
+// Monitor samples a Resource at a fixed virtual interval, producing
+// utilization and queue-depth series — how experiments quantify
+// contention (e.g. Lustre service pressure during a Fig 1 run).
+//
+// The monitor self-terminates: it only schedules its next sample while
+// other events remain pending, so it never keeps a simulation alive.
+type Monitor struct {
+	res      *Resource
+	interval time.Duration
+	Samples  []MonitorSample
+}
+
+// WatchResource starts sampling r every interval. It must be called
+// before Engine.Run.
+func WatchResource(e *Engine, r *Resource, interval time.Duration) *Monitor {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	m := &Monitor{res: r, interval: interval}
+	var tick func()
+	tick = func() {
+		m.Samples = append(m.Samples, MonitorSample{
+			T:     e.Now(),
+			InUse: r.InUse(),
+			Queue: r.QueueLen(),
+		})
+		// Only reschedule while the simulation still has work: a lone
+		// monitor event must not spin the clock forever.
+		if e.Pending() > 0 {
+			e.After(interval, tick)
+		}
+	}
+	e.After(0, tick)
+	return m
+}
+
+// MeanUtilization returns average InUse / capacity over the samples.
+func (m *Monitor) MeanUtilization() float64 {
+	if len(m.Samples) == 0 || m.res.Cap() == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range m.Samples {
+		sum += float64(s.InUse)
+	}
+	return sum / float64(len(m.Samples)) / float64(m.res.Cap())
+}
+
+// PeakQueue returns the largest observed wait-queue depth.
+func (m *Monitor) PeakQueue() int {
+	peak := 0
+	for _, s := range m.Samples {
+		if s.Queue > peak {
+			peak = s.Queue
+		}
+	}
+	return peak
+}
+
+// PeakInUse returns the largest observed occupancy.
+func (m *Monitor) PeakInUse() int {
+	peak := 0
+	for _, s := range m.Samples {
+		if s.InUse > peak {
+			peak = s.InUse
+		}
+	}
+	return peak
+}

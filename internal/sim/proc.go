@@ -1,0 +1,85 @@
+package sim
+
+import "time"
+
+// Proc is a simulated process: a goroutine that advances only when the
+// engine resumes it, and that parks whenever it waits on virtual time or a
+// synchronization primitive. Exactly one of {engine, some process} runs at
+// any instant (strict handoff), which keeps the simulation deterministic.
+//
+// All Proc methods must be called from the process's own goroutine (i.e.
+// from inside the function passed to Engine.Spawn).
+type Proc struct {
+	e      *Engine
+	resume chan struct{}
+	name   string
+}
+
+// Name returns the name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Spawn starts fn as a simulated process at the current virtual time. The
+// process begins running when the engine reaches its start event. Spawn may
+// be called from the engine context (event callbacks, before Run) or from
+// another process.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{e: e, resume: make(chan struct{}), name: name}
+	e.nproc++
+	e.After(0, func() {
+		go func() {
+			fn(p)
+			e.nproc--
+			e.yield <- struct{}{}
+		}()
+		<-e.yield
+	})
+	return p
+}
+
+// SpawnAt is like Spawn but the process starts at virtual time t.
+func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{e: e, resume: make(chan struct{}), name: name}
+	e.nproc++
+	e.At(t, func() {
+		go func() {
+			fn(p)
+			e.nproc--
+			e.yield <- struct{}{}
+		}()
+		<-e.yield
+	})
+	return p
+}
+
+// park blocks the calling process until wake is invoked from engine
+// context. The handoff protocol: the process tells the engine it is about
+// to block (send on yield), then waits on its private resume channel.
+func (p *Proc) park() {
+	p.e.yield <- struct{}{}
+	<-p.resume
+}
+
+// wake resumes a parked process and blocks (in engine context) until the
+// process parks again or finishes. wake must only be called from engine
+// context (an event callback), never from another process's goroutine.
+func (p *Proc) wake() {
+	p.resume <- struct{}{}
+	<-p.e.yield
+}
+
+// Sleep suspends the process for d of virtual time. Negative d is treated
+// as zero (still yields to the engine once).
+func (p *Proc) Sleep(d time.Duration) {
+	p.e.After(d, p.wake)
+	p.park()
+}
+
+// Yield gives other same-time events a chance to run before continuing.
+// Equivalent to Sleep(0).
+func (p *Proc) Yield() { p.Sleep(0) }

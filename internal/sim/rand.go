@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// RNG is a deterministic random stream with the distribution helpers the
+// substrate models need. Streams are splittable by name so each component
+// (scheduler, filesystem, every node...) draws from an independent,
+// reproducible sequence regardless of event interleaving.
+type RNG struct {
+	seed uint64
+	r    *randv2.Rand
+}
+
+// NewRNG returns a stream derived from seed.
+func NewRNG(seed uint64) *RNG {
+	mixed := splitmix64(seed)
+	return &RNG{seed: seed, r: randv2.New(randv2.NewPCG(mixed, splitmix64(mixed)))}
+}
+
+// Split derives an independent child stream identified by name. Splitting
+// with the same (seed, name) always yields the same stream.
+func (g *RNG) Split(name string) *RNG {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return NewRNG(g.seed ^ splitmix64(h.Sum64()))
+}
+
+// splitmix64 is the standard seed-scrambling finalizer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// IntN returns a uniform value in [0, n).
+func (g *RNG) IntN(n int) int { return g.r.IntN(n) }
+
+// Uniform returns a uniform value in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 { return lo + (hi-lo)*g.r.Float64() }
+
+// Normal returns a normal draw with the given mean and standard deviation.
+func (g *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*g.r.NormFloat64()
+}
+
+// Exponential returns an exponential draw with the given mean (not rate).
+func (g *RNG) Exponential(mean float64) float64 {
+	return g.r.ExpFloat64() * mean
+}
+
+// LogNormal returns exp(N(mu, sigma)). Note mu/sigma parameterize the
+// underlying normal, not the resulting distribution's mean.
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*g.r.NormFloat64())
+}
+
+// Pareto returns a Pareto draw with scale xm and shape alpha. Heavy tails
+// (alpha near 1) model straggler phenomena such as the Fig 1 outlier nodes.
+func (g *RNG) Pareto(xm, alpha float64) float64 {
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Bernoulli reports true with probability prob.
+func (g *RNG) Bernoulli(prob float64) bool { return g.r.Float64() < prob }
+
+// Dur converts a (seconds, float64) draw helper result to a Duration,
+// clamping negatives to zero.
+func Dur(seconds float64) time.Duration {
+	if seconds <= 0 {
+		return 0
+	}
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// Jitter returns d scaled by a uniform factor in [1-frac, 1+frac].
+func (g *RNG) Jitter(d time.Duration, frac float64) time.Duration {
+	f := g.Uniform(1-frac, 1+frac)
+	return time.Duration(float64(d) * f)
+}
+
+// DurNormal draws a normal duration with the given mean and stddev,
+// clamped at min.
+func (g *RNG) DurNormal(mean, stddev, min time.Duration) time.Duration {
+	d := time.Duration(g.Normal(float64(mean), float64(stddev)))
+	if d < min {
+		return min
+	}
+	return d
+}
+
+// DurExp draws an exponential duration with the given mean.
+func (g *RNG) DurExp(mean time.Duration) time.Duration {
+	return time.Duration(g.Exponential(float64(mean)))
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements via swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }

@@ -1,0 +1,149 @@
+// Package sim provides a deterministic discrete-event simulation (DES)
+// kernel used to model HPC substrates (clusters, schedulers, filesystems,
+// container runtimes) at scales far beyond what the local machine can run
+// for real.
+//
+// The kernel has two layers:
+//
+//   - An event layer: a binary-heap event queue keyed by (time, sequence)
+//     with a virtual clock. Callbacks scheduled with At/After run in the
+//     engine goroutine in deterministic order.
+//
+//   - A process layer (see Proc): simulated processes are goroutines that
+//     cooperate with the engine through strict channel handoff, so exactly
+//     one goroutine — either the engine or a single process — runs at any
+//     moment. Results are bit-for-bit reproducible for a given seed.
+//
+// Virtual time is a time.Duration offset from the simulation epoch.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp: the duration elapsed since the simulation
+// epoch (t=0). It is a distinct concept from wall-clock time.
+type Time = time.Duration
+
+// Forever is a sentinel meaning "no deadline".
+const Forever Time = math.MaxInt64
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{}
+	rng     *RNG
+	running bool
+	// nproc counts live (spawned, unfinished) processes, for diagnostics.
+	nproc int
+}
+
+// NewEngine returns an engine whose clock starts at 0 and whose random
+// streams derive from seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		rng:   NewRNG(seed),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's root random stream. Components needing
+// independent streams should use RNG().Split(name).
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it indicates a logic error in the model.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time. Negative d is
+// clamped to zero.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step runs the single earliest pending event and reports whether one
+// existed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain, and returns the final virtual
+// time.
+func (e *Engine) Run() Time {
+	e.running = true
+	defer func() { e.running = false }()
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t (if it is ahead of the last event) and returns.
+func (e *Engine) RunUntil(t Time) {
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Pending reports the number of scheduled, not-yet-fired events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// LiveProcs reports the number of spawned processes that have not finished.
+// A nonzero value after Run returns usually means processes are deadlocked
+// waiting on signals that will never fire.
+func (e *Engine) LiveProcs() int { return e.nproc }

@@ -1,0 +1,545 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineEventOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.After(3*time.Second, func() { got = append(got, 3) })
+	e.After(1*time.Second, func() { got = append(got, 1) })
+	e.After(2*time.Second, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 3*time.Second {
+		t.Fatalf("end time = %v, want 3s", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.After(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(0, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.After(1*time.Second, func() { fired++ })
+	e.After(5*time.Second, func() { fired++ })
+	e.RunUntil(2 * time.Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("now = %v, want 2s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine(1)
+	var wake Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(42 * time.Millisecond)
+		wake = p.Now()
+	})
+	e.Run()
+	if wake != 42*time.Millisecond {
+		t.Fatalf("woke at %v, want 42ms", wake)
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("live procs = %d, want 0", e.LiveProcs())
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	e.Spawn("a", func(p *Proc) {
+		p.Sleep(1 * time.Second)
+		got = append(got, "a1")
+		p.Sleep(2 * time.Second)
+		got = append(got, "a3")
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Sleep(2 * time.Second)
+		got = append(got, "b2")
+	})
+	e.Run()
+	want := []string{"a1", "b2", "a3"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("interleaving = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	e := NewEngine(1)
+	s := NewSignal(e)
+	woken := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn("waiter", func(p *Proc) {
+			s.Wait(p)
+			woken++
+			if p.Now() != 3*time.Second {
+				t.Errorf("woke at %v, want 3s", p.Now())
+			}
+		})
+	}
+	e.Spawn("firer", func(p *Proc) {
+		p.Sleep(3 * time.Second)
+		s.Fire()
+	})
+	e.Run()
+	if woken != 5 {
+		t.Fatalf("woken = %d, want 5", woken)
+	}
+}
+
+func TestSignalWaitAfterFire(t *testing.T) {
+	e := NewEngine(1)
+	s := NewSignal(e)
+	s.Fire()
+	s.Fire() // idempotent
+	done := false
+	e.Spawn("late", func(p *Proc) {
+		s.Wait(p) // must not block
+		done = true
+	})
+	e.Run()
+	if !done {
+		t.Fatal("late waiter blocked on fired signal")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCounter(e, 3)
+	var doneAt Time
+	e.Spawn("waiter", func(p *Proc) {
+		c.Wait(p)
+		doneAt = p.Now()
+	})
+	for i := 1; i <= 3; i++ {
+		i := i
+		e.Spawn("worker", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Second)
+			c.Done()
+		})
+	}
+	e.Run()
+	if doneAt != 3*time.Second {
+		t.Fatalf("counter released at %v, want 3s", doneAt)
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative counter did not panic")
+		}
+	}()
+	e := NewEngine(1)
+	c := NewCounter(e, 0)
+	c.Done()
+}
+
+func TestResourceLimitsConcurrency(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, 2)
+	inUse, maxInUse := 0, 0
+	for i := 0; i < 6; i++ {
+		e.Spawn("user", func(p *Proc) {
+			r.Acquire(p, 1)
+			inUse++
+			if inUse > maxInUse {
+				maxInUse = inUse
+			}
+			p.Sleep(time.Second)
+			inUse--
+			r.Release(1)
+		})
+	}
+	end := e.Run()
+	if maxInUse != 2 {
+		t.Fatalf("max concurrent = %d, want 2", maxInUse)
+	}
+	// 6 jobs of 1s at concurrency 2 => 3s.
+	if end != 3*time.Second {
+		t.Fatalf("makespan = %v, want 3s", end)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, 1)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		e.SpawnAt(Time(i)*time.Millisecond, "u", func(p *Proc) {
+			r.Acquire(p, 1)
+			order = append(order, i)
+			p.Sleep(time.Second)
+			r.Release(1)
+		})
+	}
+	e.Run()
+	for i := 0; i < 4; i++ {
+		if order[i] != i {
+			t.Fatalf("grant order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, 1)
+	if !r.TryAcquire(1) {
+		t.Fatal("TryAcquire on free resource failed")
+	}
+	if r.TryAcquire(1) {
+		t.Fatal("TryAcquire on full resource succeeded")
+	}
+	r.Release(1)
+	if !r.TryAcquire(1) {
+		t.Fatal("TryAcquire after release failed")
+	}
+	if r.Available() != 0 || r.InUse() != 1 || r.Cap() != 1 {
+		t.Fatal("accounting wrong")
+	}
+}
+
+func TestResourceUse(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, 1)
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		e.Spawn("u", func(p *Proc) {
+			r.Use(p, 1, time.Second)
+			ends = append(ends, p.Now())
+		})
+	}
+	e.Run()
+	if len(ends) != 3 || ends[2] != 3*time.Second {
+		t.Fatalf("serialized ends = %v", ends)
+	}
+}
+
+func TestStoreFIFOAndClose(t *testing.T) {
+	e := NewEngine(1)
+	st := NewStore[int](e, 0)
+	var got []int
+	e.Spawn("consumer", func(p *Proc) {
+		for {
+			v, ok := st.Get(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(time.Millisecond)
+			st.Put(p, i)
+		}
+		st.Close()
+	})
+	e.Run()
+	if len(got) != 5 {
+		t.Fatalf("got %v, want 5 items", got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("consumer leaked: %d live procs", e.LiveProcs())
+	}
+}
+
+func TestStoreBackpressure(t *testing.T) {
+	e := NewEngine(1)
+	st := NewStore[int](e, 2)
+	var putDone Time
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			st.Put(p, i) // third Put must block until a Get
+		}
+		putDone = p.Now()
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		st.Get(p)
+	})
+	e.Run()
+	if putDone != 5*time.Second {
+		t.Fatalf("third Put completed at %v, want 5s (backpressure)", putDone)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine(99)
+		r := NewResource(e, 3)
+		rng := e.RNG().Split("work")
+		var ends []Time
+		for i := 0; i < 50; i++ {
+			e.Spawn("job", func(p *Proc) {
+				r.Acquire(p, 1)
+				p.Sleep(rng.DurExp(100 * time.Millisecond))
+				r.Release(1)
+				ends = append(ends, p.Now())
+			})
+		}
+		e.Run()
+		return ends
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	g := NewRNG(7)
+	a, b := g.Split("a"), g.Split("b")
+	a2 := NewRNG(7).Split("a")
+	same, diff := 0, 0
+	for i := 0; i < 100; i++ {
+		va, vb, va2 := a.Float64(), b.Float64(), a2.Float64()
+		if va == va2 {
+			same++
+		}
+		if va != vb {
+			diff++
+		}
+	}
+	if same != 100 {
+		t.Errorf("same-name splits diverged: %d/100 equal", same)
+	}
+	if diff < 95 {
+		t.Errorf("different-name splits too correlated: %d/100 differ", diff)
+	}
+}
+
+func TestDistributionsSanity(t *testing.T) {
+	g := NewRNG(3)
+	n := 20000
+	var sumExp, sumNorm float64
+	for i := 0; i < n; i++ {
+		sumExp += g.Exponential(2.0)
+		sumNorm += g.Normal(5, 1)
+	}
+	if m := sumExp / float64(n); m < 1.9 || m > 2.1 {
+		t.Errorf("exponential mean = %v, want ~2", m)
+	}
+	if m := sumNorm / float64(n); m < 4.95 || m > 5.05 {
+		t.Errorf("normal mean = %v, want ~5", m)
+	}
+	for i := 0; i < 1000; i++ {
+		if v := g.Pareto(1.5, 2); v < 1.5 {
+			t.Fatalf("pareto below scale: %v", v)
+		}
+		if v := g.Uniform(3, 4); v < 3 || v >= 4 {
+			t.Fatalf("uniform out of range: %v", v)
+		}
+	}
+}
+
+// Property: for any set of non-negative sleep durations, the engine's final
+// time equals the maximum duration, and all processes complete.
+func TestPropertyMakespanIsMax(t *testing.T) {
+	f := func(ms []uint16) bool {
+		if len(ms) == 0 {
+			return true
+		}
+		e := NewEngine(1)
+		var max time.Duration
+		for _, m := range ms {
+			d := time.Duration(m) * time.Millisecond
+			if d > max {
+				max = d
+			}
+			e.Spawn("p", func(p *Proc) { p.Sleep(d) })
+		}
+		return e.Run() == max && e.LiveProcs() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a resource of capacity c processing n unit jobs of duration d
+// finishes in ceil(n/c)*d.
+func TestPropertyResourceMakespan(t *testing.T) {
+	f := func(n8, c8 uint8) bool {
+		n := int(n8%50) + 1
+		c := int(c8%8) + 1
+		d := 10 * time.Millisecond
+		e := NewEngine(1)
+		r := NewResource(e, c)
+		for i := 0; i < n; i++ {
+			e.Spawn("j", func(p *Proc) { r.Use(p, 1, d) })
+		}
+		want := time.Duration((n+c-1)/c) * d
+		return e.Run() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Store preserves FIFO order for any input sequence.
+func TestPropertyStoreFIFO(t *testing.T) {
+	f := func(vals []int) bool {
+		e := NewEngine(1)
+		st := NewStore[int](e, 0)
+		var got []int
+		e.Spawn("c", func(p *Proc) {
+			for {
+				v, ok := st.Get(p)
+				if !ok {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+		e.Spawn("p", func(p *Proc) {
+			for _, v := range vals {
+				st.Put(p, v)
+			}
+			st.Close()
+		})
+		e.Run()
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	e := NewEngine(1)
+	var countdown func(n int)
+	countdown = func(n int) {
+		if n == 0 {
+			return
+		}
+		e.After(time.Microsecond, func() { countdown(n - 1) })
+	}
+	b.ResetTimer()
+	countdown(b.N)
+	e.Run()
+}
+
+func BenchmarkProcSpawnRun(b *testing.B) {
+	e := NewEngine(1)
+	for i := 0; i < b.N; i++ {
+		e.Spawn("p", func(p *Proc) { p.Sleep(time.Microsecond) })
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+func TestMonitorUtilization(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, 2)
+	// Hold 2/2 units for 5s, then 0 for ~5s while another proc idles.
+	e.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 2)
+		p.Sleep(5 * time.Second)
+		r.Release(2)
+	})
+	e.Spawn("idler", func(p *Proc) { p.Sleep(10 * time.Second) })
+	m := WatchResource(e, r, 100*time.Millisecond)
+	e.Run()
+	if len(m.Samples) < 50 {
+		t.Fatalf("samples = %d", len(m.Samples))
+	}
+	u := m.MeanUtilization()
+	if u < 0.4 || u > 0.6 {
+		t.Fatalf("mean utilization = %.2f, want ~0.5", u)
+	}
+	if m.PeakInUse() != 2 {
+		t.Fatalf("peak in use = %d", m.PeakInUse())
+	}
+}
+
+func TestMonitorQueueDepth(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, 1)
+	for i := 0; i < 5; i++ {
+		e.Spawn("u", func(p *Proc) { r.Use(p, 1, time.Second) })
+	}
+	m := WatchResource(e, r, 50*time.Millisecond)
+	end := e.Run()
+	if m.PeakQueue() < 3 {
+		t.Fatalf("peak queue = %d, want >= 3 (4 waiters initially)", m.PeakQueue())
+	}
+	// Monitor did not extend the simulation beyond the work (+1 tick).
+	if end > 5*time.Second+100*time.Millisecond {
+		t.Fatalf("monitor kept the clock running: end = %v", end)
+	}
+}
+
+func TestMonitorEmptyEngine(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, 1)
+	m := WatchResource(e, r, time.Second)
+	e.Run()
+	if len(m.Samples) != 1 {
+		t.Fatalf("samples on idle engine = %d, want 1", len(m.Samples))
+	}
+	if m.MeanUtilization() != 0 || m.PeakQueue() != 0 {
+		t.Fatal("idle stats nonzero")
+	}
+}

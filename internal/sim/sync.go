@@ -1,0 +1,293 @@
+package sim
+
+// Synchronization primitives for simulated processes. All wake-ups are
+// funneled through engine events scheduled at the current virtual time, so
+// a process releasing a resource never resumes another process directly;
+// determinism is preserved by the event queue's (time, seq) ordering.
+
+// Signal is a one-shot broadcast event: processes Wait until Fire is
+// called; waits after Fire return immediately.
+type Signal struct {
+	e       *Engine
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal returns an unfired signal bound to e.
+func NewSignal(e *Engine) *Signal { return &Signal{e: e} }
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire marks the signal fired and wakes all waiters. Safe to call from
+// either engine or process context; calling it twice is a no-op.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	ws := s.waiters
+	s.waiters = nil
+	for _, p := range ws {
+		p := p
+		s.e.After(0, p.wake)
+	}
+}
+
+// Wait parks p until the signal fires (or returns immediately if it
+// already has).
+func (s *Signal) Wait(p *Proc) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// Counter tracks an integer count, waking waiters when it reaches zero.
+// It is the simulation analogue of sync.WaitGroup.
+type Counter struct {
+	e       *Engine
+	n       int
+	waiters []*Proc
+}
+
+// NewCounter returns a counter with initial value n.
+func NewCounter(e *Engine, n int) *Counter { return &Counter{e: e, n: n} }
+
+// Add adjusts the count by delta. Decrementing below zero panics.
+func (c *Counter) Add(delta int) {
+	c.n += delta
+	if c.n < 0 {
+		panic("sim: Counter went negative")
+	}
+	if c.n == 0 {
+		ws := c.waiters
+		c.waiters = nil
+		for _, p := range ws {
+			p := p
+			c.e.After(0, p.wake)
+		}
+	}
+}
+
+// Done decrements the count by one.
+func (c *Counter) Done() { c.Add(-1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int { return c.n }
+
+// Wait parks p until the count is zero.
+func (c *Counter) Wait(p *Proc) {
+	if c.n == 0 {
+		return
+	}
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+type resWaiter struct {
+	p *Proc
+	n int
+}
+
+// Resource is a counted resource with a FIFO wait queue: CPU cores on a
+// node, bandwidth tokens of a filesystem, RPC slots of a scheduler.
+type Resource struct {
+	e       *Engine
+	cap     int
+	inUse   int
+	waiters []resWaiter
+	// granting guards against scheduling redundant dispatch events.
+	granting bool
+}
+
+// NewResource returns a resource with the given capacity. Capacity must be
+// positive.
+func NewResource(e *Engine, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: Resource capacity must be positive")
+	}
+	return &Resource{e: e, cap: capacity}
+}
+
+// Cap returns the capacity.
+func (r *Resource) Cap() int { return r.cap }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Available returns cap - inUse.
+func (r *Resource) Available() int { return r.cap - r.inUse }
+
+// QueueLen returns the number of waiting acquisitions.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquire obtains n units for p, parking until available. FIFO order is
+// strict: a large request at the head blocks smaller ones behind it, which
+// models non-overtaking admission (and avoids starvation).
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 || n > r.cap {
+		panic("sim: Resource.Acquire n out of range")
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.cap {
+		r.inUse += n
+		return
+	}
+	r.waiters = append(r.waiters, resWaiter{p: p, n: n})
+	p.park()
+}
+
+// TryAcquire obtains n units without waiting, reporting success.
+func (r *Resource) TryAcquire(n int) bool {
+	if n <= 0 || n > r.cap {
+		panic("sim: Resource.TryAcquire n out of range")
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.cap {
+		r.inUse += n
+		return true
+	}
+	return false
+}
+
+// Release returns n units and schedules waiter admission.
+func (r *Resource) Release(n int) {
+	r.inUse -= n
+	if r.inUse < 0 {
+		panic("sim: Resource.Release more than acquired")
+	}
+	r.scheduleGrant()
+}
+
+func (r *Resource) scheduleGrant() {
+	if r.granting || len(r.waiters) == 0 {
+		return
+	}
+	r.granting = true
+	r.e.After(0, func() {
+		r.granting = false
+		for len(r.waiters) > 0 {
+			w := r.waiters[0]
+			if r.inUse+w.n > r.cap {
+				break
+			}
+			r.waiters = r.waiters[1:]
+			r.inUse += w.n
+			w.p.wake()
+		}
+	})
+}
+
+// Use acquires n units, runs for d of virtual time, and releases. It is
+// the common "hold a resource while work happens" pattern.
+func (r *Resource) Use(p *Proc, n int, d Time) {
+	r.Acquire(p, n)
+	p.Sleep(d)
+	r.Release(n)
+}
+
+// Store is a FIFO queue of values with optional capacity, the simulation
+// analogue of a buffered channel. Put blocks when full (capacity > 0);
+// Get blocks when empty.
+type Store[T any] struct {
+	e       *Engine
+	cap     int // 0 = unbounded
+	items   []T
+	getters []*Proc
+	putters []*Proc
+	closed  bool
+	pumping bool
+}
+
+// NewStore returns a store with the given capacity; capacity 0 means
+// unbounded.
+func NewStore[T any](e *Engine, capacity int) *Store[T] {
+	return &Store[T]{e: e, cap: capacity}
+}
+
+// Len returns the number of buffered items.
+func (s *Store[T]) Len() int { return len(s.items) }
+
+// Closed reports whether Close has been called.
+func (s *Store[T]) Closed() bool { return s.closed }
+
+// Prefill appends items without blocking, for seeding free-lists before
+// processes start. It panics if the items exceed a bounded capacity.
+func (s *Store[T]) Prefill(items ...T) {
+	if s.cap > 0 && len(s.items)+len(items) > s.cap {
+		panic("sim: Prefill exceeds Store capacity")
+	}
+	s.items = append(s.items, items...)
+	s.pump()
+}
+
+// Put appends v, parking while the store is full. Put on a closed store
+// panics (a model bug).
+func (s *Store[T]) Put(p *Proc, v T) {
+	if s.closed {
+		panic("sim: Put on closed Store")
+	}
+	for s.cap > 0 && len(s.items) >= s.cap {
+		s.putters = append(s.putters, p)
+		p.park()
+		if s.closed {
+			panic("sim: Put on closed Store")
+		}
+	}
+	s.items = append(s.items, v)
+	s.pump()
+}
+
+// Get removes and returns the oldest item, parking while empty. ok is
+// false if the store was closed and drained.
+func (s *Store[T]) Get(p *Proc) (v T, ok bool) {
+	for len(s.items) == 0 {
+		if s.closed {
+			return v, false
+		}
+		s.getters = append(s.getters, p)
+		p.park()
+	}
+	v = s.items[0]
+	s.items = s.items[1:]
+	s.pump()
+	return v, true
+}
+
+// Close marks the store closed: pending and future Gets drain remaining
+// items then return ok=false.
+func (s *Store[T]) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.pump()
+}
+
+// pump schedules waiter wake-ups in engine context.
+func (s *Store[T]) pump() {
+	if s.pumping {
+		return
+	}
+	if len(s.getters) == 0 && len(s.putters) == 0 {
+		return
+	}
+	s.pumping = true
+	s.e.After(0, func() {
+		s.pumping = false
+		// Wake getters while items remain (or the store is closed, so
+		// they can observe it and finish).
+		for len(s.getters) > 0 && (len(s.items) > 0 || s.closed) {
+			g := s.getters[0]
+			s.getters = s.getters[1:]
+			g.wake()
+		}
+		// Wake putters while there is room (or closed, so they can
+		// panic visibly rather than hang).
+		for len(s.putters) > 0 && (s.cap == 0 || len(s.items) < s.cap || s.closed) {
+			w := s.putters[0]
+			s.putters = s.putters[1:]
+			w.wake()
+		}
+	})
+}

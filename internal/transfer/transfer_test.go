@@ -1,0 +1,298 @@
+package transfer
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func TestTreeBasics(t *testing.T) {
+	tr := NewTree()
+	tr.Add(File{Path: "b", Size: 2, Hash: 1})
+	tr.Add(File{Path: "a", Size: 1, Hash: 2})
+	if tr.Len() != 2 || tr.TotalBytes() != 3 {
+		t.Fatalf("len=%d bytes=%d", tr.Len(), tr.TotalBytes())
+	}
+	files := tr.Files()
+	if files[0].Path != "a" || files[1].Path != "b" {
+		t.Fatalf("files not sorted: %v", files)
+	}
+	if _, ok := tr.Lookup("a"); !ok {
+		t.Fatal("lookup failed")
+	}
+	tr.Remove("a")
+	if tr.Len() != 1 {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestDelta(t *testing.T) {
+	src := NewTree()
+	src.Add(File{Path: "same", Size: 10, Hash: 1})
+	src.Add(File{Path: "changed", Size: 10, Hash: 2})
+	src.Add(File{Path: "resized", Size: 20, Hash: 3})
+	src.Add(File{Path: "new", Size: 5, Hash: 4})
+	dst := NewTree()
+	dst.Add(File{Path: "same", Size: 10, Hash: 1})
+	dst.Add(File{Path: "changed", Size: 10, Hash: 99})
+	dst.Add(File{Path: "resized", Size: 10, Hash: 3})
+	dst.Add(File{Path: "extra", Size: 1, Hash: 5})
+
+	d := Delta(src, dst)
+	want := map[string]bool{"changed": true, "resized": true, "new": true}
+	if len(d) != 3 {
+		t.Fatalf("delta = %v", d)
+	}
+	for _, f := range d {
+		if !want[f.Path] {
+			t.Fatalf("unexpected delta entry %q", f.Path)
+		}
+	}
+	// Identical trees: empty delta.
+	if len(Delta(src, src)) != 0 {
+		t.Fatal("self-delta not empty")
+	}
+}
+
+func TestGenerateTreeDeterministic(t *testing.T) {
+	a := GenerateTree(500, 1<<20, 9)
+	b := GenerateTree(500, 1<<20, 9)
+	if a.Len() != 500 || a.TotalBytes() != b.TotalBytes() {
+		t.Fatalf("trees differ: %d/%d bytes %d/%d", a.Len(), b.Len(), a.TotalBytes(), b.TotalBytes())
+	}
+	if a.TotalBytes() < 100<<20 {
+		t.Fatalf("total bytes %d implausibly small for 500 x ~1MiB", a.TotalBytes())
+	}
+}
+
+func TestMutate(t *testing.T) {
+	a := GenerateTree(400, 1<<10, 3)
+	b := Mutate(a, 0.25, 4)
+	d := Delta(b, a)
+	if len(d) < 50 || len(d) > 160 {
+		t.Fatalf("mutated delta = %d files, want ~100", len(d))
+	}
+	if len(Delta(Mutate(a, 0, 5), a)) != 0 {
+		t.Fatal("zero-fraction mutate changed files")
+	}
+}
+
+func newDTNs(e *sim.Engine, n int) []*DTNNode {
+	c := cluster.New(e, cluster.DTN(), n, cluster.WithoutNVMe())
+	out := make([]*DTNNode, n)
+	for i, node := range c.Nodes {
+		out[i] = NewDTNNode(node)
+	}
+	return out
+}
+
+func TestDTNNodeThroughputCalibration(t *testing.T) {
+	// One node, 32 streams, plenty of large files: per-node throughput
+	// should approach the measured 2,385 Mb/s.
+	e := sim.NewEngine(1)
+	dtns := newDTNs(e, 1)
+	tree := GenerateTree(2000, 64<<20, 2) // ~128 GB
+	var rep Report
+	e.Spawn("xfer", func(p *sim.Proc) {
+		rep = RunParallelDTN(p, dtns, tree.Files(), 32, nil, nil)
+	})
+	e.Run()
+	mbps := rep.NodeThroughputMbps()[0]
+	if mbps < 1900 || mbps > 2600 {
+		t.Fatalf("node throughput = %.0f Mb/s, want ~2385", mbps)
+	}
+	if rep.Files != 2000 || rep.Bytes != tree.TotalBytes() {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestParallelVsSequentialSpeedup(t *testing.T) {
+	// 8 nodes x 32 streams vs one sequential stream: ~200x (paper).
+	// Many moderate files so no single file's stream-speed floor
+	// dominates the parallel tail.
+	tree := GenerateTree(6000, 8<<20, 5)
+	files := tree.Files()
+
+	e1 := sim.NewEngine(1)
+	seqDTN := newDTNs(e1, 1)
+	var seq Report
+	e1.Spawn("seq", func(p *sim.Proc) {
+		seq = RunSequential(p, seqDTN[0], files, nil, nil)
+	})
+	e1.Run()
+
+	e2 := sim.NewEngine(1)
+	dtns := newDTNs(e2, 8)
+	var par Report
+	e2.Spawn("par", func(p *sim.Proc) {
+		par = RunParallelDTN(p, dtns, files, 32, nil, nil)
+	})
+	e2.Run()
+
+	speedup := seq.Makespan.Seconds() / par.Makespan.Seconds()
+	if speedup < 150 || speedup > 260 {
+		t.Fatalf("speedup = %.0fx, want ~200x", speedup)
+	}
+	// Work distributed across all nodes.
+	for i, b := range par.NodeBytes {
+		if b == 0 {
+			t.Fatalf("node %d moved no data", i)
+		}
+	}
+}
+
+func TestParallelVsWMSProtocol(t *testing.T) {
+	tree := GenerateTree(1200, 4<<20, 6)
+	files := tree.Files()
+
+	run := func(f func(p *sim.Proc) Report) Report {
+		e := sim.NewEngine(1)
+		var rep Report
+		e.Spawn("driver", func(p *sim.Proc) { rep = f(p) })
+		e.Run()
+		return rep
+	}
+	par := run(func(p *sim.Proc) Report {
+		return RunParallelDTN(p, newDTNs(p.Engine(), 8), files, 32, nil, nil)
+	})
+	wms := run(func(p *sim.Proc) Report {
+		// Staging services typically run a small fixed stream pool.
+		return RunWMSProtocol(p, newDTNs(p.Engine(), 8), files, 2, nil, nil)
+	})
+	ratio := wms.Makespan.Seconds() / par.Makespan.Seconds()
+	if ratio < 10 {
+		t.Fatalf("WMS-protocol ratio = %.1fx, paper reports >10x", ratio)
+	}
+}
+
+// Property: delta(src, dst) applied to dst makes the trees equal.
+func TestPropertySyncConverges(t *testing.T) {
+	f := func(n16 uint16, frac8, seed8 uint8) bool {
+		n := int(n16%300) + 1
+		frac := float64(frac8%100) / 100
+		src := GenerateTree(n, 1<<12, uint64(seed8))
+		dst := Mutate(src, frac, uint64(seed8)+1)
+		for _, fl := range Delta(src, dst) {
+			dst.Add(fl)
+		}
+		return len(Delta(src, dst)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- real copier ------------------------------------------------------------
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o640); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanDir(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "a.txt"), "hello")
+	writeFile(t, filepath.Join(dir, "sub/b.txt"), "world!")
+	tr, err := ScanDir(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	f, ok := tr.Lookup("sub/b.txt")
+	if !ok || f.Size != 6 {
+		t.Fatalf("b.txt = %+v", f)
+	}
+	// Missing dir scans as empty.
+	empty, err := ScanDir(filepath.Join(dir, "missing"), false)
+	if err != nil || empty.Len() != 0 {
+		t.Fatalf("missing dir: %v %d", err, empty.Len())
+	}
+}
+
+func TestCopyTreeFullAndIncremental(t *testing.T) {
+	src := t.TempDir()
+	dst := t.TempDir()
+	writeFile(t, filepath.Join(src, "a.txt"), "alpha")
+	writeFile(t, filepath.Join(src, "d1/b.txt"), "bravo")
+	writeFile(t, filepath.Join(src, "d1/d2/c.txt"), "charlie")
+
+	stats, err := CopyTree(context.Background(), src, dst, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Copied != 3 || stats.Failed != 0 || stats.Bytes != int64(len("alphabravocharlie")) {
+		t.Fatalf("stats = %+v", stats)
+	}
+	got, err := os.ReadFile(filepath.Join(dst, "d1/d2/c.txt"))
+	if err != nil || string(got) != "charlie" {
+		t.Fatalf("copied content = %q, %v", got, err)
+	}
+
+	// Second run: nothing to do.
+	stats2, err := CopyTree(context.Background(), src, dst, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Copied != 0 || stats2.Skipped != 3 {
+		t.Fatalf("incremental stats = %+v", stats2)
+	}
+
+	// Modify one file: only it re-copies.
+	writeFile(t, filepath.Join(src, "a.txt"), "ALPHA2")
+	stats3, err := CopyTree(context.Background(), src, dst, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats3.Copied != 1 {
+		t.Fatalf("after modify: %+v", stats3)
+	}
+	got, _ = os.ReadFile(filepath.Join(dst, "a.txt"))
+	if string(got) != "ALPHA2" {
+		t.Fatalf("updated content = %q", got)
+	}
+}
+
+func TestCopyTreePreservesMode(t *testing.T) {
+	src := t.TempDir()
+	dst := t.TempDir()
+	p := filepath.Join(src, "script.sh")
+	writeFile(t, p, "#!/bin/sh\n")
+	os.Chmod(p, 0o755)
+	if _, err := CopyTree(context.Background(), src, dst, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(filepath.Join(dst, "script.sh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o755 {
+		t.Fatalf("mode = %v", info.Mode())
+	}
+}
+
+func TestCopyTreeNoPartialFiles(t *testing.T) {
+	src := t.TempDir()
+	dst := t.TempDir()
+	writeFile(t, filepath.Join(src, "x"), "data")
+	if _, err := CopyTree(context.Background(), src, dst, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dst)
+	for _, e := range entries {
+		if e.Name() != "x" {
+			t.Fatalf("leftover temp file %q", e.Name())
+		}
+	}
+}

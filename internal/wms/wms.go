@@ -1,0 +1,154 @@
+// Package wms implements the baseline launchers the paper's argument is
+// made against:
+//
+//   - A centralized workflow-management-system (WMS) orchestrator whose
+//     per-task bookkeeping cost grows with workflow size. It is calibrated
+//     to the WfBench/Swift-T measurements the paper cites (§II): ~500s of
+//     pure orchestration overhead at 50,000 tasks and ~5,000s at 100,000
+//     tasks, with zero compute and zero data movement.
+//
+//   - A static pre-split launcher (xargs -P style): inputs divided among
+//     slots up front with no greedy refill, the ablation that shows where
+//     GNU Parallel's dynamic slot model wins.
+package wms
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Overhead models total orchestration overhead as a power law
+// Total(n) = Scale * (n/RefTasks)^(Power+1), realized as a per-task
+// marginal cost that grows with the number of tasks already dispatched
+// (central data structures, task tables, provenance bookkeeping).
+type Overhead struct {
+	Scale    time.Duration // total overhead at RefTasks tasks
+	RefTasks int
+	Power    float64 // marginal-cost exponent (total exponent is Power+1)
+}
+
+// SwiftT returns the overhead calibrated to the paper's §II citation:
+// 500 s at 50 k tasks, 5,000 s at 100 k tasks — a 10x for 2x, so the
+// total scales as n^log2(10) ≈ n^3.32.
+func SwiftT() Overhead {
+	return Overhead{
+		Scale:    500 * time.Second,
+		RefTasks: 50_000,
+		Power:    math.Log2(10) - 1, // ≈ 2.32
+	}
+}
+
+// Total returns the closed-form total orchestration overhead for n tasks.
+func (o Overhead) Total(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	frac := float64(n) / float64(o.RefTasks)
+	return time.Duration(float64(o.Scale) * math.Pow(frac, o.Power+1))
+}
+
+// PerTask returns the marginal dispatch cost of task i (1-based), the
+// derivative of Total: cost(i) = Scale*(Power+1)/RefTasks * (i/Ref)^Power.
+func (o Overhead) PerTask(i int) time.Duration {
+	if i < 1 {
+		i = 1
+	}
+	c := float64(o.Scale) * (o.Power + 1) / float64(o.RefTasks)
+	return time.Duration(c * math.Pow(float64(i)/float64(o.RefTasks), o.Power))
+}
+
+// Report summarizes a baseline run.
+type Report struct {
+	Tasks    int
+	Makespan time.Duration
+	// OverheadTime is the orchestrator's cumulative dispatch cost.
+	OverheadTime time.Duration
+}
+
+// RunCentral simulates a centralized WMS executing n tasks of the given
+// payload duration through slots parallel workers, called from process p.
+// The orchestrator dispatches serially, paying the growing per-task cost;
+// workers run payloads concurrently. Returns the report.
+func RunCentral(p *sim.Proc, o Overhead, n, slots int, payload time.Duration) Report {
+	e := p.Engine()
+	if slots < 1 {
+		slots = 1
+	}
+	pool := sim.NewResource(e, slots)
+	wg := sim.NewCounter(e, n)
+	start := p.Now()
+	var overhead time.Duration
+	for i := 1; i <= n; i++ {
+		cost := o.PerTask(i)
+		overhead += cost
+		p.Sleep(cost)
+		pool.Acquire(p, 1)
+		e.Spawn("wms-task", func(tp *sim.Proc) {
+			if payload > 0 {
+				tp.Sleep(payload)
+			}
+			pool.Release(1)
+			wg.Done()
+		})
+	}
+	wg.Wait(p)
+	return Report{Tasks: n, Makespan: p.Now() - start, OverheadTime: overhead}
+}
+
+// RunStaticSplit simulates an xargs-P-style launcher: tasks are divided
+// among slots in contiguous chunks up front; each worker executes its
+// chunk serially with the given per-launch cost; there is no work
+// stealing or refill. durations[i] is task i's payload time.
+func RunStaticSplit(p *sim.Proc, slots int, launchCost time.Duration, durations []time.Duration) Report {
+	e := p.Engine()
+	if slots < 1 {
+		slots = 1
+	}
+	n := len(durations)
+	wg := sim.NewCounter(e, slots)
+	start := p.Now()
+	chunk := (n + slots - 1) / slots
+	for w := 0; w < slots; w++ {
+		lo := min(w*chunk, n)
+		hi := min(lo+chunk, n)
+		mine := durations[lo:hi]
+		e.Spawn("xargs-worker", func(wp *sim.Proc) {
+			for _, d := range mine {
+				wp.Sleep(launchCost)
+				wp.Sleep(d)
+			}
+			wg.Done()
+		})
+	}
+	wg.Wait(p)
+	return Report{Tasks: n, Makespan: p.Now() - start,
+		OverheadTime: time.Duration(n) * launchCost}
+}
+
+// RunGreedy simulates the GNU-Parallel execution model with the same
+// interface as RunStaticSplit, for apples-to-apples ablation: a serial
+// dispatcher pays launchCost per task and refills slots greedily.
+func RunGreedy(p *sim.Proc, slots int, launchCost time.Duration, durations []time.Duration) Report {
+	e := p.Engine()
+	if slots < 1 {
+		slots = 1
+	}
+	pool := sim.NewResource(e, slots)
+	wg := sim.NewCounter(e, len(durations))
+	start := p.Now()
+	for _, d := range durations {
+		d := d
+		pool.Acquire(p, 1)
+		p.Sleep(launchCost)
+		e.Spawn("par-task", func(tp *sim.Proc) {
+			tp.Sleep(d)
+			pool.Release(1)
+			wg.Done()
+		})
+	}
+	wg.Wait(p)
+	return Report{Tasks: len(durations), Makespan: p.Now() - start,
+		OverheadTime: time.Duration(len(durations)) * launchCost}
+}

@@ -1,0 +1,204 @@
+package wms
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestSwiftTCalibration(t *testing.T) {
+	o := SwiftT()
+	at50k := o.Total(50_000).Seconds()
+	at100k := o.Total(100_000).Seconds()
+	if math.Abs(at50k-500) > 5 {
+		t.Fatalf("Total(50k) = %.0fs, want ~500s", at50k)
+	}
+	if math.Abs(at100k-5000) > 50 {
+		t.Fatalf("Total(100k) = %.0fs, want ~5000s", at100k)
+	}
+	if o.Total(0) != 0 {
+		t.Fatal("Total(0) != 0")
+	}
+}
+
+func TestPerTaskIntegratesToTotal(t *testing.T) {
+	o := SwiftT()
+	n := 20_000
+	var sum time.Duration
+	for i := 1; i <= n; i++ {
+		sum += o.PerTask(i)
+	}
+	total := o.Total(n)
+	ratio := float64(sum) / float64(total)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("sum of PerTask = %v, Total = %v (ratio %.3f)", sum, total, ratio)
+	}
+}
+
+func TestPerTaskMonotone(t *testing.T) {
+	o := SwiftT()
+	if o.PerTask(0) != o.PerTask(1) {
+		t.Fatal("PerTask(0) should clamp to PerTask(1)")
+	}
+	prev := time.Duration(0)
+	for _, i := range []int{1, 100, 10_000, 50_000, 100_000} {
+		c := o.PerTask(i)
+		if c < prev {
+			t.Fatalf("PerTask not monotone at %d", i)
+		}
+		prev = c
+	}
+}
+
+func TestRunCentralOverheadDominates(t *testing.T) {
+	// Zero-payload tasks: makespan ~ orchestration overhead, which is
+	// the WfBench observation.
+	e := sim.NewEngine(1)
+	var rep Report
+	e.Spawn("wms", func(p *sim.Proc) {
+		rep = RunCentral(p, SwiftT(), 10_000, 128, 0)
+	})
+	e.Run()
+	if rep.Tasks != 10_000 {
+		t.Fatalf("tasks = %d", rep.Tasks)
+	}
+	want := SwiftT().Total(10_000)
+	ratio := float64(rep.Makespan) / float64(want)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("makespan %v vs closed-form %v", rep.Makespan, want)
+	}
+}
+
+func TestRunCentralWithPayloadStillSerializedByDispatcher(t *testing.T) {
+	e := sim.NewEngine(1)
+	var rep Report
+	e.Spawn("wms", func(p *sim.Proc) {
+		rep = RunCentral(p, SwiftT(), 1_000, 8, 10*time.Millisecond)
+	})
+	e.Run()
+	if rep.Makespan < rep.OverheadTime {
+		t.Fatalf("makespan %v < overhead %v", rep.Makespan, rep.OverheadTime)
+	}
+}
+
+func TestStaticSplitStragglerPenalty(t *testing.T) {
+	// Heterogeneous durations: one chunk accumulates the long tasks.
+	// Greedy refill balances; static split does not.
+	durations := make([]time.Duration, 64)
+	for i := range durations {
+		if i < 8 {
+			durations[i] = 8 * time.Second // long tasks cluster up front
+		} else {
+			durations[i] = 100 * time.Millisecond
+		}
+	}
+	run := func(f func(p *sim.Proc) Report) Report {
+		e := sim.NewEngine(1)
+		var rep Report
+		e.Spawn("driver", func(p *sim.Proc) { rep = f(p) })
+		e.Run()
+		return rep
+	}
+	static := run(func(p *sim.Proc) Report {
+		return RunStaticSplit(p, 8, time.Millisecond, durations)
+	})
+	greedy := run(func(p *sim.Proc) Report {
+		return RunGreedy(p, 8, time.Millisecond, durations)
+	})
+	// Static: the first chunk holds all 8 long tasks serially = 64s.
+	// Greedy: 8 long tasks run concurrently ~ 8s + change.
+	if static.Makespan < 60*time.Second {
+		t.Fatalf("static makespan = %v, expected straggler chunk ~64s", static.Makespan)
+	}
+	if greedy.Makespan > 12*time.Second {
+		t.Fatalf("greedy makespan = %v, expected ~9s", greedy.Makespan)
+	}
+	if float64(static.Makespan) < 4*float64(greedy.Makespan) {
+		t.Fatalf("static (%v) should be >=4x greedy (%v) here", static.Makespan, greedy.Makespan)
+	}
+}
+
+func TestStaticSplitUniformIsFine(t *testing.T) {
+	// With uniform tasks the two strategies are comparable — the
+	// ablation's control case.
+	durations := make([]time.Duration, 64)
+	for i := range durations {
+		durations[i] = time.Second
+	}
+	e := sim.NewEngine(1)
+	var static, greedy Report
+	e.Spawn("driver", func(p *sim.Proc) {
+		static = RunStaticSplit(p, 8, time.Millisecond, durations)
+		greedy = RunGreedy(p, 8, time.Millisecond, durations)
+	})
+	e.Run()
+	ratio := float64(static.Makespan) / float64(greedy.Makespan)
+	if ratio > 1.1 || ratio < 0.9 {
+		t.Fatalf("uniform: static %v vs greedy %v", static.Makespan, greedy.Makespan)
+	}
+}
+
+func TestRunGreedyEmptyAndTiny(t *testing.T) {
+	e := sim.NewEngine(1)
+	var rep Report
+	e.Spawn("driver", func(p *sim.Proc) {
+		rep = RunGreedy(p, 4, time.Millisecond, nil)
+	})
+	e.Run()
+	if rep.Tasks != 0 || rep.Makespan != 0 {
+		t.Fatalf("empty greedy run: %+v", rep)
+	}
+}
+
+func TestStaticSplitMoreSlotsThanTasks(t *testing.T) {
+	e := sim.NewEngine(1)
+	var rep Report
+	e.Spawn("driver", func(p *sim.Proc) {
+		rep = RunStaticSplit(p, 16, 0, []time.Duration{time.Second, time.Second})
+	})
+	e.Run()
+	if rep.Makespan != time.Second {
+		t.Fatalf("makespan = %v, want 1s", rep.Makespan)
+	}
+}
+
+// Property: greedy dispatch obeys Graham's list-scheduling bound. Any
+// feasible schedule (static split included) is >= OPT, so
+// greedy <= (2 - 1/m)·OPT <= (2 - 1/m)·static; and greedy is never below
+// the trivial lower bound max(sum/m, max task).
+func TestPropertyGreedyGrahamBound(t *testing.T) {
+	f := func(ms []uint16, k8 uint8) bool {
+		if len(ms) == 0 || len(ms) > 40 {
+			return true
+		}
+		slots := int(k8%8) + 1
+		durations := make([]time.Duration, len(ms))
+		var sum, maxd time.Duration
+		for i, m := range ms {
+			durations[i] = time.Duration(m%2000) * time.Millisecond
+			sum += durations[i]
+			if durations[i] > maxd {
+				maxd = durations[i]
+			}
+		}
+		e := sim.NewEngine(9)
+		var static, greedy Report
+		e.Spawn("driver", func(p *sim.Proc) {
+			greedy = RunGreedy(p, slots, 0, durations)
+			static = RunStaticSplit(p, slots, 0, durations)
+		})
+		e.Run()
+		lb := sum / time.Duration(slots)
+		if maxd > lb {
+			lb = maxd
+		}
+		graham := (2 - 1/float64(slots)) * float64(static.Makespan)
+		return float64(greedy.Makespan) <= graham+1 && greedy.Makespan >= lb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

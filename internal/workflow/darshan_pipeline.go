@@ -1,0 +1,156 @@
+package workflow
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Dataset is one unit of the archival corpus (roughly one year of logs in
+// the paper's five-dataset split).
+type Dataset struct {
+	Name  string
+	Bytes int64
+	Files int
+}
+
+// PipelineConfig parameterizes the Fig 7 Darshan processing pipeline.
+type PipelineConfig struct {
+	Datasets []Dataset
+	// Lustre and NVMe are the two storage tiers.
+	Lustre, NVMe *storage.FS
+	// ProcRateLustre/ProcRateNVMe are end-to-end processing rates
+	// (bytes/s) when the analyzer reads from each tier. Calibrated so a
+	// paper-sized dataset takes 86 min from Lustre and 68 min from
+	// NVMe.
+	ProcRateLustre, ProcRateNVMe float64
+	// CopyStreams is the number of parallel rsync processes used by the
+	// prefetch copy.
+	CopyStreams int
+}
+
+// DefaultPipelineConfig reproduces the paper's published stage times:
+// five 1 TB datasets; 1 TB / 86 min ≈ 193.8 MB/s from Lustre and
+// 1 TB / 68 min ≈ 245.1 MB/s from NVMe.
+func DefaultPipelineConfig(lustre, nvme *storage.FS) PipelineConfig {
+	const tb = int64(1) << 40
+	var ds []Dataset
+	for i := 1; i <= 5; i++ {
+		ds = append(ds, Dataset{Name: fmt.Sprintf("year%d", i), Bytes: tb, Files: 50_000})
+	}
+	return PipelineConfig{
+		Datasets:       ds,
+		Lustre:         lustre,
+		NVMe:           nvme,
+		ProcRateLustre: float64(tb) / (86 * 60),
+		ProcRateNVMe:   float64(tb) / (68 * 60),
+		CopyStreams:    32,
+	}
+}
+
+// PipelineResult reports one pipeline execution.
+type PipelineResult struct {
+	Stages []StageTime
+	Total  time.Duration
+}
+
+// process models the analyzer consuming a dataset from a tier at the
+// given rate: chunked reads through the filesystem model so contention is
+// visible, with compute padding to hit the end-to-end rate.
+func process(p *sim.Proc, fs *storage.FS, ds Dataset, rate float64) {
+	const chunks = 64
+	chunk := ds.Bytes / chunks
+	perChunk := sim.Dur(float64(ds.Bytes) / rate / chunks)
+	for i := 0; i < chunks; i++ {
+		readStart := p.Now()
+		fs.Read(p, chunk)
+		readTime := p.Now() - readStart
+		if compute := perChunk - readTime; compute > 0 {
+			p.Sleep(compute)
+		}
+	}
+}
+
+// prefetch copies a dataset Lustre→NVMe with the configured parallel
+// streams (the GNU-Parallel-driven rsync step of Fig 7).
+func prefetch(p *sim.Proc, cfg PipelineConfig, ds Dataset) {
+	e := p.Engine()
+	streams := cfg.CopyStreams
+	if streams < 1 {
+		streams = 1
+	}
+	per := ds.Bytes / int64(streams)
+	wg := sim.NewCounter(e, streams)
+	for s := 0; s < streams; s++ {
+		e.Spawn("rsync", func(sp *sim.Proc) {
+			storage.Copy(sp, cfg.Lustre, cfg.NVMe, per)
+			wg.Done()
+		})
+	}
+	wg.Wait(p)
+}
+
+// cleanup deletes a processed dataset from NVMe (metadata-weight only).
+func cleanup(p *sim.Proc, cfg PipelineConfig, ds Dataset) {
+	// Unlinking tens of thousands of files: batch as a hundred
+	// metadata ops on the local filesystem model.
+	ops := ds.Files / 500
+	if ops < 1 {
+		ops = 1
+	}
+	for i := 0; i < ops; i++ {
+		cfg.NVMe.Unlink(p)
+	}
+}
+
+// RunStaged executes the Fig 7 pipeline: stage 1 processes dataset 1
+// straight from Lustre while prefetching dataset 2 to NVMe; each later
+// stage processes from NVMe while prefetching the next dataset and
+// deleting the previous one.
+func RunStaged(p *sim.Proc, cfg PipelineConfig) PipelineResult {
+	n := len(cfg.Datasets)
+	var stages []Stage
+	for i := 0; i < n; i++ {
+		i := i
+		st := Stage{Name: fmt.Sprintf("stage%d", i+1)}
+		if i == 0 {
+			st.Ops = append(st.Ops, Op{Name: "process-lustre", Run: func(sp *sim.Proc) {
+				process(sp, cfg.Lustre, cfg.Datasets[0], cfg.ProcRateLustre)
+			}})
+		} else {
+			st.Ops = append(st.Ops, Op{Name: "process-nvme", Run: func(sp *sim.Proc) {
+				process(sp, cfg.NVMe, cfg.Datasets[i], cfg.ProcRateNVMe)
+			}})
+			st.Ops = append(st.Ops, Op{Name: "cleanup", Run: func(sp *sim.Proc) {
+				cleanup(sp, cfg, cfg.Datasets[i-1])
+			}})
+		}
+		if i+1 < n {
+			st.Ops = append(st.Ops, Op{Name: "prefetch", Run: func(sp *sim.Proc) {
+				prefetch(sp, cfg, cfg.Datasets[i+1])
+			}})
+		}
+		stages = append(stages, st)
+	}
+	times := RunStages(p, stages)
+	return PipelineResult{Stages: times, Total: Total(times)}
+}
+
+// RunLustreOnly is the baseline: every dataset processed directly from
+// Lustre, sequentially (the estimated 86 x 5 = 430 min of §IV-B).
+func RunLustreOnly(p *sim.Proc, cfg PipelineConfig) PipelineResult {
+	var stages []Stage
+	for i := range cfg.Datasets {
+		i := i
+		stages = append(stages, Stage{
+			Name: fmt.Sprintf("stage%d", i+1),
+			Ops: []Op{{Name: "process-lustre", Run: func(sp *sim.Proc) {
+				process(sp, cfg.Lustre, cfg.Datasets[i], cfg.ProcRateLustre)
+			}}},
+		})
+	}
+	times := RunStages(p, stages)
+	return PipelineResult{Stages: times, Total: Total(times)}
+}

@@ -1,0 +1,140 @@
+package workflow
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// FetchProcessConfig parameterizes the §IV-A motivating example: a
+// getdata loop downloading images from R regions every Interval, and a
+// procdata consumer processing batches as their timestamps appear in the
+// queue file.
+type FetchProcessConfig struct {
+	// Batches is how many download rounds the fetcher performs.
+	Batches int
+	// Regions is the number of concurrent downloads per round (8 in
+	// Listing 2).
+	Regions int
+	// Interval is the fetch loop period (30 s in Listing 2).
+	Interval time.Duration
+	// FetchTime is the duration of one region download.
+	FetchTime time.Duration
+	// ProcessTime is the compute time for one batch (the convert run).
+	ProcessTime time.Duration
+	// ProcJobs is the processing parallelism (-j8 in Listing 3).
+	ProcJobs int
+}
+
+// DefaultFetchProcess mirrors Listing 2/3's shape: 8-region fetch rounds
+// every 30s, with batch processing slower than the fetch interval so the
+// coupling strategy matters.
+func DefaultFetchProcess() FetchProcessConfig {
+	return FetchProcessConfig{
+		Batches:     10,
+		Regions:     8,
+		Interval:    30 * time.Second,
+		FetchTime:   6 * time.Second,
+		ProcessTime: 40 * time.Second,
+		ProcJobs:    4,
+	}
+}
+
+// FetchProcessResult compares the two stage-coupling strategies.
+type FetchProcessResult struct {
+	Makespan time.Duration
+	// Processed counts batches that completed processing.
+	Processed int
+}
+
+// RunOverlapped executes fetch and process as concurrent stages linked by
+// a queue (the paper's `tail -f q.proc | parallel` pattern): each batch's
+// processing starts as soon as its timestamp lands in the queue.
+func RunOverlapped(p *sim.Proc, cfg FetchProcessConfig) FetchProcessResult {
+	e := p.Engine()
+	queue := sim.NewStore[int](e, 0)
+	procSlots := sim.NewResource(e, cfg.ProcJobs)
+	done := sim.NewCounter(e, cfg.Batches)
+	start := p.Now()
+	processed := 0
+
+	// getdata: every Interval, download Regions images concurrently,
+	// then append the batch timestamp to the queue.
+	e.Spawn("getdata", func(fp *sim.Proc) {
+		for b := 0; b < cfg.Batches; b++ {
+			roundStart := fp.Now()
+			wg := sim.NewCounter(e, cfg.Regions)
+			for r := 0; r < cfg.Regions; r++ {
+				e.Spawn("curl", func(cp *sim.Proc) {
+					cp.Sleep(cp.Engine().RNG().Split("fetch").Jitter(cfg.FetchTime, 0.2))
+					wg.Done()
+				})
+			}
+			wg.Wait(fp)
+			queue.Put(fp, b)
+			if wait := cfg.Interval - (fp.Now() - roundStart); wait > 0 && b+1 < cfg.Batches {
+				fp.Sleep(wait)
+			}
+		}
+		queue.Close()
+	})
+
+	// procdata: tail the queue, process each batch with slot-limited
+	// parallelism.
+	e.Spawn("procdata", func(pp *sim.Proc) {
+		for {
+			b, ok := queue.Get(pp)
+			if !ok {
+				return
+			}
+			_ = b
+			procSlots.Acquire(pp, 1)
+			e.Spawn("convert", func(cp *sim.Proc) {
+				cp.Sleep(cfg.ProcessTime)
+				procSlots.Release(1)
+				processed++
+				done.Done()
+			})
+		}
+	})
+
+	done.Wait(p)
+	return FetchProcessResult{Makespan: p.Now() - start, Processed: processed}
+}
+
+// RunBarriered is the naive alternative: fetch everything, then process
+// everything (a hard barrier between the stages).
+func RunBarriered(p *sim.Proc, cfg FetchProcessConfig) FetchProcessResult {
+	e := p.Engine()
+	start := p.Now()
+	// Fetch phase.
+	for b := 0; b < cfg.Batches; b++ {
+		roundStart := p.Now()
+		wg := sim.NewCounter(e, cfg.Regions)
+		for r := 0; r < cfg.Regions; r++ {
+			e.Spawn("curl", func(cp *sim.Proc) {
+				cp.Sleep(cp.Engine().RNG().Split("fetch").Jitter(cfg.FetchTime, 0.2))
+				wg.Done()
+			})
+		}
+		wg.Wait(p)
+		if wait := cfg.Interval - (p.Now() - roundStart); wait > 0 && b+1 < cfg.Batches {
+			p.Sleep(wait)
+		}
+	}
+	// Process phase.
+	slots := sim.NewResource(e, cfg.ProcJobs)
+	done := sim.NewCounter(e, cfg.Batches)
+	processed := 0
+	for b := 0; b < cfg.Batches; b++ {
+		slots.Acquire(p, 1)
+		e.Spawn("convert", func(cp *sim.Proc) {
+			cp.Sleep(cfg.ProcessTime)
+			slots.Release(1)
+			processed++
+			done.Done()
+		})
+	}
+	done.Wait(p)
+	return FetchProcessResult{Makespan: p.Now() - start, Processed: processed}
+}

@@ -1,0 +1,275 @@
+package workflow
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Graph composes real executions (typically engine runs) with
+// dependencies — the generalization of Fig 6's two-stage barrier, and the
+// concrete form of the paper's closing claim that the launcher serves as
+// a "last-mile parallelizing driver" inside larger workflows: each graph
+// node is usually one `parallel` invocation over many tasks.
+//
+// Nodes run as soon as all dependencies succeed; independent nodes run
+// concurrently (bounded by the limit given to Run). A failed node marks
+// its transitive dependents skipped.
+type Graph struct {
+	nodes map[string]*gnode
+	order []string // insertion order, for deterministic reporting
+}
+
+type gnode struct {
+	name string
+	deps []string
+	run  func(ctx context.Context) error
+}
+
+// NodeStatus is a node's outcome.
+type NodeStatus int
+
+const (
+	// NodeSucceeded: ran and returned nil.
+	NodeSucceeded NodeStatus = iota
+	// NodeFailed: ran and returned an error.
+	NodeFailed
+	// NodeSkipped: not run because a dependency failed or was skipped.
+	NodeSkipped
+)
+
+func (s NodeStatus) String() string {
+	switch s {
+	case NodeSucceeded:
+		return "succeeded"
+	case NodeFailed:
+		return "failed"
+	default:
+		return "skipped"
+	}
+}
+
+// NodeResult reports one node.
+type NodeResult struct {
+	Name       string
+	Status     NodeStatus
+	Err        error
+	Start, End time.Time
+}
+
+// GraphReport summarizes a graph run.
+type GraphReport struct {
+	Nodes    map[string]NodeResult
+	Makespan time.Duration
+}
+
+// Failed returns the names of failed nodes, sorted.
+func (r GraphReport) Failed() []string {
+	var out []string
+	for name, n := range r.Nodes {
+		if n.Status == NodeFailed {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{nodes: map[string]*gnode{}} }
+
+// Add registers a node. Duplicate names are an error; dependencies are
+// validated at Run (so nodes may be added in any order).
+func (g *Graph) Add(name string, deps []string, run func(ctx context.Context) error) error {
+	if name == "" {
+		return fmt.Errorf("workflow: empty node name")
+	}
+	if _, dup := g.nodes[name]; dup {
+		return fmt.Errorf("workflow: duplicate node %q", name)
+	}
+	if run == nil {
+		return fmt.Errorf("workflow: node %q has no run function", name)
+	}
+	g.nodes[name] = &gnode{name: name, deps: append([]string(nil), deps...), run: run}
+	g.order = append(g.order, name)
+	return nil
+}
+
+// validate checks for unknown dependencies and cycles (Kahn's algorithm).
+func (g *Graph) validate() error {
+	indeg := map[string]int{}
+	for name, n := range g.nodes {
+		if _, ok := indeg[name]; !ok {
+			indeg[name] = 0
+		}
+		for _, d := range n.deps {
+			if _, ok := g.nodes[d]; !ok {
+				return fmt.Errorf("workflow: node %q depends on unknown node %q", name, d)
+			}
+			indeg[name]++
+		}
+	}
+	queue := []string{}
+	for name, d := range indeg {
+		if d == 0 {
+			queue = append(queue, name)
+		}
+	}
+	seen := 0
+	dependents := map[string][]string{}
+	for name, n := range g.nodes {
+		for _, d := range n.deps {
+			dependents[d] = append(dependents[d], name)
+		}
+	}
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, dep := range dependents[name] {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				queue = append(queue, dep)
+			}
+		}
+	}
+	if seen != len(g.nodes) {
+		return fmt.Errorf("workflow: dependency cycle among %d node(s)", len(g.nodes)-seen)
+	}
+	return nil
+}
+
+// Run executes the graph with at most maxConcurrent nodes running at
+// once (<=0 means unlimited). It returns the report and a non-nil error
+// if any node failed, was skipped, or the context was cancelled.
+func (g *Graph) Run(ctx context.Context, maxConcurrent int) (GraphReport, error) {
+	rep := GraphReport{Nodes: map[string]NodeResult{}}
+	if err := g.validate(); err != nil {
+		return rep, err
+	}
+	start := time.Now()
+
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	state := map[string]NodeStatus{}
+	done := map[string]bool{}
+	running := 0
+
+	// Wake all waiters when ctx dies so the scheduler can unwind.
+	stopWatch := context.AfterFunc(ctx, func() {
+		mu.Lock()
+		cond.Broadcast()
+		mu.Unlock()
+	})
+	defer stopWatch()
+
+	ready := func(n *gnode) (runnable bool, skip bool) {
+		for _, d := range n.deps {
+			if !done[d] {
+				return false, false
+			}
+			if state[d] != NodeSucceeded {
+				return false, true
+			}
+		}
+		return true, false
+	}
+
+	var wg sync.WaitGroup
+	mu.Lock()
+	remaining := len(g.nodes)
+	for remaining > 0 && ctx.Err() == nil {
+		launched := false
+		for _, name := range g.order {
+			n := g.nodes[name]
+			if done[name] || state[name] == NodeSkipped {
+				continue
+			}
+			if _, started := rep.Nodes[name]; started {
+				continue
+			}
+			runnable, skip := ready(n)
+			if skip {
+				state[name] = NodeSkipped
+				done[name] = true
+				rep.Nodes[name] = NodeResult{Name: name, Status: NodeSkipped}
+				remaining--
+				launched = true
+				continue
+			}
+			if !runnable || (maxConcurrent > 0 && running >= maxConcurrent) {
+				continue
+			}
+			running++
+			rep.Nodes[name] = NodeResult{Name: name} // mark started
+			wg.Add(1)
+			launched = true
+			go func(n *gnode) {
+				defer wg.Done()
+				res := NodeResult{Name: n.name, Start: time.Now()}
+				err := n.run(ctx)
+				res.End = time.Now()
+				if err != nil {
+					res.Status = NodeFailed
+					res.Err = err
+				} else {
+					res.Status = NodeSucceeded
+				}
+				mu.Lock()
+				state[n.name] = res.Status
+				done[n.name] = true
+				rep.Nodes[n.name] = res
+				running--
+				remaining--
+				cond.Broadcast()
+				mu.Unlock()
+			}(n)
+		}
+		if remaining == 0 {
+			break
+		}
+		if !launched {
+			cond.Wait()
+		}
+	}
+	cancelled := ctx.Err()
+	mu.Unlock()
+	wg.Wait()
+
+	// Anything never started (cancellation) is skipped.
+	mu.Lock()
+	for _, name := range g.order {
+		if _, ok := rep.Nodes[name]; !ok {
+			rep.Nodes[name] = NodeResult{Name: name, Status: NodeSkipped}
+		} else if r := rep.Nodes[name]; r.Start.IsZero() && r.Status == NodeSucceeded && r.Err == nil && r.End.IsZero() {
+			// Started marker that never completed (cancelled before run).
+			r.Status = NodeSkipped
+			rep.Nodes[name] = r
+		}
+	}
+	mu.Unlock()
+	rep.Makespan = time.Since(start)
+
+	if cancelled != nil {
+		return rep, cancelled
+	}
+	for _, name := range g.order {
+		if rep.Nodes[name].Status != NodeSucceeded {
+			return rep, fmt.Errorf("workflow: %d node(s) did not succeed (first: %s %s)",
+				countNotSucceeded(rep), name, rep.Nodes[name].Status)
+		}
+	}
+	return rep, nil
+}
+
+func countNotSucceeded(rep GraphReport) int {
+	n := 0
+	for _, r := range rep.Nodes {
+		if r.Status != NodeSucceeded {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,191 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func record(order *[]string, mu *sync.Mutex, name string) func(context.Context) error {
+	return func(ctx context.Context) error {
+		mu.Lock()
+		*order = append(*order, name)
+		mu.Unlock()
+		return nil
+	}
+}
+
+func TestGraphTopologicalOrder(t *testing.T) {
+	g := NewGraph()
+	var order []string
+	var mu sync.Mutex
+	g.Add("fetch", nil, record(&order, &mu, "fetch"))
+	g.Add("process", []string{"fetch"}, record(&order, &mu, "process"))
+	g.Add("publish", []string{"process"}, record(&order, &mu, "publish"))
+	rep, err := g.Run(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "fetch" || order[1] != "process" || order[2] != "publish" {
+		t.Fatalf("order = %v", order)
+	}
+	for _, n := range rep.Nodes {
+		if n.Status != NodeSucceeded {
+			t.Fatalf("node %s = %s", n.Name, n.Status)
+		}
+	}
+}
+
+func TestGraphDiamondConcurrency(t *testing.T) {
+	// A -> (B, C) -> D: B and C overlap.
+	g := NewGraph()
+	var cur, peak atomic.Int64
+	slow := func(ctx context.Context) error {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(30 * time.Millisecond)
+		cur.Add(-1)
+		return nil
+	}
+	g.Add("A", nil, slow)
+	g.Add("B", []string{"A"}, slow)
+	g.Add("C", []string{"A"}, slow)
+	g.Add("D", []string{"B", "C"}, slow)
+	if _, err := g.Run(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrency = %d; B and C did not overlap", peak.Load())
+	}
+}
+
+func TestGraphConcurrencyBound(t *testing.T) {
+	g := NewGraph()
+	var cur, peak atomic.Int64
+	task := func(ctx context.Context) error {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+		cur.Add(-1)
+		return nil
+	}
+	for _, name := range []string{"a", "b", "c", "d", "e", "f"} {
+		g.Add(name, nil, task)
+	}
+	if _, err := g.Run(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 2 {
+		t.Fatalf("peak = %d > bound 2", peak.Load())
+	}
+}
+
+func TestGraphFailureSkipsDependents(t *testing.T) {
+	g := NewGraph()
+	boom := errors.New("stage failed")
+	ran := map[string]bool{}
+	var mu sync.Mutex
+	mark := func(name string, err error) func(context.Context) error {
+		return func(ctx context.Context) error {
+			mu.Lock()
+			ran[name] = true
+			mu.Unlock()
+			return err
+		}
+	}
+	g.Add("ok", nil, mark("ok", nil))
+	g.Add("bad", nil, mark("bad", boom))
+	g.Add("child", []string{"bad"}, mark("child", nil))
+	g.Add("grandchild", []string{"child"}, mark("grandchild", nil))
+	g.Add("independent", []string{"ok"}, mark("independent", nil))
+
+	rep, err := g.Run(context.Background(), 0)
+	if err == nil {
+		t.Fatal("failed graph returned nil error")
+	}
+	if !ran["ok"] || !ran["independent"] {
+		t.Fatal("independent branch did not run")
+	}
+	if ran["child"] || ran["grandchild"] {
+		t.Fatal("dependents of failed node ran")
+	}
+	if rep.Nodes["bad"].Status != NodeFailed || !errors.Is(rep.Nodes["bad"].Err, boom) {
+		t.Fatalf("bad = %+v", rep.Nodes["bad"])
+	}
+	for _, n := range []string{"child", "grandchild"} {
+		if rep.Nodes[n].Status != NodeSkipped {
+			t.Fatalf("%s = %s, want skipped", n, rep.Nodes[n].Status)
+		}
+	}
+	if f := rep.Failed(); len(f) != 1 || f[0] != "bad" {
+		t.Fatalf("Failed() = %v", f)
+	}
+}
+
+func TestGraphValidation(t *testing.T) {
+	g := NewGraph()
+	if err := g.Add("", nil, func(context.Context) error { return nil }); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := g.Add("x", nil, nil); err == nil {
+		t.Fatal("nil run accepted")
+	}
+	g.Add("a", nil, func(context.Context) error { return nil })
+	if err := g.Add("a", nil, func(context.Context) error { return nil }); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	g.Add("b", []string{"missing"}, func(context.Context) error { return nil })
+	if _, err := g.Run(context.Background(), 0); err == nil {
+		t.Fatal("unknown dependency accepted")
+	}
+}
+
+func TestGraphCycleDetection(t *testing.T) {
+	g := NewGraph()
+	noop := func(context.Context) error { return nil }
+	g.Add("a", []string{"c"}, noop)
+	g.Add("b", []string{"a"}, noop)
+	g.Add("c", []string{"b"}, noop)
+	if _, err := g.Run(context.Background(), 0); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestGraphContextCancel(t *testing.T) {
+	g := NewGraph()
+	ctx, cancel := context.WithCancel(context.Background())
+	g.Add("first", nil, func(ctx context.Context) error {
+		cancel()
+		return nil
+	})
+	g.Add("second", []string{"first"}, func(ctx context.Context) error {
+		return nil
+	})
+	done := make(chan struct{})
+	var err error
+	go func() {
+		_, err = g.Run(ctx, 0)
+		close(done)
+	}()
+	select {
+	case <-done:
+		if err == nil {
+			t.Fatal("cancelled run returned nil error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("graph did not unwind on cancellation")
+	}
+}

@@ -1,0 +1,66 @@
+// Package workflow provides the composition layer the paper's
+// applications are built from: stages whose internal operations run
+// concurrently with a synchronization barrier between stages (Fig 6),
+// the Darshan NVMe-prefetch pipeline (Fig 7), and the asynchronous
+// fetch-process queue pattern (§IV-A).
+package workflow
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Op is one operation of a stage, executing in virtual time.
+type Op struct {
+	Name string
+	Run  func(p *sim.Proc)
+}
+
+// Stage is a set of operations that run concurrently; the stage completes
+// when all of them do (the Fig 6 barrier).
+type Stage struct {
+	Name string
+	Ops  []Op
+}
+
+// StageTime records a completed stage.
+type StageTime struct {
+	Name       string
+	Start, End sim.Time
+}
+
+// Duration returns the stage's span.
+func (s StageTime) Duration() time.Duration { return s.End - s.Start }
+
+// RunStages executes stages sequentially from process p, each stage's ops
+// concurrently, with a barrier between stages. It returns per-stage
+// timings.
+func RunStages(p *sim.Proc, stages []Stage) []StageTime {
+	e := p.Engine()
+	var out []StageTime
+	for _, st := range stages {
+		rec := StageTime{Name: st.Name, Start: p.Now()}
+		wg := sim.NewCounter(e, len(st.Ops))
+		for _, op := range st.Ops {
+			op := op
+			e.Spawn(st.Name+"/"+op.Name, func(sp *sim.Proc) {
+				op.Run(sp)
+				wg.Done()
+			})
+		}
+		wg.Wait(p)
+		rec.End = p.Now()
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Total sums stage durations.
+func Total(times []StageTime) time.Duration {
+	var d time.Duration
+	for _, t := range times {
+		d += t.Duration()
+	}
+	return d
+}

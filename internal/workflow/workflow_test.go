@@ -1,0 +1,163 @@
+package workflow
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func TestRunStagesBarrier(t *testing.T) {
+	e := sim.NewEngine(1)
+	var times []StageTime
+	e.Spawn("driver", func(p *sim.Proc) {
+		times = RunStages(p, []Stage{
+			{Name: "s1", Ops: []Op{
+				{Name: "fast", Run: func(sp *sim.Proc) { sp.Sleep(time.Second) }},
+				{Name: "slow", Run: func(sp *sim.Proc) { sp.Sleep(3 * time.Second) }},
+			}},
+			{Name: "s2", Ops: []Op{
+				{Name: "only", Run: func(sp *sim.Proc) { sp.Sleep(2 * time.Second) }},
+			}},
+		})
+	})
+	end := e.Run()
+	if len(times) != 2 {
+		t.Fatalf("stages = %d", len(times))
+	}
+	// Stage 1 bounded by slowest op (barrier), stage 2 starts after.
+	if times[0].Duration() != 3*time.Second {
+		t.Fatalf("stage1 = %v", times[0].Duration())
+	}
+	if times[1].Start != 3*time.Second || times[1].Duration() != 2*time.Second {
+		t.Fatalf("stage2 = %+v", times[1])
+	}
+	if end != 5*time.Second || Total(times) != 5*time.Second {
+		t.Fatalf("total = %v/%v", end, Total(times))
+	}
+}
+
+func TestRunStagesEmptyStage(t *testing.T) {
+	e := sim.NewEngine(1)
+	e.Spawn("driver", func(p *sim.Proc) {
+		times := RunStages(p, []Stage{{Name: "empty"}})
+		if times[0].Duration() != 0 {
+			t.Errorf("empty stage duration = %v", times[0].Duration())
+		}
+	})
+	e.Run()
+}
+
+func pipelineFS(e *sim.Engine) (*storage.FS, *storage.FS) {
+	lustre := storage.New(e, storage.LustreProfile())
+	nvme := storage.New(e, storage.NVMeProfile(0))
+	return lustre, nvme
+}
+
+func TestDarshanPipelineReproducesFig7(t *testing.T) {
+	e := sim.NewEngine(7)
+	lustre, nvme := pipelineFS(e)
+	cfg := DefaultPipelineConfig(lustre, nvme)
+	var staged PipelineResult
+	e.Spawn("driver", func(p *sim.Proc) {
+		staged = RunStaged(p, cfg)
+	})
+	e.Run()
+
+	e2 := sim.NewEngine(7)
+	lustre2, nvme2 := pipelineFS(e2)
+	cfg2 := DefaultPipelineConfig(lustre2, nvme2)
+	var baseline PipelineResult
+	e2.Spawn("driver", func(p *sim.Proc) {
+		baseline = RunLustreOnly(p, cfg2)
+	})
+	e2.Run()
+
+	// Paper: staged = 86 + 4x68 = 358 min; baseline = 5x86 = 430 min.
+	stagedMin := staged.Total.Minutes()
+	baseMin := baseline.Total.Minutes()
+	if stagedMin < 340 || stagedMin > 380 {
+		t.Fatalf("staged total = %.0f min, want ~358", stagedMin)
+	}
+	if baseMin < 415 || baseMin > 450 {
+		t.Fatalf("lustre-only total = %.0f min, want ~430", baseMin)
+	}
+	improvement := (baseMin - stagedMin) / baseMin
+	if improvement < 0.12 || improvement > 0.22 {
+		t.Fatalf("improvement = %.1f%%, paper reports 17%%", improvement*100)
+	}
+
+	// First stage ~86 min (Lustre), later stages ~68 min (NVMe).
+	if d := staged.Stages[0].Duration().Minutes(); d < 80 || d > 95 {
+		t.Fatalf("stage 1 = %.0f min, want ~86", d)
+	}
+	for i := 1; i < 5; i++ {
+		if d := staged.Stages[i].Duration().Minutes(); d < 62 || d > 78 {
+			t.Fatalf("stage %d = %.0f min, want ~68", i+1, d)
+		}
+	}
+}
+
+func TestDarshanPipelinePrefetchNotBottleneck(t *testing.T) {
+	// The prefetch copy (32 rsync streams over Lustre) must finish well
+	// within a processing stage, or the pipeline couldn't overlap.
+	e := sim.NewEngine(3)
+	lustre, nvme := pipelineFS(e)
+	cfg := DefaultPipelineConfig(lustre, nvme)
+	var copyTime sim.Time
+	e.Spawn("driver", func(p *sim.Proc) {
+		start := p.Now()
+		prefetch(p, cfg, cfg.Datasets[0])
+		copyTime = p.Now() - start
+	})
+	e.Run()
+	if copyTime.Minutes() > 60 {
+		t.Fatalf("prefetch takes %.0f min, exceeds NVMe stage budget", copyTime.Minutes())
+	}
+	if copyTime <= 0 {
+		t.Fatal("prefetch cost nothing; copy model broken")
+	}
+}
+
+func TestFetchProcessOverlapBeatsBarrier(t *testing.T) {
+	cfg := DefaultFetchProcess()
+	run := func(f func(p *sim.Proc, c FetchProcessConfig) FetchProcessResult) FetchProcessResult {
+		e := sim.NewEngine(5)
+		var res FetchProcessResult
+		e.Spawn("driver", func(p *sim.Proc) { res = f(p, cfg) })
+		e.Run()
+		return res
+	}
+	over := run(RunOverlapped)
+	barr := run(RunBarriered)
+	if over.Processed != cfg.Batches || barr.Processed != cfg.Batches {
+		t.Fatalf("processed %d/%d, want %d", over.Processed, barr.Processed, cfg.Batches)
+	}
+	if over.Makespan >= barr.Makespan {
+		t.Fatalf("overlap (%v) not faster than barrier (%v)", over.Makespan, barr.Makespan)
+	}
+	// Overlap hides nearly all processing inside fetch intervals: the
+	// last batch's processing is the only unavoidable tail.
+	fetchFloor := time.Duration(cfg.Batches-1) * cfg.Interval
+	if over.Makespan > fetchFloor+cfg.ProcessTime+cfg.FetchTime*2 {
+		t.Fatalf("overlap makespan %v leaves too little processing hidden", over.Makespan)
+	}
+}
+
+func TestFetchProcessSingleBatch(t *testing.T) {
+	cfg := DefaultFetchProcess()
+	cfg.Batches = 1
+	e := sim.NewEngine(1)
+	var res FetchProcessResult
+	e.Spawn("driver", func(p *sim.Proc) { res = RunOverlapped(p, cfg) })
+	e.Run()
+	if res.Processed != 1 {
+		t.Fatalf("processed = %d", res.Processed)
+	}
+	// One fetch (~6s) + one process.
+	want := cfg.ProcessTime + cfg.FetchTime
+	if res.Makespan < want-3*time.Second || res.Makespan > want+5*time.Second {
+		t.Fatalf("makespan = %v, want ~%v", res.Makespan, want)
+	}
+}

@@ -1,0 +1,108 @@
+// Package repro is gparallel: a GNU-Parallel-class parallel process
+// launcher for high-throughput HPC workflows, with a calibrated
+// discrete-event substrate that reproduces the evaluation of
+// "Enabling Low-Overhead HT-HPC Workflows at Extreme Scale using GNU
+// Parallel" (SC 2024).
+//
+// The stable entry points re-exported here cover the common library use:
+// building a Spec (command template + slots + policies), choosing a
+// Runner (real processes or in-process Go functions), composing input
+// Sources, and running the Engine. Substrate and experiment packages
+// live under internal/ and are exercised through cmd/benchall and the
+// root benchmarks.
+//
+//	spec, _ := repro.NewSpec("gzip -9 {}", 8)
+//	eng, _ := repro.NewEngine(spec, nil) // nil = real processes
+//	stats, _, err := eng.Run(ctx, repro.Literal(files...))
+package repro
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/args"
+	"repro/internal/core"
+	"repro/internal/tmpl"
+)
+
+// Re-exported core types. See internal/core for full documentation.
+type (
+	// Spec configures an engine run (slots, template, ordering,
+	// retries, halt policy, joblog, resume...).
+	Spec = core.Spec
+	// Engine executes jobs from a Source across a slot pool.
+	Engine = core.Engine
+	// Job is one unit of work.
+	Job = core.Job
+	// Result is one completed job.
+	Result = core.Result
+	// Stats summarizes a run.
+	Stats = core.Stats
+	// Runner executes one job attempt.
+	Runner = core.Runner
+	// ExecRunner runs jobs as real OS processes.
+	ExecRunner = core.ExecRunner
+	// FuncRunner adapts a Go function as the job payload.
+	FuncRunner = core.FuncRunner
+	// HaltPolicy mirrors GNU Parallel's --halt.
+	HaltPolicy = core.HaltPolicy
+	// Source yields job input records.
+	Source = args.Source
+	// Template is a parsed replacement-string command template.
+	Template = tmpl.Template
+)
+
+// Halt policy aggressiveness levels.
+const (
+	HaltNever = core.HaltNever
+	HaltSoon  = core.HaltSoon
+	HaltNow   = core.HaltNow
+)
+
+// NewSpec builds a Spec with GNU-Parallel-like defaults for the command
+// template cmd and the given slot count.
+func NewSpec(cmd string, jobs int) (*Spec, error) { return core.NewSpec(cmd, jobs) }
+
+// NewEngine pairs a Spec with a Runner; nil runner = real processes.
+func NewEngine(spec *Spec, runner Runner) (*Engine, error) { return core.NewEngine(spec, runner) }
+
+// ParseTemplate compiles a replacement-string template ({}, {.}, {/},
+// {#}, {%}, {n}...).
+func ParseTemplate(s string) (*Template, error) { return tmpl.Parse(s) }
+
+// Input source constructors (see internal/args).
+var (
+	// Literal yields one record per item (the ::: form).
+	Literal = args.Literal
+	// FromReader yields one record per line.
+	FromReader = args.FromReader
+	// FromFile yields one record per line of a file (the :::: form).
+	FromFile = args.FromFile
+	// Chan yields values from a channel until closed.
+	Chan = args.Chan
+	// Cross combines sources as a cartesian product (multiple :::).
+	Cross = args.Cross
+	// Zip links sources positionally (:::+).
+	Zip = args.Zip
+	// ChunkN regroups single values into records of up to n (-N).
+	ChunkN = args.ChunkN
+	// FollowFile tails a file like `tail -n+0 -f` (queue-file linking).
+	FollowFile = args.FollowFile
+)
+
+// Run is the one-call convenience: execute cmd for each input with the
+// given parallelism, writing grouped stdout to out (nil discards).
+// Equivalent to `parallel -j<jobs> <cmd> ::: <inputs...>`.
+func Run(ctx context.Context, cmd string, jobs int, out io.Writer, inputs ...string) (Stats, error) {
+	spec, err := NewSpec(cmd, jobs)
+	if err != nil {
+		return Stats{}, err
+	}
+	spec.Out = out
+	eng, err := NewEngine(spec, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	stats, _, err := eng.Run(ctx, Literal(inputs...))
+	return stats, err
+}

@@ -1,0 +1,83 @@
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestRunConvenience(t *testing.T) {
+	var buf bytes.Buffer
+	stats, err := repro.Run(context.Background(), "echo hello {}", 4, &buf, "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Succeeded != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	out := buf.String()
+	for _, want := range []string{"hello a", "hello b", "hello c"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output %q missing %q", out, want)
+		}
+	}
+}
+
+func TestFacadeSpecEngine(t *testing.T) {
+	spec, err := repro.NewSpec("echo {#}:{}", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.KeepOrder = true
+	var buf bytes.Buffer
+	spec.Out = &buf
+	eng, err := repro.NewEngine(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _, err := eng.Run(context.Background(), repro.Literal("x", "y"))
+	if err != nil || stats.Succeeded != 2 {
+		t.Fatalf("stats=%+v err=%v", stats, err)
+	}
+	if got := buf.String(); got != "1:x\n2:y\n" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestFacadeFuncRunnerAndCross(t *testing.T) {
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	var seen []string
+	runner := repro.FuncRunner(func(ctx context.Context, job *repro.Job) ([]byte, error) {
+		<-mu
+		seen = append(seen, strings.Join(job.Args, "-"))
+		mu <- struct{}{}
+		return nil, nil
+	})
+	spec, _ := repro.NewSpec("", 4)
+	eng, _ := repro.NewEngine(spec, runner)
+	stats, _, err := eng.Run(context.Background(),
+		repro.Cross(repro.Literal("a", "b"), repro.Literal("1", "2")))
+	if err != nil || stats.Succeeded != 4 {
+		t.Fatalf("stats=%+v err=%v", stats, err)
+	}
+	want := map[string]bool{"a-1": true, "a-2": true, "b-1": true, "b-2": true}
+	for _, s := range seen {
+		if !want[s] {
+			t.Fatalf("unexpected combination %q", s)
+		}
+	}
+}
+
+func TestParseTemplateFacade(t *testing.T) {
+	tpl, err := repro.ParseTemplate("cmd {.} {%}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tpl.HasInputPlaceholder() || !tpl.HasSlotPlaceholder() {
+		t.Fatal("template introspection broken")
+	}
+}

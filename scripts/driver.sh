@@ -1,0 +1,12 @@
+#!/bin/bash
+# The paper's Listing 1, verbatim in structure, with gopar as the
+# launcher: shard an input file across the nodes of a Slurm allocation
+# (awk 'NR % NNODE == NODEID') and run 128-wide parallel on each node.
+#
+# Invoke inside a Slurm job:   srun -N"$SLURM_NNODES" ./driver.sh inputs.txt
+set -euo pipefail
+cat "$1" | \
+awk -v NNODE="$SLURM_NNODES" \
+    -v NODEID="$SLURM_NODEID" \
+    'NR % NNODE == NODEID' | \
+gopar -j 128 -quiet './payload.sh {}'

@@ -1,0 +1,6 @@
+#!/bin/bash
+# The Fig 1 payload: record hostname and timestamp for validation and
+# performance measurement, writing to node-local storage per best
+# practice (stage to Lustre at job end).
+out="${NVME_DIR:-/tmp}/fig1.$SLURM_JOB_ID.$(hostname).out"
+echo "$(hostname) $(date +%s.%N) $1" >> "$out"
