@@ -109,10 +109,12 @@ func run() int {
 		dryRun    = fs.Bool("dry-run", false, "print commands without running them")
 		tag       = fs.Bool("tag", false, "prefix output lines with the input value")
 		retries   = fs.Int("retries", 1, "total attempts per job")
+		backoff   = fs.String("retry-backoff", "", `exponential pause between retries: "base[,cap]" (e.g. 1s or 500ms,30s)`)
 		timeout   = fs.Duration("timeout", 0, "per-job timeout (0 = none)")
+		termGrace = fs.Duration("term-grace", 0, "SIGTERM-to-SIGKILL window when cancelling a job's process group (0 = SIGKILL at once)")
 		delay     = fs.Duration("delay", 0, "pause between consecutive job starts")
 		maxLoad   = fs.Float64("load", 0, "pause dispatch while 1-min load average >= this (0 = off)")
-		haltSpec  = fs.String("halt", "", "halt policy: soon,fail=N | now,fail=N | soon,success=N | now,success=N")
+		haltSpec  = fs.String("halt", "", "halt policy: soon|now,fail|success=N or N% (e.g. now,fail=10%)")
 		joblog    = fs.String("joblog", "", "append a GNU-Parallel-format job log to this file")
 		resume    = fs.Bool("resume", false, "skip jobs already completed per --joblog")
 		gpuEnv    = fs.String("gpu-env", "", `set <VENDOR>_VISIBLE_DEVICES from the slot number ("HIP" or "CUDA")`)
@@ -192,6 +194,10 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "gopar:", err)
 		return 2
 	}
+	if spec.RetryBackoff, err = parseBackoff(*backoff); err != nil {
+		fmt.Fprintln(os.Stderr, "gopar:", err)
+		return 2
+	}
 
 	if *joblog != "" {
 		if *resume {
@@ -217,7 +223,7 @@ func run() int {
 		spec.Joblog = lf
 	}
 
-	var runner core.Runner = &core.ExecRunner{Dir: *dir, ForceShell: *shell}
+	var runner core.Runner = &core.ExecRunner{Dir: *dir, ForceShell: *shell, TermGrace: *termGrace}
 	if *workers != "" {
 		specs, perr := parseWorkers(*workers)
 		if perr != nil {
@@ -382,11 +388,21 @@ func parseHalt(s string) (core.HaltPolicy, error) {
 	if len(kv) != 2 {
 		return p, fmt.Errorf("bad --halt condition %q", parts[1])
 	}
-	n, err := strconv.Atoi(kv[1])
-	if err != nil || n < 1 {
-		return p, fmt.Errorf("bad --halt threshold %q", kv[1])
+	if val, ok := strings.CutSuffix(kv[1], "%"); ok {
+		// GNU Parallel's --halt now,fail=10% form: trigger on a
+		// percentage of all jobs rather than an absolute count.
+		pct, err := strconv.ParseFloat(val, 64)
+		if err != nil || pct <= 0 || pct > 100 {
+			return p, fmt.Errorf("bad --halt percentage %q (want 0 < n <= 100)", kv[1])
+		}
+		p.Percent = pct
+	} else {
+		n, err := strconv.Atoi(kv[1])
+		if err != nil || n < 1 {
+			return p, fmt.Errorf("bad --halt threshold %q", kv[1])
+		}
+		p.Threshold = n
 	}
-	p.Threshold = n
 	switch kv[0] {
 	case "fail":
 	case "success":
@@ -395,4 +411,27 @@ func parseHalt(s string) (core.HaltPolicy, error) {
 		return p, fmt.Errorf("bad --halt condition %q", kv[0])
 	}
 	return p, nil
+}
+
+// parseBackoff parses --retry-backoff: "base" or "base,cap", both Go
+// durations. The factor is the default (2x per attempt) and a 10%
+// jitter spreads retry stampedes.
+func parseBackoff(s string) (core.Backoff, error) {
+	if s == "" {
+		return core.Backoff{}, nil
+	}
+	parts := strings.SplitN(s, ",", 2)
+	base, err := time.ParseDuration(strings.TrimSpace(parts[0]))
+	if err != nil || base <= 0 {
+		return core.Backoff{}, fmt.Errorf("bad --retry-backoff base %q (want e.g. 1s)", parts[0])
+	}
+	b := core.Backoff{Base: base, Jitter: 0.1}
+	if len(parts) == 2 {
+		cap, err := time.ParseDuration(strings.TrimSpace(parts[1]))
+		if err != nil || cap < base {
+			return core.Backoff{}, fmt.Errorf("bad --retry-backoff cap %q (want a duration >= base)", parts[1])
+		}
+		b.Cap = cap
+	}
+	return b, nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/args"
 	"repro/internal/core"
@@ -87,10 +88,16 @@ func TestParseHalt(t *testing.T) {
 		{"soon,fail=1", core.HaltPolicy{When: core.HaltSoon, Threshold: 1}, true},
 		{"now,fail=3", core.HaltPolicy{When: core.HaltNow, Threshold: 3}, true},
 		{"now,success=2", core.HaltPolicy{When: core.HaltNow, Threshold: 2, OnSuccess: true}, true},
+		{"now,fail=10%", core.HaltPolicy{When: core.HaltNow, Percent: 10}, true},
+		{"soon,fail=2.5%", core.HaltPolicy{When: core.HaltSoon, Percent: 2.5}, true},
+		{"soon,success=50%", core.HaltPolicy{When: core.HaltSoon, Percent: 50, OnSuccess: true}, true},
 		{"sometime,fail=1", core.HaltPolicy{}, false},
 		{"soon,fail", core.HaltPolicy{}, false},
 		{"soon,fail=zero", core.HaltPolicy{}, false},
 		{"soon,fail=0", core.HaltPolicy{}, false},
+		{"soon,fail=0%", core.HaltPolicy{}, false},
+		{"soon,fail=101%", core.HaltPolicy{}, false},
+		{"soon,fail=x%", core.HaltPolicy{}, false},
 		{"soon", core.HaltPolicy{}, false},
 		{"soon,crash=1", core.HaltPolicy{}, false},
 	}
@@ -102,6 +109,34 @@ func TestParseHalt(t *testing.T) {
 		}
 		if c.ok && got != c.want {
 			t.Errorf("parseHalt(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBackoff(t *testing.T) {
+	cases := []struct {
+		in   string
+		want core.Backoff
+		ok   bool
+	}{
+		{"", core.Backoff{}, true},
+		{"1s", core.Backoff{Base: time.Second, Jitter: 0.1}, true},
+		{"500ms,30s", core.Backoff{Base: 500 * time.Millisecond, Cap: 30 * time.Second, Jitter: 0.1}, true},
+		{"500ms, 30s", core.Backoff{Base: 500 * time.Millisecond, Cap: 30 * time.Second, Jitter: 0.1}, true},
+		{"0s", core.Backoff{}, false},
+		{"-1s", core.Backoff{}, false},
+		{"nope", core.Backoff{}, false},
+		{"1s,500ms", core.Backoff{}, false}, // cap below base
+		{"1s,nope", core.Backoff{}, false},
+	}
+	for _, c := range cases {
+		got, err := parseBackoff(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("parseBackoff(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("parseBackoff(%q) = %+v, want %+v", c.in, got, c.want)
 		}
 	}
 }

@@ -24,10 +24,39 @@ type Node struct {
 	NVMe *storage.FS
 	// RNG is the node's private random stream.
 	RNG *sim.RNG
+
+	// down marks the node crashed; failEpoch counts crashes so work
+	// that was running when one struck can detect it at completion
+	// (the DES process layer has no preemption, so "the node died
+	// under me" is observed, not delivered).
+	down      bool
+	failEpoch int
 }
 
 // Hostname returns a Frontier-style node name.
 func (n *Node) Hostname() string { return fmt.Sprintf("node%05d", n.ID) }
+
+// Fail crashes the node: tasks running now observe the epoch change and
+// report ErrNodeDown when they finish; tasks launched while the node is
+// down fail immediately. Failing a down node is a no-op. Call from
+// engine context (e.g. a scheduled event) or a process.
+func (n *Node) Fail() {
+	if n.down {
+		return
+	}
+	n.down = true
+	n.failEpoch++
+}
+
+// Recover brings a crashed node back into service.
+func (n *Node) Recover() { n.down = false }
+
+// Alive reports whether the node is up.
+func (n *Node) Alive() bool { return !n.down }
+
+// FailEpoch returns the number of crashes so far; compare snapshots
+// taken before and after a stretch of work to detect a mid-flight crash.
+func (n *Node) FailEpoch() int { return n.failEpoch }
 
 // Cluster is a set of identical nodes sharing a parallel filesystem.
 type Cluster struct {

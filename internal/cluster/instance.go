@@ -1,11 +1,16 @@
 package cluster
 
 import (
+	"errors"
 	"time"
 
 	"repro/internal/container"
 	"repro/internal/sim"
 )
+
+// ErrNodeDown reports a task lost to a node crash: the node was down at
+// launch, or crashed while the task was running.
+var ErrNodeDown = errors.New("cluster: node down")
 
 // Task is one simulated unit of work for an Instance.
 type Task struct {
@@ -131,6 +136,26 @@ func (n *Node) RunParallel(p *sim.Proc, cfg InstanceConfig, tasks []Task) *Repor
 				wg.Done()
 			}()
 			res := TaskResult{Seq: task.Seq, Slot: slot, Start: cp.Now()}
+			epoch := n.FailEpoch()
+			if !n.Alive() {
+				// Launched into a dead node: the fork itself fails.
+				res.End = cp.Now()
+				res.Err = ErrNodeDown
+				rep.Failed++
+				if res.Start < rep.FirstStart {
+					rep.FirstStart = res.Start
+				}
+				if res.End > rep.LastEnd {
+					rep.LastEnd = res.End
+				}
+				if cfg.OnResult != nil {
+					cfg.OnResult(res)
+				}
+				if cfg.Collect {
+					rep.Results = append(rep.Results, res)
+				}
+				return
+			}
 			var err error
 			if cfg.Runtime != nil {
 				// Container startup consumes launch capacity
@@ -151,6 +176,11 @@ func (n *Node) RunParallel(p *sim.Proc, cfg InstanceConfig, tasks []Task) *Repor
 				if cfg.UseCores {
 					n.Cores.Release(1)
 				}
+			}
+			if err == nil && (n.FailEpoch() != epoch || !n.Alive()) {
+				// The node crashed while the task was running: the
+				// work is gone, whatever the payload computed.
+				err = ErrNodeDown
 			}
 			res.End = cp.Now()
 			res.Err = err

@@ -25,13 +25,15 @@ type Engine struct {
 }
 
 // NewEngine pairs a Spec with a Runner. A nil runner defaults to
-// ExecRunner (real processes).
+// ExecRunner (real processes). Malformed Spec knobs (negative
+// timeouts/retries, a backoff cap below its base...) are rejected here
+// with descriptive errors rather than silently clamped.
 func NewEngine(spec *Spec, runner Runner) (*Engine, error) {
 	if spec == nil {
 		return nil, fmt.Errorf("core: nil spec")
 	}
-	if spec.Jobs < 1 {
-		return nil, fmt.Errorf("core: Jobs must be >= 1, got %d", spec.Jobs)
+	if err := spec.validate(); err != nil {
+		return nil, err
 	}
 	if runner == nil {
 		runner = &ExecRunner{}
@@ -69,7 +71,11 @@ func (e *Engine) Run(ctx context.Context, src args.Source) (Stats, []Result, err
 		total     atomic.Int64
 		started   atomic.Int64
 		inputDone atomic.Bool
-		wallStart = time.Now()
+		// totalFinal reports that total is the true job count (the
+		// input is exhausted or was spooled) — required before a
+		// percentage halt may fire.
+		totalFinal atomic.Bool
+		wallStart  = time.Now()
 	)
 	var tracker *progressTracker
 	if s.OnProgress != nil {
@@ -81,13 +87,45 @@ func (e *Engine) Run(ctx context.Context, src args.Source) (Stats, []Result, err
 	// Input goroutine: pull records, assign seqs, render templates.
 	go func() {
 		defer inputDone.Store(true)
+		defer totalFinal.Store(true)
 		defer close(jobs)
+		next := src.Next
+		if s.Halt.Percent > 0 {
+			// A percentage halt needs the true job total before it can
+			// fire; mirror GNU Parallel, which reads the whole input
+			// when --halt ...% is given (O(total) memory, like GNU).
+			var all [][]string
+			for {
+				rec, err := next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					inputErr = err
+					return
+				}
+				all = append(all, rec)
+			}
+			total.Store(int64(len(all)))
+			totalFinal.Store(true)
+			i := 0
+			next = func() ([]string, error) {
+				if i >= len(all) {
+					return nil, io.EOF
+				}
+				i++
+				return all[i-1], nil
+			}
+			// Spooled records never handed to the dispatcher (halt fired
+			// first) still belong in the skipped accounting.
+			defer func() { skipped.Add(int64(len(all) - i)) }()
+		}
 		seq := 0
 		for {
 			if ctx.Err() != nil || haltSoon.Load() {
 				return
 			}
-			rec, err := src.Next()
+			rec, err := next()
 			if err == io.EOF {
 				return
 			}
@@ -96,7 +134,9 @@ func (e *Engine) Run(ctx context.Context, src args.Source) (Stats, []Result, err
 				return
 			}
 			seq++
-			total.Add(1)
+			if !totalFinal.Load() {
+				total.Add(1)
+			}
 			if s.ResumeFrom[seq] {
 				skipped.Add(1)
 				continue
@@ -235,7 +275,7 @@ func (e *Engine) Run(ctx context.Context, src args.Source) (Stats, []Result, err
 			dispatchSum += res.DispatchDelay
 			dispatchN++
 		}
-		if s.Halt.Triggered(stats.Succeeded, stats.Failed) {
+		if s.Halt.Triggered(stats.Succeeded, stats.Failed, int(total.Load()), totalFinal.Load()) {
 			haltSoon.Store(true)
 			if s.Halt.When == HaltNow {
 				cancel()
@@ -351,7 +391,7 @@ func (e *Engine) runJob(ctx context.Context, job *Job) Result {
 		tries = 1
 	}
 	var res Result
-	for attempt := 1; attempt <= tries; attempt++ {
+	for attempt := 1; ; attempt++ {
 		runCtx := ctx
 		var cancel context.CancelFunc
 		if s.Timeout > 0 {
@@ -367,8 +407,20 @@ func (e *Engine) runJob(ctx context.Context, job *Job) Result {
 		if timedOut && res.Err == nil {
 			res.Err = context.DeadlineExceeded
 		}
-		if res.OK() || ctx.Err() != nil {
+		if res.OK() || ctx.Err() != nil || attempt >= tries {
 			break
+		}
+		if s.RetryOn != nil && !s.RetryOn(res) {
+			break
+		}
+		// Backoff holds the slot, like a still-running job would; a
+		// cancelled run abandons the remaining attempts.
+		if d := s.RetryBackoff.Delay(job.Seq, attempt); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return res
+			}
 		}
 	}
 	return res

@@ -1,0 +1,24 @@
+//go:build !unix
+
+package core
+
+import (
+	"os"
+	"os/exec"
+	"time"
+)
+
+// setProcGroup is a no-op on platforms without process groups.
+func setProcGroup(cmd *exec.Cmd) {}
+
+// terminateGroup kills the direct child; grandchild cleanup is
+// unavailable without process groups.
+func terminateGroup(cmd *exec.Cmd, grace time.Duration) error {
+	p := cmd.Process
+	if p == nil {
+		return os.ErrProcessDone
+	}
+	return p.Kill()
+}
+
+func killGroup(cmd *exec.Cmd) {}

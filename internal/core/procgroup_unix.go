@@ -1,0 +1,52 @@
+//go:build unix
+
+package core
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"syscall"
+	"time"
+)
+
+// setProcGroup places the child in its own process group so that
+// cancellation signals reach grandchildren too (`sh -c 'work & wait'`).
+// The child becomes the group leader, so -pid addresses the whole group.
+func setProcGroup(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+}
+
+// terminateGroup implements exec.Cmd.Cancel: with a grace window the
+// group gets SIGTERM first (SIGKILL follows from killGroup once Wait
+// returns, or Go's WaitDelay kill for a stuck direct child); without one
+// the group is SIGKILLed immediately.
+func terminateGroup(cmd *exec.Cmd, grace time.Duration) error {
+	p := cmd.Process
+	if p == nil || p.Pid <= 0 {
+		return os.ErrProcessDone
+	}
+	sig := syscall.SIGKILL
+	if grace > 0 {
+		sig = syscall.SIGTERM
+	}
+	if err := syscall.Kill(-p.Pid, sig); err != nil {
+		if errors.Is(err, syscall.ESRCH) {
+			return os.ErrProcessDone
+		}
+		// Group kill unavailable (e.g. the child died before Setpgid
+		// took effect is not possible, but EPERM is): fall back to the
+		// direct child.
+		return p.Signal(sig)
+	}
+	return nil
+}
+
+// killGroup SIGKILLs the job's process group, ignoring errors. Called
+// after a cancelled Wait returns, while the reaped leader's pgid is
+// still held by any surviving members.
+func killGroup(cmd *exec.Cmd) {
+	if p := cmd.Process; p != nil && p.Pid > 0 {
+		syscall.Kill(-p.Pid, syscall.SIGKILL)
+	}
+}

@@ -51,6 +51,13 @@ type ExecRunner struct {
 	// ForceShell routes every command through the shell, disabling the
 	// direct-exec fast path.
 	ForceShell bool
+	// TermGrace is the window between SIGTERM and SIGKILL when an
+	// attempt is cancelled or times out: the whole process group first
+	// gets SIGTERM (a chance to clean up scratch files), then SIGKILL
+	// after TermGrace. 0 sends SIGKILL immediately. Either way the kill
+	// targets the job's process group, so `sh -c 'work & wait'`
+	// grandchildren die with the job instead of leaking.
+	TermGrace time.Duration
 }
 
 // errNoCommand reports an empty rendered command line.
@@ -78,10 +85,22 @@ func (r *ExecRunner) Run(ctx context.Context, job *Job) Result {
 	if len(job.Stdin) > 0 {
 		cmd.Stdin = bytes.NewReader(job.Stdin)
 	}
+	// Run the job in its own process group and, on cancellation, signal
+	// the group rather than just the direct child. WaitDelay guarantees
+	// Wait returns even when a surviving grandchild holds the stdout
+	// pipe open (Go then closes the pipes and kills the direct child).
+	setProcGroup(cmd)
+	cmd.Cancel = func() error { return terminateGroup(cmd, r.TermGrace) }
+	cmd.WaitDelay = r.TermGrace + 2*time.Second
 
 	res.Start = time.Now()
 	err = cmd.Run()
 	res.End = time.Now()
+	if ctx.Err() != nil {
+		// Sweep group members that survived SIGTERM + grace (or that
+		// were forked between signal and exit).
+		killGroup(cmd)
+	}
 	res.Stdout = stdout.Bytes()
 	res.Stderr = stderr.Bytes()
 

@@ -1,0 +1,97 @@
+//go:build linux
+
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// groupAlive probes a process group: kill(-pgid, 0) says whether any
+// member still exists; /proc distinguishes zombies awaiting reap (dead
+// for leak purposes) from genuinely running members.
+func groupAlive(pgid int) bool {
+	if err := syscall.Kill(-pgid, 0); err != nil {
+		return false // ESRCH: group is gone
+	}
+	procs, err := os.ReadDir("/proc")
+	if err != nil {
+		return true // can't refine; trust the signal probe
+	}
+	for _, d := range procs {
+		pid, err := strconv.Atoi(d.Name())
+		if err != nil {
+			continue
+		}
+		stat, err := os.ReadFile(fmt.Sprintf("/proc/%d/stat", pid))
+		if err != nil {
+			continue
+		}
+		// Parse past the parenthesized comm (it may contain spaces).
+		s := string(stat)
+		i := strings.LastIndexByte(s, ')')
+		if i < 0 {
+			continue
+		}
+		fields := strings.Fields(s[i+1:])
+		// fields[0] = state, fields[2] = pgrp.
+		if len(fields) < 3 || fields[0] == "Z" {
+			continue
+		}
+		if g, _ := strconv.Atoi(fields[2]); g == pgid {
+			return true
+		}
+	}
+	return false
+}
+
+// Regression test for the grandchild-process leak: a timed-out
+// `sh -c 'sleep 999 & wait'` used to SIGKILL only the direct sh, leaving
+// the backgrounded sleep running (and holding the stdout pipe). The
+// process-group kill must take out the whole group.
+func TestExecRunnerKillsProcessGroup(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	r := &ExecRunner{}
+	start := time.Now()
+	res := r.Run(ctx, &Job{Seq: 1, Command: "echo $$; sleep 999 & wait"})
+	if res.OK() {
+		t.Fatalf("timed-out job reported OK: %+v", res)
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("kill took %v; grandchild held the run open", el)
+	}
+	out := strings.TrimSpace(string(res.Stdout))
+	pgid, err := strconv.Atoi(out)
+	if err != nil || pgid <= 0 {
+		t.Fatalf("could not read shell pid from stdout %q", out)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for groupAlive(pgid) {
+		if time.Now().After(deadline) {
+			t.Fatalf("process group %d still alive: grandchildren leaked", pgid)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// With a grace window the group first gets SIGTERM; a trap'ing child can
+// exit cleanly before the SIGKILL escalation.
+func TestExecRunnerTermGrace(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	r := &ExecRunner{TermGrace: 2 * time.Second}
+	res := r.Run(ctx, &Job{Seq: 1, Command: `trap 'echo terminated; exit 43' TERM; sleep 999 & wait`})
+	if res.OK() {
+		t.Fatalf("cancelled job reported OK: %+v", res)
+	}
+	if got := strings.TrimSpace(string(res.Stdout)); got != "terminated" {
+		t.Fatalf("trap did not run before kill; stdout = %q", got)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"io"
 	"time"
 
@@ -20,26 +21,98 @@ const (
 )
 
 // HaltPolicy mirrors GNU Parallel's --halt: stop the run once Threshold
-// jobs have failed (OnSuccess=false) or succeeded (OnSuccess=true).
+// jobs (or Percent of all jobs) have failed (OnSuccess=false) or
+// succeeded (OnSuccess=true).
 type HaltPolicy struct {
 	When      HaltWhen
-	Threshold int  // number of triggering jobs; <=0 means 1
+	Threshold int // number of triggering jobs; <=0 means 1
+	// Percent, when > 0, triggers once the triggering outcomes reach
+	// this percentage of all jobs (GNU --halt now,fail=10%). It takes
+	// precedence over Threshold and — like GNU Parallel, which needs
+	// the job total — is only evaluated once the input source has been
+	// fully read.
+	Percent   float64
 	OnSuccess bool // trigger on successes instead of failures
 }
 
-// Triggered reports whether the policy fires given current counts.
-func (h HaltPolicy) Triggered(succeeded, failed int) bool {
+// Triggered reports whether the policy fires given current counts. total
+// is the number of jobs read from the input so far; totalFinal reports
+// whether the input source is exhausted (total is the true job count).
+func (h HaltPolicy) Triggered(succeeded, failed, total int, totalFinal bool) bool {
 	if h.When == HaltNever {
 		return false
+	}
+	n := failed
+	if h.OnSuccess {
+		n = succeeded
+	}
+	if h.Percent > 0 {
+		if !totalFinal || total == 0 {
+			return false
+		}
+		return float64(n)/float64(total)*100 >= h.Percent
 	}
 	th := h.Threshold
 	if th <= 0 {
 		th = 1
 	}
-	if h.OnSuccess {
-		return succeeded >= th
+	return n >= th
+}
+
+// Backoff configures exponential backoff between retry attempts of one
+// job (GNU Parallel retries immediately; at extreme scale an immediate
+// retry against a sick node or service usually fails the same way).
+type Backoff struct {
+	// Base is the pause before the first retry; 0 disables backoff
+	// (retries stay immediate).
+	Base time.Duration
+	// Cap bounds the grown delay; 0 means uncapped.
+	Cap time.Duration
+	// Factor multiplies the delay after each failed attempt; values
+	// < 1 (including 0) mean the default of 2.
+	Factor float64
+	// Jitter spreads each delay uniformly over [d*(1-Jitter),
+	// d*(1+Jitter)] to avoid retry stampedes. Must be in [0, 1]. The
+	// jitter draw is a pure function of (seq, attempt), so a run's
+	// retry timing is reproducible.
+	Jitter float64
+}
+
+// Delay returns the pause before the retry that follows failed attempt
+// number `attempt` (1-based) of job seq.
+func (b Backoff) Delay(seq, attempt int) time.Duration {
+	if b.Base <= 0 {
+		return 0
 	}
-	return failed >= th
+	factor := b.Factor
+	if factor < 1 {
+		factor = 2
+	}
+	d := float64(b.Base)
+	for i := 1; i < attempt; i++ {
+		d *= factor
+		if b.Cap > 0 && d >= float64(b.Cap) {
+			break
+		}
+	}
+	if b.Cap > 0 && d > float64(b.Cap) {
+		d = float64(b.Cap)
+	}
+	if b.Jitter > 0 {
+		u := unitFloat(uint64(seq)<<20 ^ uint64(attempt))
+		d *= 1 - b.Jitter + 2*b.Jitter*u
+	}
+	return time.Duration(d)
+}
+
+// unitFloat maps x to [0, 1) via the splitmix64 finalizer, giving a
+// deterministic per-key uniform draw with no shared RNG state.
+func unitFloat(x uint64) float64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
 }
 
 // Spec configures an engine run. The zero value is not usable: Jobs and
@@ -65,6 +138,15 @@ type Spec struct {
 	// Retries is the maximum total attempts per job (GNU --retries);
 	// values < 1 mean 1.
 	Retries int
+	// RetryBackoff paces retry attempts (zero value = immediate retry,
+	// GNU Parallel's behavior). The backoff sleep holds the job's slot,
+	// like a still-running job would.
+	RetryBackoff Backoff
+	// RetryOn, when non-nil, decides whether a failed attempt is
+	// retried: return false to fail the job immediately (e.g. retry
+	// transport errors but not nonzero exits). Nil retries every
+	// failure, up to Retries attempts.
+	RetryOn func(Result) bool
 	// Timeout kills a job attempt after this duration; 0 disables.
 	Timeout time.Duration
 	// Delay inserts a pause between consecutive job starts (GNU
@@ -126,6 +208,50 @@ func NewSpec(cmd string, jobs int) (*Spec, error) {
 		AppendArgsIfNoPlaceholder: true,
 		Retries:                   1,
 	}, nil
+}
+
+// validate rejects malformed knob combinations up front, so a bad Spec
+// fails NewEngine with a descriptive error instead of being silently
+// clamped (or worse, misbehaving 9,000 nodes into a run).
+func (s *Spec) validate() error {
+	if s.Jobs < 1 {
+		return fmt.Errorf("core: Jobs must be >= 1, got %d", s.Jobs)
+	}
+	if s.Retries < 0 {
+		return fmt.Errorf("core: Retries must be >= 0, got %d", s.Retries)
+	}
+	if s.Timeout < 0 {
+		return fmt.Errorf("core: Timeout must be >= 0, got %v", s.Timeout)
+	}
+	if s.Delay < 0 {
+		return fmt.Errorf("core: Delay must be >= 0, got %v", s.Delay)
+	}
+	if s.MaxLoad < 0 {
+		return fmt.Errorf("core: MaxLoad must be >= 0, got %v", s.MaxLoad)
+	}
+	b := s.RetryBackoff
+	if b.Base < 0 {
+		return fmt.Errorf("core: RetryBackoff.Base must be >= 0, got %v", b.Base)
+	}
+	if b.Cap < 0 {
+		return fmt.Errorf("core: RetryBackoff.Cap must be >= 0, got %v", b.Cap)
+	}
+	if b.Cap > 0 && b.Cap < b.Base {
+		return fmt.Errorf("core: RetryBackoff.Cap %v is below Base %v", b.Cap, b.Base)
+	}
+	if b.Factor != 0 && b.Factor < 1 {
+		return fmt.Errorf("core: RetryBackoff.Factor must be >= 1 (or 0 for the default), got %v", b.Factor)
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		return fmt.Errorf("core: RetryBackoff.Jitter must be in [0, 1], got %v", b.Jitter)
+	}
+	if s.Halt.Percent < 0 || s.Halt.Percent > 100 {
+		return fmt.Errorf("core: Halt.Percent must be in [0, 100], got %v", s.Halt.Percent)
+	}
+	if s.Halt.Threshold < 0 {
+		return fmt.Errorf("core: Halt.Threshold must be >= 0, got %d", s.Halt.Threshold)
+	}
+	return nil
 }
 
 // effectiveTemplate returns the template with " {}" appended when needed.

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/args"
+)
+
+func TestBackoffDelayGrowth(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: time.Second}
+	if got := b.Delay(1, 1); got != 100*time.Millisecond {
+		t.Fatalf("attempt 1 delay = %v", got)
+	}
+	if got := b.Delay(1, 2); got != 200*time.Millisecond {
+		t.Fatalf("attempt 2 delay = %v", got)
+	}
+	// Growth is capped.
+	if got := b.Delay(1, 10); got != time.Second {
+		t.Fatalf("attempt 10 delay = %v, want cap", got)
+	}
+	// Huge attempt numbers must not overflow past the cap.
+	if got := b.Delay(1, 500); got != time.Second {
+		t.Fatalf("attempt 500 delay = %v, want cap", got)
+	}
+	if got := (Backoff{}).Delay(1, 3); got != 0 {
+		t.Fatalf("zero backoff delay = %v", got)
+	}
+}
+
+func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
+	b := Backoff{Base: time.Second, Jitter: 0.25}
+	seen := map[time.Duration]bool{}
+	for seq := 1; seq <= 50; seq++ {
+		d := b.Delay(seq, 1)
+		if d != b.Delay(seq, 1) {
+			t.Fatalf("jitter not deterministic for seq %d", seq)
+		}
+		lo, hi := 750*time.Millisecond, 1250*time.Millisecond
+		if d < lo || d > hi {
+			t.Fatalf("seq %d delay %v outside [%v, %v]", seq, d, lo, hi)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("jitter produced only %d distinct delays over 50 seqs", len(seen))
+	}
+}
+
+func TestHaltPolicyPercent(t *testing.T) {
+	h := HaltPolicy{When: HaltNow, Percent: 10}
+	// Before the input total is final, percentage halts never fire.
+	if h.Triggered(0, 50, 100, false) {
+		t.Fatal("fired before input done")
+	}
+	if h.Triggered(0, 9, 100, true) {
+		t.Fatal("fired below threshold")
+	}
+	if !h.Triggered(0, 10, 100, true) {
+		t.Fatal("did not fire at 10% of 100")
+	}
+	hs := HaltPolicy{When: HaltSoon, Percent: 50, OnSuccess: true}
+	if hs.Triggered(49, 0, 100, true) || !hs.Triggered(50, 0, 100, true) {
+		t.Fatal("success-percent threshold wrong")
+	}
+	// Count-based path is unchanged.
+	hc := HaltPolicy{When: HaltSoon, Threshold: 2}
+	if hc.Triggered(0, 1, 10, false) || !hc.Triggered(0, 2, 10, false) {
+		t.Fatal("count threshold wrong")
+	}
+}
+
+func TestEngineHaltPercent(t *testing.T) {
+	// 20 jobs, every one fails, halt soon at fail=25%: the run stops
+	// early, well before all 20 execute.
+	runner := FuncRunner(func(ctx context.Context, job *Job) ([]byte, error) {
+		time.Sleep(time.Millisecond)
+		return nil, errors.New("boom")
+	})
+	s := mustSpec(t, "", 2)
+	s.Halt = HaltPolicy{When: HaltSoon, Percent: 25}
+	items := make([]string, 20)
+	stats, _ := run(t, s, runner, args.Literal(items...))
+	if stats.Failed < 5 || stats.Failed == 20 {
+		t.Fatalf("failed = %d, want >= 5 (25%% of 20) but < 20", stats.Failed)
+	}
+	if stats.Skipped == 0 {
+		t.Fatalf("halt did not skip remaining jobs: %+v", stats)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"negative retries", func(s *Spec) { s.Retries = -1 }, "Retries"},
+		{"negative timeout", func(s *Spec) { s.Timeout = -time.Second }, "Timeout"},
+		{"negative delay", func(s *Spec) { s.Delay = -time.Second }, "Delay"},
+		{"negative load", func(s *Spec) { s.MaxLoad = -1 }, "MaxLoad"},
+		{"negative base", func(s *Spec) { s.RetryBackoff.Base = -1 }, "Base"},
+		{"cap below base", func(s *Spec) { s.RetryBackoff = Backoff{Base: time.Second, Cap: time.Millisecond} }, "Cap"},
+		{"bad factor", func(s *Spec) { s.RetryBackoff = Backoff{Base: 1, Factor: 0.5} }, "Factor"},
+		{"bad jitter", func(s *Spec) { s.RetryBackoff = Backoff{Base: 1, Jitter: 2} }, "Jitter"},
+		{"bad percent", func(s *Spec) { s.Halt.Percent = 150 }, "Percent"},
+		{"negative halt threshold", func(s *Spec) { s.Halt.Threshold = -2 }, "Threshold"},
+	}
+	for _, c := range cases {
+		s := mustSpec(t, "true", 1)
+		c.mut(s)
+		_, err := NewEngine(s, nil)
+		if err == nil {
+			t.Errorf("%s: NewEngine accepted invalid spec", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+	// A default spec still validates.
+	if _, err := NewEngine(mustSpec(t, "true", 1), nil); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestEngineRetryOnPredicate(t *testing.T) {
+	fatal := errors.New("fatal")
+	transient := errors.New("transient")
+	var calls atomic.Int64
+	runner := FuncRunner(func(ctx context.Context, job *Job) ([]byte, error) {
+		calls.Add(1)
+		if job.Args[0] == "fatal" {
+			return nil, fatal
+		}
+		return nil, transient
+	})
+	s := mustSpec(t, "", 1)
+	s.Retries = 3
+	s.RetryOn = func(r Result) bool { return !errors.Is(r.Err, fatal) }
+	stats, _ := run(t, s, runner, args.Literal("fatal", "transient"))
+	if stats.Failed != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// fatal: 1 attempt (predicate vetoed the retry); transient: 3.
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("attempts = %d, want 4", got)
+	}
+	if stats.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", stats.Retries)
+	}
+}
+
+func TestEngineRetryBackoffPacing(t *testing.T) {
+	var times []time.Time
+	mu := make(chan struct{}, 1)
+	mu <- struct{}{}
+	runner := FuncRunner(func(ctx context.Context, job *Job) ([]byte, error) {
+		<-mu
+		times = append(times, time.Now())
+		mu <- struct{}{}
+		return nil, errors.New("always fails")
+	})
+	s := mustSpec(t, "", 1)
+	s.Retries = 3
+	s.RetryBackoff = Backoff{Base: 30 * time.Millisecond, Cap: 200 * time.Millisecond}
+	stats, _ := run(t, s, runner, args.Literal("x"))
+	if stats.Failed != 1 || stats.Retries != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(times) != 3 {
+		t.Fatalf("attempts = %d", len(times))
+	}
+	// Gaps should be at least ~base and ~base*2 (no jitter configured).
+	if g := times[1].Sub(times[0]); g < 25*time.Millisecond {
+		t.Fatalf("first retry gap %v < base", g)
+	}
+	if g := times[2].Sub(times[1]); g < 50*time.Millisecond {
+		t.Fatalf("second retry gap %v < base*factor", g)
+	}
+}

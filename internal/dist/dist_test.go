@@ -190,6 +190,137 @@ func TestPoolWorkerDeathAndRetry(t *testing.T) {
 	}
 }
 
+// startKillableWorker runs a minimal worker whose listener AND accepted
+// connections can be torn down, simulating a node crash (Serve only
+// closes its listener on ctx cancellation; established connections
+// linger, which is realistic for a hung node but useless for testing
+// hard crashes).
+func startKillableWorker(t *testing.T, addr, name string) (string, func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("listen %s: %v", addr, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	var conns []net.Conn
+	cfg := WorkerConfig{Name: name, Slots: 1, Runner: echoRunner(name)}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, conn)
+			mu.Unlock()
+			go serveConn(ctx, conn, cfg)
+		}
+	}()
+	kill := func() {
+		cancel()
+		l.Close()
+		mu.Lock()
+		for _, c := range conns {
+			c.Close()
+		}
+		conns = nil
+		mu.Unlock()
+	}
+	t.Cleanup(kill)
+	return l.Addr().String(), kill
+}
+
+func TestPoolHealthAndRedialBudget(t *testing.T) {
+	// A worker that dies permanently: the broken slot burns its redial
+	// budget, then is written off as Lost; the survivor keeps the pool
+	// usable at degraded capacity instead of the redialer spinning
+	// forever.
+	a1, kill1 := startKillableWorker(t, "127.0.0.1:0", "dying")
+	a2 := startWorker(t, "steady", 1, echoRunner("s"))
+
+	pool, err := Dial(
+		[]WorkerSpec{{Addr: a1}, {Addr: a2}},
+		WithRedialBudget(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if h := pool.Health(); h.Total != 2 || h.Live != 2 || h.Degraded() {
+		t.Fatalf("initial health = %+v", h)
+	}
+
+	// Kill worker 1 for good, then run jobs until its slot exposes the
+	// broken connection.
+	kill1()
+	var sawErr bool
+	for i := 0; i < 2; i++ {
+		res := pool.Run(context.Background(), &core.Job{Seq: i + 1, Args: []string{"x"}})
+		if res.Err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("no transport error observed after worker death")
+	}
+
+	// Budget 2 with 100ms+200ms backoff: the slot should be declared
+	// lost well within a few seconds.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h := pool.Health()
+		if h.Lost == 1 && h.Redialing == 0 {
+			if h.Live != 1 || !h.Degraded() {
+				t.Fatalf("degraded health = %+v", h)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never written off: %+v", h)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The surviving slot still executes work.
+	res := pool.Run(context.Background(), &core.Job{Seq: 9, Args: []string{"y"}})
+	if !res.OK() || res.Host != "steady" {
+		t.Fatalf("survivor run = %+v", res)
+	}
+}
+
+func TestPoolRedialRecovers(t *testing.T) {
+	// A worker that comes back within the budget restores Live capacity.
+	addr, kill1 := startKillableWorker(t, "127.0.0.1:0", "flaky")
+
+	pool, err := Dial([]WorkerSpec{{Addr: addr}}, WithRedialBudget(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	kill1()
+	res := pool.Run(context.Background(), &core.Job{Seq: 1, Args: []string{"x"}})
+	if res.Err == nil {
+		t.Fatal("expected transport error from dead worker")
+	}
+
+	// Resurrect the worker on the same address.
+	startKillableWorker(t, addr, "flaky")
+
+	deadline := time.Now().Add(15 * time.Second)
+	for pool.Health().Live != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never recovered: %+v", pool.Health())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	res = pool.Run(context.Background(), &core.Job{Seq: 2, Args: []string{"y"}})
+	if !res.OK() {
+		t.Fatalf("post-recovery run = %+v", res)
+	}
+}
+
 func TestDialErrors(t *testing.T) {
 	if _, err := Dial(nil); err == nil {
 		t.Fatal("empty worker list accepted")

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -24,13 +25,68 @@ type WorkerSpec struct {
 // one TCP connection per worker slot; Run borrows a free connection,
 // ships the job, and returns the result. Transport failures surface as
 // job errors (so Spec.Retries re-runs them, potentially on another
-// worker), and broken connections are redialed in the background.
+// worker), and broken connections are redialed in the background — up
+// to a per-slot budget, after which the slot is written off and the
+// pool runs degraded (visible via Health) rather than spinning on a
+// permanently dead worker forever.
 type Pool struct {
 	free   chan *wconn
 	total  int
 	closed chan struct{}
 	mu     sync.Mutex
 	conns  map[*wconn]bool
+
+	// redialBudget caps redial attempts per retired connection; <= 0
+	// means unlimited (the pre-budget behavior).
+	redialBudget int
+	redialing    atomic.Int64
+	lost         atomic.Int64
+}
+
+// DefaultRedialBudget is the redial-attempt cap applied when Dial is
+// given no WithRedialBudget option. With the 100ms..5s exponential
+// redial backoff this gives a dead worker roughly half a minute to come
+// back before its slot is written off.
+const DefaultRedialBudget = 8
+
+// Option configures Dial.
+type Option func(*Pool)
+
+// WithRedialBudget overrides the redial-attempt cap for broken
+// connections. n <= 0 retries forever.
+func WithRedialBudget(n int) Option {
+	return func(p *Pool) { p.redialBudget = n }
+}
+
+// Health is a point-in-time capacity gauge for a pool.
+type Health struct {
+	// Total is the slot count established at Dial time.
+	Total int
+	// Live slots hold a healthy worker connection (free or running a
+	// job).
+	Live int
+	// Redialing slots lost their connection and are reconnecting in
+	// the background.
+	Redialing int
+	// Lost slots exhausted their redial budget; the pool's capacity is
+	// permanently reduced by this many until Close.
+	Lost int
+}
+
+// Degraded reports whether any capacity is currently missing.
+func (h Health) Degraded() bool { return h.Live < h.Total }
+
+// Health reports the pool's current capacity state.
+func (p *Pool) Health() Health {
+	p.mu.Lock()
+	live := len(p.conns)
+	p.mu.Unlock()
+	return Health{
+		Total:     p.total,
+		Live:      live,
+		Redialing: int(p.redialing.Load()),
+		Lost:      int(p.lost.Load()),
+	}
 }
 
 type wconn struct {
@@ -42,11 +98,18 @@ type wconn struct {
 
 // Dial connects to every worker and returns the pool. It fails if any
 // worker is unreachable or speaks the wrong protocol version.
-func Dial(specs []WorkerSpec) (*Pool, error) {
+func Dial(specs []WorkerSpec, opts ...Option) (*Pool, error) {
 	if len(specs) == 0 {
 		return nil, errors.New("dist: no workers given")
 	}
-	p := &Pool{closed: make(chan struct{}), conns: map[*wconn]bool{}}
+	p := &Pool{
+		closed:       make(chan struct{}),
+		conns:        map[*wconn]bool{},
+		redialBudget: DefaultRedialBudget,
+	}
+	for _, opt := range opts {
+		opt(p)
+	}
 	var all []*wconn
 	for _, spec := range specs {
 		first, h, err := dialWorker(spec.Addr)
@@ -202,15 +265,19 @@ func (p *Pool) Run(ctx context.Context, job *core.Job) core.Result {
 }
 
 // retire closes a broken connection and starts a background redialer
-// that restores the slot when the worker comes back.
+// that restores the slot when the worker comes back. The redialer gives
+// up after the pool's redial budget, permanently degrading capacity
+// (recorded in Health.Lost) instead of spinning on a dead worker.
 func (p *Pool) retire(c *wconn) {
 	c.nc.Close()
 	p.mu.Lock()
 	delete(p.conns, c)
 	p.mu.Unlock()
+	p.redialing.Add(1)
 	go func(addr string) {
+		defer p.redialing.Add(-1)
 		backoff := 100 * time.Millisecond
-		for {
+		for attempt := 1; p.redialBudget <= 0 || attempt <= p.redialBudget; attempt++ {
 			select {
 			case <-p.closed:
 				return
@@ -235,5 +302,6 @@ func (p *Pool) retire(c *wconn) {
 				backoff *= 2
 			}
 		}
+		p.lost.Add(1)
 	}(c.addr)
 }

@@ -1,0 +1,161 @@
+// Package faults is a deterministic, seedable chaos layer for the
+// launcher stack. It has two halves:
+//
+//   - Runner wraps any core.Runner and injects process-level faults
+//     (crashes, nonzero exits, hangs, slow starts, corrupted output,
+//     transport errors) according to a seeded Plan. Every injection
+//     decision is a pure function of (seed, rule, seq, attempt), so a
+//     chaos run's outcome is independent of goroutine interleaving —
+//     a test can re-derive the exact expected success/fail/retry
+//     accounting from the Plan alone.
+//
+//   - NodeOutages + Apply give the simulated cluster
+//     (internal/cluster) a node-failure schedule: nodes crash and
+//     recover mid-run, the reality the paper's 9,000-node Frontier
+//     workflows retry around with --retries/--joblog/--resume.
+//
+// The point of the package is not to make things fail — it is to prove
+// the retry/backoff/halt/resume machinery actually delivers its
+// exactly-once accounting when they do.
+package faults
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// Crash simulates the process dying before producing a result
+	// (spawn failure, OOM kill, node crash): the attempt never runs
+	// and fails with ErrInjectedCrash.
+	Crash Kind = iota
+	// Exit replaces the attempt with a nonzero exit status without
+	// running it.
+	Exit
+	// Hang blocks the attempt until its context is cancelled (i.e.
+	// until Spec.Timeout fires) or, when Rule.Delay is set, for at
+	// most that long. A Hang rule with Delay 0 under a spec with no
+	// Timeout blocks forever — that is the bug it exists to expose.
+	Hang
+	// SlowStart delays the attempt by Rule.Delay, then runs it
+	// normally (straggler nodes, cold caches).
+	SlowStart
+	// Truncate runs the attempt normally but drops the second half of
+	// its stdout (torn pipe, partial file).
+	Truncate
+	// Garbage runs the attempt normally but appends garbage bytes to
+	// its stdout (corrupted transport frame).
+	Garbage
+	// Transport fails the attempt with a transport-style error
+	// without running it, mimicking dist.Pool connection failures —
+	// the canonical retry-me error.
+	Transport
+
+	numKinds
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Exit:
+		return "exit"
+	case Hang:
+		return "hang"
+	case SlowStart:
+		return "slowstart"
+	case Truncate:
+		return "truncate"
+	case Garbage:
+		return "garbage"
+	case Transport:
+		return "transport"
+	default:
+		return fmt.Sprintf("faults.Kind(%d)", int(k))
+	}
+}
+
+// Fails reports whether an injection of this kind fails the attempt
+// (Truncate/Garbage corrupt output but leave exit status 0).
+func (k Kind) Fails() bool {
+	switch k {
+	case SlowStart, Truncate, Garbage:
+		return false
+	default:
+		return true
+	}
+}
+
+// Rule describes one fault injection: which kind, how often, and which
+// jobs/attempts it may strike.
+type Rule struct {
+	Kind Kind
+	// Rate is the per-attempt injection probability in [0, 1]. A rate
+	// >= 1 always fires (subject to Seqs/MaxAttempt).
+	Rate float64
+	// Seqs, when non-nil, restricts the rule to those job sequence
+	// numbers (nil = all jobs).
+	Seqs map[int]bool
+	// MaxAttempt, when > 0, restricts the rule to a job's first
+	// MaxAttempt attempts, so retried jobs eventually run clean — the
+	// transient-fault shape. 0 strikes every attempt.
+	MaxAttempt int
+	// ExitCode is the status used by Exit rules (0 means 1).
+	ExitCode int
+	// Delay is the SlowStart pause, or the maximum Hang duration
+	// (Hang with Delay 0 blocks until the context is cancelled).
+	Delay time.Duration
+}
+
+// Plan is a seeded fault schedule: an ordered rule list. For each
+// (seq, attempt) the first rule that fires wins. The zero Plan injects
+// nothing.
+type Plan struct {
+	// Seed namespaces every probability draw; two Plans with the same
+	// rules and seed make identical decisions.
+	Seed  uint64
+	Rules []Rule
+}
+
+// Decide returns the rule that strikes job seq's attempt (1-based), or
+// nil for a clean attempt. It is a pure function: safe for concurrent
+// use and reproducible regardless of execution order.
+func (p *Plan) Decide(seq, attempt int) *Rule {
+	if p == nil {
+		return nil
+	}
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if r.Seqs != nil && !r.Seqs[seq] {
+			continue
+		}
+		if r.MaxAttempt > 0 && attempt > r.MaxAttempt {
+			continue
+		}
+		if r.Rate >= 1 || unit(p.Seed, uint64(i), uint64(seq), uint64(attempt)) < r.Rate {
+			return r
+		}
+	}
+	return nil
+}
+
+// unit hashes the decision coordinates to a uniform draw in [0, 1).
+func unit(seed, rule, seq, attempt uint64) float64 {
+	x := seed
+	x = splitmix64(x ^ 0x9e3779b97f4a7c15*rule)
+	x = splitmix64(x ^ 0xbf58476d1ce4e5b9*seq)
+	x = splitmix64(x ^ 0x94d049bb133111eb*attempt)
+	return float64(x>>11) / (1 << 53)
+}
+
+// splitmix64 is the standard seed-scrambling finalizer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,349 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/args"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestPlanDecideDeterministic(t *testing.T) {
+	p := &Plan{Seed: 42, Rules: []Rule{
+		{Kind: Crash, Rate: 0.1},
+		{Kind: Exit, Rate: 0.2, ExitCode: 7},
+	}}
+
+	// Sequential reference pass.
+	type key struct{ seq, attempt int }
+	ref := map[key]*Rule{}
+	for seq := 1; seq <= 500; seq++ {
+		for attempt := 1; attempt <= 3; attempt++ {
+			ref[key{seq, attempt}] = p.Decide(seq, attempt)
+		}
+	}
+
+	// Concurrent re-evaluation in arbitrary order must agree exactly.
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for seq := 500; seq >= 1; seq-- {
+				for attempt := 3; attempt >= 1; attempt-- {
+					if got := p.Decide(seq, attempt); got != ref[key{seq, attempt}] {
+						select {
+						case errs <- "concurrent Decide disagreed with sequential pass":
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+func TestPlanSeedChangesDecisions(t *testing.T) {
+	a := &Plan{Seed: 1, Rules: []Rule{{Kind: Crash, Rate: 0.5}}}
+	b := &Plan{Seed: 2, Rules: []Rule{{Kind: Crash, Rate: 0.5}}}
+	same := true
+	for seq := 1; seq <= 200; seq++ {
+		if (a.Decide(seq, 1) == nil) != (b.Decide(seq, 1) == nil) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("plans with different seeds made identical decisions on 200 jobs")
+	}
+}
+
+func TestPlanRateApproximation(t *testing.T) {
+	p := &Plan{Seed: 7, Rules: []Rule{{Kind: Exit, Rate: 0.1}}}
+	hits := 0
+	const n = 20000
+	for seq := 1; seq <= n; seq++ {
+		if p.Decide(seq, 1) != nil {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.08 || frac > 0.12 {
+		t.Fatalf("rate-0.1 rule fired on %.3f of draws", frac)
+	}
+}
+
+func TestPlanTargeting(t *testing.T) {
+	p := &Plan{Seed: 3, Rules: []Rule{
+		{Kind: Exit, Rate: 1, Seqs: map[int]bool{4: true}, ExitCode: 13},
+		{Kind: Crash, Rate: 1, MaxAttempt: 2},
+	}}
+
+	// Seq 4 always hits the targeted Exit rule first.
+	if r := p.Decide(4, 1); r == nil || r.Kind != Exit {
+		t.Fatalf("seq 4 attempt 1: got %+v, want targeted Exit rule", r)
+	}
+	// Even on attempt 3, where the Crash rule no longer applies.
+	if r := p.Decide(4, 3); r == nil || r.Kind != Exit {
+		t.Fatalf("seq 4 attempt 3: got %+v, want targeted Exit rule", r)
+	}
+	// Other seqs crash on attempts 1-2 and run clean from attempt 3.
+	if r := p.Decide(9, 2); r == nil || r.Kind != Crash {
+		t.Fatalf("seq 9 attempt 2: got %+v, want Crash", r)
+	}
+	if r := p.Decide(9, 3); r != nil {
+		t.Fatalf("seq 9 attempt 3: got %+v, want clean", r)
+	}
+
+	var nilPlan *Plan
+	if nilPlan.Decide(1, 1) != nil {
+		t.Fatal("nil plan should inject nothing")
+	}
+}
+
+// echoRunner returns the job's first arg as stdout.
+var echoRunner = core.FuncRunner(func(ctx context.Context, job *core.Job) ([]byte, error) {
+	return []byte("out:" + job.Args[0]), nil
+})
+
+func runOne(t *testing.T, r *Runner, seq int) core.Result {
+	t.Helper()
+	job := &core.Job{Seq: seq, Args: []string{"x"}}
+	return r.Run(context.Background(), job)
+}
+
+func TestRunnerInjectsEachKind(t *testing.T) {
+	mk := func(rule Rule) *Runner {
+		rule.Rate = 1
+		return New(echoRunner, &Plan{Seed: 1, Rules: []Rule{rule}})
+	}
+
+	r := mk(Rule{Kind: Crash})
+	if res := runOne(t, r, 1); !errors.Is(res.Err, ErrInjectedCrash) || res.ExitCode != -1 {
+		t.Fatalf("crash: %+v", res)
+	}
+	if r.Injected(Crash) != 1 || r.InjectedTotal() != 1 {
+		t.Fatalf("crash counter = %d", r.Injected(Crash))
+	}
+
+	r = mk(Rule{Kind: Exit, ExitCode: 13})
+	if res := runOne(t, r, 1); res.ExitCode != 13 || res.Err != nil {
+		t.Fatalf("exit: %+v", res)
+	}
+	r = mk(Rule{Kind: Exit}) // ExitCode 0 defaults to 1
+	if res := runOne(t, r, 1); res.ExitCode != 1 {
+		t.Fatalf("exit default code: %+v", res)
+	}
+
+	r = mk(Rule{Kind: Transport})
+	if res := runOne(t, r, 1); !errors.Is(res.Err, ErrInjectedTransport) {
+		t.Fatalf("transport: %+v", res)
+	}
+
+	r = mk(Rule{Kind: SlowStart, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	res := runOne(t, r, 1)
+	if string(res.Stdout) != "out:x" || res.ExitCode != 0 {
+		t.Fatalf("slowstart should run the job: %+v", res)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("slowstart did not delay")
+	}
+
+	r = mk(Rule{Kind: Truncate})
+	if res := runOne(t, r, 1); string(res.Stdout) != "ou" || res.Err != nil || res.ExitCode != 0 {
+		t.Fatalf("truncate: stdout=%q err=%v", res.Stdout, res.Err)
+	}
+
+	r = mk(Rule{Kind: Garbage})
+	if res := runOne(t, r, 1); !strings.HasPrefix(string(res.Stdout), "out:x") || len(res.Stdout) <= 5 {
+		t.Fatalf("garbage: stdout=%q", res.Stdout)
+	} else if res.ExitCode != 0 {
+		t.Fatalf("garbage should not fail the job: %+v", res)
+	}
+}
+
+func TestRunnerHang(t *testing.T) {
+	r := New(echoRunner, &Plan{Seed: 1, Rules: []Rule{{Kind: Hang, Rate: 1}}})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	res := r.Run(ctx, &core.Job{Seq: 1, Args: []string{"x"}})
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("hang under deadline: err=%v", res.Err)
+	}
+
+	// Bounded hang under no deadline unsticks by itself.
+	r = New(echoRunner, &Plan{Seed: 1, Rules: []Rule{{Kind: Hang, Rate: 1, Delay: 20 * time.Millisecond}}})
+	res = r.Run(context.Background(), &core.Job{Seq: 1, Args: []string{"x"}})
+	if !res.TimedOut || res.OK() {
+		t.Fatalf("bounded hang: %+v", res)
+	}
+}
+
+func TestRunnerAttemptTrackingAndReset(t *testing.T) {
+	// Fault only attempt 1; attempt 2 of the same seq runs clean.
+	r := New(echoRunner, &Plan{Seed: 1, Rules: []Rule{{Kind: Exit, Rate: 1, MaxAttempt: 1}}})
+	if res := runOne(t, r, 5); res.OK() {
+		t.Fatal("attempt 1 should be faulted")
+	}
+	if res := runOne(t, r, 5); !res.OK() {
+		t.Fatalf("attempt 2 should be clean: %+v", res)
+	}
+	if got := r.Attempts(5); got != 2 {
+		t.Fatalf("Attempts(5) = %d, want 2", got)
+	}
+
+	r.Reset()
+	if r.Attempts(5) != 0 || r.InjectedTotal() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	if res := runOne(t, r, 5); res.OK() {
+		t.Fatal("after Reset, attempt 1 should be faulted again")
+	}
+}
+
+// TestRunnerThroughEngine drives transient faults through the real retry
+// machinery: every job fails its first two attempts and succeeds on the
+// third, so with Retries=3 the run ends fully green.
+func TestRunnerThroughEngine(t *testing.T) {
+	plan := &Plan{Seed: 11, Rules: []Rule{{Kind: Crash, Rate: 1, MaxAttempt: 2}}}
+	fr := New(echoRunner, plan)
+	const n = 50
+	spec := &core.Spec{Jobs: 8, Retries: 3}
+	eng, err := core.NewEngine(spec, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := make([][]string, n)
+	for i := range records {
+		records[i] = []string{"x"}
+	}
+	stats, _, err := eng.Run(context.Background(), args.Slice(records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Succeeded != n || stats.Failed != 0 {
+		t.Fatalf("stats = %+v, want all %d succeeded", stats, n)
+	}
+	if stats.Retries != 2*n {
+		t.Fatalf("retries = %d, want %d", stats.Retries, 2*n)
+	}
+	if got := fr.Injected(Crash); got != 2*n {
+		t.Fatalf("injected crashes = %d, want %d", got, 2*n)
+	}
+}
+
+func TestNodeOutagesDeterministic(t *testing.T) {
+	a := NodeOutages(9, 16, time.Hour, 10*time.Minute, time.Minute)
+	b := NodeOutages(9, 16, time.Hour, 10*time.Minute, time.Minute)
+	if len(a) == 0 {
+		t.Fatal("expected some outages over 16 node-hours at 10min MTBF")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different schedule length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, outage %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for _, o := range a {
+		if o.At >= sim.Time(time.Hour) {
+			t.Fatalf("outage past horizon: %+v", o)
+		}
+		if o.Duration <= 0 {
+			t.Fatalf("mttr > 0 but outage has no recovery: %+v", o)
+		}
+	}
+
+	// Per-node named splits: adding nodes never changes node 0's draws.
+	small := NodeOutages(9, 1, time.Hour, 10*time.Minute, time.Minute)
+	var node0 []Outage
+	for _, o := range a {
+		if o.Node == 0 {
+			node0 = append(node0, o)
+		}
+	}
+	if len(small) != len(node0) {
+		t.Fatalf("node 0 schedule changed with cluster size: %d vs %d", len(small), len(node0))
+	}
+	for i := range small {
+		if small[i] != node0[i] {
+			t.Fatalf("node 0 outage %d changed with cluster size", i)
+		}
+	}
+
+	if got := NodeOutages(9, 4, time.Hour, 10*time.Minute, 0); len(got) > 4 {
+		t.Fatalf("mttr 0 should permanently down each node at most once, got %d outages", len(got))
+	}
+}
+
+// TestOutagesOnSimCluster crashes a simulated node mid-run and checks
+// tasks fail with ErrNodeDown during the outage and succeed after
+// recovery.
+func TestOutagesOnSimCluster(t *testing.T) {
+	e := sim.NewEngine(5)
+	c := cluster.New(e, cluster.Frontier(), 1)
+	n := c.Nodes[0]
+
+	// 100 tasks x 50ms at 4 slots ≈ 1.4s of virtual makespan; the node
+	// is down for [300ms, 600ms).
+	Apply(c, []Outage{{Node: 0, At: 300 * time.Millisecond, Duration: 300 * time.Millisecond}})
+
+	var results []cluster.TaskResult
+	tasks := cluster.SleepTasks(100, func(i int) time.Duration { return 50 * time.Millisecond })
+	var rep *cluster.Report
+	e.Spawn("driver", func(p *sim.Proc) {
+		rep = n.RunParallel(p, cluster.InstanceConfig{
+			Jobs:     4,
+			OnResult: func(r cluster.TaskResult) { results = append(results, r) },
+		}, tasks)
+	})
+	e.Run()
+
+	if rep.Failed == 0 {
+		t.Fatal("no tasks failed despite a 300ms outage")
+	}
+	if rep.Succeeded == 0 {
+		t.Fatal("no tasks succeeded despite recovery")
+	}
+	if rep.Failed+rep.Succeeded != 100 {
+		t.Fatalf("accounting: %d failed + %d succeeded != 100", rep.Failed, rep.Succeeded)
+	}
+	for _, r := range results {
+		if r.Err != nil && !errors.Is(r.Err, cluster.ErrNodeDown) {
+			t.Fatalf("unexpected task error: %v", r.Err)
+		}
+		if r.Err != nil && (r.End < 300*time.Millisecond || r.Start >= 600*time.Millisecond) {
+			t.Fatalf("task failed outside the outage window: %+v", r)
+		}
+	}
+
+	// Same seed, same schedule: the run is reproducible end to end.
+	e2 := sim.NewEngine(5)
+	c2 := cluster.New(e2, cluster.Frontier(), 1)
+	Apply(c2, []Outage{{Node: 0, At: 300 * time.Millisecond, Duration: 300 * time.Millisecond}})
+	var rep2 *cluster.Report
+	e2.Spawn("driver", func(p *sim.Proc) {
+		rep2 = c2.Nodes[0].RunParallel(p, cluster.InstanceConfig{Jobs: 4},
+			cluster.SleepTasks(100, func(i int) time.Duration { return 50 * time.Millisecond }))
+	})
+	e2.Run()
+	if rep2.Failed != rep.Failed || rep2.Succeeded != rep.Succeeded {
+		t.Fatalf("rerun diverged: %d/%d vs %d/%d failed/succeeded",
+			rep.Failed, rep.Succeeded, rep2.Failed, rep2.Succeeded)
+	}
+}

@@ -1,0 +1,170 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ErrInjectedCrash is the error carried by Crash injections.
+var ErrInjectedCrash = errors.New("faults: injected crash")
+
+// ErrInjectedTransport is the error carried by Transport injections. It
+// deliberately looks like a dist.Pool connection failure: retryable,
+// with exit code -1 and no output.
+var ErrInjectedTransport = errors.New("faults: injected transport error")
+
+// Runner wraps an inner core.Runner and injects faults per Plan. It
+// tracks attempt numbers per job sequence itself (the engine does not
+// expose them to runners), so it must see every attempt of a given seq
+// — which the engine guarantees, since retries re-run the same Job.
+//
+// A Runner is safe for concurrent use and reusable across engine runs
+// only after Reset (attempt counters persist otherwise, which is
+// exactly what a joblog-resume test wants: the second run's first
+// attempt is the job's N+1th overall).
+type Runner struct {
+	Inner core.Runner
+	Plan  *Plan
+
+	mu       sync.Mutex
+	attempts map[int]int
+
+	injected [numKinds]atomic.Int64
+}
+
+// New wraps inner with plan.
+func New(inner core.Runner, plan *Plan) *Runner {
+	return &Runner{Inner: inner, Plan: plan}
+}
+
+// Injected returns how many faults of kind k have been injected.
+func (r *Runner) Injected(k Kind) int64 {
+	if k < 0 || k >= numKinds {
+		return 0
+	}
+	return r.injected[k].Load()
+}
+
+// InjectedTotal returns the total number of injected faults.
+func (r *Runner) InjectedTotal() int64 {
+	var n int64
+	for i := range r.injected {
+		n += r.injected[i].Load()
+	}
+	return n
+}
+
+// Attempts returns how many attempts the runner has seen for seq.
+func (r *Runner) Attempts(seq int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.attempts[seq]
+}
+
+// Reset clears attempt counters and injection totals, as if the runner
+// were freshly built. Call between independent engine runs that should
+// each start at attempt 1.
+func (r *Runner) Reset() {
+	r.mu.Lock()
+	r.attempts = nil
+	r.mu.Unlock()
+	for i := range r.injected {
+		r.injected[i].Store(0)
+	}
+}
+
+// nextAttempt bumps and returns the 1-based attempt number for seq.
+func (r *Runner) nextAttempt(seq int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.attempts == nil {
+		r.attempts = make(map[int]int)
+	}
+	r.attempts[seq]++
+	return r.attempts[seq]
+}
+
+// Run implements core.Runner.
+func (r *Runner) Run(ctx context.Context, job *core.Job) core.Result {
+	attempt := r.nextAttempt(job.Seq)
+	rule := r.Plan.Decide(job.Seq, attempt)
+	if rule == nil {
+		return r.Inner.Run(ctx, job)
+	}
+	r.injected[rule.Kind].Add(1)
+
+	now := time.Now()
+	switch rule.Kind {
+	case Crash:
+		return core.Result{
+			Job: *job, ExitCode: -1, Err: ErrInjectedCrash,
+			Start: now, End: time.Now(),
+		}
+
+	case Exit:
+		code := rule.ExitCode
+		if code == 0 {
+			code = 1
+		}
+		return core.Result{Job: *job, ExitCode: code, Start: now, End: time.Now()}
+
+	case Transport:
+		return core.Result{
+			Job: *job, ExitCode: -1, Err: ErrInjectedTransport,
+			Start: now, End: time.Now(),
+		}
+
+	case Hang:
+		var hung <-chan time.Time
+		if rule.Delay > 0 {
+			t := time.NewTimer(rule.Delay)
+			defer t.Stop()
+			hung = t.C
+		}
+		select {
+		case <-ctx.Done():
+			return core.Result{
+				Job: *job, ExitCode: -1, Err: ctx.Err(),
+				Start: now, End: time.Now(),
+			}
+		case <-hung:
+			// Bounded hang elapsed without the context firing: the
+			// "process" unsticks and fails as a timeout-ish error.
+			return core.Result{
+				Job: *job, ExitCode: -1, Err: context.DeadlineExceeded,
+				Start: now, End: time.Now(), TimedOut: true,
+			}
+		}
+
+	case SlowStart:
+		select {
+		case <-time.After(rule.Delay):
+		case <-ctx.Done():
+			return core.Result{
+				Job: *job, ExitCode: -1, Err: ctx.Err(),
+				Start: now, End: time.Now(),
+			}
+		}
+		res := r.Inner.Run(ctx, job)
+		res.Start = now // the stall counts as part of the attempt
+		return res
+
+	case Truncate:
+		res := r.Inner.Run(ctx, job)
+		res.Stdout = res.Stdout[:len(res.Stdout)/2]
+		return res
+
+	case Garbage:
+		res := r.Inner.Run(ctx, job)
+		res.Stdout = append(res.Stdout, []byte("\x00\xffGARBAGE\xfe\x01")...)
+		return res
+
+	default:
+		return r.Inner.Run(ctx, job)
+	}
+}

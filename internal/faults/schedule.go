@@ -1,0 +1,76 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Outage is one scheduled node failure in virtual time.
+type Outage struct {
+	// Node is the cluster node index.
+	Node int
+	// At is the virtual time the node fails.
+	At sim.Time
+	// Duration is how long the node stays down; 0 means it never
+	// recovers within the run.
+	Duration time.Duration
+}
+
+// NodeOutages draws a deterministic outage schedule for n nodes over
+// the given virtual-time horizon: each node fails at exponentially
+// distributed intervals with mean mtbf and recovers after an
+// exponentially distributed repair time with mean mttr (mttr 0 makes
+// every failure permanent). The schedule depends only on (seed, n,
+// horizon, mtbf, mttr) — node i's draws come from a named RNG split, so
+// adding nodes never perturbs existing nodes' outages.
+func NodeOutages(seed uint64, n int, horizon time.Duration, mtbf, mttr time.Duration) []Outage {
+	if n <= 0 || horizon <= 0 || mtbf <= 0 {
+		return nil
+	}
+	root := sim.NewRNG(seed)
+	var out []Outage
+	for node := 0; node < n; node++ {
+		rng := root.Split(fmt.Sprintf("faults/node/%d", node))
+		t := sim.Time(0)
+		for {
+			t += sim.Time(rng.DurExp(mtbf))
+			if t >= sim.Time(horizon) {
+				break
+			}
+			var repair time.Duration
+			if mttr > 0 {
+				// Minimum 1ns so Recover is a distinct later event.
+				repair = rng.DurExp(mttr) + 1
+			}
+			out = append(out, Outage{Node: node, At: t, Duration: repair})
+			if repair == 0 {
+				break // permanently down; further draws are moot
+			}
+			t += sim.Time(repair)
+		}
+	}
+	return out
+}
+
+// Apply schedules the outages on c's engine: at each Outage.At the node
+// fails (in-flight simulated tasks observe ErrNodeDown when they
+// complete), and Duration later it recovers. Call before running the
+// simulation.
+func Apply(c *cluster.Cluster, outages []Outage) {
+	for _, o := range outages {
+		if o.Node < 0 || o.Node >= len(c.Nodes) {
+			continue
+		}
+		node := c.Nodes[o.Node]
+		dur := o.Duration
+		c.Eng.At(o.At, func() {
+			node.Fail()
+			if dur > 0 {
+				c.Eng.After(dur, node.Recover)
+			}
+		})
+	}
+}

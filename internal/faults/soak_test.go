@@ -1,0 +1,313 @@
+package faults
+
+import (
+	"bytes"
+	"context"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/args"
+	"repro/internal/core"
+)
+
+// soakPlan is the chaos schedule for TestChaosSoak: a targeted
+// perma-fail rule first (those jobs fail every attempt), then a mix of
+// transient faults limited to the first two attempts (so Retries=3
+// always clears them), then benign corruption. ~8% of first attempts
+// take a failing fault.
+func soakPlan(permaFail map[int]bool) *Plan {
+	return &Plan{Seed: 0xC0FFEE, Rules: []Rule{
+		{Kind: Exit, Rate: 1, Seqs: permaFail, ExitCode: 13},
+		{Kind: Crash, Rate: 0.03, MaxAttempt: 2},
+		{Kind: Exit, Rate: 0.02, MaxAttempt: 2, ExitCode: 7},
+		{Kind: Hang, Rate: 0.01, MaxAttempt: 2, Delay: 30 * time.Millisecond},
+		{Kind: Transport, Rate: 0.02, MaxAttempt: 2},
+		{Kind: SlowStart, Rate: 0.02, Delay: time.Millisecond},
+		{Kind: Truncate, Rate: 0.02},
+	}}
+}
+
+// soakExpectation is the ground truth for a soak run, derived by
+// replaying the plan's pure decision function job by job — possible
+// only because injection decisions do not depend on scheduling.
+type soakExpectation struct {
+	succeeded, failed, retries int
+	failedSeqs                 map[int]bool
+	injected                   [numKinds]int64
+}
+
+func replayPlan(plan *Plan, n, maxAttempts int) soakExpectation {
+	exp := soakExpectation{failedSeqs: map[int]bool{}}
+	for seq := 1; seq <= n; seq++ {
+		ok := false
+		attempts := 0
+		for attempt := 1; attempt <= maxAttempts; attempt++ {
+			attempts = attempt
+			r := plan.Decide(seq, attempt)
+			if r != nil {
+				exp.injected[r.Kind]++
+			}
+			if r == nil || !r.Kind.Fails() {
+				ok = true
+				break
+			}
+		}
+		exp.retries += attempts - 1
+		if ok {
+			exp.succeeded++
+		} else {
+			exp.failed++
+			exp.failedSeqs[seq] = true
+		}
+	}
+	return exp
+}
+
+func seqRecords(n int) [][]string {
+	records := make([][]string, n)
+	for i := range records {
+		records[i] = []string{strconv.Itoa(i + 1)}
+	}
+	return records
+}
+
+// recordingRunner is a clean FuncRunner that records which seqs it ran.
+type recordingRunner struct {
+	mu   sync.Mutex
+	seqs map[int]bool
+}
+
+func (r *recordingRunner) Run(ctx context.Context, job *core.Job) core.Result {
+	r.mu.Lock()
+	if r.seqs == nil {
+		r.seqs = map[int]bool{}
+	}
+	dup := r.seqs[job.Seq]
+	r.seqs[job.Seq] = true
+	r.mu.Unlock()
+	if dup {
+		return core.Result{Job: *job, ExitCode: 99, Start: time.Now(), End: time.Now()}
+	}
+	return echoRunner.Run(ctx, job)
+}
+
+// TestChaosSoak pushes 10k jobs through the engine at ~8% injected
+// fault rate with retries, backoff, timeout, and a joblog, then checks
+// the run's accounting to the job against a sequential replay of the
+// fault plan, and finally resumes from the joblog verifying exactly-
+// once semantics: every job either completed in run 1 or executed in
+// run 2, never both, never neither.
+func TestChaosSoak(t *testing.T) {
+	const (
+		n           = 10000
+		maxAttempts = 3
+	)
+	permaFail := map[int]bool{}
+	for seq := 97; seq <= n; seq += 97 {
+		permaFail[seq] = true
+	}
+	plan := soakPlan(permaFail)
+	exp := replayPlan(plan, n, maxAttempts)
+
+	// Sanity on the schedule itself: transient faults clear by attempt
+	// 3, so exactly the targeted jobs fail.
+	if len(exp.failedSeqs) != len(permaFail) {
+		t.Fatalf("replay: %d failed seqs, want the %d targeted ones", len(exp.failedSeqs), len(permaFail))
+	}
+	if exp.retries < n/20 {
+		t.Fatalf("replay: only %d retries — fault rates too low to soak anything", exp.retries)
+	}
+
+	run := func() (core.Stats, *Runner, *bytes.Buffer) {
+		fr := New(echoRunner, plan)
+		var joblog bytes.Buffer
+		core.WriteJoblogHeader(&joblog)
+		spec := &core.Spec{
+			Jobs:    32,
+			Retries: maxAttempts,
+			Timeout: 2 * time.Second,
+			RetryBackoff: core.Backoff{
+				Base:   200 * time.Microsecond,
+				Cap:    2 * time.Millisecond,
+				Jitter: 0.1,
+			},
+			Joblog: &joblog,
+		}
+		eng, err := core.NewEngine(spec, fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, _, err := eng.Run(context.Background(), args.Slice(seqRecords(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats, fr, &joblog
+	}
+
+	stats, fr, joblog := run()
+
+	if stats.Total != n || stats.Skipped != 0 {
+		t.Fatalf("total/skipped = %d/%d, want %d/0", stats.Total, stats.Skipped, n)
+	}
+	if stats.Succeeded != exp.succeeded || stats.Failed != exp.failed {
+		t.Fatalf("succeeded/failed = %d/%d, replay predicts %d/%d",
+			stats.Succeeded, stats.Failed, exp.succeeded, exp.failed)
+	}
+	if stats.Retries != exp.retries {
+		t.Fatalf("retries = %d, replay predicts %d", stats.Retries, exp.retries)
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if got := fr.Injected(k); got != exp.injected[k] {
+			t.Fatalf("injected %v = %d, replay predicts %d", k, got, exp.injected[k])
+		}
+	}
+
+	// Joblog: one line per job, and the completed set is exactly the
+	// replay's success set.
+	entries, err := core.ParseJoblog(bytes.NewReader(joblog.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != n {
+		t.Fatalf("joblog has %d entries, want %d", len(entries), n)
+	}
+	done := core.CompletedSeqs(entries)
+	if len(done) != exp.succeeded {
+		t.Fatalf("joblog completed = %d, want %d", len(done), exp.succeeded)
+	}
+	for seq := range exp.failedSeqs {
+		if done[seq] {
+			t.Fatalf("seq %d failed in replay but is marked completed", seq)
+		}
+	}
+
+	// Determinism: an identical second run reproduces the accounting
+	// exactly (the whole point of hash-based injection decisions).
+	stats2, fr2, _ := run()
+	if stats2.Succeeded != stats.Succeeded || stats2.Failed != stats.Failed || stats2.Retries != stats.Retries {
+		t.Fatalf("rerun diverged: %d/%d/%d vs %d/%d/%d (succ/fail/retries)",
+			stats2.Succeeded, stats2.Failed, stats2.Retries,
+			stats.Succeeded, stats.Failed, stats.Retries)
+	}
+	if fr2.InjectedTotal() != fr.InjectedTotal() {
+		t.Fatalf("rerun injected %d faults vs %d", fr2.InjectedTotal(), fr.InjectedTotal())
+	}
+
+	// Resume leg: re-run with a clean runner, skipping completed seqs.
+	// Exactly the failed jobs execute — nothing is lost, nothing runs
+	// twice.
+	rec := &recordingRunner{}
+	spec := &core.Spec{Jobs: 32, Retries: 1, ResumeFrom: done}
+	eng, err := core.NewEngine(spec, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rstats, _, err := eng.Run(context.Background(), args.Slice(seqRecords(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rstats.Skipped != exp.succeeded {
+		t.Fatalf("resume skipped %d, want %d", rstats.Skipped, exp.succeeded)
+	}
+	if rstats.Succeeded != exp.failed || rstats.Failed != 0 {
+		t.Fatalf("resume succeeded/failed = %d/%d, want %d/0", rstats.Succeeded, rstats.Failed, exp.failed)
+	}
+	if len(rec.seqs) != len(exp.failedSeqs) {
+		t.Fatalf("resume executed %d jobs, want %d", len(rec.seqs), len(exp.failedSeqs))
+	}
+	for seq := range rec.seqs {
+		if !exp.failedSeqs[seq] {
+			t.Fatalf("resume re-executed seq %d, which had completed", seq)
+		}
+	}
+}
+
+// TestChaosHaltResume injects faults into a run that halts early
+// (--halt now,fail=5), then resumes from the joblog and verifies
+// exactly-once coverage: no completed job re-executes, no job is lost.
+func TestChaosHaltResume(t *testing.T) {
+	const n = 200
+	permaFail := map[int]bool{}
+	for seq := 5; seq <= n; seq += 5 {
+		permaFail[seq] = true
+	}
+	plan := &Plan{Seed: 99, Rules: []Rule{
+		{Kind: Exit, Rate: 1, Seqs: permaFail, ExitCode: 13},
+	}}
+
+	// A little runtime per job so jobs are genuinely in flight when the
+	// halt cancels the run.
+	slow := core.FuncRunner(func(ctx context.Context, job *core.Job) ([]byte, error) {
+		select {
+		case <-time.After(2 * time.Millisecond):
+			return []byte("ok"), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+
+	var joblog bytes.Buffer
+	core.WriteJoblogHeader(&joblog)
+	spec := &core.Spec{
+		Jobs:    8,
+		Retries: 1,
+		Halt:    core.HaltPolicy{When: core.HaltNow, Threshold: 5},
+		Joblog:  &joblog,
+	}
+	eng, err := core.NewEngine(spec, New(slow, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _, err := eng.Run(context.Background(), args.Slice(seqRecords(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failed < 5 {
+		t.Fatalf("halt leg failed only %d jobs, want >= 5", stats.Failed)
+	}
+	if stats.Done() >= n {
+		t.Fatalf("halt did not stop early: %d jobs ran", stats.Done())
+	}
+
+	entries, err := core.ParseJoblog(bytes.NewReader(joblog.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := core.CompletedSeqs(entries)
+	if len(done) == 0 {
+		t.Fatal("halt leg completed nothing — can't exercise resume")
+	}
+
+	// Resume with a clean runner: every seq not completed in leg 1 runs
+	// exactly once; completed seqs never re-execute.
+	rec := &recordingRunner{}
+	eng2, err := core.NewEngine(&core.Spec{Jobs: 8, Retries: 1, ResumeFrom: done}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rstats, _, err := eng2.Run(context.Background(), args.Slice(seqRecords(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rstats.Total != n {
+		t.Fatalf("resume leg read %d jobs, want %d", rstats.Total, n)
+	}
+	if rstats.Failed != 0 {
+		t.Fatalf("resume leg failed %d jobs (duplicate execution?)", rstats.Failed)
+	}
+	for seq := range done {
+		if rec.seqs[seq] {
+			t.Fatalf("completed seq %d was re-executed on resume", seq)
+		}
+	}
+	for seq := 1; seq <= n; seq++ {
+		if !done[seq] && !rec.seqs[seq] {
+			t.Fatalf("seq %d lost: neither completed in leg 1 nor executed on resume", seq)
+		}
+	}
+	if got := len(done) + len(rec.seqs); got != n {
+		t.Fatalf("coverage: %d completed + %d resumed = %d, want exactly %d", len(done), len(rec.seqs), got, n)
+	}
+}
