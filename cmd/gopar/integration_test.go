@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -228,22 +232,338 @@ func TestCLIResultsDir(t *testing.T) {
 }
 
 func TestCLIProgress(t *testing.T) {
-	_, stderr, exit := gopar(t, "", "--progress", "-quiet", "echo {}", ":::", "a", "b")
+	// Under the test harness stderr is a pipe, not a TTY: progress must
+	// degrade to plain newline-terminated lines with no carriage-return
+	// redraw, so captured logs stay clean and stdout (job output) is
+	// never interleaved with control characters.
+	stdout, stderr, exit := gopar(t, "", "--progress", "-quiet", "-k", "echo {}", ":::", "a", "b")
 	if exit != 0 {
 		t.Fatalf("exit = %d", exit)
 	}
-	if !strings.Contains(stderr, "done") || !strings.Contains(stderr, "\r") {
+	if !strings.Contains(stderr, "done") {
 		t.Fatalf("progress output missing: %q", stderr)
+	}
+	if strings.Contains(stderr, "\r") || strings.Contains(stderr, "\033[") {
+		t.Fatalf("non-TTY progress used terminal control characters: %q", stderr)
+	}
+	if stdout != "a\nb\n" {
+		t.Fatalf("progress leaked into stdout: %q", stdout)
+	}
+}
+
+// startGopar launches gopar with stdin held open and returns the stdin
+// pipe plus a channel yielding stderr lines (consumed continuously so
+// the child never blocks on a full pipe).
+func startGopar(t *testing.T, argv ...string) (io.WriteCloser, *exec.Cmd, chan string) {
+	t.Helper()
+	cmd := exec.Command(goparPath, argv...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stdout = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stdin.Close(); cmd.Process.Kill(); cmd.Wait() })
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stderrPipe)
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			default: // keep draining even if nobody is listening
+			}
+		}
+		close(lines)
+	}()
+	return stdin, cmd, lines
+}
+
+// awaitMetricsURL watches stderr lines for the serving-metrics banner.
+func awaitMetricsURL(t *testing.T, lines chan string) string {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("gopar exited before announcing metrics endpoint")
+			}
+			if i := strings.Index(line, "serving metrics on "); i >= 0 {
+				return strings.TrimSpace(line[i+len("serving metrics on "):])
+			}
+		case <-deadline:
+			t.Fatal("metrics endpoint never announced")
+		}
+	}
+}
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("scraping %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	return string(body)
+}
+
+func TestCLIMetricsLiveScrapeMatchesJoblog(t *testing.T) {
+	// The acceptance scenario: curl the live /metrics endpoint while a
+	// run is in flight, and verify the scraped counters match the final
+	// joblog accounting exactly. Stdin is held open so the run cannot
+	// end before the scrape.
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "job.log")
+	stdin, cmd, lines := startGopar(t, "-quiet", "--metrics-addr", "127.0.0.1:0",
+		"--joblog", logPath, "echo {}")
+	url := awaitMetricsURL(t, lines)
+
+	if _, err := io.WriteString(stdin, "a\nb\nc\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	var body string
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		body = scrape(t, url)
+		if strings.Contains(body, `gopar_jobs_finished_total{outcome="ok"} 3`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("finished counter never reached 3; last scrape:\n%s", body)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	// Scraped mid-run (process still alive, stdin open), the full
+	// contract is visible and internally consistent.
+	for _, line := range []string{
+		"gopar_jobs_queued_total 3",
+		"gopar_jobs_started_total 3",
+		`gopar_jobs_finished_total{outcome="fail"} 0`,
+		`gopar_jobs_finished_total{outcome="killed"} 0`,
+		"gopar_slots_busy 0",
+		"gopar_queue_depth 0",
+		"# TYPE gopar_dispatch_latency_seconds histogram",
+		"gopar_dispatch_latency_seconds_count 3",
+		"# TYPE gopar_throughput_procs_per_second gauge",
+	} {
+		if !strings.Contains(body, line) {
+			t.Fatalf("live scrape missing %q:\n%s", line, body)
+		}
+	}
+
+	stdin.Close()
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("gopar exit: %v", err)
+	}
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Joblog: header line + one line per job; every job exited 0. The
+	// scraped ok-counter and the joblog agree.
+	jobLines := 0
+	for _, l := range strings.Split(strings.TrimSpace(string(data)), "\n")[1:] {
+		if strings.TrimSpace(l) != "" {
+			jobLines++
+			if !strings.Contains(l, "\t0\t") {
+				t.Fatalf("non-zero exit in joblog line %q", l)
+			}
+		}
+	}
+	if jobLines != 3 {
+		t.Fatalf("joblog has %d job lines, scrape said 3:\n%s", jobLines, data)
+	}
+}
+
+func TestCLIEventsAndTraceStreams(t *testing.T) {
+	dir := t.TempDir()
+	eventsPath := filepath.Join(dir, "run.jsonl")
+	tracePath := filepath.Join(dir, "run.trace.json")
+	_, _, exit := gopar(t, "", "-quiet", "--events", eventsPath, "--trace", tracePath,
+		"echo {}", ":::", "a", "b")
+	if exit != 0 {
+		t.Fatalf("exit = %d", exit)
+	}
+
+	data, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		counts[rec["type"].(string)]++
+	}
+	if counts["queued"] != 2 || counts["started"] != 2 || counts["finished"] != 2 {
+		t.Fatalf("event counts = %v", counts)
+	}
+
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slices []map[string]any
+	if err := json.Unmarshal(traceData, &slices); err != nil {
+		t.Fatalf("trace not valid JSON: %v\n%s", err, traceData)
+	}
+	if len(slices) != 2 {
+		t.Fatalf("trace slices = %d, want 2", len(slices))
+	}
+	for _, s := range slices {
+		if s["ph"] != "X" || !strings.HasPrefix(s["name"].(string), "echo ") {
+			t.Fatalf("slice = %v", s)
+		}
+	}
+}
+
+// buildGopard compiles the worker daemon into dir.
+func buildGopard(t *testing.T, dir string) string {
+	t.Helper()
+	gopardPath := filepath.Join(dir, "gopard")
+	if out, err := exec.Command("go", "build", "-o", gopardPath, "../gopard").CombinedOutput(); err != nil {
+		t.Fatalf("building gopard: %v\n%s", err, out)
+	}
+	return gopardPath
+}
+
+// startGopard launches one worker daemon on a fresh port and returns
+// its address plus a channel of its stderr log lines.
+func startGopard(t *testing.T, gopardPath string, argv ...string) (string, chan string) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close() // free the port for gopard (small race, acceptable in tests)
+	cmd := exec.Command(gopardPath, append([]string{"-listen", addr}, argv...)...)
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stderrPipe)
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			default:
+			}
+		}
+		close(lines)
+	}()
+	waitForWorker(t, addr)
+	return addr, lines
+}
+
+func waitForWorker(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker %s never came up", addr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestCLIDistributedMetricsExposition(t *testing.T) {
+	// -S mode acceptance: the coordinator's /metrics is the single
+	// scrape point for fleet state — run counters, pool health by slot
+	// state, and per-worker series piggybacked over the dist protocol —
+	// while each gopard also serves its own local endpoint.
+	gopardPath := buildGopard(t, t.TempDir())
+	a0, w0lines := startGopard(t, gopardPath, "-slots", "2", "-name", "w0", "-metrics-addr", "127.0.0.1:0")
+	a1, _ := startGopard(t, gopardPath, "-slots", "2", "-name", "w1")
+	gopardURL := awaitMetricsURL(t, w0lines)
+
+	stdin, cmd, lines := startGopar(t, "-quiet", "-S", "2/"+a0+",2/"+a1,
+		"--metrics-addr", "127.0.0.1:0", "echo via {}")
+	url := awaitMetricsURL(t, lines)
+	if _, err := io.WriteString(stdin, "a\nb\nc\nd\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	var body string
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		body = scrape(t, url)
+		if strings.Contains(body, `gopar_jobs_finished_total{outcome="ok"} 4`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("finished counter never reached 4:\n%s", body)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	for _, line := range []string{
+		`gopar_pool_slots{state="total"} 4`,
+		`gopar_pool_slots{state="live"} 4`,
+		`gopar_pool_slots{state="redialing"} 0`,
+		`gopar_pool_slots{state="lost"} 0`,
+	} {
+		if !strings.Contains(body, line) {
+			t.Fatalf("pool health series missing %q:\n%s", line, body)
+		}
+	}
+	// Per-worker series appear as soon as responses carry snapshots; w0
+	// holds the pool's first free connection so it always served jobs.
+	if !strings.Contains(body, `gopar_worker_slots{worker="w0"} 2`) ||
+		!strings.Contains(body, `gopar_worker_jobs_total{worker="w0",outcome="ok"}`) {
+		t.Fatalf("per-worker series missing:\n%s", body)
+	}
+
+	// The worker's own endpoint reports the same execution counters.
+	wbody := scrape(t, gopardURL)
+	if !strings.Contains(wbody, "gopard_slots 2") || !strings.Contains(wbody, "gopard_busy 0") {
+		t.Fatalf("gopard exposition wrong:\n%s", wbody)
+	}
+	started := -1.0
+	for _, l := range strings.Split(wbody, "\n") {
+		if v, ok := strings.CutPrefix(l, "gopard_jobs_started_total "); ok {
+			fmt.Sscanf(v, "%g", &started)
+		}
+	}
+	if started < 1 {
+		t.Fatalf("gopard started counter = %v, want >= 1:\n%s", started, wbody)
+	}
+
+	stdin.Close()
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("gopar exit: %v", err)
 	}
 }
 
 func TestCLIDistributedWorkers(t *testing.T) {
 	// Build and start two gopard workers, then run gopar -S against them.
 	dir := t.TempDir()
-	gopardPath := filepath.Join(dir, "gopard")
-	if out, err := exec.Command("go", "build", "-o", gopardPath, "../gopard").CombinedOutput(); err != nil {
-		t.Fatalf("building gopard: %v\n%s", err, out)
-	}
+	gopardPath := buildGopard(t, dir)
 	var addrs []string
 	for i := 0; i < 2; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")

@@ -27,6 +27,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -34,6 +35,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/gpu"
+	"repro/internal/profile"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -129,6 +132,9 @@ func run() int {
 		shuf      = fs.Bool("shuf", false, "process inputs in random order")
 		shufSeed  = fs.Uint64("shuf-seed", 0, "seed for --shuf (0 = time-based)")
 		results   = fs.String("results", "", "save per-job stdout/stderr/exitval under this directory")
+		metrics   = fs.String("metrics-addr", "", `serve live Prometheus metrics on this address (e.g. ":9100"; ":0" picks a free port)`)
+		events    = fs.String("events", "", "stream job-lifecycle events as JSON lines to this file")
+		trace     = fs.String("trace", "", "stream a Chrome trace (chrome://tracing) to this file during the run")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: gopar [flags] command [::: args...] [:::: argfile]\n")
@@ -187,8 +193,13 @@ func run() int {
 			return []string{gpu.VisibleEnv(vendor, gpu.SlotDevice(slot))}
 		}
 	}
+	var pp *core.ProgressPrinter
 	if *progress {
-		spec.OnProgress = func(p core.Progress) { core.RenderProgress(os.Stderr, p) }
+		// Progress goes to stderr — stdout stays exclusively job output —
+		// and only redraws in place when stderr is an interactive
+		// terminal; on a pipe it degrades to rate-limited plain lines.
+		pp = &core.ProgressPrinter{W: os.Stderr, TTY: stderrIsTTY()}
+		spec.OnProgress = pp.Update
 	}
 	if spec.Halt, err = parseHalt(*haltSpec); err != nil {
 		fmt.Fprintln(os.Stderr, "gopar:", err)
@@ -224,17 +235,29 @@ func run() int {
 	}
 
 	var runner core.Runner = &core.ExecRunner{Dir: *dir, ForceShell: *shell, TermGrace: *termGrace}
+	var pool *dist.Pool
 	if *workers != "" {
 		specs, perr := parseWorkers(*workers)
 		if perr != nil {
 			fmt.Fprintln(os.Stderr, "gopar:", perr)
 			return 2
 		}
-		pool, derr := dist.Dial(specs)
+		// Warn once, the moment the pool first loses capacity; the final
+		// summary reports the closing health gauge.
+		var degradedOnce sync.Once
+		p, derr := dist.Dial(specs, dist.WithHealthNotify(func(h dist.Health) {
+			if h.Degraded() {
+				degradedOnce.Do(func() {
+					fmt.Fprintf(os.Stderr, "gopar: worker pool degraded: %d/%d slots live (%d redialing, %d lost)\n",
+						h.Live, h.Total, h.Redialing, h.Lost)
+				})
+			}
+		}))
 		if derr != nil {
 			fmt.Fprintln(os.Stderr, "gopar:", derr)
 			return 2
 		}
+		pool = p
 		defer pool.Close()
 		runner = pool
 		// The pool's capacity is the natural slot count unless the user
@@ -243,6 +266,69 @@ func run() int {
 			spec.Jobs = pool.Slots()
 		}
 	}
+
+	// Telemetry: a non-blocking bus feeds the in-process metrics registry
+	// (synchronous tap) plus any streaming sinks (buffered subscription),
+	// so a slow scrape or disk can never stall dispatch.
+	var drainTelemetry func()
+	if *metrics != "" || *events != "" || *trace != "" {
+		reg := telemetry.NewRegistry()
+		bus := telemetry.NewBus()
+		rm := telemetry.NewRunMetrics(reg, spec.Jobs)
+		bus.Tap(rm.Observe)
+		if pool != nil {
+			pool.RegisterMetrics(reg)
+		}
+		var consumers []func(core.Event)
+		var closers []func() error
+		if *events != "" {
+			f, cerr := os.Create(*events)
+			if cerr != nil {
+				fmt.Fprintln(os.Stderr, "gopar:", cerr)
+				return 2
+			}
+			sink := telemetry.NewJSONLSink(f)
+			consumers = append(consumers, sink.Consume)
+			closers = append(closers, f.Close)
+		}
+		if *trace != "" {
+			f, cerr := os.Create(*trace)
+			if cerr != nil {
+				fmt.Fprintln(os.Stderr, "gopar:", cerr)
+				return 2
+			}
+			lt := profile.NewLiveTrace(f)
+			consumers = append(consumers, lt.Consume)
+			closers = append(closers, lt.Close, f.Close)
+		}
+		var pumpDone sync.WaitGroup
+		if len(consumers) > 0 {
+			sub := bus.Subscribe(0)
+			pumpDone.Add(1)
+			go func() {
+				defer pumpDone.Done()
+				telemetry.Pump(sub, consumers...)
+			}()
+		}
+		if *metrics != "" {
+			bound, closeFn, serr := telemetry.Serve(*metrics, reg)
+			if serr != nil {
+				fmt.Fprintln(os.Stderr, "gopar:", serr)
+				return 2
+			}
+			fmt.Fprintf(os.Stderr, "gopar: serving metrics on http://%s/metrics\n", bound)
+			closers = append(closers, closeFn)
+		}
+		spec.OnEvent = bus.Publish
+		drainTelemetry = func() {
+			bus.Close()
+			pumpDone.Wait()
+			for _, c := range closers {
+				c()
+			}
+		}
+	}
+
 	eng, err := core.NewEngine(spec, runner)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gopar:", err)
@@ -254,8 +340,11 @@ func run() int {
 
 	start := time.Now()
 	stats, _, err := eng.Run(ctx, src)
-	if *progress {
-		fmt.Fprintln(os.Stderr) // finish the in-place progress line
+	if pp != nil {
+		pp.Finish() // terminate an in-place progress line, if one was drawn
+	}
+	if drainTelemetry != nil {
+		drainTelemetry()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gopar:", err)
@@ -265,6 +354,11 @@ func run() int {
 			stats.Total, stats.Succeeded, stats.Failed, stats.Skipped,
 			time.Since(start).Round(time.Millisecond), stats.LaunchRate,
 			stats.AvgDispatchDelay.Round(time.Microsecond))
+		if pool != nil {
+			h := pool.Health()
+			fmt.Fprintf(os.Stderr, "gopar: pool health: %d/%d slots live, %d redialing, %d lost\n",
+				h.Live, h.Total, h.Redialing, h.Lost)
+		}
 	}
 	switch {
 	case err != nil:
@@ -277,6 +371,13 @@ func run() int {
 	default:
 		return 0
 	}
+}
+
+// stderrIsTTY reports whether stderr is an interactive terminal, which
+// decides between in-place progress redraw and plain line output.
+func stderrIsTTY() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }
 
 // parseWorkers parses the -S list: comma-separated [slots/]host:port

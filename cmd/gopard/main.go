@@ -24,15 +24,17 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:7547", "TCP address to listen on")
-		slots  = flag.Int("slots", runtime.GOMAXPROCS(0), "advertised concurrent job slots")
-		name   = flag.String("name", "", "worker name in joblogs (default: hostname)")
-		dir    = flag.String("dir", "", "working directory for jobs")
-		shell  = flag.Bool("shell", false, "always run commands through /bin/sh -c")
+		listen      = flag.String("listen", "127.0.0.1:7547", "TCP address to listen on")
+		slots       = flag.Int("slots", runtime.GOMAXPROCS(0), "advertised concurrent job slots")
+		name        = flag.String("name", "", "worker name in joblogs (default: hostname)")
+		dir         = flag.String("dir", "", "working directory for jobs")
+		shell       = flag.Bool("shell", false, "always run commands through /bin/sh -c")
+		metricsAddr = flag.String("metrics-addr", "", `serve Prometheus metrics on this address (e.g. ":9101"; ":0" picks a free port)`)
 	)
 	flag.Parse()
 
@@ -50,13 +52,29 @@ func main() {
 	log.Printf("gopard: %q serving %d slots on %s (unauthenticated — trusted networks only)",
 		wname, *slots, l.Addr())
 
+	// The same counter set backs both the /metrics endpoint and the
+	// snapshots piggybacked on every job response to the coordinator.
+	wt := dist.NewWorkerTelemetry()
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		wt.Register(reg)
+		bound, closeMetrics, merr := telemetry.Serve(*metricsAddr, reg)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "gopard:", merr)
+			os.Exit(2)
+		}
+		defer closeMetrics()
+		log.Printf("gopard: serving metrics on http://%s/metrics", bound)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	err = dist.Serve(ctx, l, dist.WorkerConfig{
-		Name:   wname,
-		Slots:  *slots,
-		Runner: &core.ExecRunner{Dir: *dir, ForceShell: *shell},
-		Logf:   log.Printf,
+		Name:      wname,
+		Slots:     *slots,
+		Runner:    &core.ExecRunner{Dir: *dir, ForceShell: *shell},
+		Logf:      log.Printf,
+		Telemetry: wt,
 	})
 	if err != nil {
 		log.Fatal("gopard: ", err)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/container"
+	"repro/internal/core"
 	"repro/internal/sim"
 )
 
@@ -61,6 +62,12 @@ type InstanceConfig struct {
 	// completes (virtual-time order). When nil, results are discarded
 	// unless Collect is set.
 	OnResult func(TaskResult)
+	// OnEvent, when non-nil, receives the same job-lifecycle events a
+	// real engine publishes (core.Event), with virtual timestamps
+	// mapped onto the Unix epoch — so telemetry built for live runs
+	// (telemetry.Bus, RunMetrics, profile.LiveTrace) observes
+	// simulated instances through the identical interface.
+	OnEvent func(core.Event)
 	// Collect retains results in Report.Results (off for million-task
 	// runs).
 	Collect bool
@@ -120,6 +127,9 @@ func (n *Node) RunParallel(p *sim.Proc, cfg InstanceConfig, tasks []Task) *Repor
 		if task.Seq == 0 {
 			task.Seq = i + 1
 		}
+		if cfg.OnEvent != nil {
+			cfg.OnEvent(core.Event{Type: core.EventQueued, Seq: task.Seq, Time: simWall(p.Now())})
+		}
 		// Greedy refill: wait for a free slot, then pay the serial
 		// dispatch cost under the node-wide launch capacity.
 		slot, _ := slots.Get(p)
@@ -127,8 +137,13 @@ func (n *Node) RunParallel(p *sim.Proc, cfg InstanceConfig, tasks []Task) *Repor
 		n.Launch.Acquire(p, 1)
 		p.Sleep(n.RNG.Jitter(dispatchCost, 0.05))
 		n.Launch.Release(1)
+		dispatchDelay := time.Duration(p.Now() - dStart)
 		rep.DispatchBusy += p.Now() - dStart
 		rep.Launched++
+		if cfg.OnEvent != nil {
+			cfg.OnEvent(core.Event{Type: core.EventStarted, Seq: task.Seq, Slot: slot,
+				Attempt: 1, Time: simWall(p.Now())})
+		}
 
 		e.Spawn("task", func(cp *sim.Proc) {
 			defer func() {
@@ -136,6 +151,15 @@ func (n *Node) RunParallel(p *sim.Proc, cfg InstanceConfig, tasks []Task) *Repor
 				wg.Done()
 			}()
 			res := TaskResult{Seq: task.Seq, Slot: slot, Start: cp.Now()}
+			defer func() {
+				if cfg.OnEvent != nil {
+					cfg.OnEvent(core.Event{Type: core.EventFinished, Seq: task.Seq,
+						Slot: slot, Attempt: 1, Time: simWall(res.End),
+						OK: res.Err == nil, ExitCode: exitCodeFor(res.Err),
+						Host: n.Hostname(), Duration: res.Duration(),
+						DispatchDelay: dispatchDelay})
+				}
+			}()
 			epoch := n.FailEpoch()
 			if !n.Alive() {
 				// Launched into a dead node: the fork itself fails.
@@ -208,6 +232,18 @@ func (n *Node) RunParallel(p *sim.Proc, cfg InstanceConfig, tasks []Task) *Repor
 		rep.FirstStart = 0
 	}
 	return rep
+}
+
+// simWall maps virtual time onto the wall clock for telemetry events:
+// the simulation starts at the Unix epoch.
+func simWall(t sim.Time) time.Time { return time.Unix(0, 0).UTC().Add(t) }
+
+// exitCodeFor mirrors a simulated task error as a process exit status.
+func exitCodeFor(err error) int {
+	if err == nil {
+		return 0
+	}
+	return 1
 }
 
 // NullTasks builds n no-op tasks (the stress-test payload: /bin/true).

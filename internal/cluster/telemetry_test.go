@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+func TestInstanceEmitsLifecycleEvents(t *testing.T) {
+	// A simulated instance feeds the same telemetry pipeline a real
+	// engine does: RunMetrics attached to the OnEvent hook ends the run
+	// with accounting that matches the report exactly.
+	e := sim.NewEngine(21)
+	c := New(e, Frontier(), 1)
+	n := c.Nodes[0]
+
+	reg := telemetry.NewRegistry()
+	m := telemetry.NewRunMetrics(reg, 8)
+	var mu sync.Mutex
+	counts := map[core.EventType]int{}
+	onEvent := func(ev core.Event) {
+		mu.Lock()
+		counts[ev.Type]++
+		mu.Unlock()
+		m.Observe(ev)
+	}
+
+	const ntasks = 120
+	var rep *Report
+	e.Spawn("driver", func(p *sim.Proc) {
+		rep = n.RunParallel(p, InstanceConfig{Jobs: 8, OnEvent: onEvent}, NullTasks(ntasks))
+	})
+	e.Run()
+
+	if rep.Succeeded != ntasks {
+		t.Fatalf("report = %+v", rep)
+	}
+	if counts[core.EventQueued] != ntasks || counts[core.EventStarted] != ntasks ||
+		counts[core.EventFinished] != ntasks {
+		t.Fatalf("event counts = %v", counts)
+	}
+	ok, fail, killed := m.Finished()
+	if ok != ntasks || fail != 0 || killed != 0 {
+		t.Fatalf("metrics finished = %d/%d/%d", ok, fail, killed)
+	}
+}
+
+func TestInstanceEventsCarrySimDetail(t *testing.T) {
+	e := sim.NewEngine(22)
+	c := New(e, Frontier(), 1)
+	n := c.Nodes[0]
+
+	var mu sync.Mutex
+	var finished []core.Event
+	onEvent := func(ev core.Event) {
+		if ev.Type != core.EventFinished {
+			return
+		}
+		mu.Lock()
+		finished = append(finished, ev)
+		mu.Unlock()
+	}
+	tasks := SleepTasks(16, func(i int) time.Duration { return time.Second })
+	e.Spawn("driver", func(p *sim.Proc) {
+		n.RunParallel(p, InstanceConfig{Jobs: 4, OnEvent: onEvent}, tasks)
+	})
+	e.Run()
+
+	if len(finished) != 16 {
+		t.Fatalf("finished events = %d", len(finished))
+	}
+	for _, ev := range finished {
+		if !ev.OK || ev.ExitCode != 0 {
+			t.Fatalf("event = %+v", ev)
+		}
+		if ev.Host != n.Hostname() {
+			t.Fatalf("host = %q, want %q", ev.Host, n.Hostname())
+		}
+		if ev.Slot < 1 || ev.Slot > 4 {
+			t.Fatalf("slot = %d", ev.Slot)
+		}
+		if ev.Duration < time.Second {
+			t.Fatalf("duration = %v, want >= task sleep", ev.Duration)
+		}
+		if ev.DispatchDelay <= 0 {
+			t.Fatalf("dispatch delay = %v, want > 0 (sim pays dispatch cost)", ev.DispatchDelay)
+		}
+		// Virtual timestamps map onto the Unix epoch.
+		if ev.Time.Before(time.Unix(0, 0)) || ev.Time.After(time.Unix(0, 0).Add(time.Hour)) {
+			t.Fatalf("event time = %v, want near epoch", ev.Time)
+		}
+	}
+}
+
+func TestInstanceEventsOnDeadNode(t *testing.T) {
+	// Tasks lost to a node crash still emit finished events — with
+	// OK=false — so telemetry totals always match launched counts.
+	e := sim.NewEngine(23)
+	c := New(e, Frontier(), 1)
+	n := c.Nodes[0]
+	e.At(sim.Time(500*time.Millisecond), n.Fail)
+
+	var mu sync.Mutex
+	counts := map[core.EventType]int{}
+	okCount := 0
+	onEvent := func(ev core.Event) {
+		mu.Lock()
+		counts[ev.Type]++
+		if ev.Type == core.EventFinished && ev.OK {
+			okCount++
+		}
+		mu.Unlock()
+	}
+	tasks := SleepTasks(12, func(i int) time.Duration { return 200 * time.Millisecond })
+	var rep *Report
+	e.Spawn("driver", func(p *sim.Proc) {
+		rep = n.RunParallel(p, InstanceConfig{Jobs: 2, OnEvent: onEvent}, tasks)
+	})
+	e.Run()
+
+	if rep.Failed == 0 {
+		t.Fatalf("crash produced no failures: %+v", rep)
+	}
+	if counts[core.EventFinished] != 12 {
+		t.Fatalf("finished events = %d, want 12 (every launched task reports)", counts[core.EventFinished])
+	}
+	if okCount != rep.Succeeded {
+		t.Fatalf("ok events = %d, report says %d", okCount, rep.Succeeded)
+	}
+}

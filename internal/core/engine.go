@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -160,6 +161,9 @@ func (e *Engine) Run(ctx context.Context, src args.Source) (Stats, []Result, err
 				}
 				job.Command = cmd
 			}
+			if s.OnEvent != nil {
+				s.OnEvent(Event{Type: EventQueued, Seq: seq, Time: time.Now(), Command: job.Command})
+			}
 			select {
 			case jobs <- renderedJob{job: job}:
 			case <-ctx.Done():
@@ -212,6 +216,10 @@ func (e *Engine) Run(ctx context.Context, src args.Source) (Stats, []Result, err
 			if tracker != nil {
 				tracker.jobStarted()
 			}
+			if s.OnEvent != nil {
+				s.OnEvent(Event{Type: EventStarted, Seq: job.Seq, Slot: slot, Attempt: 1,
+					Time: dispatchStart, Command: job.Command})
+			}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -256,6 +264,16 @@ func (e *Engine) Run(ctx context.Context, src args.Source) (Stats, []Result, err
 	}
 
 	for res := range results {
+		if s.OnEvent != nil {
+			typ := EventFinished
+			if res.TimedOut || errors.Is(res.Err, context.Canceled) {
+				typ = EventKilled
+			}
+			s.OnEvent(Event{Type: typ, Seq: res.Job.Seq, Slot: res.Job.Slot,
+				Attempt: res.Attempts, Time: time.Now(), Command: res.Job.Command,
+				OK: res.OK(), ExitCode: res.ExitCode, Host: res.Host,
+				Duration: res.Duration(), DispatchDelay: res.DispatchDelay})
+		}
 		if res.OK() {
 			stats.Succeeded++
 		} else {
@@ -412,6 +430,10 @@ func (e *Engine) runJob(ctx context.Context, job *Job) Result {
 		}
 		if s.RetryOn != nil && !s.RetryOn(res) {
 			break
+		}
+		if s.OnEvent != nil {
+			s.OnEvent(Event{Type: EventRetried, Seq: job.Seq, Slot: job.Slot,
+				Attempt: attempt + 1, Time: time.Now(), Command: job.Command})
 		}
 		// Backoff holds the slot, like a still-running job would; a
 		// cancelled run abandons the remaining attempts.

@@ -1,0 +1,79 @@
+package core
+
+import "time"
+
+// EventType classifies a job-lifecycle Event.
+type EventType uint8
+
+const (
+	// EventQueued fires when a rendered job enters the dispatch queue.
+	EventQueued EventType = iota
+	// EventStarted fires when a job acquires a slot and dispatch begins.
+	EventStarted
+	// EventRetried fires when a failed attempt is about to be retried.
+	EventRetried
+	// EventFinished fires when a job completes (any outcome except a
+	// timeout/cancellation kill) and its result reaches the collector.
+	EventFinished
+	// EventKilled fires instead of EventFinished when the job was
+	// terminated by the per-job timeout or by run cancellation.
+	EventKilled
+)
+
+// String returns the event type's wire name (used by the JSONL sink).
+func (t EventType) String() string {
+	switch t {
+	case EventQueued:
+		return "queued"
+	case EventStarted:
+		return "started"
+	case EventRetried:
+		return "retried"
+	case EventFinished:
+		return "finished"
+	case EventKilled:
+		return "killed"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one job-lifecycle notification published by the engine while
+// a run is in flight. It is a plain value — consumers (telemetry bus,
+// metric collectors, trace writers) receive a copy and cannot affect
+// the run.
+//
+// Events fire from three engine goroutines (input, dispatcher,
+// collector) plus the per-job goroutines for retries, so any
+// Spec.OnEvent handler must be safe for concurrent use and must not
+// block: the dispatch hot path runs through it.
+type Event struct {
+	Type EventType
+	// Seq is the job's 1-based input sequence number.
+	Seq int
+	// Slot is the execution slot; 0 on EventQueued (not yet assigned).
+	Slot int
+	// Attempt is the attempt number: the upcoming attempt on
+	// EventRetried, the total attempts on EventFinished/EventKilled.
+	Attempt int
+	// Time is when the event fired (wall clock; simulated runs map
+	// virtual time onto the Unix epoch).
+	Time time.Time
+	// Command is the rendered command line (may be empty for
+	// Func-runner jobs).
+	Command string
+
+	// The remaining fields are only set on EventFinished/EventKilled.
+
+	// OK mirrors Result.OK for the finished job.
+	OK bool
+	// ExitCode is the final attempt's exit status.
+	ExitCode int
+	// Host identifies where the job ran (distributed runners).
+	Host string
+	// Duration is the final attempt's runtime.
+	Duration time.Duration
+	// DispatchDelay is the slot-acquisition-to-process-start overhead
+	// measured for the job — the paper's per-task orchestration cost.
+	DispatchDelay time.Duration
+}

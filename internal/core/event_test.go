@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/args"
+)
+
+func TestEventTypeStrings(t *testing.T) {
+	want := map[EventType]string{
+		EventQueued: "queued", EventStarted: "started", EventRetried: "retried",
+		EventFinished: "finished", EventKilled: "killed", EventType(99): "unknown",
+	}
+	for typ, s := range want {
+		if typ.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", typ, typ.String(), s)
+		}
+	}
+}
+
+func TestEngineEmitsLifecycleEvents(t *testing.T) {
+	var failedOnce atomic.Bool
+	runner := FuncRunner(func(ctx context.Context, job *Job) ([]byte, error) {
+		if job.Seq == 3 && !failedOnce.Swap(true) {
+			return nil, errors.New("transient")
+		}
+		return nil, nil
+	})
+	s := mustSpec(t, "", 2)
+	s.Retries = 2
+	var mu sync.Mutex
+	counts := map[EventType]int{}
+	var finished []Event
+	s.OnEvent = func(ev Event) {
+		mu.Lock()
+		counts[ev.Type]++
+		if ev.Type == EventFinished {
+			finished = append(finished, ev)
+		}
+		mu.Unlock()
+	}
+	stats, _ := run(t, s, runner, args.Literal("a", "b", "c", "d", "e"))
+	if stats.Succeeded != 5 || stats.Retries != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if counts[EventQueued] != 5 || counts[EventStarted] != 5 ||
+		counts[EventRetried] != 1 || counts[EventFinished] != 5 || counts[EventKilled] != 0 {
+		t.Fatalf("event counts = %v", counts)
+	}
+	seen := map[int]bool{}
+	for _, ev := range finished {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate finished event for seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+		if !ev.OK || ev.Slot < 1 || ev.Slot > 2 || ev.Attempt < 1 || ev.Time.IsZero() {
+			t.Fatalf("finished event = %+v", ev)
+		}
+		if ev.Seq == 3 && ev.Attempt != 2 {
+			t.Fatalf("retried job finished with attempt %d, want 2", ev.Attempt)
+		}
+	}
+}
+
+func TestEngineEmitsKilledOnTimeout(t *testing.T) {
+	s := mustSpec(t, "", 1)
+	s.Timeout = 10 * time.Millisecond
+	var mu sync.Mutex
+	counts := map[EventType]int{}
+	s.OnEvent = func(ev Event) {
+		mu.Lock()
+		counts[ev.Type]++
+		if ev.Type == EventKilled && ev.OK {
+			t.Error("killed event claims OK")
+		}
+		mu.Unlock()
+	}
+	stats, _ := run(t, s, sleepFunc(5*time.Second), args.Literal("slow"))
+	if stats.Failed != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if counts[EventKilled] != 1 || counts[EventFinished] != 0 {
+		t.Fatalf("event counts = %v, want exactly one killed", counts)
+	}
+}
+
+func TestEngineEventsOffByDefault(t *testing.T) {
+	// A nil OnEvent must not panic anywhere on the hot path — the
+	// default configuration pays nothing for telemetry.
+	s := mustSpec(t, "", 4)
+	s.Retries = 2
+	s.Timeout = time.Second
+	stats, _ := run(t, s, sleepFunc(time.Millisecond), args.Literal("a", "b", "c"))
+	if stats.Succeeded != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}

@@ -90,3 +90,64 @@ func (p Progress) String() string {
 func RenderProgress(w io.Writer, p Progress) {
 	fmt.Fprintf(w, "\r\033[K%s", p.String())
 }
+
+// ProgressPrinter renders Progress updates to a stream, adapting to
+// whether that stream is an interactive terminal. On a TTY every update
+// redraws a single status line in place (carriage return + erase). On a
+// pipe or file it emits whole newline-terminated lines, rate-limited to
+// MinInterval, so captured logs never contain control characters and
+// `--progress` output can never be confused with job output.
+type ProgressPrinter struct {
+	// W receives the rendered progress (the CLI uses stderr, keeping
+	// stdout exclusively for job output).
+	W io.Writer
+	// TTY selects in-place redraw; detect with something like
+	// (os.File).Stat() Mode()&os.ModeCharDevice != 0.
+	TTY bool
+	// MinInterval rate-limits non-TTY line output (default 1s). TTY
+	// redraws are cheap and are not limited.
+	MinInterval time.Duration
+
+	mu    sync.Mutex
+	last  time.Time
+	drawn bool
+}
+
+// Update renders one progress snapshot. Safe for concurrent use.
+func (pp *ProgressPrinter) Update(p Progress) {
+	if pp.W == nil {
+		return
+	}
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	if pp.TTY {
+		RenderProgress(pp.W, p)
+		pp.drawn = true
+		return
+	}
+	min := pp.MinInterval
+	if min <= 0 {
+		min = time.Second
+	}
+	now := time.Now()
+	if !pp.last.IsZero() && now.Sub(pp.last) < min {
+		return
+	}
+	pp.last = now
+	fmt.Fprintln(pp.W, p.String())
+}
+
+// Finish terminates an in-place TTY status line with a newline so
+// subsequent output starts on a fresh line. No-op when nothing was
+// drawn or the stream is not a TTY.
+func (pp *ProgressPrinter) Finish() {
+	if pp.W == nil {
+		return
+	}
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	if pp.TTY && pp.drawn {
+		fmt.Fprintln(pp.W)
+		pp.drawn = false
+	}
+}

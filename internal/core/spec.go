@@ -179,6 +179,13 @@ type Spec struct {
 	// completion (unordered — progress is about throughput, not output
 	// order). It runs on the collector goroutine: keep it fast.
 	OnProgress func(Progress)
+	// OnEvent, when non-nil, receives job-lifecycle events
+	// (queued/started/retried/finished/killed) as the run progresses —
+	// the hook internal/telemetry's Bus plugs into. It is called from
+	// multiple engine goroutines concurrently and sits on the dispatch
+	// hot path: it must be concurrency-safe and must never block
+	// (publish to a bounded buffer and drop, don't wait).
+	OnEvent func(Event)
 	// CollectResults retains all results in the slice returned by Run.
 	// Off by default: million-task runs should not buffer everything.
 	CollectResults bool

@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // WorkerSpec names one worker to dial.
@@ -41,6 +44,17 @@ type Pool struct {
 	redialBudget int
 	redialing    atomic.Int64
 	lost         atomic.Int64
+
+	// onHealth, when non-nil, is invoked with the current Health after
+	// every capacity change (connection retired, redial succeeded,
+	// slot written off). Called from Run and redialer goroutines: keep
+	// it fast and concurrency-safe.
+	onHealth func(Health)
+
+	// snaps holds the latest telemetry snapshot piggybacked by each
+	// worker, keyed by worker name.
+	snapMu sync.Mutex
+	snaps  map[string]telemetry.Snapshot
 }
 
 // DefaultRedialBudget is the redial-attempt cap applied when Dial is
@@ -56,6 +70,14 @@ type Option func(*Pool)
 // connections. n <= 0 retries forever.
 func WithRedialBudget(n int) Option {
 	return func(p *Pool) { p.redialBudget = n }
+}
+
+// WithHealthNotify registers fn to receive the pool's Health after
+// every capacity change — the hook the CLI uses to warn the moment a
+// pool first degrades instead of degrading silently. fn runs on pool
+// goroutines; it must be fast and safe for concurrent use.
+func WithHealthNotify(fn func(Health)) Option {
+	return func(p *Pool) { p.onHealth = fn }
 }
 
 // Health is a point-in-time capacity gauge for a pool.
@@ -106,6 +128,7 @@ func Dial(specs []WorkerSpec, opts ...Option) (*Pool, error) {
 		closed:       make(chan struct{}),
 		conns:        map[*wconn]bool{},
 		redialBudget: DefaultRedialBudget,
+		snaps:        map[string]telemetry.Snapshot{},
 	}
 	for _, opt := range opts {
 		opt(p)
@@ -248,6 +271,11 @@ func (p *Pool) Run(ctx context.Context, job *core.Job) core.Result {
 	conn.nc.SetDeadline(time.Time{})
 	p.free <- conn
 
+	if resp.Telemetry != nil {
+		p.snapMu.Lock()
+		p.snaps[resp.Telemetry.Worker] = *resp.Telemetry
+		p.snapMu.Unlock()
+	}
 	res.ExitCode = resp.ExitCode
 	res.Stdout = resp.Stdout
 	res.Stderr = resp.Stderr
@@ -274,34 +302,114 @@ func (p *Pool) retire(c *wconn) {
 	delete(p.conns, c)
 	p.mu.Unlock()
 	p.redialing.Add(1)
+	p.notifyHealth()
 	go func(addr string) {
-		defer p.redialing.Add(-1)
-		backoff := 100 * time.Millisecond
-		for attempt := 1; p.redialBudget <= 0 || attempt <= p.redialBudget; attempt++ {
+		restored := p.redialLoop(addr)
+		p.redialing.Add(-1)
+		select {
+		case <-p.closed:
+		default:
+			if !restored {
+				p.lost.Add(1)
+			}
+			p.notifyHealth()
+		}
+	}(c.addr)
+}
+
+// redialLoop tries to re-establish one slot's connection within the
+// redial budget. It reports whether capacity was restored; a false
+// return after pool close does not mean the slot is lost.
+func (p *Pool) redialLoop(addr string) bool {
+	backoff := 100 * time.Millisecond
+	for attempt := 1; p.redialBudget <= 0 || attempt <= p.redialBudget; attempt++ {
+		select {
+		case <-p.closed:
+			return false
+		case <-time.After(backoff):
+		}
+		nc, _, err := dialWorker(addr)
+		if err == nil {
+			p.mu.Lock()
 			select {
 			case <-p.closed:
-				return
-			case <-time.After(backoff):
-			}
-			nc, _, err := dialWorker(addr)
-			if err == nil {
-				p.mu.Lock()
-				select {
-				case <-p.closed:
-					p.mu.Unlock()
-					nc.nc.Close()
-					return
-				default:
-				}
-				p.conns[nc] = true
 				p.mu.Unlock()
-				p.free <- nc
-				return
+				nc.nc.Close()
+				return false
+			default:
 			}
-			if backoff < 5*time.Second {
-				backoff *= 2
-			}
+			p.conns[nc] = true
+			p.mu.Unlock()
+			p.free <- nc
+			return true
 		}
-		p.lost.Add(1)
-	}(c.addr)
+		if backoff < 5*time.Second {
+			backoff *= 2
+		}
+	}
+	return false
+}
+
+// notifyHealth delivers the current Health to the WithHealthNotify
+// callback, if any.
+func (p *Pool) notifyHealth() {
+	if p.onHealth != nil {
+		p.onHealth(p.Health())
+	}
+}
+
+// WorkerSnapshots returns the latest telemetry snapshot piggybacked by
+// each worker, sorted by worker name. Workers that have not completed
+// a job yet are absent.
+func (p *Pool) WorkerSnapshots() []telemetry.Snapshot {
+	p.snapMu.Lock()
+	out := make([]telemetry.Snapshot, 0, len(p.snaps))
+	for _, s := range p.snaps {
+		out = append(out, s)
+	}
+	p.snapMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out
+}
+
+// RegisterMetrics exposes the pool's health gauge and per-worker
+// series on reg, making the coordinator's /metrics endpoint the single
+// scrape point for fleet-wide state (gopar -S --metrics-addr).
+func (p *Pool) RegisterMetrics(reg *telemetry.Registry) {
+	healthGauge := func(get func(Health) int) func() float64 {
+		return func() float64 { return float64(get(p.Health())) }
+	}
+	reg.GaugeFunc("gopar_pool_slots", "Worker pool capacity, by slot state.",
+		healthGauge(func(h Health) int { return h.Total }), telemetry.L("state", "total"))
+	reg.GaugeFunc("gopar_pool_slots", "Worker pool capacity, by slot state.",
+		healthGauge(func(h Health) int { return h.Live }), telemetry.L("state", "live"))
+	reg.GaugeFunc("gopar_pool_slots", "Worker pool capacity, by slot state.",
+		healthGauge(func(h Health) int { return h.Redialing }), telemetry.L("state", "redialing"))
+	reg.GaugeFunc("gopar_pool_slots", "Worker pool capacity, by slot state.",
+		healthGauge(func(h Health) int { return h.Lost }), telemetry.L("state", "lost"))
+
+	// Per-worker series: the worker set is dynamic (snapshots arrive
+	// with responses), so emit them as a raw exposition block.
+	reg.RegisterText(func(w io.Writer) {
+		snaps := p.WorkerSnapshots()
+		if len(snaps) == 0 {
+			return
+		}
+		fmt.Fprintln(w, "# HELP gopar_worker_busy Jobs the worker is executing right now.")
+		fmt.Fprintln(w, "# TYPE gopar_worker_busy gauge")
+		for _, s := range snaps {
+			fmt.Fprintf(w, "gopar_worker_busy{worker=%q} %d\n", s.Worker, s.Busy)
+		}
+		fmt.Fprintln(w, "# HELP gopar_worker_slots Advertised worker slot count.")
+		fmt.Fprintln(w, "# TYPE gopar_worker_slots gauge")
+		for _, s := range snaps {
+			fmt.Fprintf(w, "gopar_worker_slots{worker=%q} %d\n", s.Worker, s.Slots)
+		}
+		fmt.Fprintln(w, "# HELP gopar_worker_jobs_total Jobs finished per worker, by outcome.")
+		fmt.Fprintln(w, "# TYPE gopar_worker_jobs_total gauge")
+		for _, s := range snaps {
+			fmt.Fprintf(w, "gopar_worker_jobs_total{worker=%q,outcome=\"ok\"} %d\n", s.Worker, s.OK)
+			fmt.Fprintf(w, "gopar_worker_jobs_total{worker=%q,outcome=\"fail\"} %d\n", s.Worker, s.Failed)
+		}
+	})
 }

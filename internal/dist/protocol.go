@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // protocolVersion guards against mismatched coordinator/worker builds.
@@ -56,6 +58,10 @@ type response struct {
 	StartNS  int64  `json:"start_ns"`
 	EndNS    int64  `json:"end_ns"`
 	TimedOut bool   `json:"timed_out,omitempty"`
+	// Telemetry piggybacks the worker's current counters on every
+	// response, so the coordinator aggregates fleet state with zero
+	// extra round trips. Optional: old workers simply omit it.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 // codec frames JSON messages over a stream.

@@ -1,0 +1,165 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/telemetry"
+)
+
+func TestCheckHello(t *testing.T) {
+	cases := []struct {
+		h  hello
+		ok bool
+	}{
+		{hello{Version: protocolVersion, Name: "w", Slots: 1}, true},
+		{hello{Version: protocolVersion, Name: "w", Slots: 64}, true},
+		{hello{Version: 0, Name: "w", Slots: 1}, false},
+		{hello{Version: protocolVersion + 1, Name: "w", Slots: 1}, false},
+		{hello{Version: protocolVersion, Name: "w", Slots: 0}, false},
+		{hello{Version: protocolVersion, Name: "w", Slots: -3}, false},
+	}
+	for _, c := range cases {
+		if err := checkHello(c.h); (err == nil) != c.ok {
+			t.Errorf("checkHello(%+v) err=%v, want ok=%v", c.h, err, c.ok)
+		}
+	}
+}
+
+func TestProtocolGoldenRoundTrips(t *testing.T) {
+	// Each message type survives a codec round trip bit-for-bit.
+	req := request{
+		Seq: 42, Slot: 3, Command: "echo hi", Args: []string{"a b", "c"},
+		Env: []string{"K=V"}, Stdin: []byte("in\n"), TimeoutNS: 5e9,
+	}
+	resp := response{
+		Seq: 42, ExitCode: 7, Err: "boom", Stdout: []byte("out"),
+		Stderr: []byte("err"), StartNS: 100, EndNS: 200, TimedOut: true,
+		Telemetry: &telemetry.Snapshot{
+			Worker: "w1", Slots: 8, Busy: 2, Started: 10, OK: 9, Failed: 1, UnixNano: 300,
+		},
+	}
+	h := hello{Version: protocolVersion, Name: "n", Slots: 4}
+
+	var buf bytes.Buffer
+	c := newCodec(&buf)
+	for _, msg := range []any{req, resp, h} {
+		if err := c.send(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var gotReq request
+	var gotResp response
+	var gotHello hello
+	for _, dst := range []any{&gotReq, &gotResp, &gotHello} {
+		if err := c.recv(dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(gotReq, req) {
+		t.Fatalf("request round trip:\ngot  %+v\nwant %+v", gotReq, req)
+	}
+	if !reflect.DeepEqual(gotResp, resp) {
+		t.Fatalf("response round trip:\ngot  %+v\nwant %+v", gotResp, resp)
+	}
+	if gotHello != h {
+		t.Fatalf("hello round trip: got %+v want %+v", gotHello, h)
+	}
+}
+
+func TestProtocolGoldenWire(t *testing.T) {
+	// The wire form is frozen: old coordinators must keep decoding new
+	// workers and vice versa. These literals are the compatibility
+	// contract — changing them is a protocol break.
+	var buf bytes.Buffer
+	c := newCodec(&buf)
+	if err := c.send(request{Seq: 1, Slot: 2, Command: "true"}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.TrimSpace(buf.String()),
+		`{"seq":1,"slot":2,"command":"true"}`; got != want {
+		t.Fatalf("request wire = %s, want %s", got, want)
+	}
+
+	// A response from an old worker (no telemetry field) decodes with a
+	// nil snapshot.
+	var resp response
+	old := `{"seq":5,"exit_code":0,"start_ns":1,"end_ns":2}`
+	if err := json.Unmarshal([]byte(old), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Telemetry != nil || resp.Seq != 5 {
+		t.Fatalf("legacy response decode = %+v", resp)
+	}
+
+	// A response from a new worker carries the snapshot.
+	resp = response{}
+	modern := `{"seq":6,"exit_code":0,"start_ns":1,"end_ns":2,` +
+		`"telemetry":{"worker":"w9","slots":4,"busy":1,"started":3,"ok":2,"failed":1,"ts":7}}`
+	if err := json.Unmarshal([]byte(modern), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Telemetry == nil || resp.Telemetry.Worker != "w9" ||
+		resp.Telemetry.Started != 3 || resp.Telemetry.UnixNano != 7 {
+		t.Fatalf("telemetry decode = %+v", resp.Telemetry)
+	}
+
+	// Unknown fields from future protocol revisions are ignored, not
+	// errors — forward compatibility within a version.
+	resp = response{}
+	future := `{"seq":7,"exit_code":0,"start_ns":1,"end_ns":2,"new_field":{"x":1}}`
+	if err := json.Unmarshal([]byte(future), &resp); err != nil {
+		t.Fatalf("future field rejected: %v", err)
+	}
+}
+
+func FuzzProtocolRoundTrip(f *testing.F) {
+	f.Add(1, 1, "echo {}", []byte("stdin"), int64(0), true)
+	f.Add(0, 0, "", []byte(nil), int64(-1), false)
+	f.Add(1<<30, 255, "cmd \x00 weird \n\t\"quotes\"", []byte{0xff, 0x00}, int64(1e18), true)
+	f.Fuzz(func(t *testing.T, seq, slot int, command string, stdin []byte, timeout int64, withTel bool) {
+		if !utf8.ValidString(command) {
+			t.Skip("JSON replaces invalid UTF-8; not a round-trippable input")
+		}
+		req := request{Seq: seq, Slot: slot, Command: command, Stdin: stdin, TimeoutNS: timeout}
+		resp := response{Seq: seq, ExitCode: slot, Stdout: stdin, StartNS: timeout, EndNS: timeout + 1}
+		if withTel {
+			resp.Telemetry = &telemetry.Snapshot{
+				Worker: command, Slots: slot, Started: int64(seq), UnixNano: timeout,
+			}
+		}
+		var buf bytes.Buffer
+		c := newCodec(&buf)
+		if err := c.send(req); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.send(resp); err != nil {
+			t.Fatal(err)
+		}
+		var gotReq request
+		var gotResp response
+		if err := c.recv(&gotReq); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.recv(&gotResp); err != nil {
+			t.Fatal(err)
+		}
+		// JSON []byte(nil) and []byte{} collapse; normalize before compare.
+		if len(req.Stdin) == 0 {
+			req.Stdin, gotReq.Stdin = nil, nil
+		}
+		if len(resp.Stdout) == 0 {
+			resp.Stdout, gotResp.Stdout = nil, nil
+		}
+		if !reflect.DeepEqual(gotReq, req) {
+			t.Fatalf("request:\ngot  %+v\nwant %+v", gotReq, req)
+		}
+		if !reflect.DeepEqual(gotResp, resp) {
+			t.Fatalf("response:\ngot  %+v\nwant %+v", gotResp, resp)
+		}
+	})
+}

@@ -6,10 +6,57 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
+
+// WorkerTelemetry tracks a worker's execution counters. Every Serve
+// call keeps one (supplied or internal) and piggybacks a Snapshot on
+// each job response; gopard additionally exposes the same counters on
+// its own /metrics endpoint via Register.
+type WorkerTelemetry struct {
+	name  string
+	slots int
+
+	busy    atomic.Int64
+	started atomic.Int64
+	ok      atomic.Int64
+	failed  atomic.Int64
+}
+
+// NewWorkerTelemetry returns zeroed worker counters. Name and slots
+// are filled in by Serve from its WorkerConfig.
+func NewWorkerTelemetry() *WorkerTelemetry { return &WorkerTelemetry{} }
+
+// Snapshot captures the current counters.
+func (t *WorkerTelemetry) Snapshot() telemetry.Snapshot {
+	return telemetry.Snapshot{
+		Worker:   t.name,
+		Slots:    t.slots,
+		Busy:     int(t.busy.Load()),
+		Started:  t.started.Load(),
+		OK:       t.ok.Load(),
+		Failed:   t.failed.Load(),
+		UnixNano: time.Now().UnixNano(),
+	}
+}
+
+// Register exposes the worker counters on reg under gopard_* names.
+func (t *WorkerTelemetry) Register(reg *telemetry.Registry) {
+	reg.GaugeFunc("gopard_slots", "Advertised concurrent job slots.",
+		func() float64 { return float64(t.slots) })
+	reg.GaugeFunc("gopard_busy", "Jobs executing right now.",
+		func() float64 { return float64(t.busy.Load()) })
+	reg.GaugeFunc("gopard_jobs_started_total", "Jobs received for execution.",
+		func() float64 { return float64(t.started.Load()) })
+	reg.GaugeFunc("gopard_jobs_finished_total", "Jobs finished, by outcome.",
+		func() float64 { return float64(t.ok.Load()) }, telemetry.L("outcome", "ok"))
+	reg.GaugeFunc("gopard_jobs_finished_total", "Jobs finished, by outcome.",
+		func() float64 { return float64(t.failed.Load()) }, telemetry.L("outcome", "fail"))
+}
 
 // WorkerConfig configures Serve.
 type WorkerConfig struct {
@@ -23,6 +70,10 @@ type WorkerConfig struct {
 	Runner core.Runner
 	// Logf, when non-nil, receives connection lifecycle messages.
 	Logf func(format string, args ...any)
+	// Telemetry, when non-nil, is the counter set snapshots are taken
+	// from (share it with a metrics endpoint). Nil allocates an
+	// internal one — responses always carry telemetry either way.
+	Telemetry *WorkerTelemetry
 }
 
 // Serve accepts coordinator connections on l and executes their jobs
@@ -39,6 +90,11 @@ func Serve(ctx context.Context, l net.Listener, cfg WorkerConfig) error {
 	if cfg.Runner == nil {
 		cfg.Runner = &core.ExecRunner{}
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = NewWorkerTelemetry()
+	}
+	cfg.Telemetry.name = cfg.Name
+	cfg.Telemetry.slots = cfg.Slots
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -76,6 +132,11 @@ func Serve(ctx context.Context, l net.Listener, cfg WorkerConfig) error {
 }
 
 func serveConn(ctx context.Context, conn net.Conn, cfg WorkerConfig) error {
+	if cfg.Telemetry == nil { // Serve fills this in; guard direct callers
+		cfg.Telemetry = NewWorkerTelemetry()
+		cfg.Telemetry.name = cfg.Name
+		cfg.Telemetry.slots = cfg.Slots
+	}
 	c := newCodec(conn)
 	if err := c.send(hello{Version: protocolVersion, Name: cfg.Name, Slots: cfg.Slots}); err != nil {
 		return err
@@ -88,14 +149,14 @@ func serveConn(ctx context.Context, conn net.Conn, cfg WorkerConfig) error {
 			}
 			return err
 		}
-		resp := execute(ctx, cfg.Runner, req)
+		resp := execute(ctx, cfg.Runner, cfg.Telemetry, req)
 		if err := c.send(resp); err != nil {
 			return err
 		}
 	}
 }
 
-func execute(ctx context.Context, runner core.Runner, req request) response {
+func execute(ctx context.Context, runner core.Runner, wt *WorkerTelemetry, req request) response {
 	job := &core.Job{
 		Seq:     req.Seq,
 		Slot:    req.Slot,
@@ -110,7 +171,10 @@ func execute(ctx context.Context, runner core.Runner, req request) response {
 		runCtx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutNS))
 		defer cancel()
 	}
+	wt.started.Add(1)
+	wt.busy.Add(1)
 	res := runner.Run(runCtx, job)
+	wt.busy.Add(-1)
 	resp := response{
 		Seq:      res.Job.Seq,
 		ExitCode: res.ExitCode,
@@ -123,6 +187,13 @@ func execute(ctx context.Context, runner core.Runner, req request) response {
 	if res.Err != nil {
 		resp.Err = res.Err.Error()
 	}
+	if res.OK() && !resp.TimedOut {
+		wt.ok.Add(1)
+	} else {
+		wt.failed.Add(1)
+	}
+	snap := wt.Snapshot()
+	resp.Telemetry = &snap
 	return resp
 }
 

@@ -1,0 +1,111 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// LiveTrace writes a Chrome/Perfetto trace incrementally from live
+// job-lifecycle events, so a run can be inspected in ui.perfetto.dev
+// while it is still executing — unlike ChromeTrace, which needs a
+// finished joblog. Lanes are the engine's real slot numbers (the
+// joblog path has to reconstruct them; events carry them directly).
+//
+// Events are appended as they arrive; the Chrome JSON-array format
+// tolerates a missing closing bracket, so a trace cut off mid-run (or
+// tail -f'd) still loads. Close writes the terminator.
+type LiveTrace struct {
+	mu     sync.Mutex
+	w      io.Writer
+	t0     time.Time
+	wrote  bool
+	closed bool
+	err    error
+}
+
+// NewLiveTrace streams trace events to w. Feed it from a telemetry bus
+// subscription: bus.Subscribe(n) + Consume for each event.
+func NewLiveTrace(w io.Writer) *LiveTrace {
+	return &LiveTrace{w: w}
+}
+
+// Consume appends one lifecycle event to the trace. Only finished and
+// killed events produce trace slices; the rest establish the time
+// origin. Safe for concurrent use.
+func (lt *LiveTrace) Consume(ev core.Event) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if lt.closed || lt.err != nil {
+		return
+	}
+	if lt.t0.IsZero() {
+		lt.t0 = ev.Time
+	}
+	if ev.Type != core.EventFinished && ev.Type != core.EventKilled {
+		return
+	}
+	name := ev.Command
+	if name == "" {
+		name = fmt.Sprintf("job %d", ev.Seq)
+	}
+	if len(name) > 80 {
+		name = name[:77] + "..."
+	}
+	end := ev.Time
+	start := end.Add(-ev.Duration)
+	event := map[string]any{
+		"name": name,
+		"ph":   "X",
+		"ts":   float64(start.Sub(lt.t0)) / float64(time.Microsecond),
+		"dur":  ev.Duration.Seconds() * 1e6,
+		"pid":  1,
+		"tid":  ev.Slot,
+		"args": map[string]any{
+			"seq": ev.Seq, "exitval": ev.ExitCode, "host": ev.Host,
+			"attempts": ev.Attempt, "killed": ev.Type == core.EventKilled,
+		},
+	}
+	data, err := json.Marshal(event)
+	if err != nil {
+		lt.err = err
+		return
+	}
+	prefix := "[\n"
+	if lt.wrote {
+		prefix = ",\n"
+	}
+	if _, err := io.WriteString(lt.w, prefix); err != nil {
+		lt.err = err
+		return
+	}
+	if _, err := lt.w.Write(data); err != nil {
+		lt.err = err
+		return
+	}
+	lt.wrote = true
+}
+
+// Close terminates the JSON array. Consume calls after Close are
+// ignored.
+func (lt *LiveTrace) Close() error {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if lt.closed {
+		return lt.err
+	}
+	lt.closed = true
+	if lt.err != nil {
+		return lt.err
+	}
+	if !lt.wrote {
+		_, lt.err = io.WriteString(lt.w, "[]\n")
+		return lt.err
+	}
+	_, lt.err = io.WriteString(lt.w, "\n]\n")
+	return lt.err
+}

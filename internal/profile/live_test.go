@@ -1,0 +1,118 @@
+package profile
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestLiveTraceEmitsSlices(t *testing.T) {
+	var sb strings.Builder
+	lt := NewLiveTrace(&sb)
+	t0 := time.Unix(1700000000, 0)
+
+	// Queued/started events establish the origin but emit no slices.
+	lt.Consume(core.Event{Type: core.EventQueued, Seq: 1, Time: t0})
+	lt.Consume(core.Event{Type: core.EventStarted, Seq: 1, Slot: 2, Time: t0})
+	lt.Consume(core.Event{Type: core.EventFinished, Seq: 1, Slot: 2, Attempt: 1,
+		Time: t0.Add(150 * time.Millisecond), Command: "echo one", OK: true,
+		Host: "n1", Duration: 100 * time.Millisecond})
+	lt.Consume(core.Event{Type: core.EventKilled, Seq: 2, Slot: 1, Attempt: 2,
+		Time: t0.Add(300 * time.Millisecond), ExitCode: -1,
+		Duration: 50 * time.Millisecond})
+	if err := lt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("slices = %d, want 2 (only finished/killed emit)", len(events))
+	}
+	first := events[0]
+	if first["name"] != "echo one" || first["ph"] != "X" {
+		t.Fatalf("first slice = %v", first)
+	}
+	if first["tid"].(float64) != 2 {
+		t.Fatalf("tid = %v, want slot lane 2", first["tid"])
+	}
+	// start = end - duration = t0+50ms, so ts = 50000µs from origin.
+	if ts := first["ts"].(float64); ts != 50000 {
+		t.Fatalf("ts = %v µs, want 50000", ts)
+	}
+	if dur := first["dur"].(float64); dur != 100000 {
+		t.Fatalf("dur = %v µs, want 100000", dur)
+	}
+	args1 := first["args"].(map[string]any)
+	if args1["host"] != "n1" || args1["killed"] != false {
+		t.Fatalf("args = %v", args1)
+	}
+	args2 := events[1]["args"].(map[string]any)
+	if args2["killed"] != true {
+		t.Fatalf("killed slice args = %v", args2)
+	}
+	if events[1]["name"] != "job 2" {
+		t.Fatalf("fallback name = %v", events[1]["name"])
+	}
+}
+
+func TestLiveTraceIncrementalPrefixLoads(t *testing.T) {
+	// A trace cut off mid-run (no Close) must still be recoverable: the
+	// Chrome JSON-array format tolerates a missing terminator, and each
+	// appended record is complete JSON after the separator.
+	var sb strings.Builder
+	lt := NewLiveTrace(&sb)
+	t0 := time.Unix(1700000000, 0)
+	for i := 1; i <= 3; i++ {
+		lt.Consume(core.Event{Type: core.EventFinished, Seq: i, Slot: i,
+			Time: t0.Add(time.Duration(i) * time.Second), OK: true,
+			Duration: 100 * time.Millisecond})
+	}
+	cut := sb.String() // no Close
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(cut+"\n]"), &events); err != nil {
+		t.Fatalf("truncated trace unrecoverable: %v\n%s", err, cut)
+	}
+	if len(events) != 3 {
+		t.Fatalf("recovered %d slices, want 3", len(events))
+	}
+}
+
+func TestLiveTraceEmptyClose(t *testing.T) {
+	var sb strings.Builder
+	lt := NewLiveTrace(&sb)
+	if err := lt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil || len(events) != 0 {
+		t.Fatalf("empty trace = %q (err %v)", sb.String(), err)
+	}
+	// Consume after Close is ignored, not a panic or corruption.
+	lt.Consume(core.Event{Type: core.EventFinished, Seq: 1, Time: time.Unix(0, 1)})
+	if !strings.HasPrefix(sb.String(), "[]") || strings.Contains(sb.String(), `"ph"`) {
+		t.Fatalf("post-close consume corrupted output: %q", sb.String())
+	}
+}
+
+func TestLiveTraceTruncatesLongCommands(t *testing.T) {
+	var sb strings.Builder
+	lt := NewLiveTrace(&sb)
+	long := strings.Repeat("x", 200)
+	lt.Consume(core.Event{Type: core.EventFinished, Seq: 1, Slot: 1,
+		Time: time.Unix(1700000000, 0), Command: long, OK: true, Duration: time.Millisecond})
+	lt.Close()
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatal(err)
+	}
+	name := events[0]["name"].(string)
+	if len(name) != 80 || !strings.HasSuffix(name, "...") {
+		t.Fatalf("name length = %d (%q...)", len(name), name[:10])
+	}
+}

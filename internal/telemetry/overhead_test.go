@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/args"
+	"repro/internal/core"
+)
+
+// runNoop drives the real engine through n no-op jobs and returns the
+// wall time, with onEvent as the telemetry hook (nil = telemetry off).
+func runNoop(tb testing.TB, n int, onEvent func(core.Event)) time.Duration {
+	tb.Helper()
+	spec, err := core.NewSpec("", 16)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	spec.OnEvent = onEvent
+	noop := core.FuncRunner(func(ctx context.Context, job *core.Job) ([]byte, error) {
+		return nil, nil
+	})
+	eng, err := core.NewEngine(spec, noop)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	items := make([]string, n)
+	start := time.Now()
+	stats, _, err := eng.Run(context.Background(), args.Literal(items...))
+	if err != nil || stats.Succeeded != n {
+		tb.Fatalf("stats=%+v err=%v", stats, err)
+	}
+	return time.Since(start)
+}
+
+// withTelemetry runs f with a fully wired pipeline — bus, RunMetrics
+// tap, and a draining subscriber — exactly what `--metrics-addr` sets
+// up, and verifies end-of-run accounting.
+func withTelemetry(tb testing.TB, n int, f func(publish func(core.Event)) time.Duration) time.Duration {
+	tb.Helper()
+	bus := NewBus()
+	reg := NewRegistry()
+	m := NewRunMetrics(reg, 16)
+	bus.Tap(m.Observe)
+	sub := bus.Subscribe(0)
+	done := make(chan struct{})
+	go func() {
+		for range sub.C {
+		}
+		close(done)
+	}()
+	d := f(bus.Publish)
+	bus.Close()
+	<-done
+	if ok, fail, killed := m.Finished(); ok != int64(n) || fail != 0 || killed != 0 {
+		tb.Fatalf("telemetry accounting = %d/%d/%d, want %d/0/0", ok, fail, killed, n)
+	}
+	return d
+}
+
+// BenchmarkDispatchTelemetry measures engine dispatch throughput with
+// telemetry off vs fully wired (bus + metrics tap + subscriber) — the
+// overhead budget the design promises to keep under 5%.
+func BenchmarkDispatchTelemetry(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		d := runNoop(b, b.N, nil)
+		b.ReportMetric(float64(b.N)/d.Seconds(), "jobs/s")
+	})
+	b.Run("on", func(b *testing.B) {
+		d := withTelemetry(b, b.N, func(publish func(core.Event)) time.Duration {
+			return runNoop(b, b.N, publish)
+		})
+		b.ReportMetric(float64(b.N)/d.Seconds(), "jobs/s")
+	})
+}
+
+// TestDispatchOverheadBound is the committed regression guard for the
+// <5% dispatch-overhead target on 10k no-op jobs. The CI bound is
+// deliberately generous (shared runners are noisy): it fails only when
+// telemetry costs both >50% relative AND >5µs/job absolute.
+func TestDispatchOverheadBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	const n = 10000
+	best := func(f func() time.Duration) time.Duration {
+		b := f()
+		for i := 0; i < 2; i++ {
+			if d := f(); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	off := best(func() time.Duration { return runNoop(t, n, nil) })
+	on := best(func() time.Duration {
+		return withTelemetry(t, n, func(publish func(core.Event)) time.Duration {
+			return runNoop(t, n, publish)
+		})
+	})
+	extra := on - off
+	perJob := extra / n
+	t.Logf("dispatch %d no-op jobs: off=%v on=%v (delta %v, %v/job)", n, off, on, extra, perJob)
+	if raceEnabled {
+		t.Skip("race-detector instrumentation dominates the measured overhead; bound not meaningful")
+	}
+	if on > off*3/2 && perJob > 5*time.Microsecond {
+		t.Fatalf("telemetry overhead too high: off=%v on=%v (delta %v, %v/job)", off, on, extra, perJob)
+	}
+}

@@ -1,0 +1,230 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric label pair.
+type Label struct{ Key, Value string }
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing metric. All methods are
+// lock-free and safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to preserve counter semantics).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus
+// semantics: bucket counts are cumulative, le-labeled upper bounds).
+// Observations are atomic; no locks on the hot path.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last = +Inf
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	count  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DefBuckets is the default latency bucket layout (seconds), tuned for
+// dispatch latencies from tens of microseconds to seconds.
+var DefBuckets = []float64{
+	.00005, .0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5,
+}
+
+// series is one label-set instance of a metric family.
+type series struct {
+	labels string // preformatted `k="v",k2="v2"` or ""
+	write  func(w io.Writer, name, labels string)
+	// owner is the typed metric behind this series, returned on
+	// duplicate registration of the same name+labels.
+	owner any
+}
+
+// family groups series sharing a metric name.
+type family struct {
+	name, help, typ string
+	series          []*series
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Metric registration takes a lock; metric updates
+// (Counter.Inc etc.) never do.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family // exposition order = registration order
+	byName   map[string]*family
+	extra    []func(io.Writer)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	for i, l := range labels {
+		parts[i] = fmt.Sprintf(`%s="%s"`, l.Key, esc.Replace(l.Value))
+	}
+	return strings.Join(parts, ",")
+}
+
+// register adds a series, or returns the existing owner when the same
+// name+labels was registered before (idempotent registration).
+func (r *Registry) register(name, help, typ, labels string, owner any, write func(io.Writer, string, string)) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	}
+	for _, s := range f.series {
+		if s.labels == labels && s.owner != nil {
+			return s.owner
+		}
+	}
+	f.series = append(f.series, &series{labels: labels, write: write, owner: owner})
+	return owner
+}
+
+// Counter registers (or returns the existing) counter name{labels}.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	return r.register(name, help, "counter", formatLabels(labels), c,
+		func(w io.Writer, n, l string) { writeSample(w, n, l, float64(c.Value())) }).(*Counter)
+}
+
+// Gauge registers (or returns the existing) gauge name{labels}.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	return r.register(name, help, "gauge", formatLabels(labels), g,
+		func(w io.Writer, n, l string) { writeSample(w, n, l, float64(g.Value())) }).(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, "gauge", formatLabels(labels), nil,
+		func(w io.Writer, n, l string) { writeSample(w, n, l, fn()) })
+}
+
+// Histogram registers a histogram with the given bucket upper bounds
+// (ascending; nil selects DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	return r.register(name, help, "histogram", formatLabels(labels), h, func(w io.Writer, n, l string) {
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			writeSample(w, n+"_bucket", joinLabels(l, fmt.Sprintf(`le="%v"`, b)), float64(cum))
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		writeSample(w, n+"_bucket", joinLabels(l, `le="+Inf"`), float64(cum))
+		writeSample(w, n+"_sum", l, h.Sum())
+		writeSample(w, n+"_count", l, float64(h.Count()))
+	}).(*Histogram)
+}
+
+// RegisterText appends a raw exposition block writer, for dynamic
+// families whose series set is not known at registration time (e.g.
+// per-worker pool metrics). fn must emit well-formed exposition text
+// including its own # HELP/# TYPE lines.
+func (r *Registry) RegisterText(fn func(io.Writer)) {
+	r.mu.Lock()
+	r.extra = append(r.extra, fn)
+	r.mu.Unlock()
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func writeSample(w io.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %v\n", name, v)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %v\n", name, labels, v)
+}
+
+// WriteText renders every registered metric in the Prometheus text
+// exposition format (content type text/plain; version=0.0.4).
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	extra := append([]func(io.Writer){}, r.extra...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			s.write(w, f.name, s.labels)
+		}
+	}
+	for _, fn := range extra {
+		fn(w)
+	}
+}

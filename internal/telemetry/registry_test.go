@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_jobs_total", "Jobs processed.", L("outcome", "ok"))
+	c.Add(7)
+	reg.Counter("test_jobs_total", "Jobs processed.", L("outcome", "fail")).Inc()
+	g := reg.Gauge("test_busy", "Busy slots.")
+	g.Set(3)
+	reg.GaugeFunc("test_depth", "Queue depth.", func() float64 { return 2.5 })
+
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	want := `# HELP test_jobs_total Jobs processed.
+# TYPE test_jobs_total counter
+test_jobs_total{outcome="ok"} 7
+test_jobs_total{outcome="fail"} 1
+# HELP test_busy Busy slots.
+# TYPE test_busy gauge
+test_busy 3
+# HELP test_depth Queue depth.
+# TYPE test_depth gauge
+test_depth 2.5
+`
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("dup_total", "help")
+	b := reg.Counter("dup_total", "help")
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("duplicate registration does not share state")
+	}
+	// Distinct labels are distinct series under one family.
+	x := reg.Counter("dup_total", "help", L("k", "v"))
+	if x == a {
+		t.Fatal("distinct labels shared a series")
+	}
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	if strings.Count(sb.String(), "# TYPE dup_total") != 1 {
+		t.Fatalf("family emitted more than once:\n%s", sb.String())
+	}
+}
+
+func TestRegistryLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "h", L("cmd", `say "hi\there"`+"\n")).Inc()
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	if !strings.Contains(sb.String(), `cmd="say \"hi\\there\"\n"`) {
+		t.Fatalf("label not escaped: %q", sb.String())
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	h.ObserveDuration(20 * time.Millisecond)
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if s := h.Sum(); s < 5.574 || s > 5.576 {
+		t.Fatalf("sum = %v", s)
+	}
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	out := sb.String()
+	for _, line := range []string{
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+	if !strings.Contains(out, "# TYPE lat_seconds histogram") {
+		t.Fatalf("missing histogram TYPE line:\n%s", out)
+	}
+}
+
+func TestHistogramBoundaryValueIsCumulative(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("edge_seconds", "h", []float64{1, 2})
+	h.Observe(1) // le="1" includes exactly-1 per Prometheus semantics
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	if !strings.Contains(sb.String(), `edge_seconds_bucket{le="1"} 1`) {
+		t.Fatalf("boundary observation not in its bucket:\n%s", sb.String())
+	}
+}
+
+func TestRegisterTextBlocks(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("first_total", "h").Inc()
+	reg.RegisterText(func(w io.Writer) {
+		fmt.Fprintln(w, "# TYPE dynamic_gauge gauge")
+		fmt.Fprintln(w, `dynamic_gauge{worker="w1"} 4`)
+	})
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `dynamic_gauge{worker="w1"} 4`) {
+		t.Fatalf("dynamic block missing:\n%s", out)
+	}
+	if strings.Index(out, "first_total") > strings.Index(out, "dynamic_gauge") {
+		t.Fatalf("dynamic blocks must follow registered families:\n%s", out)
+	}
+}

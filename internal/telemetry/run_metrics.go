@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Standard metric names exposed for an engine run. Documented in
+// docs/OBSERVABILITY.md; treat them as a stable scrape contract.
+const (
+	MetricJobsQueued      = "gopar_jobs_queued_total"
+	MetricJobsStarted     = "gopar_jobs_started_total"
+	MetricJobsRetried     = "gopar_jobs_retried_total"
+	MetricJobsFinished    = "gopar_jobs_finished_total"
+	MetricSlotsTotal      = "gopar_slots_total"
+	MetricSlotsBusy       = "gopar_slots_busy"
+	MetricQueueDepth      = "gopar_queue_depth"
+	MetricDispatchLatency = "gopar_dispatch_latency_seconds"
+	MetricThroughput      = "gopar_throughput_procs_per_second"
+	MetricElapsed         = "gopar_run_elapsed_seconds"
+)
+
+// RunMetrics maintains the standard engine-run metrics from lifecycle
+// events. Attach it to a Bus as a synchronous tap (bus.Tap(m.Observe)):
+// every update is a handful of atomic operations, cheap enough for the
+// dispatch hot path.
+//
+// Outcome accounting matches the joblog exactly: every job that ran
+// gets one gopar_jobs_finished_total increment, labeled ok, fail or
+// killed — so scrape totals and joblog line counts agree at end of run.
+type RunMetrics struct {
+	queued, started, retried  *Counter
+	finOK, finFail, finKilled *Counter
+	slotsBusy                 *Gauge
+	dispatch                  *Histogram
+	startNano                 atomic.Int64 // first-event wall clock, 0 = none yet
+}
+
+// NewRunMetrics registers the standard run metrics on reg. slots is the
+// configured slot count (Spec.Jobs / pool capacity); pass 0 if unknown.
+func NewRunMetrics(reg *Registry, slots int) *RunMetrics {
+	m := &RunMetrics{}
+	m.queued = reg.Counter(MetricJobsQueued, "Jobs rendered and entered into the dispatch queue.")
+	m.started = reg.Counter(MetricJobsStarted, "Jobs that acquired a slot and began dispatch.")
+	m.retried = reg.Counter(MetricJobsRetried, "Retry attempts beyond each job's first.")
+	m.finOK = reg.Counter(MetricJobsFinished, "Jobs completed, by outcome.", L("outcome", "ok"))
+	m.finFail = reg.Counter(MetricJobsFinished, "Jobs completed, by outcome.", L("outcome", "fail"))
+	m.finKilled = reg.Counter(MetricJobsFinished, "Jobs completed, by outcome.", L("outcome", "killed"))
+	reg.Gauge(MetricSlotsTotal, "Configured parallel slot count.").Set(int64(slots))
+	m.slotsBusy = reg.Gauge(MetricSlotsBusy, "Slots currently running a job.")
+	reg.GaugeFunc(MetricQueueDepth, "Jobs queued but not yet dispatched.", func() float64 {
+		return float64(m.queued.Value() - m.started.Value())
+	})
+	m.dispatch = reg.Histogram(MetricDispatchLatency,
+		"Per-job dispatch overhead: slot acquisition to process start.", nil)
+	reg.GaugeFunc(MetricThroughput, "Jobs started per second of run time so far.", func() float64 {
+		if e := m.elapsed(); e > 0 {
+			return float64(m.started.Value()) / e.Seconds()
+		}
+		return 0
+	})
+	reg.GaugeFunc(MetricElapsed, "Seconds since the run's first lifecycle event.", func() float64 {
+		return m.elapsed().Seconds()
+	})
+	return m
+}
+
+func (m *RunMetrics) elapsed() time.Duration {
+	t0 := m.startNano.Load()
+	if t0 == 0 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - t0)
+}
+
+// Observe updates the metrics from one lifecycle event. Safe for
+// concurrent use; atomic operations only.
+func (m *RunMetrics) Observe(ev core.Event) {
+	if m.startNano.Load() == 0 {
+		m.startNano.CompareAndSwap(0, ev.Time.UnixNano())
+	}
+	switch ev.Type {
+	case core.EventQueued:
+		m.queued.Inc()
+	case core.EventStarted:
+		m.started.Inc()
+		m.slotsBusy.Add(1)
+	case core.EventRetried:
+		m.retried.Inc()
+	case core.EventFinished, core.EventKilled:
+		m.slotsBusy.Add(-1)
+		switch {
+		case ev.Type == core.EventKilled:
+			m.finKilled.Inc()
+		case ev.OK:
+			m.finOK.Inc()
+		default:
+			m.finFail.Inc()
+		}
+		if ev.DispatchDelay > 0 {
+			m.dispatch.ObserveDuration(ev.DispatchDelay)
+		}
+	}
+}
+
+// Finished returns the per-outcome completion totals (ok, fail,
+// killed) — the numbers that must match the joblog accounting.
+func (m *RunMetrics) Finished() (ok, fail, killed int64) {
+	return m.finOK.Value(), m.finFail.Value(), m.finKilled.Value()
+}
+
+// Snapshot is a compact point-in-time summary of one worker's
+// execution counters. internal/dist piggybacks it on job responses so
+// the coordinator can expose per-node series without extra round
+// trips; gopard also serves it from its own /metrics endpoint.
+type Snapshot struct {
+	// Worker is the reporting worker's name.
+	Worker string `json:"worker,omitempty"`
+	// Slots is the worker's advertised capacity.
+	Slots int `json:"slots,omitempty"`
+	// Busy is how many jobs the worker is executing right now.
+	Busy int `json:"busy"`
+	// Started, OK and Failed count jobs over the worker's lifetime.
+	Started int64 `json:"started"`
+	OK      int64 `json:"ok"`
+	Failed  int64 `json:"failed"`
+	// UnixNano is when the snapshot was taken.
+	UnixNano int64 `json:"ts,omitempty"`
+}

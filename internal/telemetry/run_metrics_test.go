@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// lifecycle publishes a full queued/started/finished sequence for seq.
+func lifecycle(b *Bus, seq int, ok bool, killed bool) {
+	now := time.Unix(1700000000, 0).Add(time.Duration(seq) * time.Second)
+	b.Publish(core.Event{Type: core.EventQueued, Seq: seq, Time: now})
+	b.Publish(core.Event{Type: core.EventStarted, Seq: seq, Slot: 1, Attempt: 1, Time: now})
+	typ := core.EventFinished
+	if killed {
+		typ = core.EventKilled
+	}
+	exit := 0
+	if !ok {
+		exit = 1
+	}
+	b.Publish(core.Event{Type: typ, Seq: seq, Slot: 1, Attempt: 1, Time: now,
+		OK: ok && !killed, ExitCode: exit, Duration: 10 * time.Millisecond,
+		DispatchDelay: 2 * time.Millisecond})
+}
+
+func TestRunMetricsAccounting(t *testing.T) {
+	reg := NewRegistry()
+	b := NewBus()
+	m := NewRunMetrics(reg, 4)
+	b.Tap(m.Observe)
+
+	for seq := 1; seq <= 5; seq++ {
+		lifecycle(b, seq, true, false)
+	}
+	lifecycle(b, 6, false, false)
+	lifecycle(b, 7, false, true)
+	b.Publish(core.Event{Type: core.EventRetried, Seq: 6, Attempt: 2, Time: time.Unix(1700000010, 0)})
+
+	ok, fail, killed := m.Finished()
+	if ok != 5 || fail != 1 || killed != 1 {
+		t.Fatalf("finished = %d/%d/%d", ok, fail, killed)
+	}
+	if m.queued.Value() != 7 || m.started.Value() != 7 || m.retried.Value() != 1 {
+		t.Fatalf("queued=%d started=%d retried=%d",
+			m.queued.Value(), m.started.Value(), m.retried.Value())
+	}
+	if m.slotsBusy.Value() != 0 {
+		t.Fatalf("slots busy = %d after all finished", m.slotsBusy.Value())
+	}
+	if m.dispatch.Count() != 7 {
+		t.Fatalf("dispatch observations = %d", m.dispatch.Count())
+	}
+
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	out := sb.String()
+	for _, line := range []string{
+		MetricJobsQueued + " 7",
+		MetricJobsStarted + " 7",
+		MetricJobsRetried + " 1",
+		MetricJobsFinished + `{outcome="ok"} 5`,
+		MetricJobsFinished + `{outcome="fail"} 1`,
+		MetricJobsFinished + `{outcome="killed"} 1`,
+		MetricSlotsTotal + " 4",
+		MetricSlotsBusy + " 0",
+		MetricQueueDepth + " 0",
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("missing %q in exposition:\n%s", line, out)
+		}
+	}
+	for _, name := range []string{MetricDispatchLatency, MetricThroughput, MetricElapsed} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing family %q in exposition:\n%s", name, out)
+		}
+	}
+}
+
+func TestRunMetricsQueueDepthAndBusy(t *testing.T) {
+	reg := NewRegistry()
+	m := NewRunMetrics(reg, 2)
+	now := time.Now()
+	for seq := 1; seq <= 3; seq++ {
+		m.Observe(core.Event{Type: core.EventQueued, Seq: seq, Time: now})
+	}
+	m.Observe(core.Event{Type: core.EventStarted, Seq: 1, Slot: 1, Time: now})
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	out := sb.String()
+	if !strings.Contains(out, MetricQueueDepth+" 2") {
+		t.Fatalf("queue depth wrong:\n%s", out)
+	}
+	if !strings.Contains(out, MetricSlotsBusy+" 1") {
+		t.Fatalf("busy slots wrong:\n%s", out)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var sb strings.Builder
+	sink := NewJSONLSink(&sb)
+	b := NewBus()
+	sub := b.Subscribe(64)
+	done := make(chan struct{})
+	go func() { Pump(sub, sink.Consume); close(done) }()
+
+	lifecycle(b, 1, true, false)
+	lifecycle(b, 2, false, true)
+	b.Close()
+	<-done
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var types []string
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		types = append(types, rec["type"].(string))
+		if rec["type"] == "finished" {
+			if ok, isSet := rec["ok"].(bool); !isSet || !ok {
+				t.Fatalf("finished line missing ok=true: %v", rec)
+			}
+			if _, isSet := rec["dur_s"]; !isSet {
+				t.Fatalf("finished line missing dur_s: %v", rec)
+			}
+		}
+		if rec["type"] == "killed" {
+			if ok := rec["ok"].(bool); ok {
+				t.Fatalf("killed line claims ok: %v", rec)
+			}
+		}
+	}
+	want := []string{"queued", "started", "finished", "queued", "started", "killed"}
+	if strings.Join(types, ",") != strings.Join(want, ",") {
+		t.Fatalf("event sequence = %v, want %v", types, want)
+	}
+}

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// eventJSON is the stable JSONL wire form of a lifecycle event.
+type eventJSON struct {
+	Type    string  `json:"type"`
+	Seq     int     `json:"seq"`
+	Slot    int     `json:"slot,omitempty"`
+	Attempt int     `json:"attempt,omitempty"`
+	T       string  `json:"t"`
+	Command string  `json:"command,omitempty"`
+	OK      *bool   `json:"ok,omitempty"`
+	Exit    *int    `json:"exit,omitempty"`
+	Host    string  `json:"host,omitempty"`
+	DurS    float64 `json:"dur_s,omitempty"`
+	DispS   float64 `json:"dispatch_s,omitempty"`
+}
+
+// JSONLSink streams lifecycle events as one JSON object per line — the
+// machine-readable live counterpart of the joblog. Feed it from a Bus
+// subscription; it is safe for concurrent use.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink writes events to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Consume writes one event line. Encoding errors are sticky and
+// reported by Err; later writes are dropped.
+func (s *JSONLSink) Consume(ev core.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	j := eventJSON{
+		Type:    ev.Type.String(),
+		Seq:     ev.Seq,
+		Slot:    ev.Slot,
+		Attempt: ev.Attempt,
+		T:       ev.Time.UTC().Format(time.RFC3339Nano),
+		Command: ev.Command,
+	}
+	if ev.Type == core.EventFinished || ev.Type == core.EventKilled {
+		ok, exit := ev.OK, ev.ExitCode
+		j.OK, j.Exit = &ok, &exit
+		j.Host = ev.Host
+		j.DurS = ev.Duration.Seconds()
+		j.DispS = ev.DispatchDelay.Seconds()
+	}
+	s.err = s.enc.Encode(j)
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Pump drains a subscription, delivering each event to every consumer
+// in order, until the subscription closes. Run it on its own
+// goroutine; it returns when the bus is closed and the buffer drained.
+func Pump(sub *Subscription, consumers ...func(core.Event)) {
+	for ev := range sub.C {
+		for _, fn := range consumers {
+			fn(ev)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package telemetry is the runtime observability subsystem for the
+// launcher stack: live job-lifecycle events while a run is in flight,
+// instead of the after-the-fact joblog analysis internal/profile does.
+//
+// The design keeps the paper's constraint — near-zero orchestration
+// overhead — front and center:
+//
+//   - Bus is a non-blocking fan-out the engine publishes core.Event
+//     values to (Spec.OnEvent = bus.Publish). Synchronous taps are
+//     atomic-counter updates only; asynchronous subscribers receive
+//     events through a bounded buffer and lose events (counted, never
+//     blocking) if they fall behind. A slow scraper or a stalled disk
+//     can therefore never slow dispatch.
+//
+//   - Registry holds counters, gauges and histograms and writes the
+//     Prometheus text exposition format; Serve exposes it over HTTP
+//     (`gopar --metrics-addr`, `gopard -metrics-addr`).
+//
+//   - RunMetrics is the standard engine instrumentation: jobs by
+//     state, slot occupancy, queue depth, dispatch latency and
+//     throughput (procs/s — the paper's headline metric).
+//
+//   - Snapshot is the compact worker-side summary internal/dist
+//     piggybacks on its protocol so a coordinator exposes per-node and
+//     fleet-wide series from one endpoint.
+//
+// The same core.Event interface is fed by real engines, remote workers
+// and the simulated cluster, so live dashboards work identically for
+// real and simulated runs.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Subscription is one asynchronous consumer of a Bus. Receive events
+// from C; the channel is closed by Bus.Close after the final publish.
+type Subscription struct {
+	// C delivers events in publish order. Bounded: when the consumer
+	// lags more than the buffer, newest events are dropped (and
+	// counted) rather than stalling publishers.
+	C <-chan core.Event
+
+	c       chan core.Event
+	dropped atomic.Int64
+}
+
+// Dropped reports how many events this subscriber lost to a full
+// buffer.
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
+
+// Bus fans job-lifecycle events out to taps (synchronous, hot-path
+// cheap) and subscriptions (asynchronous, bounded, lossy). Publish
+// never blocks, whatever consumers do.
+type Bus struct {
+	mu     sync.RWMutex
+	taps   []func(core.Event)
+	subs   []*Subscription
+	closed bool
+
+	published atomic.Int64
+	dropped   atomic.Int64
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Tap registers fn to run synchronously inside every Publish. It must
+// be concurrency-safe and restricted to cheap work (atomic counter
+// updates); anything slower belongs in a Subscription.
+func (b *Bus) Tap(fn func(core.Event)) {
+	b.mu.Lock()
+	b.taps = append(b.taps, fn)
+	b.mu.Unlock()
+}
+
+// Subscribe registers an asynchronous consumer with the given buffer
+// capacity (<=0 selects 4096). Consume from the returned
+// Subscription's C until it is closed.
+func (b *Bus) Subscribe(buf int) *Subscription {
+	if buf <= 0 {
+		buf = 4096
+	}
+	s := &Subscription{c: make(chan core.Event, buf)}
+	s.C = s.c
+	b.mu.Lock()
+	if b.closed {
+		close(s.c)
+	} else {
+		b.subs = append(b.subs, s)
+	}
+	b.mu.Unlock()
+	return s
+}
+
+// Publish delivers one event: taps run inline, subscribers get a
+// non-blocking send (dropped and counted when their buffer is full).
+// The signature matches core.Spec.OnEvent. Publishing after Close is a
+// counted drop.
+func (b *Bus) Publish(ev core.Event) {
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		b.dropped.Add(1)
+		return
+	}
+	for _, tap := range b.taps {
+		tap(ev)
+	}
+	for _, s := range b.subs {
+		select {
+		case s.c <- ev:
+		default:
+			s.dropped.Add(1)
+			b.dropped.Add(1)
+		}
+	}
+	b.mu.RUnlock()
+	b.published.Add(1)
+}
+
+// Close marks the bus finished and closes every subscription channel.
+// Call after the engine run returns: every already-published event is
+// still buffered for consumers to drain.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, s := range b.subs {
+		close(s.c)
+	}
+}
+
+// Published returns the number of events accepted by Publish.
+func (b *Bus) Published() int64 { return b.published.Load() }
+
+// Dropped returns the total events lost across all subscribers.
+func (b *Bus) Dropped() int64 { return b.dropped.Load() }

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func ev(t core.EventType, seq int) core.Event {
+	return core.Event{Type: t, Seq: seq, Time: time.Unix(1700000000, 0)}
+}
+
+func TestBusTapRunsSynchronously(t *testing.T) {
+	b := NewBus()
+	var got []int
+	b.Tap(func(e core.Event) { got = append(got, e.Seq) })
+	for i := 1; i <= 3; i++ {
+		b.Publish(ev(core.EventQueued, i))
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("tap saw %v", got)
+	}
+	if b.Published() != 3 {
+		t.Fatalf("published = %d", b.Published())
+	}
+}
+
+func TestBusSubscriptionOrderAndClose(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(16)
+	for i := 1; i <= 5; i++ {
+		b.Publish(ev(core.EventStarted, i))
+	}
+	b.Close()
+	var seqs []int
+	for e := range sub.C {
+		seqs = append(seqs, e.Seq)
+	}
+	if len(seqs) != 5 {
+		t.Fatalf("drained %v", seqs)
+	}
+	for i, s := range seqs {
+		if s != i+1 {
+			t.Fatalf("out of order: %v", seqs)
+		}
+	}
+	if sub.Dropped() != 0 || b.Dropped() != 0 {
+		t.Fatalf("unexpected drops: sub=%d bus=%d", sub.Dropped(), b.Dropped())
+	}
+}
+
+func TestBusSlowSubscriberNeverBlocksPublish(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(2) // tiny buffer, nobody reading
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			b.Publish(ev(core.EventQueued, i))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on a full subscription")
+	}
+	if sub.Dropped() != 98 {
+		t.Fatalf("dropped = %d, want 98", sub.Dropped())
+	}
+	if b.Dropped() != 98 {
+		t.Fatalf("bus dropped = %d, want 98", b.Dropped())
+	}
+	b.Close()
+	n := 0
+	for range sub.C {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("buffered events = %d, want 2", n)
+	}
+}
+
+func TestBusPublishAfterClose(t *testing.T) {
+	b := NewBus()
+	var taps int
+	b.Tap(func(core.Event) { taps++ })
+	b.Close()
+	b.Close() // idempotent
+	b.Publish(ev(core.EventQueued, 1))
+	if taps != 0 {
+		t.Fatal("tap ran after Close")
+	}
+	if b.Dropped() != 1 {
+		t.Fatalf("post-close publish not counted as drop: %d", b.Dropped())
+	}
+	// Subscribing after Close yields an already-closed channel.
+	sub := b.Subscribe(0)
+	if _, ok := <-sub.C; ok {
+		t.Fatal("subscription after Close delivered an event")
+	}
+}
+
+func TestBusConcurrentPublish(t *testing.T) {
+	b := NewBus()
+	var mu sync.Mutex
+	seen := 0
+	b.Tap(func(core.Event) { mu.Lock(); seen++; mu.Unlock() })
+	sub := b.Subscribe(4096)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b.Publish(ev(core.EventFinished, g*200+i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	b.Close()
+	if seen != 1600 || b.Published() != 1600 {
+		t.Fatalf("taps=%d published=%d", seen, b.Published())
+	}
+	drained := 0
+	for range sub.C {
+		drained++
+	}
+	if drained+int(sub.Dropped()) != 1600 {
+		t.Fatalf("drained=%d dropped=%d, want sum 1600", drained, sub.Dropped())
+	}
+}
+
+func TestPumpDeliversInOrder(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(64)
+	var a, c []int
+	done := make(chan struct{})
+	go func() {
+		Pump(sub,
+			func(e core.Event) { a = append(a, e.Seq) },
+			func(e core.Event) { c = append(c, e.Seq) })
+		close(done)
+	}()
+	for i := 1; i <= 10; i++ {
+		b.Publish(ev(core.EventQueued, i))
+	}
+	b.Close()
+	<-done
+	if fmt.Sprint(a) != fmt.Sprint(c) || len(a) != 10 || a[9] != 10 {
+		t.Fatalf("pump delivery a=%v c=%v", a, c)
+	}
+}

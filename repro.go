@@ -46,6 +46,11 @@ type (
 	FuncRunner = core.FuncRunner
 	// HaltPolicy mirrors GNU Parallel's --halt.
 	HaltPolicy = core.HaltPolicy
+	// Event is one job-lifecycle event, delivered via Spec.OnEvent
+	// (see internal/telemetry for the bus, metrics, and sinks).
+	Event = core.Event
+	// EventType discriminates lifecycle events.
+	EventType = core.EventType
 	// Source yields job input records.
 	Source = args.Source
 	// Template is a parsed replacement-string command template.
@@ -57,6 +62,15 @@ const (
 	HaltNever = core.HaltNever
 	HaltSoon  = core.HaltSoon
 	HaltNow   = core.HaltNow
+)
+
+// Lifecycle event types (Event.Type).
+const (
+	EventQueued   = core.EventQueued
+	EventStarted  = core.EventStarted
+	EventRetried  = core.EventRetried
+	EventFinished = core.EventFinished
+	EventKilled   = core.EventKilled
 )
 
 // NewSpec builds a Spec with GNU-Parallel-like defaults for the command
