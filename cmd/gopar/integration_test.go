@@ -10,9 +10,13 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/span"
 )
 
 // buildGopar compiles the binary once per test run.
@@ -430,6 +434,230 @@ func TestCLIEventsAndTraceStreams(t *testing.T) {
 		if s["ph"] != "X" || !strings.HasPrefix(s["name"].(string), "echo ") {
 			t.Fatalf("slice = %v", s)
 		}
+	}
+}
+
+func TestCLISignalFlushesSinks(t *testing.T) {
+	// SIGTERM mid-run must still leave parseable --events and --spans
+	// files: the recorder flushes in-flight jobs as incomplete/killed
+	// records instead of truncating mid-line or dropping them.
+	dir := t.TempDir()
+	eventsPath := filepath.Join(dir, "run.jsonl")
+	spansPath := filepath.Join(dir, "spans.jsonl")
+	stdin, cmd, _ := startGopar(t, "-quiet", "--events", eventsPath, "--spans", spansPath,
+		fmt.Sprintf(`sh -c "touch %s/up-{#}; sleep 60"`, dir))
+	if _, err := io.WriteString(stdin, "a\nb\n"); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until both jobs are demonstrably executing.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, e1 := os.Stat(filepath.Join(dir, "up-1"))
+		_, e2 := os.Stat(filepath.Join(dir, "up-2"))
+		if e1 == nil && e2 == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("jobs never started")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() // non-zero exit expected: the run was interrupted
+
+	data, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("unparseable events line after SIGTERM %q: %v", line, err)
+		}
+		counts[rec["type"].(string)]++
+	}
+	if counts["queued"] < 2 || counts["started"] < 2 {
+		t.Fatalf("event counts after SIGTERM = %v", counts)
+	}
+
+	sf, err := os.Open(spansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	spans, err := span.Parse(sf)
+	if err != nil {
+		t.Fatalf("span file unparseable after SIGTERM: %v", err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("spans after SIGTERM = %d, want 2", len(spans))
+	}
+	for _, s := range spans {
+		if s.Queued.IsZero() || s.Started.IsZero() {
+			t.Fatalf("span missing timeline: %+v", s)
+		}
+		if s.OK {
+			t.Fatalf("killed job recorded as ok: %+v", s)
+		}
+		if !s.Incomplete && !s.Killed {
+			t.Fatalf("interrupted span neither incomplete nor killed: %+v", s)
+		}
+	}
+}
+
+func TestCLIMetricsAnnounceBeforeDispatch(t *testing.T) {
+	// Scripts that parse the ":0" announce line to discover the port must
+	// see it before any job output: the endpoint goes live (and is
+	// announced) before the engine dispatches its first job. Jobs here
+	// write a marker to stderr the moment they run, so ordering is
+	// observable on a single stream.
+	dir := t.TempDir()
+	gate := filepath.Join(dir, "gate")
+	stdin, cmd, lines := startGopar(t, "-quiet", "--metrics-addr", "127.0.0.1:0",
+		fmt.Sprintf(`sh -c "echo RUNNING-{} >&2; while [ ! -e %s ]; do sleep 0.02; done"`, gate),
+		":::", "a", "b")
+	stdin.Close() // inputs come from the ::: group
+
+	var url string
+	deadline := time.After(10 * time.Second)
+	for url == "" {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("gopar exited before announcing metrics endpoint")
+			}
+			if strings.Contains(line, "RUNNING-") {
+				t.Fatalf("job dispatched before metrics announcement: %q", line)
+			}
+			if i := strings.Index(line, "serving metrics on "); i >= 0 {
+				url = strings.TrimSpace(line[i+len("serving metrics on "):])
+			}
+		case <-deadline:
+			t.Fatal("metrics endpoint never announced")
+		}
+	}
+
+	// Scripted scrape while jobs are gated: the endpoint is answering and
+	// nothing has finished yet.
+	body := scrape(t, url)
+	if !strings.Contains(body, `gopar_jobs_finished_total{outcome="ok"} 0`) {
+		t.Fatalf("jobs finished before gate opened:\n%s", body)
+	}
+	// The binary was built by this test's own toolchain, so its
+	// goversion label must match runtime.Version here.
+	if !strings.Contains(body, `gopar_build_info{`) ||
+		!strings.Contains(body, `goversion="`+runtime.Version()+`"`) {
+		t.Fatalf("build info series missing:\n%s", body)
+	}
+	if !strings.Contains(body, "gopar_start_time_seconds ") {
+		t.Fatalf("start-time gauge missing:\n%s", body)
+	}
+
+	if err := os.WriteFile(gate, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("gopar exit: %v", err)
+	}
+}
+
+func TestCLIReportFromRunSpans(t *testing.T) {
+	// End-to-end: a real run streams --spans, then `gopar report` turns
+	// the file into the overhead-attribution tables and JSON document.
+	dir := t.TempDir()
+	spansPath := filepath.Join(dir, "spans.jsonl")
+	_, _, exit := gopar(t, "", "-quiet", "--spans", spansPath,
+		"echo {}", ":::", "a", "b", "c")
+	if exit != 0 {
+		t.Fatalf("run exit = %d", exit)
+	}
+
+	jsonPath := filepath.Join(dir, "report.json")
+	tracePath := filepath.Join(dir, "trace.json")
+	out, stderr, exit := gopar(t, "", "report", "--spans", spansPath,
+		"--json", jsonPath, "--trace", tracePath)
+	if exit != 0 {
+		t.Fatalf("report exit = %d, stderr:\n%s", exit, stderr)
+	}
+	for _, want := range []string{"Run summary", "Overhead decomposition", "Per-phase latency", "Critical path"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report output missing %q:\n%s", want, out)
+		}
+	}
+
+	var rep map[string]any
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report JSON invalid: %v", err)
+	}
+	if rep["jobs"] != 3.0 || rep["failed"] != 0.0 {
+		t.Fatalf("report jobs/failed = %v/%v", rep["jobs"], rep["failed"])
+	}
+	if rep["makespan_s"].(float64) <= 0 || rep["exec_total_s"].(float64) <= 0 {
+		t.Fatalf("report totals not positive: %v", rep)
+	}
+
+	var slices []map[string]any
+	td, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(td, &slices); err != nil || len(slices) == 0 {
+		t.Fatalf("span trace invalid (%v) or empty:\n%s", err, td)
+	}
+}
+
+func TestCLIReportSimGoldenRoundTrip(t *testing.T) {
+	// --sim is deterministic for a fixed seed, so a report checked
+	// against its own JSON output must pass the golden gate, and the
+	// simulated dispatch rate must reproduce the paper's ~470 procs/s.
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "report.json")
+	simArgs := []string{"report", "--sim", "--sim-tasks", "300", "--sim-seed", "7",
+		"--sim-runtime", "shifter"}
+	_, stderr, exit := gopar(t, "", append(simArgs, "--json", jsonPath)...)
+	if exit != 0 {
+		t.Fatalf("sim report exit = %d, stderr:\n%s", exit, stderr)
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	rate := rep["dispatch_rate_per_instance"].(float64)
+	if rate < 470*0.95 || rate > 470*1.05 {
+		t.Fatalf("sim dispatch rate = %.1f, want ~470", rate)
+	}
+	cpct := rep["container_pct"].(float64)
+	if cpct < 0.17 || cpct > 0.21 {
+		t.Fatalf("sim container share = %.3f, want ~0.19", cpct)
+	}
+
+	_, stderr, exit = gopar(t, "", append(simArgs, "--golden", jsonPath)...)
+	if exit != 0 || !strings.Contains(stderr, "golden check passed") {
+		t.Fatalf("golden round trip failed: exit=%d stderr:\n%s", exit, stderr)
+	}
+
+	// A golden with a wrong count must fail the gate.
+	rep["jobs"] = 299.0
+	bad, _ := json.Marshal(rep)
+	badPath := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, exit = gopar(t, "", append(simArgs, "--golden", badPath)...)
+	if exit != 1 || !strings.Contains(stderr, "golden: jobs") {
+		t.Fatalf("bad golden accepted: exit=%d stderr:\n%s", exit, stderr)
 	}
 }
 

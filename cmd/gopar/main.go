@@ -36,12 +36,18 @@ import (
 	"repro/internal/dist"
 	"repro/internal/gpu"
 	"repro/internal/profile"
+	"repro/internal/span"
 	"repro/internal/telemetry"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "sem" {
-		os.Exit(runSem(os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "sem":
+			os.Exit(runSem(os.Args[2:]))
+		case "report":
+			os.Exit(runReport(os.Args[2:]))
+		}
 	}
 	os.Exit(run())
 }
@@ -135,6 +141,7 @@ func run() int {
 		metrics   = fs.String("metrics-addr", "", `serve live Prometheus metrics on this address (e.g. ":9100"; ":0" picks a free port)`)
 		events    = fs.String("events", "", "stream job-lifecycle events as JSON lines to this file")
 		trace     = fs.String("trace", "", "stream a Chrome trace (chrome://tracing) to this file during the run")
+		spans     = fs.String("spans", "", "stream per-job phase-timeline spans as JSON lines to this file (analyze with `gopar report`)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: gopar [flags] command [::: args...] [:::: argfile]\n")
@@ -271,16 +278,31 @@ func run() int {
 	// (synchronous tap) plus any streaming sinks (buffered subscription),
 	// so a slow scrape or disk can never stall dispatch.
 	var drainTelemetry func()
-	if *metrics != "" || *events != "" || *trace != "" {
+	if *metrics != "" || *events != "" || *trace != "" || *spans != "" {
 		reg := telemetry.NewRegistry()
 		bus := telemetry.NewBus()
 		rm := telemetry.NewRunMetrics(reg, spec.Jobs)
 		bus.Tap(rm.Observe)
+		telemetry.RegisterBuildInfo(reg, "gopar", time.Now())
 		if pool != nil {
 			pool.RegisterMetrics(reg)
 		}
 		var consumers []func(core.Event)
 		var closers []func() error
+		// Serve + announce before anything else in this block: scripts
+		// that parse the "serving metrics on" line to discover a :0 port
+		// must be able to scrape before the first job dispatches, and
+		// nothing below may fail after the endpoint is live without the
+		// announcement having been made.
+		if *metrics != "" {
+			bound, closeFn, serr := telemetry.Serve(*metrics, reg)
+			if serr != nil {
+				fmt.Fprintln(os.Stderr, "gopar:", serr)
+				return 2
+			}
+			fmt.Fprintf(os.Stderr, "gopar: serving metrics on http://%s/metrics\n", bound)
+			closers = append(closers, closeFn)
+		}
 		if *events != "" {
 			f, cerr := os.Create(*events)
 			if cerr != nil {
@@ -290,6 +312,18 @@ func run() int {
 			sink := telemetry.NewJSONLSink(f)
 			consumers = append(consumers, sink.Consume)
 			closers = append(closers, f.Close)
+		}
+		if *spans != "" {
+			f, cerr := os.Create(*spans)
+			if cerr != nil {
+				fmt.Fprintln(os.Stderr, "gopar:", cerr)
+				return 2
+			}
+			rec := span.NewRecorder(f, false)
+			consumers = append(consumers, rec.Consume)
+			// rec.Close flushes in-flight spans as incomplete records, so
+			// an interrupted (SIGINT/SIGTERM) run's span file still parses.
+			closers = append(closers, rec.Close, f.Close)
 		}
 		if *trace != "" {
 			f, cerr := os.Create(*trace)
@@ -309,15 +343,6 @@ func run() int {
 				defer pumpDone.Done()
 				telemetry.Pump(sub, consumers...)
 			}()
-		}
-		if *metrics != "" {
-			bound, closeFn, serr := telemetry.Serve(*metrics, reg)
-			if serr != nil {
-				fmt.Fprintln(os.Stderr, "gopar:", serr)
-				return 2
-			}
-			fmt.Fprintf(os.Stderr, "gopar: serving metrics on http://%s/metrics\n", bound)
-			closers = append(closers, closeFn)
 		}
 		spec.OnEvent = bus.Publish
 		drainTelemetry = func() {

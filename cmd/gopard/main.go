@@ -21,6 +21,7 @@ import (
 	"os/signal"
 	"runtime"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -58,6 +59,7 @@ func main() {
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
 		wt.Register(reg)
+		telemetry.RegisterBuildInfo(reg, "gopard", time.Now())
 		bound, closeMetrics, merr := telemetry.Serve(*metricsAddr, reg)
 		if merr != nil {
 			fmt.Fprintln(os.Stderr, "gopard:", merr)

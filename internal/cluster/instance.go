@@ -21,6 +21,11 @@ type Task struct {
 	// node facility (NVMe, GPUs, Lustre via closure). A nil payload is
 	// a no-op task (the stress-test null job).
 	Payload func(p *sim.Proc, tc TaskContext) error
+	// StageIn and StageOut, when positive, model data staging around
+	// the payload (e.g. Lustre→NVMe copy-in, result copy-out). They
+	// hold the task's slot but not launch capacity, and are reported
+	// as distinct phases in lifecycle events.
+	StageIn, StageOut time.Duration
 }
 
 // TaskContext tells a payload where it is running.
@@ -151,13 +156,17 @@ func (n *Node) RunParallel(p *sim.Proc, cfg InstanceConfig, tasks []Task) *Repor
 				wg.Done()
 			}()
 			res := TaskResult{Seq: task.Seq, Slot: slot, Start: cp.Now()}
+			var containerDur, stageInDur, stageOutDur time.Duration
 			defer func() {
 				if cfg.OnEvent != nil {
 					cfg.OnEvent(core.Event{Type: core.EventFinished, Seq: task.Seq,
 						Slot: slot, Attempt: 1, Time: simWall(res.End),
 						OK: res.Err == nil, ExitCode: exitCodeFor(res.Err),
 						Host: n.Hostname(), Duration: res.Duration(),
-						DispatchDelay: dispatchDelay})
+						DispatchDelay:  dispatchDelay,
+						End:            simWall(res.End),
+						ContainerStart: containerDur,
+						StageIn:        stageInDur, StageOut: stageOutDur})
 				}
 			}()
 			epoch := n.FailEpoch()
@@ -185,12 +194,19 @@ func (n *Node) RunParallel(p *sim.Proc, cfg InstanceConfig, tasks []Task) *Repor
 				// Container startup consumes launch capacity
 				// (CPU-bound namespace/image setup) and may
 				// serialize or fail per the runtime model.
+				cStart := cp.Now()
 				if cfg.Runtime.StartupOverhead > 0 {
 					n.Launch.Acquire(cp, 1)
 					cp.Sleep(cfg.Runtime.StartupOverhead)
 					n.Launch.Release(1)
 				}
 				err = cfg.Runtime.Launch(cp)
+				containerDur = time.Duration(cp.Now() - cStart)
+			}
+			if err == nil && task.StageIn > 0 {
+				sStart := cp.Now()
+				cp.Sleep(task.StageIn)
+				stageInDur = time.Duration(cp.Now() - sStart)
 			}
 			if err == nil && task.Payload != nil {
 				if cfg.UseCores {
@@ -200,6 +216,11 @@ func (n *Node) RunParallel(p *sim.Proc, cfg InstanceConfig, tasks []Task) *Repor
 				if cfg.UseCores {
 					n.Cores.Release(1)
 				}
+			}
+			if err == nil && task.StageOut > 0 {
+				sStart := cp.Now()
+				cp.Sleep(task.StageOut)
+				stageOutDur = time.Duration(cp.Now() - sStart)
 			}
 			if err == nil && (n.FailEpoch() != epoch || !n.Alive()) {
 				// The node crashed while the task was running: the

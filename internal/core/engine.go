@@ -90,7 +90,7 @@ func (e *Engine) Run(ctx context.Context, src args.Source) (Stats, []Result, err
 		defer inputDone.Store(true)
 		defer totalFinal.Store(true)
 		defer close(jobs)
-		next := src.Next
+		next := cancellableNext(ctx, src)
 		if s.Halt.Percent > 0 {
 			// A percentage halt needs the true job total before it can
 			// fire; mirror GNU Parallel, which reads the whole input
@@ -150,8 +150,11 @@ func (e *Engine) Run(ctx context.Context, src args.Source) (Stats, []Result, err
 					job.Stdin = []byte(rec[0])
 				}
 			}
+			var renderDur time.Duration
 			if template != nil {
+				renderStart := time.Now()
 				cmd, rerr := template.Render(tmpl.Context{Args: job.Args, Seq: seq, Slot: 0})
+				renderDur = time.Since(renderStart)
 				if rerr != nil {
 					select {
 					case jobs <- renderedJob{err: rerr}:
@@ -162,7 +165,8 @@ func (e *Engine) Run(ctx context.Context, src args.Source) (Stats, []Result, err
 				job.Command = cmd
 			}
 			if s.OnEvent != nil {
-				s.OnEvent(Event{Type: EventQueued, Seq: seq, Time: time.Now(), Command: job.Command})
+				s.OnEvent(Event{Type: EventQueued, Seq: seq, Time: time.Now(),
+					Command: job.Command, Render: renderDur})
 			}
 			select {
 			case jobs <- renderedJob{job: job}:
@@ -272,7 +276,8 @@ func (e *Engine) Run(ctx context.Context, src args.Source) (Stats, []Result, err
 			s.OnEvent(Event{Type: typ, Seq: res.Job.Seq, Slot: res.Job.Slot,
 				Attempt: res.Attempts, Time: time.Now(), Command: res.Job.Command,
 				OK: res.OK(), ExitCode: res.ExitCode, Host: res.Host,
-				Duration: res.Duration(), DispatchDelay: res.DispatchDelay})
+				Duration: res.Duration(), DispatchDelay: res.DispatchDelay,
+				End: res.End, WorkerDispatch: res.WorkerDispatch})
 		}
 		if res.OK() {
 			stats.Succeeded++
@@ -354,6 +359,44 @@ func (e *Engine) Run(ctx context.Context, src args.Source) (Stats, []Result, err
 		err = fmt.Errorf("core: writing results dir: %w", resultsDirErr)
 	}
 	return stats, collected, err
+}
+
+// cancellableNext pulls source records on a dedicated goroutine so a
+// source stuck in a blocking read — an open stdin with no more input,
+// say — cannot keep Run from returning once the context is cancelled.
+// SIGINT/SIGTERM handling depends on this: the run must unwind and
+// flush its joblog and telemetry sinks even though the stdin read can
+// never be interrupted. Cancellation reads as end-of-input here; Run's
+// own ctx.Err() check reports the cancellation. The abandoned reader
+// goroutine is released when the source next yields or, failing that,
+// dies with the process.
+func cancellableNext(ctx context.Context, src args.Source) func() ([]string, error) {
+	type pulled struct {
+		rec []string
+		err error
+	}
+	ch := make(chan pulled)
+	go func() {
+		for {
+			rec, err := src.Next()
+			select {
+			case ch <- pulled{rec, err}:
+			case <-ctx.Done():
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return func() ([]string, error) {
+		select {
+		case p := <-ch:
+			return p.rec, p.err
+		case <-ctx.Done():
+			return nil, io.EOF
+		}
+	}
 }
 
 // writeResultFiles persists one job's outcome under dir/<seq>/.

@@ -76,4 +76,28 @@ type Event struct {
 	// DispatchDelay is the slot-acquisition-to-process-start overhead
 	// measured for the job — the paper's per-task orchestration cost.
 	DispatchDelay time.Duration
+
+	// Fine-grained phase marks (internal/span assembles these into
+	// per-job phase timelines). All are optional: emitters that cannot
+	// attribute a phase leave it zero.
+
+	// Render is the template-render cost paid before the job queued
+	// (set on EventQueued).
+	Render time.Duration
+	// End is the final attempt's end time. ev.Time on a terminal event
+	// is when the collector observed the result; End - Duration is when
+	// the attempt actually started, and ev.Time - End is the collect
+	// latency.
+	End time.Time
+	// WorkerDispatch is the worker-side receive-to-process-start
+	// overhead for distributed jobs (a sub-segment of DispatchDelay,
+	// which additionally includes the network round trip).
+	WorkerDispatch time.Duration
+	// ContainerStart is the container-runtime startup cost paid before
+	// the payload ran (simulated Shifter/Podman runs; the paper's 19%
+	// Shifter tax).
+	ContainerStart time.Duration
+	// StageIn and StageOut are data-staging costs around the payload
+	// (NVMe stage-in/out in simulated runs).
+	StageIn, StageOut time.Duration
 }

@@ -55,6 +55,10 @@ type Result struct {
 	// this job and the attempt actually starting — the per-task
 	// orchestration overhead this paper is about.
 	DispatchDelay time.Duration
+	// WorkerDispatch is the worker-side receive-to-start overhead for
+	// jobs executed remotely (a sub-segment of DispatchDelay); zero for
+	// local runs and workers that predate the span protocol field.
+	WorkerDispatch time.Duration
 	// Host identifies where the job ran for distributed runners
 	// (":" = local, matching GNU Parallel's joblog convention).
 	Host string

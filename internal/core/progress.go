@@ -111,6 +111,9 @@ type ProgressPrinter struct {
 	mu    sync.Mutex
 	last  time.Time
 	drawn bool
+	// now is the rate-limiter clock; tests substitute a fake. Nil means
+	// time.Now.
+	now func() time.Time
 }
 
 // Update renders one progress snapshot. Safe for concurrent use.
@@ -129,7 +132,11 @@ func (pp *ProgressPrinter) Update(p Progress) {
 	if min <= 0 {
 		min = time.Second
 	}
-	now := time.Now()
+	clock := pp.now
+	if clock == nil {
+		clock = time.Now
+	}
+	now := clock()
 	if !pp.last.IsZero() && now.Sub(pp.last) < min {
 		return
 	}

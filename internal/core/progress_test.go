@@ -1,0 +1,59 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProgressPrinterNonTTYRateLimit drives the non-TTY path with a fake
+// clock: updates inside MinInterval are dropped, those at or past it are
+// emitted as plain newline-terminated lines with no control characters.
+func TestProgressPrinterNonTTYRateLimit(t *testing.T) {
+	var buf strings.Builder
+	now := time.Date(2024, 5, 1, 0, 0, 0, 0, time.UTC)
+	pp := &ProgressPrinter{W: &buf, TTY: false, MinInterval: time.Second,
+		now: func() time.Time { return now }}
+
+	snap := func(done int) Progress {
+		return Progress{Done: done, Total: 10, Final: true, Running: 1,
+			Elapsed: time.Duration(done) * time.Second}
+	}
+	pp.Update(snap(1)) // first update always prints
+	pp.Update(snap(2)) // same instant: dropped
+	now = now.Add(999 * time.Millisecond)
+	pp.Update(snap(3)) // inside the interval: dropped
+	now = now.Add(1 * time.Millisecond)
+	pp.Update(snap(4)) // exactly MinInterval since last print: emitted
+	now = now.Add(5 * time.Second)
+	pp.Update(snap(9)) // well past: emitted
+	pp.Finish()        // non-TTY: must not add a trailing line
+
+	got := buf.String()
+	want := "1/10 done, 1 running, 0 failed, 1s elapsed\n" +
+		"4/10 done, 1 running, 0 failed, 4s elapsed\n" +
+		"9/10 done, 1 running, 0 failed, 9s elapsed\n"
+	if got != want {
+		t.Fatalf("non-TTY progress output:\n got %q\nwant %q", got, want)
+	}
+	if strings.Contains(got, "\r") || strings.Contains(got, "\033") {
+		t.Fatalf("non-TTY output contains control characters: %q", got)
+	}
+}
+
+func TestProgressPrinterTTYRedraw(t *testing.T) {
+	var buf strings.Builder
+	pp := &ProgressPrinter{W: &buf, TTY: true}
+	pp.Update(Progress{Done: 1, Total: 2, Final: true})
+	pp.Update(Progress{Done: 2, Total: 2, Final: true})
+	pp.Finish()
+	got := buf.String()
+	if strings.Count(got, "\r") != 2 || !strings.HasSuffix(got, "\n") {
+		t.Fatalf("TTY redraw output = %q", got)
+	}
+	// Finish is idempotent once the line is terminated.
+	pp.Finish()
+	if buf.String() != got {
+		t.Fatal("second Finish added output")
+	}
+}

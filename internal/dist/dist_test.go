@@ -56,6 +56,38 @@ func TestPoolSingleWorker(t *testing.T) {
 	}
 }
 
+// slowStartRunner delays before its Start timestamp, creating a
+// measurable worker-side receive-to-start gap.
+type slowStartRunner struct{ delay time.Duration }
+
+func (r slowStartRunner) Run(ctx context.Context, job *core.Job) core.Result {
+	time.Sleep(r.delay)
+	start := time.Now()
+	return core.Result{Job: *job, ExitCode: 0, Start: start, End: time.Now()}
+}
+
+func TestPoolWorkerDispatchAttribution(t *testing.T) {
+	addr := startWorker(t, "wd", 1, slowStartRunner{delay: 20 * time.Millisecond})
+	pool, err := Dial([]WorkerSpec{{Addr: addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	res := pool.Run(context.Background(), &core.Job{Seq: 1})
+	if !res.OK() {
+		t.Fatalf("res = %+v", res)
+	}
+	// RecvNS is stamped when the worker reads the request; Start fires
+	// ~20ms later, so the pool must attribute a worker-side dispatch
+	// segment of at least that much.
+	if res.WorkerDispatch < 20*time.Millisecond {
+		t.Fatalf("WorkerDispatch = %v, want >= 20ms", res.WorkerDispatch)
+	}
+	if res.WorkerDispatch > 5*time.Second {
+		t.Fatalf("WorkerDispatch = %v, implausibly large", res.WorkerDispatch)
+	}
+}
+
 func TestPoolSlotCap(t *testing.T) {
 	addr := startWorker(t, "w", 8, echoRunner("w"))
 	pool, err := Dial([]WorkerSpec{{Addr: addr, Slots: 2}})

@@ -286,6 +286,12 @@ func (p *Pool) Run(ctx context.Context, job *core.Job) core.Result {
 	if resp.EndNS > 0 {
 		res.End = nsToTime(resp.EndNS)
 	}
+	// Worker-side dispatch overhead (receive→process-start), measured on
+	// the worker's own clock so it needs no cross-host clock agreement.
+	// Old workers omit RecvNS and the attribution stays zero.
+	if resp.RecvNS > 0 && resp.StartNS > resp.RecvNS {
+		res.WorkerDispatch = time.Duration(resp.StartNS - resp.RecvNS)
+	}
 	if resp.Err != "" {
 		res.Err = errors.New(resp.Err)
 	}

@@ -58,6 +58,11 @@ type response struct {
 	StartNS  int64  `json:"start_ns"`
 	EndNS    int64  `json:"end_ns"`
 	TimedOut bool   `json:"timed_out,omitempty"`
+	// RecvNS is when the worker received the request (worker clock).
+	// StartNS - RecvNS is the worker-side dispatch overhead, a
+	// sub-segment of the coordinator's DispatchDelay that span
+	// timelines attribute separately. Optional: old workers omit it.
+	RecvNS int64 `json:"recv_ns,omitempty"`
 	// Telemetry piggybacks the worker's current counters on every
 	// response, so the coordinator aggregates fleet state with zero
 	// extra round trips. Optional: old workers simply omit it.

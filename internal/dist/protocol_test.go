@@ -39,6 +39,7 @@ func TestProtocolGoldenRoundTrips(t *testing.T) {
 	resp := response{
 		Seq: 42, ExitCode: 7, Err: "boom", Stdout: []byte("out"),
 		Stderr: []byte("err"), StartNS: 100, EndNS: 200, TimedOut: true,
+		RecvNS: 90,
 		Telemetry: &telemetry.Snapshot{
 			Worker: "w1", Slots: 8, Busy: 2, Started: 10, OK: 9, Failed: 1, UnixNano: 300,
 		},
@@ -85,20 +86,20 @@ func TestProtocolGoldenWire(t *testing.T) {
 		t.Fatalf("request wire = %s, want %s", got, want)
 	}
 
-	// A response from an old worker (no telemetry field) decodes with a
-	// nil snapshot.
+	// A response from an old worker (no telemetry, no recv_ns) decodes
+	// with a nil snapshot and zero RecvNS.
 	var resp response
 	old := `{"seq":5,"exit_code":0,"start_ns":1,"end_ns":2}`
 	if err := json.Unmarshal([]byte(old), &resp); err != nil {
 		t.Fatal(err)
 	}
-	if resp.Telemetry != nil || resp.Seq != 5 {
+	if resp.Telemetry != nil || resp.Seq != 5 || resp.RecvNS != 0 {
 		t.Fatalf("legacy response decode = %+v", resp)
 	}
 
-	// A response from a new worker carries the snapshot.
+	// A response from a new worker carries the snapshot and recv_ns.
 	resp = response{}
-	modern := `{"seq":6,"exit_code":0,"start_ns":1,"end_ns":2,` +
+	modern := `{"seq":6,"exit_code":0,"start_ns":1,"end_ns":2,"recv_ns":1,` +
 		`"telemetry":{"worker":"w9","slots":4,"busy":1,"started":3,"ok":2,"failed":1,"ts":7}}`
 	if err := json.Unmarshal([]byte(modern), &resp); err != nil {
 		t.Fatal(err)
@@ -106,6 +107,9 @@ func TestProtocolGoldenWire(t *testing.T) {
 	if resp.Telemetry == nil || resp.Telemetry.Worker != "w9" ||
 		resp.Telemetry.Started != 3 || resp.Telemetry.UnixNano != 7 {
 		t.Fatalf("telemetry decode = %+v", resp.Telemetry)
+	}
+	if resp.RecvNS != 1 {
+		t.Fatalf("recv_ns decode = %d", resp.RecvNS)
 	}
 
 	// Unknown fields from future protocol revisions are ignored, not

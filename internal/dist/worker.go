@@ -149,7 +149,9 @@ func serveConn(ctx context.Context, conn net.Conn, cfg WorkerConfig) error {
 			}
 			return err
 		}
+		recv := time.Now()
 		resp := execute(ctx, cfg.Runner, cfg.Telemetry, req)
+		resp.RecvNS = recv.UnixNano()
 		if err := c.send(resp); err != nil {
 			return err
 		}

@@ -1,0 +1,86 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/span"
+)
+
+// WriteSpanTrace renders per-job span timelines as a Chrome/Perfetto
+// trace (JSON array of complete "X" slices). Unlike LiveTrace — one
+// slice per job from live events — each job here expands into one
+// slice per attributed phase, stacked on the job's slot lane, so the
+// dispatch/container/stage overheads the paper measures are visible
+// gaps-with-names instead of anonymous dead time.
+func WriteSpanTrace(w io.Writer, spans []span.Span) error {
+	var t0 time.Time
+	for _, s := range spans {
+		for _, t := range []time.Time{s.Queued, s.Started} {
+			if !t.IsZero() && (t0.IsZero() || t.Before(t0)) {
+				t0 = t
+			}
+		}
+	}
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	wrote := false
+	emit := func(name string, lane int, start time.Time, d time.Duration, args map[string]any) error {
+		if d <= 0 || start.IsZero() {
+			return nil
+		}
+		ev := map[string]any{
+			"name": name,
+			"ph":   "X",
+			"ts":   float64(start.Sub(t0)) / float64(time.Microsecond),
+			"dur":  d.Seconds() * 1e6,
+			"pid":  1,
+			"tid":  lane,
+			"args": args,
+		}
+		if wrote {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		wrote = true
+		return enc.Encode(ev)
+	}
+	for _, s := range spans {
+		args := map[string]any{"seq": s.Seq, "host": s.Host, "ok": s.OK}
+		if s.Incomplete {
+			args["incomplete"] = true
+		}
+		lane := s.Slot
+		// Queue wait sits before the slot lane makes sense; render it on
+		// the job's eventual lane anyway so each job reads left-to-right.
+		if err := emit(fmt.Sprintf("queue-wait #%d", s.Seq), lane, s.Queued, s.QueueWait, args); err != nil {
+			return err
+		}
+		cursor := s.Started
+		for _, ph := range []struct {
+			name string
+			d    time.Duration
+		}{
+			{span.PhaseDispatch, s.Dispatch},
+			{span.PhaseContainerStart, s.ContainerStart},
+			{span.PhaseStageIn, s.StageIn},
+			{span.PhaseExec, s.Exec},
+			{span.PhaseStageOut, s.StageOut},
+			{span.PhaseCollect, s.Collect},
+		} {
+			if err := emit(fmt.Sprintf("%s #%d", ph.name, s.Seq), lane, cursor, ph.d, args); err != nil {
+				return err
+			}
+			if ph.d > 0 && !cursor.IsZero() {
+				cursor = cursor.Add(ph.d)
+			}
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}

@@ -1,0 +1,60 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/span"
+)
+
+func TestWriteSpanTrace(t *testing.T) {
+	t0 := time.Date(2024, 5, 1, 0, 0, 0, 0, time.UTC)
+	spans := []span.Span{
+		{
+			Seq: 1, Slot: 2, OK: true, Host: "n1",
+			Queued: t0, Started: t0.Add(time.Millisecond),
+			End:       t0.Add(51 * time.Millisecond),
+			QueueWait: time.Millisecond,
+			Dispatch:  2 * time.Millisecond, ContainerStart: 3 * time.Millisecond,
+			Exec: 45 * time.Millisecond, Collect: time.Millisecond,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteSpanTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace not valid JSON: %v\n%s", err, buf.String())
+	}
+	names := map[string]bool{}
+	for _, ev := range events {
+		names[ev["name"].(string)] = true
+		if ev["ph"] != "X" {
+			t.Errorf("event ph = %v", ev["ph"])
+		}
+	}
+	for _, want := range []string{
+		"queue-wait #1", "dispatch #1", "container-start #1", "exec #1", "collect #1",
+	} {
+		if !names[want] {
+			t.Errorf("missing slice %q in %v", want, names)
+		}
+	}
+	// Zero phases (stage-in/out) must not produce slices.
+	if names["stage-in #1"] || names["stage-out #1"] {
+		t.Error("zero-duration phases emitted")
+	}
+
+	// Empty input still yields a valid (empty) JSON array.
+	buf.Reset()
+	if err := WriteSpanTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var empty []any
+	if err := json.Unmarshal(buf.Bytes(), &empty); err != nil || len(empty) != 0 {
+		t.Fatalf("empty trace invalid: %v %q", err, buf.String())
+	}
+}

@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Version identifies the build in <program>_build_info. Overridable at
+// link time (-ldflags "-X repro/internal/telemetry.Version=v1.2.3");
+// otherwise the module version embedded by `go install`, else "dev".
+var Version = ""
+
+// resolveVersion picks the best available version string.
+func resolveVersion() string {
+	if Version != "" {
+		return Version
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "dev"
+}
+
+// RegisterBuildInfo exposes the Prometheus build-info convention — a
+// constant-1 gauge whose labels carry the version — plus a run
+// start-timestamp gauge, so a scrape can compute process uptime
+// (time() - start) and reports can be correlated with scrape windows.
+// program is the metric prefix ("gopar", "gopard").
+func RegisterBuildInfo(reg *Registry, program string, start time.Time) {
+	reg.GaugeFunc(program+"_build_info",
+		"Build metadata; constant 1, labels carry the info.",
+		func() float64 { return 1 },
+		L("version", resolveVersion()), L("goversion", runtime.Version()))
+	reg.GaugeFunc(program+"_start_time_seconds",
+		"Unix time the run started, for uptime and report correlation.",
+		func() float64 { return float64(start.UnixNano()) / 1e9 })
+}

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	start := time.Unix(1700000000, 500000000)
+	RegisterBuildInfo(reg, "gopar", start)
+
+	var buf bytes.Buffer
+	reg.WriteText(&buf)
+	out := buf.String()
+
+	if !strings.Contains(out, "gopar_build_info{") {
+		t.Fatalf("no build_info series:\n%s", out)
+	}
+	if !strings.Contains(out, fmt.Sprintf("goversion=%q", runtime.Version())) {
+		t.Errorf("goversion label missing:\n%s", out)
+	}
+	if !strings.Contains(out, `version=`) {
+		t.Errorf("version label missing:\n%s", out)
+	}
+	// Start timestamp: value is unix seconds with sub-second precision.
+	wantStart := fmt.Sprintf("%g", float64(start.UnixNano())/1e9)
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "gopar_start_time_seconds") &&
+			strings.HasSuffix(line, wantStart) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("start_time_seconds %s not found:\n%s", wantStart, out)
+	}
+}
+
+func TestResolveVersionOverride(t *testing.T) {
+	old := Version
+	defer func() { Version = old }()
+	Version = "v9.9.9-test"
+	if got := resolveVersion(); got != "v9.9.9-test" {
+		t.Errorf("resolveVersion = %q", got)
+	}
+	Version = ""
+	if got := resolveVersion(); got == "" {
+		t.Error("resolveVersion empty without override")
+	}
+}

@@ -2,11 +2,13 @@ package telemetry
 
 import (
 	"context"
+	"io"
 	"testing"
 	"time"
 
 	"repro/internal/args"
 	"repro/internal/core"
+	"repro/internal/span"
 )
 
 // runNoop drives the real engine through n no-op jobs and returns the
@@ -35,24 +37,29 @@ func runNoop(tb testing.TB, n int, onEvent func(core.Event)) time.Duration {
 }
 
 // withTelemetry runs f with a fully wired pipeline — bus, RunMetrics
-// tap, and a draining subscriber — exactly what `--metrics-addr` sets
-// up, and verifies end-of-run accounting.
+// tap, and a subscription draining into a streaming span recorder —
+// exactly what `--metrics-addr` + `--spans` sets up, and verifies
+// end-of-run accounting. Including the recorder keeps the committed
+// overhead bound honest about span assembly cost.
 func withTelemetry(tb testing.TB, n int, f func(publish func(core.Event)) time.Duration) time.Duration {
 	tb.Helper()
 	bus := NewBus()
 	reg := NewRegistry()
 	m := NewRunMetrics(reg, 16)
 	bus.Tap(m.Observe)
+	rec := span.NewRecorder(io.Discard, false)
 	sub := bus.Subscribe(0)
 	done := make(chan struct{})
 	go func() {
-		for range sub.C {
-		}
+		Pump(sub, rec.Consume)
 		close(done)
 	}()
 	d := f(bus.Publish)
 	bus.Close()
 	<-done
+	if err := rec.Close(); err != nil {
+		tb.Fatal(err)
+	}
 	if ok, fail, killed := m.Finished(); ok != int64(n) || fail != 0 || killed != 0 {
 		tb.Fatalf("telemetry accounting = %d/%d/%d, want %d/0/0", ok, fail, killed, n)
 	}

@@ -22,6 +22,14 @@ type eventJSON struct {
 	Host    string  `json:"host,omitempty"`
 	DurS    float64 `json:"dur_s,omitempty"`
 	DispS   float64 `json:"dispatch_s,omitempty"`
+	// Fine-grained phase marks (see internal/span); omitted when the
+	// emitter could not attribute them.
+	RenderS   float64 `json:"render_s,omitempty"`
+	End       string  `json:"end,omitempty"`
+	WDispS    float64 `json:"worker_dispatch_s,omitempty"`
+	ContS     float64 `json:"container_s,omitempty"`
+	StageInS  float64 `json:"stagein_s,omitempty"`
+	StageOutS float64 `json:"stageout_s,omitempty"`
 }
 
 // JSONLSink streams lifecycle events as one JSON object per line — the
@@ -54,12 +62,22 @@ func (s *JSONLSink) Consume(ev core.Event) {
 		T:       ev.Time.UTC().Format(time.RFC3339Nano),
 		Command: ev.Command,
 	}
+	if ev.Type == core.EventQueued && ev.Render > 0 {
+		j.RenderS = ev.Render.Seconds()
+	}
 	if ev.Type == core.EventFinished || ev.Type == core.EventKilled {
 		ok, exit := ev.OK, ev.ExitCode
 		j.OK, j.Exit = &ok, &exit
 		j.Host = ev.Host
 		j.DurS = ev.Duration.Seconds()
 		j.DispS = ev.DispatchDelay.Seconds()
+		if !ev.End.IsZero() {
+			j.End = ev.End.UTC().Format(time.RFC3339Nano)
+		}
+		j.WDispS = ev.WorkerDispatch.Seconds()
+		j.ContS = ev.ContainerStart.Seconds()
+		j.StageInS = ev.StageIn.Seconds()
+		j.StageOutS = ev.StageOut.Seconds()
 	}
 	s.err = s.enc.Encode(j)
 }
