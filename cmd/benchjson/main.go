@@ -1,0 +1,217 @@
+// Command benchjson is the dispatch hot-path perf-regression harness.
+// It runs the microbenchmarks that guard the launcher's per-job cost
+// (template render, engine dispatch, remote pool round-trip, the
+// paper's Fig. 3 real-process rate), parses `go test -bench` output,
+// and writes one machine-readable JSON report (BENCH_pr4.json in CI).
+//
+// Usage:
+//
+//	benchjson -out BENCH_pr4.json                 # run + record
+//	benchjson -benchtime 100x -out quick.json     # cheap smoke record
+//	benchjson -stdin -out r.json < bench.txt      # parse a saved run
+//	benchjson -out new.json -check old.json       # fail on regression
+//
+// The -check mode compares ns/op and allocs/op per benchmark against a
+// previous report and exits non-zero when a benchmark regressed beyond
+// -tolerance (default 25%, generous because shared CI runners are
+// noisy) — wiring perf into CI as a gate, not just a graph.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bench is one parsed benchmark result. Ns/op, B/op and allocs/op get
+// first-class fields; every other `value unit` pair (jobs/s, procs/s,
+// alloc deltas reported via b.ReportMetric) lands in Metrics.
+type Bench struct {
+	Name     string             `json:"name"`
+	Iters    int64              `json:"iters"`
+	NsPerOp  float64            `json:"ns_per_op"`
+	BytesOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the harness output schema.
+type Report struct {
+	Generated string  `json:"generated"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	NumCPU    int     `json:"num_cpu"`
+	BenchTime string  `json:"benchtime,omitempty"`
+	Benches   []Bench `json:"benchmarks"`
+}
+
+// defaultTargets are the hot-path benchmarks the harness guards: one
+// per layer of the dispatch pipeline.
+var defaultTargets = []struct{ pkg, bench string }{
+	{"./internal/tmpl/", "BenchmarkRenderJob"},
+	{"./internal/core/", "BenchmarkDispatch"},
+	{"./internal/dist/", "BenchmarkPoolDispatch"},
+	{"./", "BenchmarkFig3RealDispatch"},
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_pr4.json", "output JSON path (- for stdout)")
+		benchtime = flag.String("benchtime", "", "passed to go test -benchtime (default: go's 1s)")
+		useStdin  = flag.Bool("stdin", false, "parse `go test -bench` output from stdin instead of running")
+		check     = flag.String("check", "", "baseline report to compare against; regressions fail")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression in -check mode")
+	)
+	flag.Parse()
+
+	var raw strings.Builder
+	if *useStdin {
+		if _, err := io.Copy(&raw, os.Stdin); err != nil {
+			fatal("reading stdin: %v", err)
+		}
+	} else {
+		for _, t := range defaultTargets {
+			args := []string{"test", "-run=NONE", "-bench=" + t.bench, "-benchmem"}
+			if *benchtime != "" {
+				args = append(args, "-benchtime="+*benchtime)
+			}
+			args = append(args, t.pkg)
+			cmd := exec.Command("go", args...)
+			cmd.Stderr = os.Stderr
+			outBytes, err := cmd.Output()
+			if err != nil {
+				fatal("go %s: %v", strings.Join(args, " "), err)
+			}
+			raw.Write(outBytes)
+		}
+	}
+
+	rep := Report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		BenchTime: *benchtime,
+		Benches:   parse(raw.String()),
+	}
+	if len(rep.Benches) == 0 {
+		fatal("no benchmark lines found")
+	}
+	sort.Slice(rep.Benches, func(i, j int) bool { return rep.Benches[i].Name < rep.Benches[j].Name })
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("encoding report: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal("writing %s: %v", *out, err)
+	}
+
+	if *check != "" {
+		base, err := load(*check)
+		if err != nil {
+			fatal("loading baseline: %v", err)
+		}
+		if msgs := compare(base, rep, *tolerance); len(msgs) > 0 {
+			for _, m := range msgs {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", m)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within %.0f%% of baseline %s\n",
+			len(rep.Benches), *tolerance*100, *check)
+	}
+}
+
+// parse extracts benchmark result lines from go test output.
+func parse(s string) []Bench {
+	var out []Bench
+	for _, line := range strings.Split(s, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		b := Bench{Name: m[1], Iters: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesOp = v
+			case "allocs/op":
+				b.AllocsOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[fields[i+1]] = v
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func load(path string) (Report, error) {
+	var r Report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	return r, json.Unmarshal(b, &r)
+}
+
+// compare flags benchmarks whose ns/op regressed beyond tol or whose
+// allocs/op grew at all (allocation counts are deterministic, so any
+// increase is a real code change, not noise). Benchmarks present in
+// only one report are ignored: the harness gates known hot paths, it
+// does not force the two runs to share a benchmark set.
+func compare(base, cur Report, tol float64) []string {
+	old := map[string]Bench{}
+	for _, b := range base.Benches {
+		old[b.Name] = b
+	}
+	var msgs []string
+	for _, b := range cur.Benches {
+		o, ok := old[b.Name]
+		if !ok || o.NsPerOp <= 0 {
+			continue
+		}
+		if b.NsPerOp > o.NsPerOp*(1+tol) {
+			msgs = append(msgs, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (+%.0f%%, tolerance %.0f%%)",
+				b.Name, b.NsPerOp, o.NsPerOp, (b.NsPerOp/o.NsPerOp-1)*100, tol*100))
+		}
+		if b.AllocsOp > o.AllocsOp {
+			msgs = append(msgs, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f",
+				b.Name, b.AllocsOp, o.AllocsOp))
+		}
+	}
+	return msgs
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -128,6 +128,7 @@ func run() int {
 		resume    = fs.Bool("resume", false, "skip jobs already completed per --joblog")
 		gpuEnv    = fs.String("gpu-env", "", `set <VENDOR>_VISIBLE_DEVICES from the slot number ("HIP" or "CUDA")`)
 		shell     = fs.Bool("shell", false, "always run commands through /bin/sh -c")
+		discard   = fs.Bool("discard-output", false, "send job stdout/stderr to /dev/null (skips output capture entirely)")
 		dir       = fs.String("dir", "", "working directory for jobs")
 		quiet     = fs.Bool("quiet", false, "suppress the summary line")
 		pipe      = fs.Bool("pipe", false, "split stdin into blocks fed to each job's stdin (--pipe mode)")
@@ -241,7 +242,7 @@ func run() int {
 		spec.Joblog = lf
 	}
 
-	var runner core.Runner = &core.ExecRunner{Dir: *dir, ForceShell: *shell, TermGrace: *termGrace}
+	var runner core.Runner = &core.ExecRunner{Dir: *dir, ForceShell: *shell, TermGrace: *termGrace, DiscardOutput: *discard}
 	var pool *dist.Pool
 	if *workers != "" {
 		specs, perr := parseWorkers(*workers)

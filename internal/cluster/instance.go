@@ -126,6 +126,11 @@ func (n *Node) RunParallel(p *sim.Proc, cfg InstanceConfig, tasks []Task) *Repor
 	}
 	wg := sim.NewCounter(e, len(tasks))
 	rep := &Report{FirstStart: sim.Forever}
+	if cfg.Collect {
+		// One up-front arena: collecting a million-task run should cost
+		// one allocation, not a realloc-and-copy ladder.
+		rep.Results = make([]TaskResult, 0, len(tasks))
+	}
 
 	for i := range tasks {
 		task := tasks[i]

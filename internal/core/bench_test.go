@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/args"
+)
+
+// BenchmarkDispatchFuncRunner measures the engine's end-to-end per-job
+// hot path — input, render, dispatch, execution, collection — with an
+// in-process no-op payload, so the number is pure orchestration cost
+// (the paper's per-task overhead, with the process fork removed).
+func BenchmarkDispatchFuncRunner(b *testing.B) {
+	noop := FuncRunner(func(ctx context.Context, job *Job) ([]byte, error) {
+		return nil, nil
+	})
+	for _, jobs := range []int{1, 8, 64} {
+		b.Run(benchName("jobs", jobs), func(b *testing.B) {
+			spec, err := NewSpec("", jobs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := NewEngine(spec, noop)
+			if err != nil {
+				b.Fatal(err)
+			}
+			items := make([]string, b.N)
+			b.ReportAllocs()
+			b.ResetTimer()
+			stats, _, err := eng.Run(context.Background(), args.Literal(items...))
+			if err != nil || stats.Succeeded != b.N {
+				b.Fatalf("stats=%+v err=%v", stats, err)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkDispatchRendered is BenchmarkDispatchFuncRunner with a
+// non-trivial command template, exercising the render stage on every
+// job in addition to dispatch.
+func BenchmarkDispatchRendered(b *testing.B) {
+	noop := FuncRunner(func(ctx context.Context, job *Job) ([]byte, error) {
+		return nil, nil
+	})
+	spec, err := NewSpec("process --seq {#} --input {} --out {.}.d", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := NewEngine(spec, noop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := make([]string, b.N)
+	for i := range items {
+		items[i] = "/data/shard/file.dat"
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	stats, _, err := eng.Run(context.Background(), args.Literal(items...))
+	if err != nil || stats.Succeeded != b.N {
+		b.Fatalf("stats=%+v err=%v", stats, err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkDispatchKeepOrder isolates the keep-order reordering
+// structure's cost on the collector path.
+func BenchmarkDispatchKeepOrder(b *testing.B) {
+	noop := FuncRunner(func(ctx context.Context, job *Job) ([]byte, error) {
+		return nil, nil
+	})
+	spec, err := NewSpec("", 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.KeepOrder = true
+	eng, err := NewEngine(spec, noop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := make([]string, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	stats, _, err := eng.Run(context.Background(), args.Literal(items...))
+	if err != nil || stats.Succeeded != b.N {
+		b.Fatalf("stats=%+v err=%v", stats, err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkDispatchWithEvents measures the hot path with an enabled
+// but trivially cheap OnEvent hook, the telemetry-on configuration.
+func BenchmarkDispatchWithEvents(b *testing.B) {
+	noop := FuncRunner(func(ctx context.Context, job *Job) ([]byte, error) {
+		return nil, nil
+	})
+	spec, err := NewSpec("", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events atomic.Int64
+	spec.OnEvent = func(ev Event) { events.Add(1) }
+	eng, err := NewEngine(spec, noop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := make([]string, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	stats, _, err := eng.Run(context.Background(), args.Literal(items...))
+	if err != nil || stats.Succeeded != b.N {
+		b.Fatalf("stats=%+v err=%v", stats, err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+func benchName(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,12 @@ import (
 // Engine executes jobs from an input source across a fixed pool of slots
 // using greedy dispatch: the moment a slot frees, the next job starts.
 // This is the execution model whose per-task overhead the paper measures.
+//
+// The hot path is a staged pipeline over buffered channels — input →
+// render workers → per-slot dispatch workers → collector — sized so that
+// no single goroutine serializes throughput and the steady-state cost
+// per job is a handful of channel operations and at most a few small
+// allocations (see DESIGN.md "Performance" for the budget).
 type Engine struct {
 	spec   *Spec
 	runner Runner
@@ -42,6 +49,84 @@ func NewEngine(spec *Spec, runner Runner) (*Engine, error) {
 	return &Engine{spec: spec, runner: runner}, nil
 }
 
+// jobPool recycles Job structs across the run pipeline. A *Job handed to
+// a Runner is only valid for the duration of that Run call: the engine
+// copies it into the Result and reuses the struct for a later job.
+var jobPool = sync.Pool{New: func() any { return new(Job) }}
+
+func getJob(seq int, rec []string) *Job {
+	j := jobPool.Get().(*Job)
+	*j = Job{Seq: seq, Args: rec}
+	return j
+}
+
+func putJob(j *Job) {
+	*j = Job{}
+	jobPool.Put(j)
+}
+
+// runState carries the shared coordination state of one Run call between
+// its pipeline stages.
+type runState struct {
+	e        *Engine
+	s        *Spec
+	ctx      context.Context
+	cancel   context.CancelFunc
+	template *tmpl.Template
+
+	// jobs delivers rendered jobs to the dispatch workers; results
+	// returns their outcomes to the collector. Both are buffered so
+	// stages decouple instead of hand-shaking on every job.
+	jobs    chan *Job
+	results chan Result
+	// stopInput is closed by the render merger on a render error so the
+	// input goroutine stops producing.
+	stopInput chan struct{}
+
+	haltSoon   atomic.Bool
+	skipped    atomic.Int64
+	total      atomic.Int64
+	started    atomic.Int64
+	inputDone  atomic.Bool
+	totalFinal atomic.Bool
+
+	inputErr error
+	errOnce  sync.Once
+
+	tracker *progressTracker
+}
+
+func (rs *runState) setInputErr(err error) {
+	rs.errOnce.Do(func() { rs.inputErr = err })
+}
+
+// queueDepth sizes the inter-stage buffers: deep enough that stages run
+// decoupled, bounded so a slow consumer cannot buffer unbounded input.
+func queueDepth(jobs int) int {
+	d := 4 * jobs
+	if d < 64 {
+		d = 64
+	}
+	if d > 1024 {
+		d = 1024
+	}
+	return d
+}
+
+// renderWorkerCount sizes the render stage: a few workers keep template
+// rendering off the input goroutine's critical path without spawning a
+// second full worker pool.
+func renderWorkerCount() int {
+	n := runtime.GOMAXPROCS(0) / 2
+	if n < 1 {
+		n = 1
+	}
+	if n > 4 {
+		n = 4
+	}
+	return n
+}
+
 // Run consumes src until exhaustion (or halt/cancel), executing jobs in
 // parallel. It returns aggregate statistics, collected results when
 // Spec.CollectResults is set, and an error for input failures or context
@@ -52,97 +137,136 @@ func (e *Engine) Run(ctx context.Context, src args.Source) (Stats, []Result, err
 	defer cancel()
 
 	s := e.spec
-	template := s.effectiveTemplate()
-
-	type renderedJob struct {
-		job *Job
-		err error
+	depth := queueDepth(s.Jobs)
+	rs := &runState{
+		e:         e,
+		s:         s,
+		ctx:       ctx,
+		cancel:    cancel,
+		template:  s.effectiveTemplate(),
+		jobs:      make(chan *Job, depth),
+		results:   make(chan Result, depth),
+		stopInput: make(chan struct{}),
 	}
-	jobs := make(chan renderedJob)
-	results := make(chan Result)
-	slots := make(chan int, s.Jobs)
-	for i := 1; i <= s.Jobs; i++ {
-		slots <- i
-	}
-
-	var (
-		haltSoon  atomic.Bool
-		inputErr  error
-		skipped   atomic.Int64
-		total     atomic.Int64
-		started   atomic.Int64
-		inputDone atomic.Bool
-		// totalFinal reports that total is the true job count (the
-		// input is exhausted or was spooled) — required before a
-		// percentage halt may fire.
-		totalFinal atomic.Bool
-		wallStart  = time.Now()
-	)
-	var tracker *progressTracker
+	wallStart := time.Now()
 	if s.OnProgress != nil {
-		tracker = newProgressTracker(func() (int, bool) {
-			return int(total.Load()), inputDone.Load()
+		rs.tracker = newProgressTracker(func() (int, bool) {
+			return int(rs.total.Load()), rs.inputDone.Load()
 		})
 	}
 
-	// Input goroutine: pull records, assign seqs, render templates.
+	rs.startInput(src)
+	rs.startWorkers()
+	stats, collected, flushErr := rs.collect(wallStart)
+
+	var err error
+	switch {
+	case rs.inputErr != nil:
+		err = fmt.Errorf("core: input source failed: %w", rs.inputErr)
+	case ctx.Err() != nil && s.Halt.When != HaltNow:
+		err = ctx.Err()
+	case flushErr != nil:
+		err = fmt.Errorf("core: writing results dir: %w", flushErr)
+	}
+	return stats, collected, err
+}
+
+// startInput launches the input goroutine (record pull, seq assignment,
+// resume skipping, percentage-halt spooling) and, when a template is
+// configured, the render worker stage between it and the jobs channel.
+func (rs *runState) startInput(src args.Source) {
+	s := rs.s
+
+	// sink is where the input goroutine delivers jobs. Without a
+	// template that is the jobs channel itself; with one it is the
+	// render stage's sharded entry.
+	var forward func(job *Job) bool
+	var closeSink func()
+
+	if rs.template == nil {
+		forward = func(job *Job) bool {
+			if s.OnEvent != nil {
+				s.OnEvent(Event{Type: EventQueued, Seq: job.Seq, Time: time.Now(),
+					Command: job.Command})
+			}
+			select {
+			case rs.jobs <- job:
+				return true
+			case <-rs.ctx.Done():
+				putJob(job)
+				return false
+			}
+		}
+		closeSink = func() { close(rs.jobs) }
+	} else {
+		forward, closeSink = rs.startRenderStage()
+	}
+
 	go func() {
-		defer inputDone.Store(true)
-		defer totalFinal.Store(true)
-		defer close(jobs)
-		next := cancellableNext(ctx, src)
+		defer rs.inputDone.Store(true)
+		defer rs.totalFinal.Store(true)
+		defer closeSink()
+		next := cancellableNext(rs.ctx, src)
 		if s.Halt.Percent > 0 {
 			// A percentage halt needs the true job total before it can
 			// fire; mirror GNU Parallel, which reads the whole input
-			// when --halt ...% is given (O(total) memory, like GNU).
-			var all [][]string
+			// when --halt ...% is given. The spool arena keeps this at
+			// O(total input bytes) with two flat slices rather than one
+			// allocation per record (Spec.Halt documents the memory
+			// behavior).
+			var spool recordSpool
 			for {
 				rec, err := next()
 				if err == io.EOF {
 					break
 				}
 				if err != nil {
-					inputErr = err
+					rs.setInputErr(err)
 					return
 				}
-				all = append(all, rec)
+				spool.add(rec)
 			}
-			total.Store(int64(len(all)))
-			totalFinal.Store(true)
+			rs.total.Store(int64(spool.len()))
+			rs.totalFinal.Store(true)
 			i := 0
 			next = func() ([]string, error) {
-				if i >= len(all) {
+				if i >= spool.len() {
 					return nil, io.EOF
 				}
 				i++
-				return all[i-1], nil
+				return spool.at(i - 1), nil
 			}
 			// Spooled records never handed to the dispatcher (halt fired
 			// first) still belong in the skipped accounting.
-			defer func() { skipped.Add(int64(len(all) - i)) }()
+			defer func() { rs.skipped.Add(int64(spool.len() - i)) }()
 		}
 		seq := 0
 		for {
-			if ctx.Err() != nil || haltSoon.Load() {
+			if rs.ctx.Err() != nil || rs.haltSoon.Load() {
 				return
+			}
+			select {
+			case <-rs.stopInput:
+				return
+			default:
 			}
 			rec, err := next()
 			if err == io.EOF {
 				return
 			}
 			if err != nil {
-				inputErr = err
+				rs.setInputErr(err)
 				return
 			}
 			seq++
-			if !totalFinal.Load() {
-				total.Add(1)
+			if !rs.totalFinal.Load() {
+				rs.total.Add(1)
 			}
 			if s.ResumeFrom[seq] {
-				skipped.Add(1)
+				rs.skipped.Add(1)
 				continue
 			}
-			job := &Job{Seq: seq, Args: rec}
+			job := getJob(seq, rec)
 			if s.Pipe {
 				// Pipe mode: the record is stdin, not argv.
 				job.Args = nil
@@ -150,103 +274,236 @@ func (e *Engine) Run(ctx context.Context, src args.Source) (Stats, []Result, err
 					job.Stdin = []byte(rec[0])
 				}
 			}
-			var renderDur time.Duration
-			if template != nil {
-				renderStart := time.Now()
-				cmd, rerr := template.Render(tmpl.Context{Args: job.Args, Seq: seq, Slot: 0})
-				renderDur = time.Since(renderStart)
-				if rerr != nil {
-					select {
-					case jobs <- renderedJob{err: rerr}:
-					case <-ctx.Done():
-					}
+			if !forward(job) {
+				return
+			}
+		}
+	}()
+}
+
+// renderedJob pairs a job with its render outcome inside the render
+// stage (errors travel in-band so ordering survives).
+type renderedJob struct {
+	job *Job
+	err error
+}
+
+// startRenderStage spins up the render worker stage: a small pool of
+// workers renders command templates in parallel while a merger re-emits
+// jobs to the dispatch queue in input order (sharding is strict
+// round-robin, so reading the output rings in the same order restores
+// the sequence without any per-job synchronization). It returns the
+// input-side forward function and the close function for the input
+// goroutine's defer.
+func (rs *runState) startRenderStage() (forward func(*Job) bool, closeSink func()) {
+	s := rs.s
+	template := rs.template
+	n := renderWorkerCount()
+	in := make([]chan *Job, n)
+	out := make([]chan renderedJob, n)
+	for i := range in {
+		in[i] = make(chan *Job, 32)
+		out[i] = make(chan renderedJob, 32)
+	}
+
+	// measure render duration only when someone is listening; the
+	// disabled path must stay free of clock reads and event values.
+	measure := s.OnEvent != nil
+
+	for i := 0; i < n; i++ {
+		go func(in <-chan *Job, out chan<- renderedJob) {
+			defer close(out)
+			var buf []byte // per-worker scratch, reused across jobs
+			for job := range in {
+				var rerr error
+				var renderDur time.Duration
+				var renderStart time.Time
+				if measure {
+					renderStart = time.Now()
+				}
+				buf, rerr = template.AppendRender(buf[:0], tmpl.Context{Args: job.Args, Seq: job.Seq})
+				if rerr == nil {
+					job.Command = string(buf)
+				}
+				if measure {
+					renderDur = time.Since(renderStart)
+				}
+				if s.OnEvent != nil && rerr == nil {
+					s.OnEvent(Event{Type: EventQueued, Seq: job.Seq, Time: time.Now(),
+						Command: job.Command, Render: renderDur})
+				}
+				select {
+				case out <- renderedJob{job: job, err: rerr}:
+				case <-rs.ctx.Done():
+					putJob(job)
 					return
 				}
-				job.Command = cmd
 			}
-			if s.OnEvent != nil {
-				s.OnEvent(Event{Type: EventQueued, Seq: seq, Time: time.Now(),
-					Command: job.Command, Render: renderDur})
-			}
-			select {
-			case jobs <- renderedJob{job: job}:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
+		}(in[i], out[i])
+	}
 
-	// Dispatcher: greedy slot refill.
-	var wg sync.WaitGroup
+	// Merger: restore round-robin order and feed the dispatch queue. On
+	// a render error it stops the input side and drops whatever was
+	// rendered after the failing job, mirroring the pre-pipeline
+	// behavior where a render error ended input immediately.
 	go func() {
+		defer close(rs.jobs)
 		defer func() {
-			wg.Wait()
-			close(results)
+			for _, ch := range out {
+				for env := range ch {
+					if env.job != nil {
+						putJob(env.job)
+					}
+					rs.skipped.Add(1)
+				}
+			}
 		}()
-		for rj := range jobs {
-			if rj.err != nil {
-				inputErr = rj.err
+		for i := 0; ; i++ {
+			env, ok := <-out[i%n]
+			if !ok {
 				return
 			}
-			if haltSoon.Load() {
-				skipped.Add(1)
-				continue
+			if env.err != nil {
+				rs.setInputErr(env.err)
+				close(rs.stopInput)
+				putJob(env.job)
+				rs.skipped.Add(1)
+				return
 			}
-			job := rj.job
-			if s.MaxLoad > 0 {
-				waitForLoad(s.MaxLoad, ctx.Done())
-			}
-			if s.Delay > 0 && started.Load() > 0 {
-				select {
-				case <-time.After(s.Delay):
-				case <-ctx.Done():
-					skipped.Add(1)
-					continue
-				}
-			}
-			var slot int
 			select {
-			case slot = <-slots:
-			case <-ctx.Done():
-				skipped.Add(1)
-				continue
+			case rs.jobs <- env.job:
+			case <-rs.ctx.Done():
+				putJob(env.job)
+				rs.skipped.Add(1)
+				return
 			}
-			// DispatchDelay: from slot acquisition to the attempt
-			// starting — the engine's own per-task overhead.
-			dispatchStart := time.Now()
-			job.Slot = slot
-			e.bindSlot(job, template)
-			started.Add(1)
-			if tracker != nil {
-				tracker.jobStarted()
-			}
-			if s.OnEvent != nil {
-				s.OnEvent(Event{Type: EventStarted, Seq: job.Seq, Slot: slot, Attempt: 1,
-					Time: dispatchStart, Command: job.Command})
-			}
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				res := e.runJob(ctx, job)
-				if !res.Start.IsZero() && res.Start.After(dispatchStart) && res.Attempts == 1 {
-					res.DispatchDelay = res.Start.Sub(dispatchStart)
-				}
-				// The collector drains until close(results), so this
-				// send cannot block indefinitely.
-				results <- res
-				slots <- slot
-			}()
 		}
 	}()
 
-	// Collector: ordering, output, joblog, halt decisions, stats.
+	k := 0
+	forward = func(job *Job) bool {
+		ch := in[k%n]
+		k++
+		select {
+		case ch <- job:
+			return true
+		case <-rs.ctx.Done():
+			putJob(job)
+			return false
+		case <-rs.stopInput:
+			putJob(job)
+			return false
+		}
+	}
+	closeSink = func() {
+		for _, ch := range in {
+			close(ch)
+		}
+	}
+	return forward, closeSink
+}
+
+// startWorkers launches the per-slot dispatch workers (and the pacing
+// gate when Delay/MaxLoad are configured). Workers pull jobs straight
+// from the queue — no per-job goroutine spawn, no slot token shuffle —
+// and their fixed ids provide the {%} slot numbers.
+func (rs *runState) startWorkers() {
+	s := rs.s
+	source := rs.jobs
+
+	if s.Delay > 0 || s.MaxLoad > 0 {
+		// Slow path: a single gate goroutine serializes the pacing
+		// decisions (inter-start delay, load-average backoff) that a
+		// concurrent worker pool cannot make consistently.
+		gated := make(chan *Job)
+		go func(upstream <-chan *Job) {
+			defer close(gated)
+			first := true
+			for job := range upstream {
+				if s.MaxLoad > 0 {
+					waitForLoad(s.MaxLoad, rs.ctx.Done())
+				}
+				if s.Delay > 0 && !first {
+					select {
+					case <-time.After(s.Delay):
+					case <-rs.ctx.Done():
+						rs.skipped.Add(1)
+						putJob(job)
+						continue
+					}
+				}
+				first = false
+				gated <- job // workers drain until close; cannot block forever
+			}
+		}(source)
+		source = gated
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(s.Jobs)
+	for slot := 1; slot <= s.Jobs; slot++ {
+		go func(slot int) {
+			defer wg.Done()
+			rs.workerLoop(slot, source)
+		}(slot)
+	}
+	go func() {
+		wg.Wait()
+		close(rs.results)
+	}()
+}
+
+// workerLoop is one dispatch slot: it claims queued jobs, runs them (with
+// retry/timeout handling in runJob), and reports results.
+func (rs *runState) workerLoop(slot int, source <-chan *Job) {
+	s := rs.s
+	e := rs.e
+	for job := range source {
+		if rs.ctx.Err() != nil || rs.haltSoon.Load() {
+			rs.skipped.Add(1)
+			putJob(job)
+			continue
+		}
+		// DispatchDelay: from slot acquisition (this worker picking the
+		// job up) to the attempt starting — the engine's own per-task
+		// overhead.
+		dispatchStart := time.Now()
+		job.Slot = slot
+		e.bindSlot(job, rs.template)
+		rs.started.Add(1)
+		if rs.tracker != nil {
+			rs.tracker.jobStarted()
+		}
+		if s.OnEvent != nil {
+			s.OnEvent(Event{Type: EventStarted, Seq: job.Seq, Slot: slot, Attempt: 1,
+				Time: dispatchStart, Command: job.Command})
+		}
+		res := e.runJob(rs.ctx, job)
+		if !res.Start.IsZero() && res.Start.After(dispatchStart) && res.Attempts == 1 {
+			res.DispatchDelay = res.Start.Sub(dispatchStart)
+		}
+		putJob(job)
+		// The collector drains until close(results), so this send
+		// cannot block indefinitely.
+		rs.results <- res
+	}
+}
+
+// collect is the single collector loop: ordering, output, joblog, halt
+// decisions, stats.
+func (rs *runState) collect(wallStart time.Time) (Stats, []Result, error) {
+	s := rs.s
+	e := rs.e
 	stats := Stats{}
 	var collected []Result
 	var firstStart, lastEnd time.Time
 	var dispatchSum time.Duration
 	var dispatchN int64
 
-	pending := map[int]Result{}
+	// Keep-order buffering: a min-heap keyed by seq. Compared to the
+	// previous map-of-pending, the heap pops ready results without
+	// hashing and leaves stragglers (halt gaps) already sorted.
+	var pending resultHeap
 	nextSeq := 1
 	var resultsDirErr error
 	flush := func(res Result) {
@@ -267,7 +524,7 @@ func (e *Engine) Run(ctx context.Context, src args.Source) (Stats, []Result, err
 		}
 	}
 
-	for res := range results {
+	for res := range rs.results {
 		if s.OnEvent != nil {
 			typ := EventFinished
 			if res.TimedOut || errors.Is(res.Err, context.Canceled) {
@@ -284,8 +541,8 @@ func (e *Engine) Run(ctx context.Context, src args.Source) (Stats, []Result, err
 		} else {
 			stats.Failed++
 		}
-		if tracker != nil {
-			s.OnProgress(tracker.jobFinished(res.OK()))
+		if rs.tracker != nil {
+			s.OnProgress(rs.tracker.jobFinished(res.OK()))
 		}
 		stats.Retries += res.Attempts - 1
 		if !res.DryRun {
@@ -298,45 +555,37 @@ func (e *Engine) Run(ctx context.Context, src args.Source) (Stats, []Result, err
 			dispatchSum += res.DispatchDelay
 			dispatchN++
 		}
-		if s.Halt.Triggered(stats.Succeeded, stats.Failed, int(total.Load()), totalFinal.Load()) {
-			haltSoon.Store(true)
+		if s.Halt.Triggered(stats.Succeeded, stats.Failed, int(rs.total.Load()), rs.totalFinal.Load()) {
+			rs.haltSoon.Store(true)
 			if s.Halt.When == HaltNow {
-				cancel()
+				rs.cancel()
 			}
 		}
 		if !s.KeepOrder {
 			flush(res)
 			continue
 		}
-		pending[res.Job.Seq] = res
-		for {
+		pending.push(res)
+		for len(pending) > 0 {
 			if s.ResumeFrom[nextSeq] {
 				nextSeq++
 				continue
 			}
-			r, ok := pending[nextSeq]
-			if !ok {
+			if pending[0].Job.Seq != nextSeq {
 				break
 			}
-			delete(pending, nextSeq)
-			flush(r)
+			flush(pending.pop())
 			nextSeq++
 		}
 	}
-	// Flush any keep-order stragglers (halt can leave gaps).
-	if s.KeepOrder && len(pending) > 0 {
-		seqs := make([]int, 0, len(pending))
-		for k := range pending {
-			seqs = append(seqs, k)
-		}
-		sortInts(seqs)
-		for _, k := range seqs {
-			flush(pending[k])
-		}
+	// Flush any keep-order stragglers (halt can leave gaps); heap pops
+	// are already seq-sorted.
+	for len(pending) > 0 {
+		flush(pending.pop())
 	}
 
-	stats.Total = int(total.Load())
-	stats.Skipped = int(skipped.Load())
+	stats.Total = int(rs.total.Load())
+	stats.Skipped = int(rs.skipped.Load())
 	stats.Wall = time.Since(wallStart)
 	if !firstStart.IsZero() {
 		stats.Makespan = lastEnd.Sub(firstStart)
@@ -345,20 +594,85 @@ func (e *Engine) Run(ctx context.Context, src args.Source) (Stats, []Result, err
 		stats.AvgDispatchDelay = dispatchSum / time.Duration(dispatchN)
 	}
 	if stats.Wall > 0 {
-		stats.LaunchRate = float64(started.Load()) / stats.Wall.Seconds()
+		stats.LaunchRate = float64(rs.started.Load()) / stats.Wall.Seconds()
 	}
-	stats.InputErr = inputErr
+	stats.InputErr = rs.inputErr
+	return stats, collected, resultsDirErr
+}
 
-	var err error
-	switch {
-	case inputErr != nil:
-		err = fmt.Errorf("core: input source failed: %w", inputErr)
-	case ctx.Err() != nil && s.Halt.When != HaltNow:
-		err = ctx.Err()
-	case resultsDirErr != nil:
-		err = fmt.Errorf("core: writing results dir: %w", resultsDirErr)
+// recordSpool stores input records read ahead for a percentage halt in
+// two flat slices (a string arena plus offsets) instead of one slice
+// header allocation per record. Record views share the arena's backing
+// array; strings are immutable so later appends cannot corrupt
+// already-issued views.
+type recordSpool struct {
+	arena []string
+	offs  []int
+}
+
+func (sp *recordSpool) add(rec []string) {
+	if sp.offs == nil {
+		sp.offs = append(sp.offs, 0)
 	}
-	return stats, collected, err
+	sp.arena = append(sp.arena, rec...)
+	sp.offs = append(sp.offs, len(sp.arena))
+}
+
+func (sp *recordSpool) len() int {
+	if len(sp.offs) == 0 {
+		return 0
+	}
+	return len(sp.offs) - 1
+}
+
+func (sp *recordSpool) at(i int) []string {
+	return sp.arena[sp.offs[i]:sp.offs[i+1]:sp.offs[i+1]]
+}
+
+// resultHeap is a hand-rolled min-heap of Results keyed by Job.Seq —
+// the keep-order reorder buffer. No interface indirection, no
+// container/heap allocations.
+type resultHeap []Result
+
+func (h *resultHeap) push(r Result) {
+	*h = append(*h, r)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if a[parent].Job.Seq <= a[i].Job.Seq {
+			break
+		}
+		a[parent], a[i] = a[i], a[parent]
+		i = parent
+	}
+}
+
+func (h *resultHeap) pop() Result {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = Result{} // release references held by the vacated slot
+	a = a[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && a[l].Job.Seq < a[smallest].Job.Seq {
+			smallest = l
+		}
+		if r < n && a[r].Job.Seq < a[smallest].Job.Seq {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		a[i], a[smallest] = a[smallest], a[i]
+		i = smallest
+	}
+	*h = a
+	return top
 }
 
 // cancellableNext pulls source records on a dedicated goroutine so a
@@ -369,13 +683,15 @@ func (e *Engine) Run(ctx context.Context, src args.Source) (Stats, []Result, err
 // never be interrupted. Cancellation reads as end-of-input here; Run's
 // own ctx.Err() check reports the cancellation. The abandoned reader
 // goroutine is released when the source next yields or, failing that,
-// dies with the process.
+// dies with the process. The pull channel is buffered so source reads
+// pipeline ahead of job construction instead of hand-shaking per
+// record.
 func cancellableNext(ctx context.Context, src args.Source) func() ([]string, error) {
 	type pulled struct {
 		rec []string
 		err error
 	}
-	ch := make(chan pulled)
+	ch := make(chan pulled, 64)
 	go func() {
 		for {
 			rec, err := src.Next()
@@ -415,14 +731,6 @@ func writeResultFiles(dir string, res Result) error {
 	return os.WriteFile(filepath.Join(jobDir, "exitval"), []byte(exit), 0o644)
 }
 
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
-}
-
 // bindSlot applies slot-dependent rendering: {%} in the template and
 // SlotEnv/env wiring.
 func (e *Engine) bindSlot(job *Job, template *tmpl.Template) {
@@ -434,9 +742,11 @@ func (e *Engine) bindSlot(job *Job, template *tmpl.Template) {
 			job.Command = cmd
 		}
 	}
-	job.Env = append(append([]string(nil), s.Env...), job.Env...)
-	if s.SlotEnv != nil {
-		job.Env = append(job.Env, s.SlotEnv(job.Slot)...)
+	if len(s.Env) > 0 || s.SlotEnv != nil {
+		job.Env = append(append([]string(nil), s.Env...), job.Env...)
+		if s.SlotEnv != nil {
+			job.Env = append(job.Env, s.SlotEnv(job.Slot)...)
+		}
 	}
 }
 

@@ -40,12 +40,20 @@ func WriteJoblogLine(w io.Writer, res Result) {
 	}
 	// Microsecond precision keeps reconstructed intervals (profile
 	// analysis) from showing phantom overlaps at slot-handoff
-	// boundaries; GNU Parallel tools parse the extra digits fine.
+	// boundaries; GNU Parallel tools parse the extra digits fine. The
+	// runtime is derived from the same µs-floored endpoints as the start
+	// column — flooring is monotonic, so two back-to-back jobs on one
+	// slot can never overlap after quantization even when the engine's
+	// handoff gap is below a microsecond.
+	runtime := float64(res.End.UnixMicro()-res.Start.UnixMicro()) / 1e6
+	if runtime < 0 {
+		runtime = 0
+	}
 	fmt.Fprintf(w, "%d\t%s\t%.6f\t%9.6f\t%d\t%d\t%d\t%d\t%s\n",
 		res.Job.Seq,
 		host,
 		float64(res.Start.UnixMicro())/1e6,
-		res.Duration().Seconds(),
+		runtime,
 		0, len(res.Stdout),
 		exitval, signal,
 		res.Job.Command)

@@ -3,8 +3,10 @@ package core
 import (
 	"bytes"
 	"context"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -293,5 +295,72 @@ func TestLoadGatingDisabledOnReadError(t *testing.T) {
 	stats, _ := run(t, s, runner, args.Literal("a"))
 	if stats.Succeeded != 1 || time.Since(begin) > 5*time.Second {
 		t.Fatalf("stats=%+v; unreadable loadavg must disable gating", stats)
+	}
+}
+
+// TestKeepOrderEmissionProperty drives the keep-order reorder heap with
+// randomized completion orders: whatever order the jobs finish in, the
+// engine must emit results exactly seq-sorted, covering every job
+// exactly once — the same set a keep-order-off run would produce.
+func TestKeepOrderEmissionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x9e3779b9))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(14)
+		// rank[seq] is the completion position forced on job seq; every
+		// job runs concurrently (Jobs = n) and spins until its turn.
+		perm := rng.Perm(n)
+		rank := make([]int64, n+1)
+		for pos, idx := range perm {
+			rank[idx+1] = int64(pos)
+		}
+		var completed atomic.Int64
+		runner := FuncRunner(func(ctx context.Context, job *Job) ([]byte, error) {
+			for completed.Load() != rank[job.Seq] {
+				runtime.Gosched()
+			}
+			out := []byte(strconv.Itoa(job.Seq))
+			completed.Add(1)
+			return out, nil
+		})
+		s := mustSpec(t, "", n)
+		s.Template = nil
+		s.KeepOrder = true
+		var emitted []int
+		s.OnResult = func(res Result) { emitted = append(emitted, res.Job.Seq) }
+		items := make([]string, n)
+		stats, _ := run(t, s, runner, args.Literal(items...))
+		if stats.Succeeded != n {
+			t.Fatalf("trial %d (perm %v): stats = %+v", trial, perm, stats)
+		}
+		if len(emitted) != n {
+			t.Fatalf("trial %d (perm %v): emitted %d results, want %d", trial, perm, len(emitted), n)
+		}
+		for i, seq := range emitted {
+			if seq != i+1 {
+				t.Fatalf("trial %d (perm %v): emission order %v not seq-sorted", trial, perm, emitted)
+			}
+		}
+	}
+}
+
+// TestResultHeapProperty fuzzes the reorder heap directly: any push
+// order must pop back fully seq-sorted.
+func TestResultHeapProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(60)
+		var h resultHeap
+		seqs := rng.Perm(n)
+		for _, s := range seqs {
+			h.push(Result{Job: Job{Seq: s + 1}})
+		}
+		for want := 1; want <= n; want++ {
+			if got := h.pop().Job.Seq; got != want {
+				t.Fatalf("trial %d: popped %d, want %d (input %v)", trial, got, want, seqs)
+			}
+		}
+		if len(h) != 0 {
+			t.Fatalf("trial %d: heap not drained: %d left", trial, len(h))
+		}
 	}
 }

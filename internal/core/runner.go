@@ -6,6 +6,8 @@ import (
 	"errors"
 	"os"
 	"os/exec"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/shell"
@@ -51,6 +53,11 @@ type ExecRunner struct {
 	// ForceShell routes every command through the shell, disabling the
 	// direct-exec fast path.
 	ForceShell bool
+	// DiscardOutput wires child stdout/stderr straight to a shared
+	// /dev/null descriptor instead of capture buffers. Fire-and-forget
+	// workloads skip both the capture allocation and the per-process
+	// open of /dev/null that os/exec performs for nil streams.
+	DiscardOutput bool
 	// TermGrace is the window between SIGTERM and SIGKILL when an
 	// attempt is cancelled or times out: the whole process group first
 	// gets SIGTERM (a chance to clean up scratch files), then SIGKILL
@@ -58,7 +65,61 @@ type ExecRunner struct {
 	// targets the job's process group, so `sh -c 'work & wait'`
 	// grandchildren die with the job instead of leaking.
 	TermGrace time.Duration
+
+	// lastArgv memoizes the most recent command→argv split. Job command
+	// lines frequently repeat verbatim (fixed commands, retries, {}-less
+	// templates), and a single-entry memo makes the repeat case free
+	// without a growing cache. The argv slice is shared read-only:
+	// exec.Command copies it before mutating anything.
+	lastArgv atomic.Pointer[argvMemo]
+
+	// envOnce/baseEnv cache os.Environ once per runner; every job append
+	// re-copies (the cap is pinned to the length), so the shared base is
+	// never mutated. Process-env changes made after the first job are
+	// deliberately not observed.
+	envOnce sync.Once
+	baseEnv []string
 }
+
+type argvMemo struct {
+	command string
+	argv    []string
+}
+
+func (r *ExecRunner) environ() []string {
+	r.envOnce.Do(func() {
+		e := os.Environ()
+		r.baseEnv = e[:len(e):len(e)]
+	})
+	return r.baseEnv
+}
+
+// outBufPool recycles capture buffers across job attempts. Buffers that
+// grew beyond maxPooledBuf are dropped so one huge output cannot pin
+// memory for the rest of the run.
+var outBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBuf = 1 << 20
+
+func putOutBuf(b *bytes.Buffer) {
+	if b.Cap() <= maxPooledBuf {
+		b.Reset()
+		outBufPool.Put(b)
+	}
+}
+
+// devNullFile returns a process-wide shared read/write /dev/null
+// descriptor, nil if it cannot be opened (callers then fall back to
+// os/exec's own per-process handling).
+func devNullFile() *os.File {
+	devNullOnce.Do(func() { devNull, _ = os.OpenFile(os.DevNull, os.O_RDWR, 0) })
+	return devNull
+}
+
+var (
+	devNullOnce sync.Once
+	devNull     *os.File
+)
 
 // errNoCommand reports an empty rendered command line.
 var errNoCommand = errors.New("core: empty command")
@@ -77,11 +138,25 @@ func (r *ExecRunner) Run(ctx context.Context, job *Job) Result {
 	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
 	cmd.Dir = r.Dir
 	if len(job.Env) > 0 {
-		cmd.Env = append(os.Environ(), job.Env...)
+		// environ() caps the cached slice at its length, so this append
+		// always copies instead of racing other jobs over one backing
+		// array.
+		cmd.Env = append(r.environ(), job.Env...)
 	}
-	var stdout, stderr bytes.Buffer
-	cmd.Stdout = &stdout
-	cmd.Stderr = &stderr
+	var stdout, stderr *bytes.Buffer
+	if r.DiscardOutput {
+		if f := devNullFile(); f != nil {
+			cmd.Stdout = f
+			cmd.Stderr = f
+		}
+	} else {
+		stdout = outBufPool.Get().(*bytes.Buffer)
+		stderr = outBufPool.Get().(*bytes.Buffer)
+		defer putOutBuf(stdout)
+		defer putOutBuf(stderr)
+		cmd.Stdout = stdout
+		cmd.Stderr = stderr
+	}
 	if len(job.Stdin) > 0 {
 		cmd.Stdin = bytes.NewReader(job.Stdin)
 	}
@@ -101,8 +176,14 @@ func (r *ExecRunner) Run(ctx context.Context, job *Job) Result {
 		// were forked between signal and exit).
 		killGroup(cmd)
 	}
-	res.Stdout = stdout.Bytes()
-	res.Stderr = stderr.Bytes()
+	// Copy captured output out of the pooled buffers; empty output (the
+	// common fire-and-forget case) costs nothing.
+	if stdout != nil && stdout.Len() > 0 {
+		res.Stdout = append([]byte(nil), stdout.Bytes()...)
+	}
+	if stderr != nil && stderr.Len() > 0 {
+		res.Stderr = append([]byte(nil), stderr.Bytes()...)
+	}
 
 	switch e := err.(type) {
 	case nil:
@@ -122,17 +203,22 @@ func (r *ExecRunner) argv(command string) ([]string, error) {
 	if command == "" {
 		return nil, errNoCommand
 	}
+	if m := r.lastArgv.Load(); m != nil && m.command == command {
+		return m.argv, nil
+	}
 	sh := r.Shell
 	if sh == "" {
 		sh = "/bin/sh"
 	}
+	var words []string
 	if r.ForceShell || shell.NeedsShell(command) {
-		return []string{sh, "-c", command}, nil
-	}
-	words, err := shell.Split(command)
-	if err != nil || len(words) == 0 {
+		words = []string{sh, "-c", command}
+	} else if split, err := shell.Split(command); err == nil && len(split) > 0 {
+		words = split
+	} else {
 		// Let the shell produce the diagnostic.
-		return []string{sh, "-c", command}, nil
+		words = []string{sh, "-c", command}
 	}
+	r.lastArgv.Store(&argvMemo{command: command, argv: words})
 	return words, nil
 }

@@ -324,3 +324,47 @@ func TestFileSemaphoreInvalid(t *testing.T) {
 		t.Fatal("0 slots accepted")
 	}
 }
+
+func TestExecRunnerDiscardOutput(t *testing.T) {
+	r := &ExecRunner{DiscardOutput: true}
+	res := r.Run(context.Background(), &Job{Seq: 1, Command: "echo swallowed"})
+	if !res.OK() {
+		t.Fatalf("res = %+v", res)
+	}
+	if len(res.Stdout) != 0 || len(res.Stderr) != 0 {
+		t.Fatalf("discard mode captured output: %q / %q", res.Stdout, res.Stderr)
+	}
+	// Failures still report their exit code.
+	res = r.Run(context.Background(), &Job{Seq: 2, Command: "sh -c 'echo noise; exit 3'"})
+	if res.ExitCode != 3 {
+		t.Fatalf("exit = %d, want 3", res.ExitCode)
+	}
+}
+
+func TestExecRunnerArgvMemo(t *testing.T) {
+	// Alternate commands so the single-entry memo is repeatedly hit,
+	// replaced, and re-hit; each run must still execute its own argv.
+	r := &ExecRunner{}
+	for i := 0; i < 3; i++ {
+		for _, want := range []string{"one", "two", "one"} {
+			res := r.Run(context.Background(), &Job{Seq: 1, Command: "echo " + want})
+			if got := strings.TrimSpace(string(res.Stdout)); got != want {
+				t.Fatalf("stdout = %q, want %q", got, want)
+			}
+		}
+	}
+}
+
+func TestExecRunnerEnvCachedBaseIsolated(t *testing.T) {
+	// Two jobs with different Env must not bleed variables into each
+	// other through the shared cached base environ.
+	r := &ExecRunner{}
+	a := r.Run(context.Background(), &Job{Seq: 1, Command: "sh -c 'echo $PR4_A$PR4_B'", Env: []string{"PR4_A=a"}})
+	b := r.Run(context.Background(), &Job{Seq: 2, Command: "sh -c 'echo $PR4_A$PR4_B'", Env: []string{"PR4_B=b"}})
+	if got := strings.TrimSpace(string(a.Stdout)); got != "a" {
+		t.Fatalf("job a saw %q, want %q", got, "a")
+	}
+	if got := strings.TrimSpace(string(b.Stdout)); got != "b" {
+		t.Fatalf("job b saw %q, want %q", got, "b")
+	}
+}

@@ -30,7 +30,11 @@ type HaltPolicy struct {
 	// this percentage of all jobs (GNU --halt now,fail=10%). It takes
 	// precedence over Threshold and — like GNU Parallel, which needs
 	// the job total — is only evaluated once the input source has been
-	// fully read.
+	// fully read. To learn that total the engine spools the entire
+	// input into memory before dispatching (a single flat arena, one
+	// string per record field): memory is O(total input size), so
+	// percent halts are unsuitable for unbounded/streaming sources —
+	// use Threshold there, which dispatches as input arrives.
 	Percent   float64
 	OnSuccess bool // trigger on successes instead of failures
 }

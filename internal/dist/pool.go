@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -42,8 +43,11 @@ type Pool struct {
 	// redialBudget caps redial attempts per retired connection; <= 0
 	// means unlimited (the pre-budget behavior).
 	redialBudget int
-	redialing    atomic.Int64
-	lost         atomic.Int64
+	// maxProtocol caps the protocol version the pool negotiates
+	// (0 = the highest this build speaks).
+	maxProtocol int
+	redialing   atomic.Int64
+	lost        atomic.Int64
 
 	// onHealth, when non-nil, is invoked with the current Health after
 	// every capacity change (connection retired, redial succeeded,
@@ -70,6 +74,15 @@ type Option func(*Pool)
 // connections. n <= 0 retries forever.
 func WithRedialBudget(n int) Option {
 	return func(p *Pool) { p.redialBudget = n }
+}
+
+// WithMaxProtocol caps the protocol version the pool negotiates with
+// workers (0 = the highest this build speaks). Pinning 1 forces the
+// line-delimited one-job-per-connection dialect even against v2-capable
+// workers — the interop escape hatch and the baseline for the batching
+// benchmarks.
+func WithMaxProtocol(v int) Option {
+	return func(p *Pool) { p.maxProtocol = v }
 }
 
 // WithHealthNotify registers fn to receive the pool's Health after
@@ -111,11 +124,17 @@ func (p *Pool) Health() Health {
 	}
 }
 
+// wconn is one slot token. For protocol v1 it owns a dedicated TCP
+// connection (c is its codec, sess is nil). For protocol v2 it is a
+// virtual slot of a multiplexed session: slots-many tokens share one
+// sess (and its nc), and c is nil — capacity control still flows
+// through the same free channel either way.
 type wconn struct {
 	name string
 	addr string
 	nc   net.Conn
 	c    *codec
+	sess *v2session
 }
 
 // Dial connects to every worker and returns the pool. It fails if any
@@ -133,9 +152,13 @@ func Dial(specs []WorkerSpec, opts ...Option) (*Pool, error) {
 	for _, opt := range opts {
 		opt(p)
 	}
+	if p.maxProtocol <= 0 || p.maxProtocol > protocolMax {
+		p.maxProtocol = protocolMax
+	}
 	var all []*wconn
+	var sessions []*v2session
 	for _, spec := range specs {
-		first, h, err := dialWorker(spec.Addr)
+		first, sess, h, err := p.dialAny(spec.Addr)
 		if err != nil {
 			closeAll(all)
 			return nil, err
@@ -143,6 +166,16 @@ func Dial(specs []WorkerSpec, opts ...Option) (*Pool, error) {
 		slots := h.Slots
 		if spec.Slots > 0 && spec.Slots < slots {
 			slots = spec.Slots
+		}
+		if sess != nil {
+			// One multiplexed connection carries the worker's whole slot
+			// pool; hand out slots-many virtual tokens for it.
+			sess.slots = slots
+			sessions = append(sessions, sess)
+			for i := 0; i < slots; i++ {
+				all = append(all, &wconn{name: h.Name, addr: spec.Addr, nc: sess.nc, sess: sess})
+			}
+			continue
 		}
 		all = append(all, first)
 		for i := 1; i < slots; i++ {
@@ -160,9 +193,53 @@ func Dial(specs []WorkerSpec, opts ...Option) (*Pool, error) {
 		p.conns[c] = true
 		p.free <- c
 	}
+	// Hooked up only after the tokens are registered, so a proactive
+	// retirement never races the registration it has to undo.
+	for _, sess := range sessions {
+		sess := sess
+		sess.setOnFail(func() { p.retireSession(sess) })
+	}
 	return p, nil
 }
 
+// dialAny connects to addr and negotiates the best protocol both sides
+// speak. A v2-capable worker (hello.max_version >= 2, and the pool not
+// pinned lower) yields a multiplexed session; everything else yields a
+// plain v1 connection exactly as before.
+func (p *Pool) dialAny(addr string) (*wconn, *v2session, hello, error) {
+	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, nil, hello{}, fmt.Errorf("dist: dialing %s: %w", addr, err)
+	}
+	br := bufio.NewReader(nc)
+	bw := bufio.NewWriter(nc)
+	c := newCodecRW(br, bw)
+	var h hello
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if err := c.recv(&h); err != nil {
+		nc.Close()
+		return nil, nil, hello{}, fmt.Errorf("dist: handshake with %s: %w", addr, err)
+	}
+	nc.SetReadDeadline(time.Time{})
+	if err := checkHello(h); err != nil {
+		nc.Close()
+		return nil, nil, hello{}, err
+	}
+	if h.MaxVersion >= 2 && p.maxProtocol >= 2 {
+		if err := c.send(upgrade{Upgrade: 2}); err != nil {
+			nc.Close()
+			return nil, nil, hello{}, fmt.Errorf("dist: upgrading %s: %w", addr, err)
+		}
+		// The JSON decoder may have buffered bytes past the hello; the
+		// frame reader must see them first.
+		fr := bufio.NewReader(io.MultiReader(c.leftover(), br))
+		return nil, newV2Session(h.Name, addr, nc, fr, bw), h, nil
+	}
+	return &wconn{name: h.Name, addr: addr, nc: nc, c: c}, nil, h, nil
+}
+
+// dialWorker opens one plain v1 connection (no upgrade offer). Used for
+// the extra per-slot connections to v1 workers and their redials.
 func dialWorker(addr string) (*wconn, hello, error) {
 	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
 	if err != nil {
@@ -212,16 +289,25 @@ func (p *Pool) Close() {
 func (p *Pool) Run(ctx context.Context, job *core.Job) core.Result {
 	res := core.Result{Job: *job, ExitCode: -1, Start: time.Now()}
 	var conn *wconn
-	select {
-	case conn = <-p.free:
-	case <-ctx.Done():
-		res.Err = ctx.Err()
-		res.End = time.Now()
-		return res
-	case <-p.closed:
-		res.Err = errors.New("dist: pool closed")
-		res.End = time.Now()
-		return res
+	for conn == nil {
+		select {
+		case c := <-p.free:
+			// Discard stale tokens of sessions that died while the token
+			// sat in the free channel; retireSession already accounted
+			// for the capacity.
+			if c.sess != nil && c.sess.isDead() {
+				continue
+			}
+			conn = c
+		case <-ctx.Done():
+			res.Err = ctx.Err()
+			res.End = time.Now()
+			return res
+		case <-p.closed:
+			res.Err = errors.New("dist: pool closed")
+			res.End = time.Now()
+			return res
+		}
 	}
 	res.Host = conn.name
 
@@ -237,6 +323,10 @@ func (p *Pool) Run(ctx context.Context, job *core.Job) core.Result {
 		if left := time.Until(dl); left > 0 {
 			req.TimeoutNS = left.Nanoseconds()
 		}
+	}
+
+	if conn.sess != nil {
+		return p.runV2(ctx, conn, req, res)
 	}
 
 	// Unblock the connection read if ctx is cancelled mid-job.
@@ -271,6 +361,38 @@ func (p *Pool) Run(ctx context.Context, job *core.Job) core.Result {
 	conn.nc.SetDeadline(time.Time{})
 	p.free <- conn
 
+	p.applyResponse(&res, &resp)
+	return res
+}
+
+// runV2 ships one job over a multiplexed v2 session. A context
+// cancellation abandons the job but keeps the session (and its token)
+// alive; only transport failures retire the whole session.
+func (p *Pool) runV2(ctx context.Context, conn *wconn, req request, res core.Result) core.Result {
+	resp, err := conn.sess.roundTrip(ctx, req)
+	res.End = time.Now()
+	if err != nil {
+		if ctx.Err() != nil && !conn.sess.isDead() {
+			p.free <- conn
+			res.Err = ctx.Err()
+			return res
+		}
+		p.retireSession(conn.sess)
+		if ctx.Err() != nil {
+			res.Err = ctx.Err()
+		} else {
+			res.Err = fmt.Errorf("dist: worker %s: %w", conn.name, err)
+		}
+		return res
+	}
+	p.free <- conn
+	p.applyResponse(&res, &resp)
+	return res
+}
+
+// applyResponse maps a wire response onto a core.Result and files the
+// piggybacked telemetry snapshot. Shared by both protocol dialects.
+func (p *Pool) applyResponse(res *core.Result, resp *response) {
 	if resp.Telemetry != nil {
 		p.snapMu.Lock()
 		p.snaps[resp.Telemetry.Worker] = *resp.Telemetry
@@ -295,7 +417,6 @@ func (p *Pool) Run(ctx context.Context, job *core.Job) core.Result {
 	if resp.Err != "" {
 		res.Err = errors.New(resp.Err)
 	}
-	return res
 }
 
 // retire closes a broken connection and starts a background redialer
@@ -354,6 +475,133 @@ func (p *Pool) redialLoop(addr string) bool {
 		}
 	}
 	return false
+}
+
+// retireSession tears down a failed v2 session: every virtual token is
+// withdrawn (the free channel is swept; tokens held by in-flight Runs
+// are simply never returned), the full slot count moves to Redialing,
+// and one background redialer tries to restore the worker. sync.Once
+// makes the accounting single-shot even though every in-flight Run on
+// the session reports the same failure.
+func (p *Pool) retireSession(s *v2session) {
+	s.retired.Do(func() {
+		s.fail()
+		select {
+		case <-p.closed:
+			// Close tears down every session; that is shutdown, not a
+			// capacity loss to account or redial.
+			return
+		default:
+		}
+		p.mu.Lock()
+		for c := range p.conns {
+			if c.sess == s {
+				delete(p.conns, c)
+			}
+		}
+		p.mu.Unlock()
+		// Sweep stale tokens out of the free channel so restored
+		// capacity cannot overflow it. Bounded pass: each live token is
+		// taken out once and put back once.
+		n := len(p.free)
+		for i := 0; i < n; i++ {
+			select {
+			case c := <-p.free:
+				if c.sess != s {
+					p.free <- c
+				}
+			default:
+				i = n
+			}
+		}
+		p.redialing.Add(int64(s.slots))
+		p.notifyHealth()
+		go func() {
+			restored := p.redialSessionLoop(s.addr, s.slots)
+			p.redialing.Add(int64(-s.slots))
+			select {
+			case <-p.closed:
+			default:
+				if restored < s.slots {
+					p.lost.Add(int64(s.slots - restored))
+				}
+				p.notifyHealth()
+			}
+		}()
+	})
+}
+
+// redialSessionLoop tries to restore a whole worker's capacity (up to
+// slots) within the redial budget, renegotiating the protocol from
+// scratch — a worker that restarted with a different version is picked
+// up in whatever dialect it now speaks. Returns how many slots came
+// back.
+func (p *Pool) redialSessionLoop(addr string, slots int) int {
+	backoff := 100 * time.Millisecond
+	for attempt := 1; p.redialBudget <= 0 || attempt <= p.redialBudget; attempt++ {
+		select {
+		case <-p.closed:
+			return 0
+		case <-time.After(backoff):
+		}
+		if restored, ok := p.restoreWorker(addr, slots); ok {
+			return restored
+		}
+		if backoff < 5*time.Second {
+			backoff *= 2
+		}
+	}
+	return 0
+}
+
+// restoreWorker performs one reconnection attempt for a retired
+// session's worker and registers whatever capacity it yields.
+func (p *Pool) restoreWorker(addr string, slots int) (int, bool) {
+	w1, sess, h, err := p.dialAny(addr)
+	if err != nil {
+		return 0, false
+	}
+	var conns []*wconn
+	if sess != nil {
+		n := h.Slots
+		if slots < n {
+			n = slots
+		}
+		sess.slots = n
+		for i := 0; i < n; i++ {
+			conns = append(conns, &wconn{name: h.Name, addr: addr, nc: sess.nc, sess: sess})
+		}
+	} else {
+		conns = append(conns, w1)
+		for i := 1; i < slots; i++ {
+			c, _, err := dialWorker(addr)
+			if err != nil {
+				break
+			}
+			conns = append(conns, c)
+		}
+	}
+	p.mu.Lock()
+	select {
+	case <-p.closed:
+		p.mu.Unlock()
+		for _, c := range conns {
+			c.nc.Close()
+		}
+		return 0, false
+	default:
+	}
+	for _, c := range conns {
+		p.conns[c] = true
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		p.free <- c
+	}
+	if sess != nil {
+		sess.setOnFail(func() { p.retireSession(sess) })
+	}
+	return len(conns), true
 }
 
 // notifyHealth delivers the current Health to the WithHealthNotify

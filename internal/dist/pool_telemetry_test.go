@@ -121,16 +121,19 @@ func TestPoolHealthTransitionsUnderInjectedWorkerLoss(t *testing.T) {
 		}
 	}
 
-	// Drive jobs until every dead connection has been exposed and
-	// retired (a broken slot only surfaces when a job lands on it).
+	// Drive jobs through the degraded pool. Protocol-v2 sessions notice
+	// peer loss proactively — the session reader fails the moment the
+	// TCP connection drops — so most jobs land on survivors and see no
+	// error; at most one in-flight job per doomed worker can race the
+	// detection and report a transport error.
 	errs := 0
-	for i := 1; errs < len(doomed) && i <= 50; i++ {
+	for i := 1; i <= 20; i++ {
 		if res := pool.Run(context.Background(), &core.Job{Seq: i, Args: []string{"x"}}); res.Err != nil {
 			errs++
 		}
 	}
-	if errs != len(doomed) {
-		t.Fatalf("saw %d transport errors, want %d", errs, len(doomed))
+	if errs > len(doomed) {
+		t.Fatalf("saw %d transport errors, want at most %d", errs, len(doomed))
 	}
 
 	// Budget 1 with 100ms backoff: doomed slots are written off fast.

@@ -9,14 +9,23 @@
 // Listing 1 — which internal/cluster models; dist covers the
 // direct-distribution alternative for clusters without a scheduler).
 //
-// The protocol is line-delimited JSON over TCP, one in-flight job per
-// connection; a Pool opens one connection per advertised worker slot.
+// The base protocol (v1) is line-delimited JSON over TCP, one in-flight
+// job per connection; a Pool opens one connection per advertised worker
+// slot. Protocol v2, negotiated through the hello's max_version field,
+// multiplexes a worker's whole slot pool over one connection and moves
+// to batched length-prefixed frames: a writer goroutine coalesces
+// queued jobs (or results) into one frame and flushes only when its
+// queue goes idle, so a dispatch burst pays one syscall instead of one
+// per job. Old workers never announce max_version and keep speaking v1
+// against new coordinators, and vice versa.
 // There is no authentication: like rsh-era sshlogin, it is for trusted
 // networks (or localhost) only, and says so in cmd/gopard's usage.
 package dist
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -25,14 +34,37 @@ import (
 	"repro/internal/telemetry"
 )
 
-// protocolVersion guards against mismatched coordinator/worker builds.
-const protocolVersion = 1
+// protocolVersion is the announced base version; it stays 1 so builds
+// that predate negotiation still pass their strict equality check.
+// protocolMax is the highest version this build can speak.
+const (
+	protocolVersion = 1
+	protocolMax     = 2
+)
 
 // hello is sent by the worker on connection accept.
 type hello struct {
 	Version int    `json:"version"`
 	Name    string `json:"name"`
 	Slots   int    `json:"slots"`
+	// MaxVersion advertises the highest protocol version the worker
+	// speaks. Omitted (0) by pre-v2 workers, which pins the connection
+	// to v1.
+	MaxVersion int `json:"max_version,omitempty"`
+}
+
+// upgrade is the coordinator's protocol-switch message, sent as a v1
+// JSON line immediately after a hello that advertises MaxVersion >= 2.
+// Everything after it is length-prefixed v2 frames in both directions.
+type upgrade struct {
+	Upgrade int `json:"upgrade"`
+}
+
+// firstMsg lets a worker decode the coordinator's first message without
+// knowing yet whether it is an upgrade or a plain v1 request.
+type firstMsg struct {
+	Upgrade int `json:"upgrade,omitempty"`
+	request
 }
 
 // request is one job execution request.
@@ -69,7 +101,7 @@ type response struct {
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
-// codec frames JSON messages over a stream.
+// codec frames v1 JSON messages over a stream.
 type codec struct {
 	enc *json.Encoder
 	dec *json.Decoder
@@ -77,12 +109,31 @@ type codec struct {
 }
 
 func newCodec(rw io.ReadWriter) *codec {
-	bw := bufio.NewWriter(rw)
+	return newCodecRW(bufio.NewReader(rw), bufio.NewWriter(rw))
+}
+
+// newCodecRW builds a codec over caller-owned buffered halves, so the
+// caller can later take the stream back for v2 framing (any bytes the
+// JSON decoder read ahead are recovered via leftover).
+func newCodecRW(br *bufio.Reader, bw *bufio.Writer) *codec {
 	return &codec{
 		enc: json.NewEncoder(bw),
-		dec: json.NewDecoder(bufio.NewReader(rw)),
+		dec: json.NewDecoder(br),
 		bw:  bw,
 	}
+}
+
+// leftover returns whatever the v1 JSON decoder buffered beyond the
+// last decoded message; a v2 frame reader must consume this before the
+// underlying stream. Decode stops at the end of a JSON value and leaves
+// the line-terminating newline unread, so leading whitespace is
+// stripped — a frame header must never start with it.
+func (c *codec) leftover() io.Reader {
+	b, _ := io.ReadAll(c.dec.Buffered())
+	for len(b) > 0 && (b[0] == '\n' || b[0] == '\r' || b[0] == ' ' || b[0] == '\t') {
+		b = b[1:]
+	}
+	return bytes.NewReader(b)
 }
 
 func (c *codec) send(v any) error {
@@ -93,6 +144,126 @@ func (c *codec) send(v any) error {
 }
 
 func (c *codec) recv(v any) error { return c.dec.Decode(v) }
+
+// --- v2 framing ---------------------------------------------------------
+
+// maxFrame bounds one frame's payload. It protects both sides from a
+// corrupt or hostile length prefix; legitimate batches (job argv plus
+// captured output, capped at maxBatchItems entries) sit far below it.
+const maxFrame = 16 << 20
+
+// maxBatchItems caps how many messages one frame coalesces, bounding
+// both frame size and the latency a queued job can hide behind its
+// batch.
+const maxBatchItems = 64
+
+// batch is a v2 frame payload: jobs travel coordinator→worker, results
+// travel back. A frame carries one direction only, but the type is
+// shared so both sides use the same decoder (and the same fuzz target).
+type batch struct {
+	Jobs    []request  `json:"jobs,omitempty"`
+	Results []response `json:"results,omitempty"`
+}
+
+// writeFrame emits one length-prefixed payload without flushing; the
+// caller decides when the stream has gone idle enough to pay the
+// syscall.
+func writeFrame(bw *bufio.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("dist: frame of %d bytes exceeds limit %d", len(payload), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := bw.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed payload.
+func readFrame(br *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("dist: frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// writeBatch marshals and frames one batch (no flush).
+func writeBatch(bw *bufio.Writer, b *batch) error {
+	payload, err := json.Marshal(b)
+	if err != nil {
+		return err
+	}
+	return writeFrame(bw, payload)
+}
+
+// readBatch reads and decodes one framed batch.
+func readBatch(br *bufio.Reader) (batch, error) {
+	var b batch
+	payload, err := readFrame(br)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(payload, &b); err != nil {
+		return b, fmt.Errorf("dist: decoding frame: %w", err)
+	}
+	return b, nil
+}
+
+// batchWriter is the coalescing send loop both sides of a v2 connection
+// run: take one queued message, greedily drain whatever else is already
+// queued (up to maxBatchItems), emit a single frame, and flush only
+// when the queue is idle — a burst of messages costs one syscall, a
+// lone message still departs immediately. Returns nil when ch closes;
+// a close on done aborts without error.
+func batchWriter[T any](bw *bufio.Writer, ch <-chan T, done <-chan struct{}, wrap func([]T) batch) error {
+	for {
+		var first T
+		var ok bool
+		select {
+		case first, ok = <-ch:
+			if !ok {
+				return bw.Flush()
+			}
+		case <-done:
+			return nil
+		}
+		items := []T{first}
+		for len(items) < maxBatchItems {
+			more := false
+			select {
+			case v, ok := <-ch:
+				if ok {
+					items = append(items, v)
+					more = true
+				}
+			default:
+			}
+			if !more {
+				break
+			}
+		}
+		b := wrap(items)
+		if err := writeBatch(bw, &b); err != nil {
+			return err
+		}
+		if len(ch) == 0 {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+}
 
 func nsToTime(ns int64) time.Time { return time.Unix(0, ns) }
 

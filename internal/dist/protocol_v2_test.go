@@ -1,0 +1,332 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/args"
+	"repro/internal/core"
+)
+
+// poolSessions counts how many distinct v2 sessions back the pool's
+// slot tokens (0 = pure v1 pool).
+func poolSessions(p *Pool) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	seen := map[*v2session]bool{}
+	for c := range p.conns {
+		if c.sess != nil {
+			seen[c.sess] = true
+		}
+	}
+	return len(seen)
+}
+
+// TestPoolNegotiatesV2 pins that two current-version peers actually end
+// up on the batched dialect — without this, a negotiation regression
+// would silently fall back to v1 and every other test would still pass.
+func TestPoolNegotiatesV2(t *testing.T) {
+	addr := startWorker(t, "w2", 4, echoRunner("w2"))
+	pool, err := Dial([]WorkerSpec{{Addr: addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if n := poolSessions(pool); n != 1 {
+		t.Fatalf("pool uses %d v2 sessions, want 1", n)
+	}
+	if pool.Slots() != 4 {
+		t.Fatalf("slots = %d, want 4 virtual tokens on one session", pool.Slots())
+	}
+	// All four slots execute concurrently over the single connection.
+	var inflight, peak atomic.Int64
+	blocker := core.FuncRunner(func(ctx context.Context, job *core.Job) ([]byte, error) {
+		cur := inflight.Add(1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		inflight.Add(-1)
+		return []byte("ok"), nil
+	})
+	addr2 := startWorker(t, "wc", 4, blocker)
+	pool2, err := Dial([]WorkerSpec{{Addr: addr2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	spec, _ := core.NewSpec("", pool2.Slots())
+	eng, _ := core.NewEngine(spec, pool2)
+	stats, _, err := eng.Run(context.Background(), args.Literal("a", "b", "c", "d", "e", "f", "g", "h"))
+	if err != nil || stats.Succeeded != 8 {
+		t.Fatalf("stats=%+v err=%v", stats, err)
+	}
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrency %d over one multiplexed connection, want >= 2", peak.Load())
+	}
+}
+
+// TestPoolBatchedRoundTripOrderAndPayloads pushes enough concurrent
+// jobs through one v2 session to force multi-item frames in both
+// directions, then checks every job's payload round-tripped intact and
+// landed on the right seq.
+func TestPoolBatchedRoundTripOrderAndPayloads(t *testing.T) {
+	echo := core.FuncRunner(func(ctx context.Context, job *core.Job) ([]byte, error) {
+		out := fmt.Sprintf("%d:%s:%s", job.Seq, job.Args[0], string(job.Stdin))
+		return []byte(out), nil
+	})
+	addr := startWorker(t, "batchy", 8, echo)
+	pool, err := Dial([]WorkerSpec{{Addr: addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const jobs = 200
+	results := make([]core.Result, jobs)
+	done := make(chan int, jobs)
+	for i := 0; i < jobs; i++ {
+		go func(i int) {
+			seq := i + 1
+			results[i] = pool.Run(context.Background(), &core.Job{
+				Seq:   seq,
+				Args:  []string{fmt.Sprintf("arg%d", seq)},
+				Stdin: []byte(fmt.Sprintf("in%d", seq)),
+			})
+			done <- i
+		}(i)
+	}
+	for i := 0; i < jobs; i++ {
+		<-done
+	}
+	for i, res := range results {
+		seq := i + 1
+		if !res.OK() {
+			t.Fatalf("job %d failed: %+v", seq, res)
+		}
+		want := fmt.Sprintf("%d:arg%d:in%d", seq, seq, seq)
+		if string(res.Stdout) != want {
+			t.Fatalf("job %d stdout = %q, want %q (response mux mismatch)", seq, res.Stdout, want)
+		}
+	}
+}
+
+// TestMixedVersionOldWorker covers a pre-batching worker (pinned to
+// protocol 1) against a current coordinator: the worker never announces
+// max_version, the coordinator must stay on v1, and jobs complete.
+func TestMixedVersionOldWorker(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go Serve(ctx, l, WorkerConfig{
+		Name: "old", Slots: 2, Runner: echoRunner("old"), MaxProtocol: 1,
+	})
+
+	pool, err := Dial([]WorkerSpec{{Addr: l.Addr().String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if n := poolSessions(pool); n != 0 {
+		t.Fatalf("coordinator upgraded a v1-only worker (%d sessions)", n)
+	}
+	if pool.Slots() != 2 {
+		t.Fatalf("slots = %d", pool.Slots())
+	}
+	for seq := 1; seq <= 10; seq++ {
+		res := pool.Run(context.Background(), &core.Job{Seq: seq, Args: []string{fmt.Sprint(seq)}})
+		if !res.OK() || string(res.Stdout) != fmt.Sprintf("old:%d\n", seq) {
+			t.Fatalf("seq %d: %+v", seq, res)
+		}
+	}
+}
+
+// TestMixedVersionOldCoordinator covers the inverse skew: a coordinator
+// pinned to protocol 1 (standing in for a pre-batching build, which
+// sends no upgrade) against a current worker.
+func TestMixedVersionOldCoordinator(t *testing.T) {
+	addr := startWorker(t, "neww", 2, echoRunner("new"))
+	pool, err := Dial([]WorkerSpec{{Addr: addr}}, WithMaxProtocol(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if n := poolSessions(pool); n != 0 {
+		t.Fatalf("pinned coordinator still negotiated %d sessions", n)
+	}
+	for seq := 1; seq <= 10; seq++ {
+		res := pool.Run(context.Background(), &core.Job{Seq: seq, Args: []string{fmt.Sprint(seq)}})
+		if !res.OK() || string(res.Stdout) != fmt.Sprintf("new:%d\n", seq) {
+			t.Fatalf("seq %d: %+v", seq, res)
+		}
+	}
+}
+
+// TestV2SessionLossRetiresAllSlots kills a multiplexed worker mid-run
+// and checks the whole slot block moves through Redialing to Lost —
+// session death must not strand virtual tokens.
+func TestV2SessionLossRetiresAllSlots(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	var conns []net.Conn
+	accepted := make(chan net.Conn, 4)
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- conn
+			go serveConn(ctx, conn, WorkerConfig{Name: "doomed", Slots: 3, Runner: echoRunner("d")})
+		}
+	}()
+
+	pool, err := Dial([]WorkerSpec{{Addr: l.Addr().String()}}, WithRedialBudget(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if h := pool.Health(); h.Total != 3 || h.Live != 3 {
+		t.Fatalf("initial health = %+v", h)
+	}
+	if res := pool.Run(context.Background(), &core.Job{Seq: 1, Args: []string{"x"}}); !res.OK() {
+		t.Fatalf("warm-up job: %+v", res)
+	}
+
+	cancel()
+	l.Close()
+	for {
+		select {
+		case c := <-accepted:
+			conns = append(conns, c)
+			continue
+		default:
+		}
+		break
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h := pool.Health()
+		if h.Lost == 3 && h.Redialing == 0 && h.Live == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session loss never fully accounted: %+v", h)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// FuzzFrameDecoder throws arbitrary bytes at the v2 frame/batch decoder:
+// it must return data or an error, never panic or over-allocate.
+func FuzzFrameDecoder(f *testing.F) {
+	// Valid seeds: an empty batch, a job batch, a result batch, a
+	// truncated frame, and an oversized header.
+	seed := func(b batch) []byte {
+		var buf bytes.Buffer
+		bw := bufio.NewWriter(&buf)
+		if err := writeBatch(bw, &b); err != nil {
+			f.Fatal(err)
+		}
+		bw.Flush()
+		return buf.Bytes()
+	}
+	f.Add(seed(batch{}))
+	f.Add(seed(batch{Jobs: []request{{Seq: 1, Command: "echo hi", Stdin: []byte("x")}}}))
+	f.Add(seed(batch{Results: []response{{Seq: 2, ExitCode: 1, Stderr: []byte("boom")}}}))
+	f.Add([]byte{0, 0, 0, 9, '{'})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 4; i++ { // a stream may hold several frames
+			b, err := readBatch(br)
+			if err != nil {
+				return
+			}
+			if len(b.Jobs) == 0 && len(b.Results) == 0 {
+				continue
+			}
+		}
+	})
+}
+
+// TestFrameRoundTrip pins the framing layer itself: batches survive an
+// encode/decode cycle byte-exactly, and the batch writer coalesces a
+// queued burst into fewer frames than messages.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	in := batch{Jobs: []request{
+		{Seq: 1, Command: "a", Env: []string{"K=V"}},
+		{Seq: 2, Command: "b", Stdin: []byte{0, 1, 2}},
+	}}
+	if err := writeBatch(bw, &in); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	out, err := readBatch(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) != 2 || out.Jobs[0].Command != "a" || out.Jobs[1].Seq != 2 ||
+		!bytes.Equal(out.Jobs[1].Stdin, []byte{0, 1, 2}) || out.Jobs[0].Env[0] != "K=V" {
+		t.Fatalf("round trip mangled batch: %+v", out)
+	}
+
+	// Coalescing: 50 queued messages leave as a single frame.
+	buf.Reset()
+	bw = bufio.NewWriter(&buf)
+	ch := make(chan request, 64)
+	for i := 0; i < 50; i++ {
+		ch <- request{Seq: i}
+	}
+	close(ch)
+	if err := batchWriter(bw, ch, nil, func(rs []request) batch { return batch{Jobs: rs} }); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(&buf)
+	b, err := readBatch(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Jobs) != 50 {
+		t.Fatalf("first frame carries %d jobs, want all 50 coalesced", len(b.Jobs))
+	}
+	if _, err := readBatch(br); err == nil {
+		t.Fatal("unexpected extra frame after coalesced burst")
+	}
+}
+
+// TestFrameSizeLimit pins both directions of the frame cap.
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := writeFrame(bw, make([]byte, maxFrame+1)); err == nil {
+		t.Fatal("writeFrame accepted an oversized payload")
+	}
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(hdr))); err == nil {
+		t.Fatal("readFrame accepted an oversized header")
+	}
+}

@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+)
+
+// errSessionDead reports a v2 session whose connection already failed.
+var errSessionDead = errors.New("dist: worker session lost")
+
+// v2session multiplexes one worker's whole slot pool over a single
+// protocol-v2 connection. Run calls enqueue requests on sendq (a writer
+// goroutine coalesces them into frames), park on a per-seq channel, and
+// are woken by the reader goroutine when their response arrives in some
+// result frame. Concurrency is bounded outside the session by the
+// pool's virtual slot tokens, and worker-side by its own semaphore.
+type v2session struct {
+	name  string
+	addr  string
+	slots int
+	nc    net.Conn
+
+	sendq chan request
+
+	mu      sync.Mutex
+	pending map[int]chan response
+	// onFail, when set, runs (once, on its own goroutine) after the
+	// session dies — the pool uses it to retire capacity proactively
+	// instead of waiting for the next job to trip over the dead session.
+	onFail func()
+
+	dead     chan struct{}
+	failOnce sync.Once
+	// retired guards the pool-side capacity accounting so that many
+	// concurrent Run failures retire the session exactly once.
+	retired sync.Once
+}
+
+func newV2Session(name, addr string, nc net.Conn, br *bufio.Reader, bw *bufio.Writer) *v2session {
+	s := &v2session{
+		name:    name,
+		addr:    addr,
+		nc:      nc,
+		sendq:   make(chan request, maxBatchItems),
+		pending: map[int]chan response{},
+		dead:    make(chan struct{}),
+	}
+	go s.readLoop(br)
+	go func() {
+		if err := batchWriter(bw, s.sendq, s.dead, func(reqs []request) batch {
+			return batch{Jobs: reqs}
+		}); err != nil {
+			s.fail()
+		}
+	}()
+	return s
+}
+
+// fail marks the session dead and tears down the connection; all parked
+// round-trips unblock through the dead channel.
+func (s *v2session) fail() {
+	s.failOnce.Do(func() {
+		close(s.dead)
+		s.nc.Close()
+		s.mu.Lock()
+		fn := s.onFail
+		s.mu.Unlock()
+		if fn != nil {
+			go fn()
+		}
+	})
+}
+
+// setOnFail installs the death notification hook. The session's reader
+// starts before the pool registers its tokens, so the hook arrives
+// late; if the session already died in that window, fire immediately.
+func (s *v2session) setOnFail(fn func()) {
+	s.mu.Lock()
+	s.onFail = fn
+	s.mu.Unlock()
+	if s.isDead() {
+		fn()
+	}
+}
+
+func (s *v2session) isDead() bool {
+	select {
+	case <-s.dead:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *v2session) readLoop(br *bufio.Reader) {
+	for {
+		b, err := readBatch(br)
+		if err != nil {
+			s.fail()
+			return
+		}
+		for i := range b.Results {
+			resp := b.Results[i]
+			s.mu.Lock()
+			ch := s.pending[resp.Seq]
+			delete(s.pending, resp.Seq)
+			s.mu.Unlock()
+			if ch != nil {
+				ch <- resp // buffered; never blocks the reader
+			}
+		}
+	}
+}
+
+// roundTrip ships one request and waits for its response. A context
+// cancellation abandons the job (its eventual response is discarded on
+// arrival) but leaves the session healthy — one cancelled job must not
+// tear down a multiplexed connection carrying its neighbors.
+func (s *v2session) roundTrip(ctx context.Context, req request) (response, error) {
+	ch := make(chan response, 1)
+	s.mu.Lock()
+	s.pending[req.Seq] = ch
+	s.mu.Unlock()
+	abandon := func() {
+		s.mu.Lock()
+		delete(s.pending, req.Seq)
+		s.mu.Unlock()
+	}
+	select {
+	case s.sendq <- req:
+	case <-ctx.Done():
+		abandon()
+		return response{}, ctx.Err()
+	case <-s.dead:
+		abandon()
+		return response{}, errSessionDead
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-ctx.Done():
+		abandon()
+		return response{}, ctx.Err()
+	case <-s.dead:
+		abandon()
+		return response{}, errSessionDead
+	}
+}

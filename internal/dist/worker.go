@@ -1,8 +1,10 @@
 package dist
 
 import (
+	"bufio"
 	"context"
 	"errors"
+	"io"
 	"log"
 	"net"
 	"sync"
@@ -74,6 +76,10 @@ type WorkerConfig struct {
 	// from (share it with a metrics endpoint). Nil allocates an
 	// internal one — responses always carry telemetry either way.
 	Telemetry *WorkerTelemetry
+	// MaxProtocol caps the protocol version this worker negotiates
+	// (0 = the highest this build speaks). Tests pin it to 1 to
+	// exercise interop with pre-batching coordinators and workers.
+	MaxProtocol int
 }
 
 // Serve accepts coordinator connections on l and executes their jobs
@@ -137,25 +143,108 @@ func serveConn(ctx context.Context, conn net.Conn, cfg WorkerConfig) error {
 		cfg.Telemetry.name = cfg.Name
 		cfg.Telemetry.slots = cfg.Slots
 	}
-	c := newCodec(conn)
-	if err := c.send(hello{Version: protocolVersion, Name: cfg.Name, Slots: cfg.Slots}); err != nil {
+	if cfg.Slots < 1 {
+		cfg.Slots = 1
+	}
+	maxProto := cfg.MaxProtocol
+	if maxProto <= 0 || maxProto > protocolMax {
+		maxProto = protocolMax
+	}
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	c := newCodecRW(br, bw)
+	h := hello{Version: protocolVersion, Name: cfg.Name, Slots: cfg.Slots}
+	if maxProto >= 2 {
+		h.MaxVersion = maxProto
+	}
+	if err := c.send(h); err != nil {
 		return err
 	}
+
+	// The first coordinator message decides the dialect: an upgrade
+	// switches to v2 frames, anything else is a v1 request from an
+	// old coordinator.
+	var first firstMsg
+	if err := c.recv(&first); err != nil {
+		return eofAsNil(err)
+	}
+	if first.Upgrade >= 2 && maxProto >= 2 {
+		// The JSON decoder may have read ahead past the upgrade line;
+		// hand its leftover back to the frame reader.
+		fr := bufio.NewReader(io.MultiReader(c.leftover(), br))
+		return serveConnV2(ctx, cfg, fr, bw)
+	}
+
+	req := first.request
+	recv := time.Now()
 	for {
-		var req request
-		if err := c.recv(&req); err != nil {
-			if errors.Is(err, net.ErrClosed) || err.Error() == "EOF" {
-				return nil
-			}
-			return err
-		}
-		recv := time.Now()
 		resp := execute(ctx, cfg.Runner, cfg.Telemetry, req)
 		resp.RecvNS = recv.UnixNano()
 		if err := c.send(resp); err != nil {
 			return err
 		}
+		req = request{} // the decoder only overwrites fields present in the JSON
+		if err := c.recv(&req); err != nil {
+			return eofAsNil(err)
+		}
+		recv = time.Now()
 	}
+}
+
+func eofAsNil(err error) error {
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) || err.Error() == "EOF" {
+		return nil
+	}
+	return err
+}
+
+// serveConnV2 is the batched dialect: one multiplexed connection runs up
+// to cfg.Slots jobs concurrently; requests arrive in coalesced frames
+// and responses leave through a coalescing writer that flushes when its
+// queue goes idle.
+func serveConnV2(ctx context.Context, cfg WorkerConfig, br *bufio.Reader, bw *bufio.Writer) error {
+	respq := make(chan response, 4*cfg.Slots)
+	writeErr := make(chan error, 1)
+	go func() {
+		writeErr <- batchWriter(bw, respq, nil, func(rs []response) batch {
+			return batch{Results: rs}
+		})
+	}()
+
+	sem := make(chan struct{}, cfg.Slots)
+	var jobs sync.WaitGroup
+	var readErr error
+recvLoop:
+	for {
+		b, err := readBatch(br)
+		if err != nil {
+			readErr = err
+			break
+		}
+		recv := time.Now().UnixNano()
+		for _, req := range b.Jobs {
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				readErr = ctx.Err()
+				break recvLoop
+			}
+			jobs.Add(1)
+			go func(req request) {
+				defer jobs.Done()
+				defer func() { <-sem }()
+				resp := execute(ctx, cfg.Runner, cfg.Telemetry, req)
+				resp.RecvNS = recv
+				respq <- resp // writer drains until close
+			}(req)
+		}
+	}
+	jobs.Wait()
+	close(respq)
+	if werr := <-writeErr; werr != nil && eofAsNil(readErr) == nil {
+		return werr
+	}
+	return eofAsNil(readErr)
 }
 
 func execute(ctx context.Context, runner core.Runner, wt *WorkerTelemetry, req request) response {

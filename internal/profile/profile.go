@@ -19,6 +19,14 @@ import (
 	"repro/internal/metrics"
 )
 
+// quantum is the joblog timestamp resolution in seconds (µs in our
+// logs, coarser in GNU Parallel's). Interval arithmetic throughout the
+// package treats a gap shorter than one quantum as contiguous: engines
+// hand a freed slot to the next job in well under a microsecond, so
+// quantized timestamps round-tripped through float64 can otherwise
+// reconstruct a phantom sub-quantum overlap that inflates concurrency.
+const quantum = 1e-6
+
 // Profile is the reconstructed parallel execution profile.
 type Profile struct {
 	Jobs     int
@@ -70,7 +78,18 @@ func Analyze(entries []core.JoblogEntry) (*Profile, error) {
 			p.Failed++
 		}
 		end := e.Start + e.Runtime
-		edges = append(edges, edge{e.Start, +1}, edge{end, -1})
+		// Joblog timestamps are quantized (µs in our logs, ms in GNU
+		// Parallel's) and round-trip through float64, so back-to-back
+		// jobs on one slot can reconstruct with a sub-quantum phantom
+		// overlap when the engine's handoff gap is shorter than the log
+		// quantum. Pull the sweep's end edge back by one quantum
+		// (clamped to the start): phantom overlaps vanish, genuine
+		// concurrency on any longer timescale is unaffected.
+		sweepEnd := end
+		if sweepEnd-quantum > e.Start {
+			sweepEnd -= quantum
+		}
+		edges = append(edges, edge{e.Start, +1}, edge{sweepEnd, -1})
 		runtimes.Add(e.Runtime)
 		p.TotalWork += time.Duration(e.Runtime * float64(time.Second))
 		starts = append(starts, e.Start)

@@ -80,7 +80,9 @@ func (h *laneHeap) Pop() any {
 
 // assignLanes maps start-sorted entries to execution lanes: reuse the
 // earliest-freed lane when it is free by the job's start, else open a
-// new lane. The lane count equals the peak concurrency.
+// new lane. The lane count equals Analyze's peak concurrency, which
+// requires the same quantum tolerance when deciding whether a lane has
+// freed (see the quantum doc in profile.go).
 func assignLanes(sorted []core.JoblogEntry) []int {
 	lanes := make([]int, len(sorted))
 	var busy laneHeap
@@ -88,7 +90,7 @@ func assignLanes(sorted []core.JoblogEntry) []int {
 	// free holds lane ids available for reuse (LIFO keeps low ids hot).
 	var free []int
 	for i, e := range sorted {
-		for len(busy) > 0 && busy[0].end <= e.Start {
+		for len(busy) > 0 && busy[0].end-quantum <= e.Start {
 			freed := heap.Pop(&busy).(laneEnd)
 			free = append(free, freed.lane)
 		}

@@ -81,7 +81,10 @@ func TestPropertyLaneAssignment(t *testing.T) {
 				}
 				aS, aE := sortByStart[i].Start, sortByStart[i].Start+sortByStart[i].Runtime
 				bS, bE := sortByStart[j].Start, sortByStart[j].Start+sortByStart[j].Runtime
-				if aS < bE && bS < aE {
+				// Same sub-quantum tolerance as the package's interval
+				// arithmetic: float addition of grid-valued starts and
+				// runtimes can otherwise manufacture ~1e-16 "overlaps".
+				if aS < bE-quantum && bS < aE-quantum {
 					return false
 				}
 			}

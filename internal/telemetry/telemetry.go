@@ -30,6 +30,7 @@
 package telemetry
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -55,25 +56,55 @@ func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
 // Bus fans job-lifecycle events out to taps (synchronous, hot-path
 // cheap) and subscriptions (asynchronous, bounded, lossy). Publish
 // never blocks, whatever consumers do.
+//
+// The consumer set lives in an immutable snapshot swapped by writers
+// (Tap/Subscribe/Close are rare) so Publish — called once per lifecycle
+// transition of every job — is lock-free: one atomic pointer load plus
+// the deliveries, with no RWMutex cacheline for all engine workers to
+// contend on.
 type Bus struct {
-	mu     sync.RWMutex
-	taps   []func(core.Event)
-	subs   []*Subscription
-	closed bool
+	state atomic.Pointer[busState]
+	// inflight counts Publishes between their state load and their last
+	// channel send; Close waits for it to drain after swapping in the
+	// closed state, so it never closes a channel mid-send.
+	inflight atomic.Int64
+	mu       sync.Mutex // serializes writers only
 
 	published atomic.Int64
 	dropped   atomic.Int64
 }
 
+// busState is one immutable consumer-set snapshot.
+type busState struct {
+	taps   []func(core.Event)
+	subs   []*Subscription
+	closed bool
+}
+
+var emptyBusState = &busState{}
+
 // NewBus returns an empty bus.
 func NewBus() *Bus { return &Bus{} }
+
+func (b *Bus) load() *busState {
+	if st := b.state.Load(); st != nil {
+		return st
+	}
+	return emptyBusState
+}
 
 // Tap registers fn to run synchronously inside every Publish. It must
 // be concurrency-safe and restricted to cheap work (atomic counter
 // updates); anything slower belongs in a Subscription.
 func (b *Bus) Tap(fn func(core.Event)) {
 	b.mu.Lock()
-	b.taps = append(b.taps, fn)
+	old := b.load()
+	st := &busState{
+		taps:   append(append([]func(core.Event){}, old.taps...), fn),
+		subs:   old.subs,
+		closed: old.closed,
+	}
+	b.state.Store(st)
 	b.mu.Unlock()
 }
 
@@ -87,10 +118,16 @@ func (b *Bus) Subscribe(buf int) *Subscription {
 	s := &Subscription{c: make(chan core.Event, buf)}
 	s.C = s.c
 	b.mu.Lock()
-	if b.closed {
+	old := b.load()
+	if old.closed {
 		close(s.c)
 	} else {
-		b.subs = append(b.subs, s)
+		st := &busState{
+			taps:   old.taps,
+			subs:   append(append([]*Subscription{}, old.subs...), s),
+			closed: false,
+		}
+		b.state.Store(st)
 	}
 	b.mu.Unlock()
 	return s
@@ -101,16 +138,17 @@ func (b *Bus) Subscribe(buf int) *Subscription {
 // The signature matches core.Spec.OnEvent. Publishing after Close is a
 // counted drop.
 func (b *Bus) Publish(ev core.Event) {
-	b.mu.RLock()
-	if b.closed {
-		b.mu.RUnlock()
+	b.inflight.Add(1)
+	st := b.load()
+	if st.closed {
+		b.inflight.Add(-1)
 		b.dropped.Add(1)
 		return
 	}
-	for _, tap := range b.taps {
+	for _, tap := range st.taps {
 		tap(ev)
 	}
-	for _, s := range b.subs {
+	for _, s := range st.subs {
 		select {
 		case s.c <- ev:
 		default:
@@ -118,7 +156,7 @@ func (b *Bus) Publish(ev core.Event) {
 			b.dropped.Add(1)
 		}
 	}
-	b.mu.RUnlock()
+	b.inflight.Add(-1)
 	b.published.Add(1)
 }
 
@@ -128,11 +166,17 @@ func (b *Bus) Publish(ev core.Event) {
 func (b *Bus) Close() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.closed {
+	old := b.load()
+	if old.closed {
 		return
 	}
-	b.closed = true
-	for _, s := range b.subs {
+	b.state.Store(&busState{taps: old.taps, subs: nil, closed: true})
+	// Publishes that loaded the pre-close state may still be sending;
+	// wait them out before closing their target channels.
+	for b.inflight.Load() > 0 {
+		runtime.Gosched()
+	}
+	for _, s := range old.subs {
 		close(s.c)
 	}
 }

@@ -1,0 +1,83 @@
+package tmpl
+
+import "testing"
+
+// TestRenderAllocBudget pins the render hot path at its documented
+// allocation budget (DESIGN.md "Performance"): a literal template
+// renders with zero allocations, any placeholder template with at most
+// two (the result string plus, rarely, a pool refill), and
+// AppendRender into a pre-sized buffer with zero.
+func TestRenderAllocBudget(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		args   []string
+		budget float64
+	}{
+		{"literal", "true", nil, 0},
+		{"plain", "gzip -9 {}", []string{"/data/run42/sample.fastq"}, 2},
+		{"pathops", "convert {} {.}.png {/} {//} {/.}", []string{"/img/in/cat.jpg"}, 2},
+		{"multiarg", "align --ref {1} --reads {2} --seq {#} --slot {%}", []string{"/ref/hg38.fa", "/reads/lane3.fq"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tpl := MustParse(tc.src)
+			ctx := Context{Args: tc.args, Seq: 42, Slot: 3}
+			// Warm the pool and verify output stability first.
+			want, err := tpl.Render(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				got, err := tpl.Render(ctx)
+				if err != nil || got != want {
+					t.Fatalf("render: %q, %v", got, err)
+				}
+			})
+			if allocs > tc.budget {
+				t.Errorf("Render allocs/run = %v, budget %v", allocs, tc.budget)
+			}
+
+			dst := make([]byte, 0, 512)
+			appendAllocs := testing.AllocsPerRun(200, func() {
+				out, err := tpl.AppendRender(dst[:0], ctx)
+				if err != nil || string(out) != want {
+					t.Fatalf("append render: %q, %v", out, err)
+				}
+			})
+			// string(out) in the closure accounts for one alloc; the
+			// append path itself must add none.
+			if appendAllocs > 1 {
+				t.Errorf("AppendRender allocs/run = %v, want <= 1 (the comparison copy)", appendAllocs)
+			}
+		})
+	}
+}
+
+// TestAppendRenderMatchesRender cross-checks the two render paths over
+// every template shape the parser produces.
+func TestAppendRenderMatchesRender(t *testing.T) {
+	srcs := []string{
+		"", "true", "echo {} {.} {/} {//} {/.}", "{#}:{%}", "{1} {2.} {3//}",
+		"no placeholders at all", "{unknown} {} {99x}",
+	}
+	argSets := [][]string{
+		nil,
+		{"a"},
+		{"/x/y/z.tar.gz", "rel/path.txt", "plain"},
+	}
+	for _, src := range srcs {
+		tpl := MustParse(src)
+		for _, as := range argSets {
+			ctx := Context{Args: as, Seq: 7, Slot: 2}
+			want, werr := tpl.Render(ctx)
+			got, gerr := tpl.AppendRender(nil, ctx)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("%q/%v: error mismatch %v vs %v", src, as, werr, gerr)
+			}
+			if werr == nil && string(got) != want {
+				t.Fatalf("%q/%v: %q vs %q", src, as, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package tmpl
+
+import "testing"
+
+var benchTemplates = []struct {
+	name string
+	src  string
+	args []string
+}{
+	{"plain", "gzip -9 {}", []string{"/data/run42/sample.fastq"}},
+	{"pathops", "convert {} {.}.png && mv {/} {//}/done/", []string{"/img/in/cat.jpg"}},
+	{"multiarg", "align --ref {1} --reads {2} --seq {#} --slot {%}", []string{"/ref/hg38.fa", "/reads/lane3.fq"}},
+}
+
+// BenchmarkRenderJob measures the per-job template render cost — part
+// of the engine's dispatch hot path (every job pays one render before
+// it can queue).
+func BenchmarkRenderJob(b *testing.B) {
+	for _, tc := range benchTemplates {
+		b.Run(tc.name, func(b *testing.B) {
+			t := MustParse(tc.src)
+			ctx := Context{Args: tc.args, Seq: 1234, Slot: 7}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := t.Render(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

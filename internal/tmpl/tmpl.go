@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Context carries the per-job values substituted into a template.
@@ -191,33 +192,79 @@ func parseToken(tok string) (part, bool) {
 	return part{kind: kindPos, op: o, pos: n}, true
 }
 
+// renderBufPool recycles scratch buffers across Render calls so the
+// steady-state render cost is one allocation (the returned string).
+var renderBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
+}
+
 // Render substitutes ctx into the template. Referencing a positional
 // argument beyond len(ctx.Args) is an error.
+//
+// Render is on the engine's per-job hot path: a template that is pure
+// literal costs zero allocations, and any other template costs exactly
+// one (the result string) in steady state. Callers that can reuse a
+// byte buffer should prefer AppendRender.
 func (t *Template) Render(ctx Context) (string, error) {
-	var b strings.Builder
-	for _, p := range t.parts {
+	if t.isLiteral() {
+		return t.src, nil
+	}
+	bp := renderBufPool.Get().(*[]byte)
+	out, err := t.AppendRender((*bp)[:0], ctx)
+	if err != nil {
+		renderBufPool.Put(bp)
+		return "", err
+	}
+	s := string(out)
+	*bp = out[:0]
+	renderBufPool.Put(bp)
+	return s, nil
+}
+
+// isLiteral reports that rendering can return src verbatim (no
+// placeholders at all — a single pre-merged literal part, or empty).
+func (t *Template) isLiteral() bool {
+	return len(t.parts) == 0 || (len(t.parts) == 1 && t.parts[0].kind == kindLiteral)
+}
+
+// AppendRender renders the template into dst and returns the extended
+// slice, allocating only when dst lacks capacity. This is the
+// allocation-free form engines use with pooled buffers.
+func (t *Template) AppendRender(dst []byte, ctx Context) ([]byte, error) {
+	for i := range t.parts {
+		p := &t.parts[i]
 		switch p.kind {
 		case kindLiteral:
-			b.WriteString(p.lit)
+			dst = append(dst, p.lit...)
 		case kindSeq:
-			b.WriteString(strconv.Itoa(ctx.Seq))
+			dst = strconv.AppendInt(dst, int64(ctx.Seq), 10)
 		case kindSlot:
-			b.WriteString(strconv.Itoa(ctx.Slot))
+			dst = strconv.AppendInt(dst, int64(ctx.Slot), 10)
 		case kindInput:
-			vals := make([]string, len(ctx.Args))
-			for i, a := range ctx.Args {
-				vals[i] = applyOp(p.op, a)
+			for j, a := range ctx.Args {
+				if j > 0 {
+					dst = append(dst, ' ')
+				}
+				dst = appendOp(dst, p.op, a)
 			}
-			b.WriteString(strings.Join(vals, " "))
 		case kindPos:
 			if p.pos > len(ctx.Args) {
-				return "", fmt.Errorf("tmpl: template %q references {%d} but job has %d argument(s)",
+				return dst, fmt.Errorf("tmpl: template %q references {%d} but job has %d argument(s)",
 					t.src, p.pos, len(ctx.Args))
 			}
-			b.WriteString(applyOp(p.op, ctx.Args[p.pos-1]))
+			dst = appendOp(dst, p.op, ctx.Args[p.pos-1])
 		}
 	}
-	return b.String(), nil
+	return dst, nil
+}
+
+// appendOp appends the path-operated form of v to dst without
+// intermediate string allocation (every op is a pure slice of v).
+func appendOp(dst []byte, o op, v string) []byte {
+	return append(dst, applyOp(o, v)...)
 }
 
 func applyOp(o op, v string) string {

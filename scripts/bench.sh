@@ -1,0 +1,25 @@
+#!/bin/sh
+# bench.sh — dispatch hot-path perf harness wrapper.
+#
+# Runs the render/dispatch/pool/real-process microbenchmarks and writes
+# BENCH_pr4.json (procs/s, ns/job, allocs/job per benchmark). With a
+# baseline report as $1, also fails on regression:
+#
+#   scripts/bench.sh                      # record BENCH_pr4.json
+#   scripts/bench.sh BENCH_baseline.json  # record + gate vs baseline
+#
+# Env:
+#   BENCH_OUT       output path        (default BENCH_pr4.json)
+#   BENCH_TIME      go -benchtime      (default: go's 1s; CI uses 100x)
+#   BENCH_TOLERANCE fractional ns/op slack in gate mode (default 0.25)
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_pr4.json}"
+ARGS="-out $OUT"
+[ -n "${BENCH_TIME:-}" ] && ARGS="$ARGS -benchtime $BENCH_TIME"
+[ $# -ge 1 ] && ARGS="$ARGS -check $1 -tolerance ${BENCH_TOLERANCE:-0.25}"
+
+# shellcheck disable=SC2086
+go run ./cmd/benchjson $ARGS
+echo "wrote $OUT"
