@@ -1,20 +1,25 @@
-// Command benchjson is the dispatch hot-path perf-regression harness.
-// It runs the microbenchmarks that guard the launcher's per-job cost
-// (template render, engine dispatch, remote pool round-trip, the
-// paper's Fig. 3 real-process rate), parses `go test -bench` output,
-// and writes one machine-readable JSON report (BENCH_pr4.json in CI).
+// Command benchjson is the perf-regression harness. It runs the
+// microbenchmarks that guard the launcher's per-job cost (template
+// render, engine dispatch, remote pool round-trip, the paper's Fig. 3
+// real-process rate) and the simulation kernel's throughput (events/s,
+// procs/s, flow tasks/s, plus one full-scale Fig 1 point), parses
+// `go test -bench` output, and writes one machine-readable JSON report
+// (BENCH_pr5.json in CI).
 //
 // Usage:
 //
-//	benchjson -out BENCH_pr4.json                 # run + record
+//	benchjson -out BENCH_pr5.json                 # run + record
 //	benchjson -benchtime 100x -out quick.json     # cheap smoke record
 //	benchjson -stdin -out r.json < bench.txt      # parse a saved run
 //	benchjson -out new.json -check old.json       # fail on regression
 //
-// The -check mode compares ns/op and allocs/op per benchmark against a
-// previous report and exits non-zero when a benchmark regressed beyond
-// -tolerance (default 25%, generous because shared CI runners are
-// noisy) — wiring perf into CI as a gate, not just a graph.
+// The -check mode compares per benchmark against a previous report and
+// exits non-zero on regression beyond -tolerance (default 25%, generous
+// because shared CI runners are noisy): ns/op may not grow beyond
+// tolerance, allocs/op may not grow at all (allocation counts are
+// deterministic), and throughput metrics (any ReportMetric unit ending
+// in "/s") may not drop beyond tolerance — wiring perf into CI as a
+// gate, not just a graph.
 package main
 
 import (
@@ -56,19 +61,24 @@ type Report struct {
 }
 
 // defaultTargets are the hot-path benchmarks the harness guards: one
-// per layer of the dispatch pipeline.
-var defaultTargets = []struct{ pkg, bench string }{
-	{"./internal/tmpl/", "BenchmarkRenderJob"},
-	{"./internal/core/", "BenchmarkDispatch"},
-	{"./internal/dist/", "BenchmarkPoolDispatch"},
-	{"./", "BenchmarkFig3RealDispatch"},
+// per layer of the dispatch pipeline, plus the simulation kernel. A
+// non-empty benchtime overrides the global -benchtime for that target —
+// the full-scale Fig 1 point is a single 1.15M-task simulation, so it
+// always runs exactly once.
+var defaultTargets = []struct{ pkg, bench, benchtime string }{
+	{"./internal/tmpl/", "BenchmarkRenderJob", ""},
+	{"./internal/core/", "BenchmarkDispatch", ""},
+	{"./internal/dist/", "BenchmarkPoolDispatch", ""},
+	{"./", "BenchmarkFig3RealDispatch", ""},
+	{"./internal/sim/", "BenchmarkEngineEvents|BenchmarkSimProcs|BenchmarkFlowTasks", ""},
+	{"./internal/experiments/", "BenchmarkFig1FullScalePoint", "1x"},
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_pr4.json", "output JSON path (- for stdout)")
+		out       = flag.String("out", "BENCH_pr5.json", "output JSON path (- for stdout)")
 		benchtime = flag.String("benchtime", "", "passed to go test -benchtime (default: go's 1s)")
 		useStdin  = flag.Bool("stdin", false, "parse `go test -bench` output from stdin instead of running")
 		check     = flag.String("check", "", "baseline report to compare against; regressions fail")
@@ -84,8 +94,12 @@ func main() {
 	} else {
 		for _, t := range defaultTargets {
 			args := []string{"test", "-run=NONE", "-bench=" + t.bench, "-benchmem"}
-			if *benchtime != "" {
-				args = append(args, "-benchtime="+*benchtime)
+			bt := *benchtime
+			if t.benchtime != "" {
+				bt = t.benchtime
+			}
+			if bt != "" {
+				args = append(args, "-benchtime="+bt)
 			}
 			args = append(args, t.pkg)
 			cmd := exec.Command("go", args...)
@@ -183,9 +197,11 @@ func load(path string) (Report, error) {
 	return r, json.Unmarshal(b, &r)
 }
 
-// compare flags benchmarks whose ns/op regressed beyond tol or whose
+// compare flags benchmarks whose ns/op regressed beyond tol, whose
 // allocs/op grew at all (allocation counts are deterministic, so any
-// increase is a real code change, not noise). Benchmarks present in
+// increase is a real code change, not noise), or whose throughput
+// metrics — any ReportMetric with a unit ending in "/s" (events/s,
+// procs/s, tasks/s, jobs/s) — dropped beyond tol. Benchmarks present in
 // only one report are ignored: the harness gates known hot paths, it
 // does not force the two runs to share a benchmark set.
 func compare(base, cur Report, tol float64) []string {
@@ -206,6 +222,19 @@ func compare(base, cur Report, tol float64) []string {
 		if b.AllocsOp > o.AllocsOp {
 			msgs = append(msgs, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f",
 				b.Name, b.AllocsOp, o.AllocsOp))
+		}
+		for unit, v := range b.Metrics {
+			if !strings.HasSuffix(unit, "/s") {
+				continue
+			}
+			ov, ok := o.Metrics[unit]
+			if !ok || ov <= 0 {
+				continue
+			}
+			if v < ov*(1-tol) {
+				msgs = append(msgs, fmt.Sprintf("%s: %.0f %s vs baseline %.0f (-%.0f%%, tolerance %.0f%%)",
+					b.Name, v, unit, ov, (1-v/ov)*100, tol*100))
+			}
 		}
 	}
 	return msgs

@@ -21,6 +21,16 @@ type Task struct {
 	// node facility (NVMe, GPUs, Lustre via closure). A nil payload is
 	// a no-op task (the stress-test null job).
 	Payload func(p *sim.Proc, tc TaskContext) error
+	// FlowPayload, when non-nil (and Payload nil), expresses the task's
+	// work as a lightweight callback flow instead of a goroutine
+	// process: the function appends the work's steps (sleeps, resource
+	// holds, filesystem ops) to fl at dispatch time. Eligible tasks —
+	// no Payload, no container runtime, no UseCores, no staging — then
+	// run with no goroutine and no channel handoffs, which is what
+	// makes million-task experiment loops cheap. Flow payloads model
+	// infallible work; node crashes are still detected and reported as
+	// ErrNodeDown. See sim.Flow for the execution model.
+	FlowPayload func(fl *sim.Flow, tc TaskContext)
 	// StageIn and StageOut, when positive, model data staging around
 	// the payload (e.g. Lustre→NVMe copy-in, result copy-out). They
 	// hold the task's slot but not launch capacity, and are reported
@@ -97,6 +107,128 @@ func (r *Report) Makespan() time.Duration {
 	return r.LastEnd - r.FirstStart
 }
 
+// instRun is the shared state of one RunParallel invocation: the report
+// being accumulated, the slot free-list, and the arena of pooled
+// per-task flow states. At most Jobs flow tasks are ever in flight, so
+// the free list caps at the slot count regardless of task count.
+type instRun struct {
+	n        *Node
+	rep      *Report
+	slots    *sim.Store[int]
+	wg       *sim.Counter
+	onResult func(TaskResult)
+	onEvent  func(core.Event)
+	collect  bool
+	free     []*flowTask
+}
+
+// flowTask is the callback-state arena for one in-flight lightweight
+// task: the fields the begin/finish steps need, plus the method-value
+// callbacks bound once per pooled struct so launching a task allocates
+// nothing in steady state.
+type flowTask struct {
+	run           *instRun
+	seq, slot     int
+	dispatchDelay time.Duration
+	start         sim.Time
+	epoch         int
+	err           error
+	beginFn       func()
+	aliveFn       func() bool
+	finishFn      func()
+}
+
+func (st *instRun) get() *flowTask {
+	if n := len(st.free); n > 0 {
+		ft := st.free[n-1]
+		st.free[n-1] = nil
+		st.free = st.free[:n-1]
+		return ft
+	}
+	ft := &flowTask{run: st}
+	ft.beginFn = ft.begin
+	ft.aliveFn = ft.alive
+	ft.finishFn = ft.finish
+	return ft
+}
+
+// launch runs one eligible task as a flow. The program mirrors the
+// goroutine task body step for step — same event scheduling pattern,
+// same bookkeeping order — so switching a model from the process path
+// to the flow path leaves seeded results bit-identical.
+func (st *instRun) launch(task Task, slot int, dispatchDelay time.Duration) {
+	ft := st.get()
+	ft.seq, ft.slot, ft.dispatchDelay = task.Seq, slot, dispatchDelay
+	fl := st.n.Eng.NewFlow()
+	fl.Do(ft.beginFn)
+	fl.Guard(ft.aliveFn)
+	if task.FlowPayload != nil {
+		task.FlowPayload(fl, TaskContext{Node: st.n, Slot: slot, Seq: task.Seq})
+	}
+	fl.Finally()
+	fl.Do(ft.finishFn)
+	fl.Start()
+}
+
+// begin is the flow counterpart of the task body's prologue: record the
+// start time and crash epoch, and fail immediately when launched into a
+// dead node.
+func (ft *flowTask) begin() {
+	n := ft.run.n
+	ft.start = n.Eng.Now()
+	ft.epoch = n.FailEpoch()
+	ft.err = nil
+	if !n.Alive() {
+		ft.err = ErrNodeDown
+	}
+}
+
+func (ft *flowTask) alive() bool { return ft.err == nil }
+
+// finish is the flow counterpart of the task body's epilogue and
+// deferred cleanup, in the same order: crash recheck, result
+// bookkeeping, OnResult/Collect, the EventFinished emission, slot
+// return, completion count, and recycling the arena entry.
+func (ft *flowTask) finish() {
+	st := ft.run
+	n := st.n
+	if ft.err == nil && (n.FailEpoch() != ft.epoch || !n.Alive()) {
+		// The node crashed while the task was running: the work is
+		// gone, whatever the payload computed.
+		ft.err = ErrNodeDown
+	}
+	res := TaskResult{Seq: ft.seq, Slot: ft.slot, Start: ft.start, End: n.Eng.Now(), Err: ft.err}
+	rep := st.rep
+	if res.Err == nil {
+		rep.Succeeded++
+	} else {
+		rep.Failed++
+	}
+	if res.Start < rep.FirstStart {
+		rep.FirstStart = res.Start
+	}
+	if res.End > rep.LastEnd {
+		rep.LastEnd = res.End
+	}
+	if st.onResult != nil {
+		st.onResult(res)
+	}
+	if st.collect {
+		rep.Results = append(rep.Results, res)
+	}
+	if st.onEvent != nil {
+		st.onEvent(core.Event{Type: core.EventFinished, Seq: ft.seq,
+			Slot: ft.slot, Attempt: 1, Time: simWall(res.End),
+			OK: res.Err == nil, ExitCode: exitCodeFor(res.Err),
+			Host: n.Hostname(), Duration: res.Duration(),
+			DispatchDelay: ft.dispatchDelay,
+			End:           simWall(res.End)})
+	}
+	st.slots.PutNow(ft.slot)
+	st.wg.Done()
+	st.free = append(st.free, ft)
+}
+
 // RunParallel simulates one GNU-Parallel-style instance executing tasks on
 // node n, called from process p (the "driver" shell). It blocks p until
 // every task completes, mirroring `parallel -jN cmd ::: inputs` in a
@@ -107,6 +239,11 @@ func (r *Report) Makespan() time.Duration {
 // launch (the measured ~2.1ms that bounds one instance at ~470 procs/s),
 // while launch work node-wide is capped by the node's Launch capacity
 // (which bounds many instances at ~6,400 procs/s, Fig 3).
+//
+// Tasks whose work is expressible as a straight-line flow — a nil or
+// FlowPayload payload with no container runtime, core accounting, or
+// staging — execute on the goroutine-free flow path; everything else
+// runs as a full simulated process.
 func (n *Node) RunParallel(p *sim.Proc, cfg InstanceConfig, tasks []Task) *Report {
 	jobs := cfg.Jobs
 	if jobs <= 0 {
@@ -131,6 +268,9 @@ func (n *Node) RunParallel(p *sim.Proc, cfg InstanceConfig, tasks []Task) *Repor
 		// one allocation, not a realloc-and-copy ladder.
 		rep.Results = make([]TaskResult, 0, len(tasks))
 	}
+	st := &instRun{n: n, rep: rep, slots: slots, wg: wg,
+		onResult: cfg.OnResult, onEvent: cfg.OnEvent, collect: cfg.Collect}
+	flowEligible := cfg.Runtime == nil && !cfg.UseCores
 
 	for i := range tasks {
 		task := tasks[i]
@@ -153,6 +293,16 @@ func (n *Node) RunParallel(p *sim.Proc, cfg InstanceConfig, tasks []Task) *Repor
 		if cfg.OnEvent != nil {
 			cfg.OnEvent(core.Event{Type: core.EventStarted, Seq: task.Seq, Slot: slot,
 				Attempt: 1, Time: simWall(p.Now())})
+		}
+
+		if flowEligible && task.Payload == nil && task.StageIn == 0 && task.StageOut == 0 {
+			st.launch(task, slot, dispatchDelay)
+			continue
+		}
+		if task.FlowPayload != nil {
+			// Falling through to the process path would silently skip
+			// the flow payload's work; make the misconfiguration loud.
+			panic("cluster: Task.FlowPayload requires a flow-eligible config (no Runtime, no UseCores) and no Payload/staging")
 		}
 
 		e.Spawn("task", func(cp *sim.Proc) {
@@ -282,16 +432,16 @@ func NullTasks(n int) []Task {
 }
 
 // SleepTasks builds n tasks that each hold a slot for the given duration
-// drawn per task by dur (e.g. a distribution closure).
+// drawn per task by dur (e.g. a distribution closure). The tasks run on
+// the lightweight flow path.
 func SleepTasks(n int, dur func(i int) time.Duration) []Task {
 	tasks := make([]Task, n)
 	for i := range tasks {
 		d := dur(i)
 		tasks[i] = Task{
 			Seq: i + 1,
-			Payload: func(p *sim.Proc, tc TaskContext) error {
-				p.Sleep(d)
-				return nil
+			FlowPayload: func(fl *sim.Flow, tc TaskContext) {
+				fl.Sleep(d)
 			},
 		}
 	}

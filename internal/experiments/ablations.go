@@ -95,17 +95,19 @@ func ablationDispatchTable(opts Options) *metrics.Table {
 	}
 	t := metrics.NewTable("Ablation: dispatch-cost sensitivity (single instance, 256-thread node)",
 		"dispatch_cost_ms", "procs_per_sec", "min_task_ms_for_full_util")
-	for i, cost := range costs {
+	rates := make([]float64, len(costs))
+	sweep(len(costs), opts.Workers, func(i int) {
 		e := sim.NewEngine(opts.Seed + 91 + uint64(i))
 		c := cluster.New(e, cluster.PerlmutterCPU(), 1)
 		e.Spawn("driver", func(p *sim.Proc) {
-			c.Nodes[0].RunParallel(p, cluster.InstanceConfig{Jobs: 256, DispatchCost: cost},
+			c.Nodes[0].RunParallel(p, cluster.InstanceConfig{Jobs: 256, DispatchCost: costs[i]},
 				cluster.NullTasks(perInstance))
 		})
-		end := e.Run()
-		rate := metrics.Rate(perInstance, end)
+		rates[i] = metrics.Rate(perInstance, e.Run())
+	})
+	for i, cost := range costs {
 		t.AddRow(fmt.Sprintf("%.3f", cost.Seconds()*1000),
-			fmt.Sprintf("%.0f", rate), fmt.Sprintf("%.0f", 256/rate*1000))
+			fmt.Sprintf("%.0f", rates[i]), fmt.Sprintf("%.0f", 256/rates[i]*1000))
 	}
 	t.AddNote("at the calibrated 2.128ms (GNU Parallel's measured cost) the floor is ~545ms, the paper's Fig 3 number")
 	return t
@@ -129,14 +131,13 @@ func ablationNVMeTable(opts Options) *metrics.Table {
 			e.Spawn(node.Hostname(), func(np *sim.Proc) {
 				tasks := make([]cluster.Task, 128)
 				for t := range tasks {
-					tasks[t] = cluster.Task{Payload: func(tp *sim.Proc, tc cluster.TaskContext) error {
-						tp.Sleep(100 * time.Millisecond)
+					tasks[t] = cluster.Task{FlowPayload: func(fl *sim.Flow, tc cluster.TaskContext) {
+						fl.Sleep(100 * time.Millisecond)
 						if toLustre {
-							c.Lustre.CreateAndWrite(tp, 256)
+							c.Lustre.FlowCreateAndWrite(fl, 256)
 						} else {
-							tc.Node.NVMe.CreateAndWrite(tp, 256)
+							tc.Node.NVMe.FlowCreateAndWrite(fl, 256)
 						}
-						return nil
 					}}
 				}
 				node.RunParallel(np, cluster.InstanceConfig{Jobs: 128}, tasks)
@@ -148,8 +149,14 @@ func ablationNVMeTable(opts Options) *metrics.Table {
 		}
 		return e.Run()
 	}
-	nvme := run(false)
-	lustre := run(true)
+	var nvme, lustre time.Duration
+	sweep(2, opts.Workers, func(i int) {
+		if i == 0 {
+			nvme = run(false)
+		} else {
+			lustre = run(true)
+		}
+	})
 	t := metrics.NewTable("Ablation: per-task stdout to NVMe (staged) vs directly to Lustre",
 		"strategy", "nodes", "tasks", "makespan_s")
 	t.AddRow("NVMe + aggregated flush", nodes, nodes*128, fmt.Sprintf("%.1f", nvme.Seconds()))

@@ -18,6 +18,12 @@ type Options struct {
 	// Quick reduces scale (fewer nodes/tasks) for fast runs and tests;
 	// shapes are preserved, absolute counts shrink.
 	Quick bool
+	// Workers bounds how many sweep points (node counts, instance
+	// counts) run concurrently; <=1 means sequential. Each point runs on
+	// its own engine with a seed derived only from (Seed, point), so
+	// results are bit-identical at any worker count — parallelism is
+	// purely a wall-clock lever.
+	Workers int
 }
 
 // DefaultOptions is the full-scale deterministic configuration.

@@ -39,12 +39,16 @@ func Fig1WeakScaling(opts Options) []Fig1Row {
 	if opts.Quick {
 		counts = fig1QuickNodeCounts
 	}
-	rows := make([]Fig1Row, 0, len(counts))
-	for _, n := range counts {
-		rows = append(rows, fig1Run(opts, n))
-	}
+	rows := make([]Fig1Row, len(counts))
+	sweep(len(counts), opts.Workers, func(i int) {
+		rows[i] = fig1Run(opts, counts[i])
+	})
 	return rows
 }
+
+// Fig1Point runs a single node-count point of the weak-scaling study —
+// the entry used by the full-scale smoke test and benchmark harness.
+func Fig1Point(opts Options, nodes int) Fig1Row { return fig1Run(opts, nodes) }
 
 func fig1Run(opts Options, nodes int) Fig1Row {
 	e := sim.NewEngine(opts.Seed + uint64(nodes))
@@ -90,10 +94,11 @@ func fig1Run(opts Options, nodes int) Fig1Row {
 				tasks := make([]cluster.Task, fig1TasksPerNode)
 				for t := range tasks {
 					d := time.Duration(payloadRNG.LogNormal(-1.6, 0.5) * float64(time.Second))
-					tasks[t] = cluster.Task{Payload: func(tp *sim.Proc, tc cluster.TaskContext) error {
-						tp.Sleep(d) // the hostname+date one-liner
-						tc.Node.NVMe.CreateAndWrite(tp, 256)
-						return nil
+					// Flow payload: the million-task hot loop runs with
+					// no goroutine per task (see sim.Flow).
+					tasks[t] = cluster.Task{FlowPayload: func(fl *sim.Flow, tc cluster.TaskContext) {
+						fl.Sleep(d) // the hostname+date one-liner
+						tc.Node.NVMe.FlowCreateAndWrite(fl, 256)
 					}}
 				}
 				node.RunParallel(np, cluster.InstanceConfig{

@@ -63,8 +63,12 @@ func fig3Table(opts Options) *metrics.Table {
 	}
 	t := metrics.NewTable("Fig 3: max tasks launched per second on Perlmutter (bare metal)",
 		"instances", "-j", "tasks", "procs_per_sec", "min_task_ms_for_full_util")
-	for _, inst := range []int{1, 2, 4, 8, 16, 32} {
-		r := launchRateRun(opts.Seed+uint64(inst), inst, 16, perInstance, nil)
+	insts := []int{1, 2, 4, 8, 16, 32}
+	rows := make([]RateRow, len(insts))
+	sweep(len(insts), opts.Workers, func(i int) {
+		rows[i] = launchRateRun(opts.Seed+uint64(insts[i]), insts[i], 16, perInstance, nil)
+	})
+	for _, r := range rows {
 		t.AddRow(r.Instances, r.Jobs, r.Tasks,
 			fmt.Sprintf("%.0f", r.RateProcsPerSec), fmt.Sprintf("%.0f", r.MinTaskMS))
 	}
@@ -79,10 +83,21 @@ func fig4Table(opts Options) *metrics.Table {
 	}
 	t := metrics.NewTable("Fig 4: Shifter container launches per second (one Perlmutter CPU node)",
 		"instances", "runtime", "procs_per_sec")
+	insts := []int{1, 4, 16, 32}
+	// Two independent engines per instance count: even indices bare
+	// metal, odd indices Shifter.
+	rows := make([]RateRow, 2*len(insts))
+	sweep(len(rows), opts.Workers, func(i int) {
+		inst := insts[i/2]
+		if i%2 == 0 {
+			rows[i] = launchRateRun(opts.Seed+uint64(inst)*3, inst, 16, perInstance, nil)
+		} else {
+			rows[i] = launchRateRun(opts.Seed+uint64(inst)*3+1, inst, 16, perInstance, container.Shifter)
+		}
+	})
 	var bareMax, shifterMax float64
-	for _, inst := range []int{1, 4, 16, 32} {
-		bare := launchRateRun(opts.Seed+uint64(inst)*3, inst, 16, perInstance, nil)
-		shift := launchRateRun(opts.Seed+uint64(inst)*3+1, inst, 16, perInstance, container.Shifter)
+	for i, inst := range insts {
+		bare, shift := rows[2*i], rows[2*i+1]
 		if bare.RateProcsPerSec > bareMax {
 			bareMax = bare.RateProcsPerSec
 		}
@@ -108,8 +123,12 @@ func fig5Table(opts Options) *metrics.Table {
 	}
 	t := metrics.NewTable("Fig 5: Podman-HPC containers launched per second (one Perlmutter CPU node)",
 		"-j", "tasks", "procs_per_sec", "failures")
-	for _, jobs := range []int{2, 4, 8, 16, 32} {
-		r := launchRateRun(opts.Seed+uint64(jobs)*11, 4, jobs, perInstance, container.PodmanHPC)
+	jobCounts := []int{2, 4, 8, 16, 32}
+	rows := make([]RateRow, len(jobCounts))
+	sweep(len(jobCounts), opts.Workers, func(i int) {
+		rows[i] = launchRateRun(opts.Seed+uint64(jobCounts[i])*11, 4, jobCounts[i], perInstance, container.PodmanHPC)
+	})
+	for _, r := range rows {
 		t.AddRow(r.Jobs, r.Tasks, fmt.Sprintf("%.0f", r.RateProcsPerSec), r.Failures)
 	}
 	t.AddNote("paper: ceiling ~65/s regardless of -j (two orders of magnitude below Shifter), with namespace/DB-lock/setgid/tmp-dir failures at larger scales")

@@ -1,0 +1,19 @@
+package experiments
+
+import "testing"
+
+// BenchmarkFig1FullScalePoint times one full-scale Fig 1 point — 9,000
+// Frontier nodes x 128 tasks, 1.152M simulated tasks — end to end.
+// benchjson pins it to -benchtime=1x (one simulation per run); ns/op is
+// then the wall-clock seconds of the paper's largest experiment, and
+// tasks/s is the kernel's end-to-end model throughput.
+func BenchmarkFig1FullScalePoint(b *testing.B) {
+	const nodes = 9000
+	for i := 0; i < b.N; i++ {
+		row := Fig1Point(DefaultOptions(), nodes)
+		if row.Tasks != nodes*fig1TasksPerNode {
+			b.Fatalf("task count = %d, want %d", row.Tasks, nodes*fig1TasksPerNode)
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(nodes*fig1TasksPerNode)/b.Elapsed().Seconds(), "tasks/s")
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// fullScaleBudget is the wall-clock ceiling for one full-scale Fig 1
+// point in CI. The 9,000-node point simulates 1.152M tasks (the paper's
+// largest run); on the rewritten kernel it completes in single-digit
+// seconds, so the budget leaves an order of magnitude of headroom for
+// slow CI hosts while still catching kernel-throughput regressions.
+const fullScaleBudget = 120 * time.Second
+
+// TestFullScaleFig1Point runs the paper's largest weak-scaling point —
+// 9,000 Frontier nodes x 128 tasks — end to end, proving full-scale
+// experiments fit in CI rather than only the 1/10-scale quick mode.
+func TestFullScaleFig1Point(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale point skipped in -short mode")
+	}
+	if raceEnabled {
+		// The kernel is a single-goroutine event loop at this scale;
+		// race instrumentation multiplies wall time without adding
+		// coverage beyond the quick-scale tests that do run under
+		// -race. CI runs this test in a separate non-race step.
+		t.Skip("full-scale point skipped under -race")
+	}
+	start := time.Now()
+	row := Fig1Point(DefaultOptions(), 9000)
+	wall := time.Since(start)
+	t.Logf("9000 nodes, %d tasks: wall %.2fs, median %.1fs, p90 %.1fs, max %.1fs",
+		row.Tasks, wall.Seconds(), row.Median, row.P90, row.Max)
+
+	if row.Tasks != 9000*fig1TasksPerNode {
+		t.Fatalf("task count = %d, want %d", row.Tasks, 9000*fig1TasksPerNode)
+	}
+	// Sanity-check the row against the paper's headline shape: median
+	// well under a minute, a heavy max tail of several hundred seconds
+	// (paper: 561s at 9,000 nodes).
+	if row.Median <= 0 || row.Median > 60 {
+		t.Errorf("median %.1fs out of range (paper: <60s)", row.Median)
+	}
+	if row.Max < 100 || row.Max > 600 {
+		t.Errorf("max %.1fs out of range (paper: 561s tail)", row.Max)
+	}
+	if row.P25 > row.Median || row.Median > row.P75 || row.P75 > row.P90 || row.P90 > row.Max {
+		t.Errorf("percentiles not monotone: %+v", row)
+	}
+	if wall > fullScaleBudget {
+		t.Errorf("full-scale point took %.1fs, budget %.0fs", wall.Seconds(), fullScaleBudget.Seconds())
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// Golden digests of seeded experiment output, captured on the
+// pre-rewrite (container/heap + goroutine-per-task) simulation kernel.
+// They pin the determinism contract across kernel changes: the value of
+// every Fig 1 / Fig 3 row is a pure function of the seed, so any event
+// reordering introduced by a performance rewrite shows up here as a
+// digest mismatch before it can silently shift calibrated results.
+const (
+	goldenFig1Quick = "97dec351d8f30c6b094557dd0aae6d69bb6b217fb8c7c51a11ba07a743384813"
+	goldenFig3      = "1c6c6da503bb7a7cfa27af5d7c269e380dc3bfd09315eef0a14a8d3f32a43ce3"
+)
+
+func digestFig1(opts Options) string {
+	rows := Fig1WeakScaling(opts)
+	h := sha256.New()
+	for _, r := range rows {
+		fmt.Fprintf(h, "%d %d %.6f %.6f %.6f %.6f %.6f\n", r.Nodes, r.Tasks, r.P25, r.Median, r.P75, r.P90, r.Max)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func digestFig3(opts Options) string {
+	h := sha256.New()
+	for _, inst := range []int{1, 2, 4, 8} {
+		r := launchRateRun(opts.Seed+uint64(inst), inst, 16, 400, nil)
+		fmt.Fprintf(h, "%d %d %d %.9f %.9f %d\n", r.Instances, r.Jobs, r.Tasks, r.RateProcsPerSec, r.MinTaskMS, r.Failures)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestGoldenDigests locks seeded results to the digests captured before
+// the kernel rewrite (value-heap events, pooled processes, flow tasks):
+// same seed, byte-identical rows.
+func TestGoldenDigests(t *testing.T) {
+	if got := digestFig1(Options{Seed: 2024, Quick: true}); got != goldenFig1Quick {
+		t.Errorf("fig1 quick digest changed:\n got  %s\n want %s", got, goldenFig1Quick)
+	}
+	if got := digestFig3(Options{Seed: 2024}); got != goldenFig3 {
+		t.Errorf("fig3 digest changed:\n got  %s\n want %s", got, goldenFig3)
+	}
+}
+
+// TestSweepParallelBitIdentical verifies that running sweep points on a
+// worker pool is purely a wall-clock lever: every point runs on its own
+// engine seeded only by (Seed, point), so the rows — and therefore the
+// digest — cannot depend on the worker count.
+func TestSweepParallelBitIdentical(t *testing.T) {
+	seq := digestFig1(Options{Seed: 2024, Quick: true, Workers: 1})
+	par := digestFig1(Options{Seed: 2024, Quick: true, Workers: 4})
+	if seq != par {
+		t.Fatalf("parallel sweep changed results:\n sequential %s\n workers=4  %s", seq, par)
+	}
+	if seq != goldenFig1Quick {
+		t.Fatalf("sequential sweep digest %s != golden %s", seq, goldenFig1Quick)
+	}
+}

@@ -30,3 +30,37 @@ var (
 	mkShifter = containerShifter
 	mkPodman  = containerPodman
 )
+
+// sweep runs fn(0..n-1) on at most workers concurrent goroutines and
+// waits for all of them. Each index must be independent (its own engine,
+// its own output slot); callers write results by index so the output
+// order — and, with per-point seeding, the bytes — never depend on the
+// worker count. workers <= 1 degrades to a plain sequential loop.
+func sweep(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range idx {
+				fn(i)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}

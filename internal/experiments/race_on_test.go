@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled lets the full-scale smoke test skip its wall-clock budget
+// when race-detector instrumentation (every channel handoff is traced)
+// multiplies the kernel's event cost.
+const raceEnabled = true

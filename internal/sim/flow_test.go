@@ -1,0 +1,301 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFlowBasicSequence(t *testing.T) {
+	e := NewEngine(1)
+	var doneAt Time
+	calls := 0
+	fl := e.NewFlow()
+	fl.Sleep(2 * time.Second)
+	fl.Do(func() { calls++ })
+	fl.Sleep(3 * time.Second)
+	fl.Do(func() { calls++; doneAt = e.Now() })
+	fl.Start()
+	if e.LiveProcs() != 1 {
+		t.Fatalf("started flow not counted live: %d", e.LiveProcs())
+	}
+	e.Run()
+	if calls != 2 || doneAt != 5*time.Second {
+		t.Fatalf("calls=%d doneAt=%v, want 2 calls at 5s", calls, doneAt)
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("finished flow still live: %d", e.LiveProcs())
+	}
+}
+
+// TestFlowMatchesProcTiming runs the same contended model once with
+// goroutine processes and once with flows, on identically seeded
+// engines, and requires identical completion times — the bit-identity
+// contract that lets models switch hot loops to the flow path.
+func TestFlowMatchesProcTiming(t *testing.T) {
+	const workers = 16
+	const slots = 3
+	model := func(useFlow bool) []Time {
+		e := NewEngine(42)
+		r := NewResource(e, slots)
+		rng := e.RNG().Split("work")
+		ends := make([]Time, 0, workers)
+		record := func() { ends = append(ends, e.Now()) }
+		for i := 0; i < workers; i++ {
+			if useFlow {
+				fl := e.NewFlow()
+				fl.Acquire(r, 1)
+				fl.SleepFn(func() time.Duration { return rng.DurExp(100 * time.Millisecond) })
+				fl.Release(r, 1)
+				fl.Do(record)
+				fl.Start()
+			} else {
+				e.Spawn("w", func(p *Proc) {
+					r.Acquire(p, 1)
+					p.Sleep(rng.DurExp(100 * time.Millisecond))
+					r.Release(1)
+					record()
+				})
+			}
+		}
+		e.Run()
+		return ends
+	}
+	procEnds := model(false)
+	flowEnds := model(true)
+	if len(procEnds) != workers || len(flowEnds) != workers {
+		t.Fatalf("lengths %d / %d, want %d", len(procEnds), len(flowEnds), workers)
+	}
+	for i := range procEnds {
+		if procEnds[i] != flowEnds[i] {
+			t.Fatalf("diverged at %d: proc %v vs flow %v", i, procEnds[i], flowEnds[i])
+		}
+	}
+}
+
+func TestFlowGuardSkipsToFinally(t *testing.T) {
+	e := NewEngine(1)
+	var trace []string
+	fl := e.NewFlow()
+	fl.Do(func() { trace = append(trace, "pre") })
+	fl.Guard(func() bool { return false })
+	fl.Do(func() { trace = append(trace, "skipped") })
+	fl.Sleep(time.Hour)
+	fl.Finally()
+	fl.Do(func() { trace = append(trace, "finally") })
+	fl.Start()
+	end := e.Run()
+	if end != 0 {
+		t.Fatalf("end = %v, want 0 (guarded sleep skipped)", end)
+	}
+	if len(trace) != 2 || trace[0] != "pre" || trace[1] != "finally" {
+		t.Fatalf("trace = %v, want [pre finally]", trace)
+	}
+}
+
+func TestFlowGuardTruePassesThrough(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	fl := e.NewFlow()
+	fl.Guard(func() bool { return true })
+	fl.Sleep(time.Second)
+	fl.Do(func() { ran = true })
+	fl.Start()
+	if end := e.Run(); end != time.Second || !ran {
+		t.Fatalf("end=%v ran=%v, want 1s true", end, ran)
+	}
+}
+
+func TestFlowGuardNoFinallySkipsToEnd(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	fl := e.NewFlow()
+	fl.Guard(func() bool { return false })
+	fl.Do(func() { ran = true })
+	fl.Start()
+	e.Run()
+	if ran {
+		t.Fatal("guarded step ran with no Finally mark")
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("flow leaked: %d", e.LiveProcs())
+	}
+}
+
+func TestFlowPooling(t *testing.T) {
+	e := NewEngine(1)
+	a := e.NewFlow()
+	a.Sleep(time.Second)
+	a.Start()
+	e.Run()
+	b := e.NewFlow()
+	if a != b {
+		t.Fatalf("Flow struct not recycled: %p vs %p", a, b)
+	}
+	// The recycled program must start empty.
+	b.Do(func() {})
+	b.Start()
+	e.Run()
+	if e.LiveProcs() != 0 {
+		t.Fatalf("live = %d", e.LiveProcs())
+	}
+}
+
+func TestFlowStartTwicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("double Start did not panic")
+		}
+	}()
+	e := NewEngine(1)
+	fl := e.NewFlow()
+	fl.Sleep(time.Second)
+	fl.Start()
+	fl.Start()
+}
+
+func TestFlowAndProcShareResourceFIFO(t *testing.T) {
+	// Flows and processes queue on the same resource; grants must honor
+	// arrival order regardless of waiter kind.
+	e := NewEngine(1)
+	r := NewResource(e, 1)
+	var order []string
+	// Holder keeps the resource busy until t=1s so all others queue.
+	e.Spawn("hold", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Sleep(time.Second)
+		r.Release(1)
+	})
+	e.SpawnAt(time.Millisecond, "p1", func(p *Proc) {
+		r.Acquire(p, 1)
+		order = append(order, "proc1")
+		p.Sleep(time.Second)
+		r.Release(1)
+	})
+	e.At(2*time.Millisecond, func() {
+		fl := e.NewFlow()
+		fl.Acquire(r, 1)
+		fl.Do(func() { order = append(order, "flow") })
+		fl.Sleep(time.Second)
+		fl.Release(r, 1)
+		fl.Start()
+	})
+	e.SpawnAt(3*time.Millisecond, "p2", func(p *Proc) {
+		r.Acquire(p, 1)
+		order = append(order, "proc2")
+		r.Release(1)
+	})
+	e.Run()
+	want := []string{"proc1", "flow", "proc2"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFlowSleepFnDrawsAtExecution(t *testing.T) {
+	// The duration callback must run when the step executes, not when
+	// the program is built — the property that keeps RNG draw order
+	// identical to process code.
+	e := NewEngine(1)
+	var drawnAt Time = -1
+	fl := e.NewFlow()
+	fl.Sleep(5 * time.Second)
+	fl.SleepFn(func() time.Duration {
+		drawnAt = e.Now()
+		return time.Second
+	})
+	fl.Start()
+	if drawnAt != -1 {
+		t.Fatal("SleepFn callback ran at build time")
+	}
+	if end := e.Run(); end != 6*time.Second {
+		t.Fatalf("end = %v, want 6s", end)
+	}
+	if drawnAt != 5*time.Second {
+		t.Fatalf("draw happened at %v, want 5s", drawnAt)
+	}
+}
+
+func TestFlowSleepSizedAndDoSized(t *testing.T) {
+	e := NewEngine(1)
+	var recorded int64
+	dur := func(sz int64) time.Duration { return time.Duration(sz) * time.Millisecond }
+	rec := func(sz int64) { recorded += sz }
+	fl := e.NewFlow()
+	fl.SleepSized(dur, 250)
+	fl.DoSized(rec, 250)
+	fl.Start()
+	if end := e.Run(); end != 250*time.Millisecond {
+		t.Fatalf("end = %v, want 250ms", end)
+	}
+	if recorded != 250 {
+		t.Fatalf("recorded = %d, want 250", recorded)
+	}
+}
+
+func TestFlowZeroAllocSteadyState(t *testing.T) {
+	// With pre-bound callbacks, a recycled flow program must execute
+	// without allocating: pooled struct, reused step slice, value
+	// events.
+	e := NewEngine(1)
+	r := NewResource(e, 2)
+	fn := func() {}
+	// Warm-up: grow the step slice, the heap, and the pool.
+	for i := 0; i < 8; i++ {
+		fl := e.NewFlow()
+		fl.Sleep(time.Microsecond)
+		fl.Acquire(r, 1)
+		fl.Sleep(time.Microsecond)
+		fl.Release(r, 1)
+		fl.Do(fn)
+		fl.Start()
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(500, func() {
+		fl := e.NewFlow()
+		fl.Sleep(time.Microsecond)
+		fl.Acquire(r, 1)
+		fl.Sleep(time.Microsecond)
+		fl.Release(r, 1)
+		fl.Do(fn)
+		fl.Start()
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("allocs per flow task = %.1f, want 0", allocs)
+	}
+}
+
+func TestStorePutNow(t *testing.T) {
+	e := NewEngine(1)
+	st := NewStore[int](e, 2)
+	var got []int
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 2; i++ {
+			v, _ := st.Get(p)
+			got = append(got, v)
+		}
+	})
+	e.At(time.Second, func() { st.PutNow(7) })
+	e.At(2*time.Second, func() { st.PutNow(8) })
+	e.Run()
+	if len(got) != 2 || got[0] != 7 || got[1] != 8 {
+		t.Fatalf("got %v, want [7 8]", got)
+	}
+}
+
+func TestStorePutNowFullPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PutNow on full store did not panic")
+		}
+	}()
+	e := NewEngine(1)
+	st := NewStore[int](e, 1)
+	st.PutNow(1)
+	st.PutNow(2)
+}

@@ -3,22 +3,31 @@
 // container runtimes) at scales far beyond what the local machine can run
 // for real.
 //
-// The kernel has two layers:
+// The kernel has three layers:
 //
-//   - An event layer: a binary-heap event queue keyed by (time, sequence)
-//     with a virtual clock. Callbacks scheduled with At/After run in the
-//     engine goroutine in deterministic order.
+//   - An event layer: a hand-rolled 4-ary min-heap of event values keyed
+//     by (time, sequence) with a virtual clock. Callbacks scheduled with
+//     At/After run in the engine goroutine in deterministic order.
+//     Events are stored by value (no boxing, no per-event allocation in
+//     steady state), so the event layer sustains tens of millions of
+//     events per second — it is the load generator for every full-scale
+//     experiment.
 //
 //   - A process layer (see Proc): simulated processes are goroutines that
 //     cooperate with the engine through strict channel handoff, so exactly
 //     one goroutine — either the engine or a single process — runs at any
-//     moment. Results are bit-for-bit reproducible for a given seed.
+//     moment. Proc structs and their resume channels are pooled across
+//     spawns. Results are bit-for-bit reproducible for a given seed.
+//
+//   - A lightweight flow layer (see Flow): straight-line "sleep → do →
+//     done" activities run as chained event callbacks with no goroutine
+//     and no channel handoffs, which is what makes million-task model
+//     loops cheap. Flows and their step programs are pooled.
 //
 // Virtual time is a time.Duration offset from the simulation epoch.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -31,43 +40,50 @@ type Time = time.Duration
 // Forever is a sentinel meaning "no deadline".
 const Forever Time = math.MaxInt64
 
+// event is one scheduled callback, stored by value inside the heap
+// slice. The (at, seq) pair is the total order: seq breaks ties so
+// same-timestamp events fire in scheduling order (FIFO).
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether a fires before b in the deterministic order.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
+
+// heapArity is the fan-out of the event heap. A 4-ary heap does ~half
+// the levels of a binary heap per sift at the cost of up to three extra
+// comparisons per level; for the kernel's push/pop mix (every event is
+// pushed and popped exactly once) the shallower tree wins, and the wider
+// nodes are friendlier to the cache since siblings share lines.
+const heapArity = 4
 
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; construct with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
+	now Time
+	seq uint64
+	// events is a heapArity-ary min-heap of event values ordered by
+	// (at, seq). Index 0 is the root. No element holds its own index:
+	// the kernel never removes from the middle, so events are
+	// "index-free" and can be moved with plain copies.
+	events  []event
 	yield   chan struct{}
 	rng     *RNG
 	running bool
-	// nproc counts live (spawned, unfinished) processes, for diagnostics.
+	// nproc counts live (spawned, unfinished) processes and flows, for
+	// diagnostics.
 	nproc int
+	// procFree recycles Proc structs (and their resume channels) across
+	// spawns; flowFree recycles Flow state across runs.
+	procFree []*Proc
+	flowFree []*Flow
 }
 
 // NewEngine returns an engine whose clock starts at 0 and whose random
@@ -87,13 +103,15 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) RNG() *RNG { return e.rng }
 
 // At schedules fn to run at virtual time t. Scheduling in the past panics:
-// it indicates a logic error in the model.
+// it indicates a logic error in the model. At performs no allocation in
+// steady state (the heap slice grows amortized with the high-water mark
+// of pending events).
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current virtual time. Negative d is
@@ -105,13 +123,68 @@ func (e *Engine) After(d time.Duration, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// push inserts ev, sifting the hole up from the new leaf.
+func (e *Engine) push(ev event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !ev.before(&h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+	e.events = h
+}
+
+// pop removes and returns the earliest event, sifting the displaced last
+// element down from the root.
+func (e *Engine) pop() event {
+	h := e.events
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release the callback reference for GC
+	h = h[:n]
+	e.events = h
+	if n > 0 {
+		i := 0
+		for {
+			child := i*heapArity + 1
+			if child >= n {
+				break
+			}
+			// Find the smallest of up to heapArity children.
+			min := child
+			end := child + heapArity
+			if end > n {
+				end = n
+			}
+			for j := child + 1; j < end; j++ {
+				if h[j].before(&h[min]) {
+					min = j
+				}
+			}
+			if !h[min].before(&last) {
+				break
+			}
+			h[i] = h[min]
+			i = min
+		}
+		h[i] = last
+	}
+	return root
+}
+
 // Step runs the single earliest pending event and reports whether one
 // existed.
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.pop()
 	e.now = ev.at
 	ev.fn()
 	return true
@@ -143,7 +216,7 @@ func (e *Engine) RunUntil(t Time) {
 // Pending reports the number of scheduled, not-yet-fired events.
 func (e *Engine) Pending() int { return len(e.events) }
 
-// LiveProcs reports the number of spawned processes that have not finished.
-// A nonzero value after Run returns usually means processes are deadlocked
-// waiting on signals that will never fire.
+// LiveProcs reports the number of spawned processes and started flows
+// that have not finished. A nonzero value after Run returns usually means
+// processes are deadlocked waiting on signals that will never fire.
 func (e *Engine) LiveProcs() int { return e.nproc }

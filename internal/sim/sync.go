@@ -1,9 +1,16 @@
 package sim
 
+import "repro/internal/ring"
+
 // Synchronization primitives for simulated processes. All wake-ups are
 // funneled through engine events scheduled at the current virtual time, so
 // a process releasing a resource never resumes another process directly;
 // determinism is preserved by the event queue's (time, seq) ordering.
+//
+// Wait queues are ring buffers (internal/ring), not `q = q[1:]` slices:
+// a saturated resource at full scale cycles millions of waiters through a
+// small queue, and slice-shift pops would turn that into repeated
+// realloc-and-copy work for the garbage collector.
 
 // Signal is a one-shot broadcast event: processes Wait until Fire is
 // called; waits after Fire return immediately.
@@ -29,8 +36,7 @@ func (s *Signal) Fire() {
 	ws := s.waiters
 	s.waiters = nil
 	for _, p := range ws {
-		p := p
-		s.e.After(0, p.wake)
+		s.e.After(0, p.wakeFn)
 	}
 }
 
@@ -65,8 +71,7 @@ func (c *Counter) Add(delta int) {
 		ws := c.waiters
 		c.waiters = nil
 		for _, p := range ws {
-			p := p
-			c.e.After(0, p.wake)
+			c.e.After(0, p.wakeFn)
 		}
 	}
 }
@@ -86,9 +91,12 @@ func (c *Counter) Wait(p *Proc) {
 	p.park()
 }
 
+// resWaiter is one queued acquisition: either a parked process (p) or a
+// flow continuation (fn). Exactly one of the two is set.
 type resWaiter struct {
-	p *Proc
-	n int
+	p  *Proc
+	fn func()
+	n  int
 }
 
 // Resource is a counted resource with a FIFO wait queue: CPU cores on a
@@ -97,9 +105,10 @@ type Resource struct {
 	e       *Engine
 	cap     int
 	inUse   int
-	waiters []resWaiter
+	waiters ring.Ring[resWaiter]
 	// granting guards against scheduling redundant dispatch events.
 	granting bool
+	grantFn  func() // pre-bound grant pass, scheduled by scheduleGrant
 }
 
 // NewResource returns a resource with the given capacity. Capacity must be
@@ -108,7 +117,9 @@ func NewResource(e *Engine, capacity int) *Resource {
 	if capacity <= 0 {
 		panic("sim: Resource capacity must be positive")
 	}
-	return &Resource{e: e, cap: capacity}
+	r := &Resource{e: e, cap: capacity}
+	r.grantFn = r.grant
+	return r
 }
 
 // Cap returns the capacity.
@@ -121,7 +132,7 @@ func (r *Resource) InUse() int { return r.inUse }
 func (r *Resource) Available() int { return r.cap - r.inUse }
 
 // QueueLen returns the number of waiting acquisitions.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return r.waiters.Len() }
 
 // Acquire obtains n units for p, parking until available. FIFO order is
 // strict: a large request at the head blocks smaller ones behind it, which
@@ -130,12 +141,28 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	if n <= 0 || n > r.cap {
 		panic("sim: Resource.Acquire n out of range")
 	}
-	if len(r.waiters) == 0 && r.inUse+n <= r.cap {
+	if r.waiters.Len() == 0 && r.inUse+n <= r.cap {
 		r.inUse += n
 		return
 	}
-	r.waiters = append(r.waiters, resWaiter{p: p, n: n})
+	r.waiters.Push(resWaiter{p: p, n: n})
 	p.park()
+}
+
+// AcquireFlow obtains n units for a lightweight activity, invoking fn
+// (in engine context) once granted — immediately when the resource is
+// free, otherwise from a later grant pass. It shares the same strict
+// FIFO queue as process waiters. Flow.Acquire is the usual entry point.
+func (r *Resource) AcquireFlow(n int, fn func()) {
+	if n <= 0 || n > r.cap {
+		panic("sim: Resource.AcquireFlow n out of range")
+	}
+	if r.waiters.Len() == 0 && r.inUse+n <= r.cap {
+		r.inUse += n
+		fn()
+		return
+	}
+	r.waiters.Push(resWaiter{fn: fn, n: n})
 }
 
 // TryAcquire obtains n units without waiting, reporting success.
@@ -143,7 +170,7 @@ func (r *Resource) TryAcquire(n int) bool {
 	if n <= 0 || n > r.cap {
 		panic("sim: Resource.TryAcquire n out of range")
 	}
-	if len(r.waiters) == 0 && r.inUse+n <= r.cap {
+	if r.waiters.Len() == 0 && r.inUse+n <= r.cap {
 		r.inUse += n
 		return true
 	}
@@ -160,22 +187,32 @@ func (r *Resource) Release(n int) {
 }
 
 func (r *Resource) scheduleGrant() {
-	if r.granting || len(r.waiters) == 0 {
+	if r.granting || r.waiters.Len() == 0 {
 		return
 	}
 	r.granting = true
-	r.e.After(0, func() {
-		r.granting = false
-		for len(r.waiters) > 0 {
-			w := r.waiters[0]
-			if r.inUse+w.n > r.cap {
-				break
-			}
-			r.waiters = r.waiters[1:]
-			r.inUse += w.n
-			w.p.wake()
+	r.e.After(0, r.grantFn)
+}
+
+// grant admits queued waiters in FIFO order while capacity allows. It
+// runs as an engine event: waking a process (or running a flow
+// continuation) executes it synchronously until its next park, exactly
+// as the pre-ring implementation did.
+func (r *Resource) grant() {
+	r.granting = false
+	for r.waiters.Len() > 0 {
+		w := r.waiters.Front()
+		if r.inUse+w.n > r.cap {
+			break
 		}
-	})
+		granted := r.waiters.Pop()
+		r.inUse += granted.n
+		if granted.fn != nil {
+			granted.fn()
+		} else {
+			granted.p.wake()
+		}
+	}
 }
 
 // Use acquires n units, runs for d of virtual time, and releases. It is
@@ -192,21 +229,24 @@ func (r *Resource) Use(p *Proc, n int, d Time) {
 type Store[T any] struct {
 	e       *Engine
 	cap     int // 0 = unbounded
-	items   []T
-	getters []*Proc
-	putters []*Proc
+	items   ring.Ring[T]
+	getters ring.Ring[*Proc]
+	putters ring.Ring[*Proc]
 	closed  bool
 	pumping bool
+	pumpFn  func()
 }
 
 // NewStore returns a store with the given capacity; capacity 0 means
 // unbounded.
 func NewStore[T any](e *Engine, capacity int) *Store[T] {
-	return &Store[T]{e: e, cap: capacity}
+	s := &Store[T]{e: e, cap: capacity}
+	s.pumpFn = s.pumpNow
+	return s
 }
 
 // Len returns the number of buffered items.
-func (s *Store[T]) Len() int { return len(s.items) }
+func (s *Store[T]) Len() int { return s.items.Len() }
 
 // Closed reports whether Close has been called.
 func (s *Store[T]) Closed() bool { return s.closed }
@@ -214,10 +254,12 @@ func (s *Store[T]) Closed() bool { return s.closed }
 // Prefill appends items without blocking, for seeding free-lists before
 // processes start. It panics if the items exceed a bounded capacity.
 func (s *Store[T]) Prefill(items ...T) {
-	if s.cap > 0 && len(s.items)+len(items) > s.cap {
+	if s.cap > 0 && s.items.Len()+len(items) > s.cap {
 		panic("sim: Prefill exceeds Store capacity")
 	}
-	s.items = append(s.items, items...)
+	for _, v := range items {
+		s.items.Push(v)
+	}
 	s.pump()
 }
 
@@ -227,29 +269,44 @@ func (s *Store[T]) Put(p *Proc, v T) {
 	if s.closed {
 		panic("sim: Put on closed Store")
 	}
-	for s.cap > 0 && len(s.items) >= s.cap {
-		s.putters = append(s.putters, p)
+	for s.cap > 0 && s.items.Len() >= s.cap {
+		s.putters.Push(p)
 		p.park()
 		if s.closed {
 			panic("sim: Put on closed Store")
 		}
 	}
-	s.items = append(s.items, v)
+	s.items.Push(v)
+	s.pump()
+}
+
+// PutNow appends v from engine context (an event callback or flow step)
+// without a process to park: it panics if the store is full or closed.
+// It is how flows return values — e.g. a finished task handing its slot
+// back to the dispatcher's free-list store, which by construction always
+// has room.
+func (s *Store[T]) PutNow(v T) {
+	if s.closed {
+		panic("sim: PutNow on closed Store")
+	}
+	if s.cap > 0 && s.items.Len() >= s.cap {
+		panic("sim: PutNow on full Store")
+	}
+	s.items.Push(v)
 	s.pump()
 }
 
 // Get removes and returns the oldest item, parking while empty. ok is
 // false if the store was closed and drained.
 func (s *Store[T]) Get(p *Proc) (v T, ok bool) {
-	for len(s.items) == 0 {
+	for s.items.Len() == 0 {
 		if s.closed {
 			return v, false
 		}
-		s.getters = append(s.getters, p)
+		s.getters.Push(p)
 		p.park()
 	}
-	v = s.items[0]
-	s.items = s.items[1:]
+	v = s.items.Pop()
 	s.pump()
 	return v, true
 }
@@ -269,25 +326,23 @@ func (s *Store[T]) pump() {
 	if s.pumping {
 		return
 	}
-	if len(s.getters) == 0 && len(s.putters) == 0 {
+	if s.getters.Len() == 0 && s.putters.Len() == 0 {
 		return
 	}
 	s.pumping = true
-	s.e.After(0, func() {
-		s.pumping = false
-		// Wake getters while items remain (or the store is closed, so
-		// they can observe it and finish).
-		for len(s.getters) > 0 && (len(s.items) > 0 || s.closed) {
-			g := s.getters[0]
-			s.getters = s.getters[1:]
-			g.wake()
-		}
-		// Wake putters while there is room (or closed, so they can
-		// panic visibly rather than hang).
-		for len(s.putters) > 0 && (s.cap == 0 || len(s.items) < s.cap || s.closed) {
-			w := s.putters[0]
-			s.putters = s.putters[1:]
-			w.wake()
-		}
-	})
+	s.e.After(0, s.pumpFn)
+}
+
+func (s *Store[T]) pumpNow() {
+	s.pumping = false
+	// Wake getters while items remain (or the store is closed, so
+	// they can observe it and finish).
+	for s.getters.Len() > 0 && (s.items.Len() > 0 || s.closed) {
+		s.getters.Pop().wake()
+	}
+	// Wake putters while there is room (or closed, so they can
+	// panic visibly rather than hang).
+	for s.putters.Len() > 0 && (s.cap == 0 || s.items.Len() < s.cap || s.closed) {
+		s.putters.Pop().wake()
+	}
 }

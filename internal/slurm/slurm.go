@@ -112,14 +112,16 @@ func (s *Scheduler) Allocate(p *sim.Proc, c *cluster.Cluster, n int) (*Allocatio
 	base := s.rng.Jitter(s.cfg.AllocBase, 0.2)
 	p.Sleep(base)
 
-	a := &Allocation{JobID: s.jobID, Nodes: c.Nodes[:n]}
+	// One up-front allocation: a 9,000-node ReadyAt slice should not be
+	// built by append-growth.
+	a := &Allocation{JobID: s.jobID, Nodes: c.Nodes[:n], ReadyAt: make([]sim.Time, n)}
 	now := p.Now()
 	for i := 0; i < n; i++ {
 		ready := now + sim.Time(i)*s.cfg.AllocPerNode
 		if s.cfg.AllocTailProb > 0 && s.rng.Bernoulli(s.cfg.AllocTailProb) {
 			ready += s.rng.DurExp(s.cfg.AllocTailScale)
 		}
-		a.ReadyAt = append(a.ReadyAt, ready)
+		a.ReadyAt[i] = ready
 	}
 	return a, nil
 }

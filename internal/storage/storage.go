@@ -44,6 +44,13 @@ type FS struct {
 	meta  *sim.Resource
 	rng   *sim.RNG
 	stats Stats
+	// Pre-bound method values handed to flow steps (sim.Flow), so the
+	// Flow* methods append steps without allocating a closure per call.
+	metaDurFn   func() time.Duration
+	transferFn  func(int64) time.Duration
+	recWriteFn  func(int64)
+	recReadFn   func(int64)
+	recMetaOpFn func()
 }
 
 // Stats aggregates filesystem activity.
@@ -65,12 +72,18 @@ func New(e *sim.Engine, cfg Config) *FS {
 	if metaSlots < 1 {
 		metaSlots = 1
 	}
-	return &FS{
+	f := &FS{
 		cfg:  cfg,
 		data: sim.NewResource(e, slots),
 		meta: sim.NewResource(e, metaSlots),
 		rng:  e.RNG().Split("storage/" + cfg.Name),
 	}
+	f.metaDurFn = f.metaDur
+	f.transferFn = f.transferTime
+	f.recWriteFn = f.recordWrite
+	f.recReadFn = f.recordRead
+	f.recMetaOpFn = f.recordMetaOp
+	return f
 }
 
 // Name returns the configured name.
@@ -97,13 +110,19 @@ func (f *FS) transferTime(size int64) time.Duration {
 	return f.rng.Jitter(d, 0.05)
 }
 
+// metaDur draws one metadata service time.
+func (f *FS) metaDur() time.Duration { return f.rng.Jitter(f.cfg.MetadataCost, 0.1) }
+
+func (f *FS) recordWrite(size int64) { f.stats.BytesWritten += size; f.stats.Writes++ }
+func (f *FS) recordRead(size int64)  { f.stats.BytesRead += size; f.stats.Reads++ }
+func (f *FS) recordMetaOp()          { f.stats.MetaOps++ }
+
 // Read performs a size-byte read, blocking p for queueing + service time.
 func (f *FS) Read(p *sim.Proc, size int64) {
 	f.data.Acquire(p, 1)
 	p.Sleep(f.transferTime(size))
 	f.data.Release(1)
-	f.stats.BytesRead += size
-	f.stats.Reads++
+	f.recordRead(size)
 }
 
 // Write performs a size-byte write.
@@ -111,17 +130,16 @@ func (f *FS) Write(p *sim.Proc, size int64) {
 	f.data.Acquire(p, 1)
 	p.Sleep(f.transferTime(size))
 	f.data.Release(1)
-	f.stats.BytesWritten += size
-	f.stats.Writes++
+	f.recordWrite(size)
 }
 
 // MetaOp performs one metadata operation (create/stat/unlink), queueing on
 // the metadata service.
 func (f *FS) MetaOp(p *sim.Proc) {
 	f.meta.Acquire(p, 1)
-	p.Sleep(f.rng.Jitter(f.cfg.MetadataCost, 0.1))
+	p.Sleep(f.metaDur())
 	f.meta.Release(1)
-	f.stats.MetaOps++
+	f.recordMetaOp()
 }
 
 // CreateAndWrite models writing a new file: one metadata op plus the data
@@ -136,6 +154,52 @@ func (f *FS) CreateAndWrite(p *sim.Proc, size int64) {
 func (f *FS) ReadFile(p *sim.Proc, size int64) {
 	f.MetaOp(p)
 	f.Read(p, size)
+}
+
+// --- Flow counterparts ----------------------------------------------------
+//
+// These append the same operations to a lightweight flow program
+// (sim.Flow) instead of blocking a process. Service-time draws happen
+// when the step executes — after the resource grant, exactly where the
+// process versions draw — so a model switched from the Proc methods to
+// the Flow methods produces bit-identical seeded results.
+
+// FlowRead appends a size-byte read to fl.
+func (f *FS) FlowRead(fl *sim.Flow, size int64) {
+	fl.Acquire(f.data, 1)
+	fl.SleepSized(f.transferFn, size)
+	fl.Release(f.data, 1)
+	fl.DoSized(f.recReadFn, size)
+}
+
+// FlowWrite appends a size-byte write to fl.
+func (f *FS) FlowWrite(fl *sim.Flow, size int64) {
+	fl.Acquire(f.data, 1)
+	fl.SleepSized(f.transferFn, size)
+	fl.Release(f.data, 1)
+	fl.DoSized(f.recWriteFn, size)
+}
+
+// FlowMetaOp appends one metadata operation to fl.
+func (f *FS) FlowMetaOp(fl *sim.Flow) {
+	fl.Acquire(f.meta, 1)
+	fl.SleepFn(f.metaDurFn)
+	fl.Release(f.meta, 1)
+	fl.Do(f.recMetaOpFn)
+}
+
+// FlowCreateAndWrite appends a file creation (metadata op + data
+// transfer) to fl — the flow form of CreateAndWrite, for per-task output
+// files in full-scale experiment loops.
+func (f *FS) FlowCreateAndWrite(fl *sim.Flow, size int64) {
+	f.FlowMetaOp(fl)
+	f.FlowWrite(fl, size)
+}
+
+// FlowReadFile appends opening and reading an existing file to fl.
+func (f *FS) FlowReadFile(fl *sim.Flow, size int64) {
+	f.FlowMetaOp(fl)
+	f.FlowRead(fl, size)
 }
 
 // Unlink removes a file (metadata only).

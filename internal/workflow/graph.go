@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/ring"
 )
 
 // Graph composes real executions (typically engine runs) with
@@ -111,10 +113,10 @@ func (g *Graph) validate() error {
 			indeg[name]++
 		}
 	}
-	queue := []string{}
+	var queue ring.Ring[string]
 	for name, d := range indeg {
 		if d == 0 {
-			queue = append(queue, name)
+			queue.Push(name)
 		}
 	}
 	seen := 0
@@ -124,14 +126,13 @@ func (g *Graph) validate() error {
 			dependents[d] = append(dependents[d], name)
 		}
 	}
-	for len(queue) > 0 {
-		name := queue[0]
-		queue = queue[1:]
+	for queue.Len() > 0 {
+		name := queue.Pop()
 		seen++
 		for _, dep := range dependents[name] {
 			indeg[dep]--
 			if indeg[dep] == 0 {
-				queue = append(queue, dep)
+				queue.Push(dep)
 			}
 		}
 	}

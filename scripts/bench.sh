@@ -1,21 +1,24 @@
 #!/bin/sh
-# bench.sh — dispatch hot-path perf harness wrapper.
+# bench.sh — perf harness wrapper.
 #
-# Runs the render/dispatch/pool/real-process microbenchmarks and writes
-# BENCH_pr4.json (procs/s, ns/job, allocs/job per benchmark). With a
-# baseline report as $1, also fails on regression:
+# Runs the render/dispatch/pool/real-process microbenchmarks plus the
+# simulation-kernel suite (events/s, procs/s, flow tasks/s, one
+# full-scale Fig 1 point) and writes BENCH_pr5.json. With a baseline
+# report as $1, also fails on regression (ns/op growth, allocs/op
+# growth, or any */s throughput drop beyond tolerance):
 #
-#   scripts/bench.sh                      # record BENCH_pr4.json
+#   scripts/bench.sh                      # record BENCH_pr5.json
 #   scripts/bench.sh BENCH_baseline.json  # record + gate vs baseline
 #
 # Env:
-#   BENCH_OUT       output path        (default BENCH_pr4.json)
-#   BENCH_TIME      go -benchtime      (default: go's 1s; CI uses 100x)
-#   BENCH_TOLERANCE fractional ns/op slack in gate mode (default 0.25)
+#   BENCH_OUT       output path        (default BENCH_pr5.json)
+#   BENCH_TIME      go -benchtime      (default: go's 1s; CI uses 100x;
+#                   the full-scale Fig 1 point is always pinned to 1x)
+#   BENCH_TOLERANCE fractional slack in gate mode (default 0.25)
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_pr4.json}"
+OUT="${BENCH_OUT:-BENCH_pr5.json}"
 ARGS="-out $OUT"
 [ -n "${BENCH_TIME:-}" ] && ARGS="$ARGS -benchtime $BENCH_TIME"
 [ $# -ge 1 ] && ARGS="$ARGS -check $1 -tolerance ${BENCH_TOLERANCE:-0.25}"
