@@ -4,11 +4,11 @@
 // real-process rate) and the simulation kernel's throughput (events/s,
 // procs/s, flow tasks/s, plus one full-scale Fig 1 point), parses
 // `go test -bench` output, and writes one machine-readable JSON report
-// (BENCH_pr5.json in CI).
+// (BENCH_pr6.json in CI).
 //
 // Usage:
 //
-//	benchjson -out BENCH_pr5.json                 # run + record
+//	benchjson -out BENCH_pr6.json                 # run + record
 //	benchjson -benchtime 100x -out quick.json     # cheap smoke record
 //	benchjson -stdin -out r.json < bench.txt      # parse a saved run
 //	benchjson -out new.json -check old.json       # fail on regression
@@ -20,6 +20,12 @@
 // deterministic), and throughput metrics (any ReportMetric unit ending
 // in "/s") may not drop beyond tolerance — wiring perf into CI as a
 // gate, not just a graph.
+//
+// -check additionally gates the write-ahead log's dispatch overhead
+// from within the new report itself: BenchmarkDispatchWAL/sync=interval
+// divided by .../sync=off must stay under the budget (<5% on multi-core
+// hosts; a relaxed bound on single-core hosts where the group-commit
+// flusher serializes with dispatch — see docs/DURABILITY.md).
 package main
 
 import (
@@ -67,6 +73,9 @@ type Report struct {
 // always runs exactly once.
 var defaultTargets = []struct{ pkg, bench, benchtime string }{
 	{"./internal/tmpl/", "BenchmarkRenderJob", ""},
+	// "BenchmarkDispatch" is a regex prefix: it also runs
+	// BenchmarkDispatchWAL, whose sync=interval/sync=off pair feeds the
+	// WAL-overhead gate in -check mode.
 	{"./internal/core/", "BenchmarkDispatch", ""},
 	{"./internal/dist/", "BenchmarkPoolDispatch", ""},
 	{"./", "BenchmarkFig3RealDispatch", ""},
@@ -78,7 +87,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_pr5.json", "output JSON path (- for stdout)")
+		out       = flag.String("out", "BENCH_pr6.json", "output JSON path (- for stdout)")
 		benchtime = flag.String("benchtime", "", "passed to go test -benchtime (default: go's 1s)")
 		useStdin  = flag.Bool("stdin", false, "parse `go test -bench` output from stdin instead of running")
 		check     = flag.String("check", "", "baseline report to compare against; regressions fail")
@@ -142,7 +151,9 @@ func main() {
 		if err != nil {
 			fatal("loading baseline: %v", err)
 		}
-		if msgs := compare(base, rep, *tolerance); len(msgs) > 0 {
+		msgs := compare(base, rep, *tolerance)
+		msgs = append(msgs, walGuard(rep)...)
+		if len(msgs) > 0 {
 			for _, m := range msgs {
 				fmt.Fprintln(os.Stderr, "REGRESSION:", m)
 			}
@@ -151,6 +162,58 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within %.0f%% of baseline %s\n",
 			len(rep.Benches), *tolerance*100, *check)
 	}
+}
+
+// walGuard enforces the write-ahead log's dispatch-overhead budget from
+// a single report: sync=interval over sync=off, both measured
+// back-to-back in one process so they share the run's noise. The budget
+// depends on the host shape. With two or more CPUs the group-commit
+// flusher runs beside the dispatch pipeline and the hot path only pays
+// two staged appends per job, so interval must stay within 5% of off.
+// On one CPU every flusher cycle is stolen from dispatch — group commit
+// serializes with the work it logs — and the honest bound is the
+// documented 1.6x (see docs/DURABILITY.md for the measured breakdown).
+func walGuard(rep Report) []string {
+	find := func(sub string) (Bench, bool) {
+		for _, b := range rep.Benches {
+			// Names carry a -GOMAXPROCS suffix (e.g. .../sync=off-4).
+			if strings.HasPrefix(b.Name, "BenchmarkDispatchWAL/"+sub) {
+				return b, true
+			}
+		}
+		return Bench{}, false
+	}
+	off, okOff := find("sync=off")
+	ivl, okIvl := find("sync=interval")
+	if !okOff || !okIvl || off.NsPerOp <= 0 {
+		// The core benchmarks weren't part of this run (e.g. -stdin with
+		// a partial capture); nothing to gate.
+		return nil
+	}
+	if ivl.Iters < 100_000 || off.Iters < 100_000 {
+		// Below ~100k jobs the log's fixed costs (open, first flush
+		// tick, initial fsyncs) dominate the per-job tax the budget is
+		// about; a ratio from a smoke run is noise, not a verdict.
+		fmt.Fprintf(os.Stderr, "benchjson: wal overhead gate skipped (%d iters; needs 100000+ to amortize fixed costs)\n",
+			ivl.Iters)
+		return nil
+	}
+	ratio := ivl.NsPerOp / off.NsPerOp
+	limit, shape := 1.05, "multi-core <5% budget"
+	if rep.NumCPU < 2 {
+		// Measured 1.3-1.5x on a 1-vCPU host at 200k-1M jobs; the bound
+		// leaves headroom for shared-runner noise without letting a real
+		// doubling through.
+		limit, shape = 1.75, "single-core serialized bound"
+	}
+	if ratio > limit {
+		return []string{fmt.Sprintf(
+			"wal overhead: sync=interval %.0f ns/op is %.2fx sync=off %.0f ns/op (limit %.2fx, %s)",
+			ivl.NsPerOp, ratio, off.NsPerOp, limit, shape)}
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wal overhead %.2fx sync=off (%s, limit %.2fx)\n",
+		ratio, shape, limit)
+	return nil
 }
 
 // parse extracts benchmark result lines from go test output.

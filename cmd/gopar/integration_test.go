@@ -675,6 +675,14 @@ func buildGopard(t *testing.T, dir string) string {
 // its address plus a channel of its stderr log lines.
 func startGopard(t *testing.T, gopardPath string, argv ...string) (string, chan string) {
 	t.Helper()
+	addr, lines, _ := startGopardProc(t, gopardPath, argv...)
+	return addr, lines
+}
+
+// startGopardProc is startGopard plus the worker's process handle, for
+// tests that kill the worker mid-run (crash harness).
+func startGopardProc(t *testing.T, gopardPath string, argv ...string) (string, chan string, *os.Process) {
+	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -702,7 +710,7 @@ func startGopard(t *testing.T, gopardPath string, argv ...string) (string, chan 
 		close(lines)
 	}()
 	waitForWorker(t, addr)
-	return addr, lines
+	return addr, lines, cmd.Process
 }
 
 func waitForWorker(t *testing.T, addr string) {

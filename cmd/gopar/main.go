@@ -38,6 +38,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/span"
 	"repro/internal/telemetry"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -125,7 +126,9 @@ func run() int {
 		maxLoad   = fs.Float64("load", 0, "pause dispatch while 1-min load average >= this (0 = off)")
 		haltSpec  = fs.String("halt", "", "halt policy: soon|now,fail|success=N or N% (e.g. now,fail=10%)")
 		joblog    = fs.String("joblog", "", "append a GNU-Parallel-format job log to this file")
-		resume    = fs.Bool("resume", false, "skip jobs already completed per --joblog")
+		resume    = fs.Bool("resume", false, "skip jobs already completed per --wal (or --joblog when no --wal)")
+		walDir    = fs.String("wal", "", "record a crash-safe write-ahead run log in this directory")
+		walSync   = fs.String("wal-sync", "interval", `write-ahead log durability: "always", "interval" or "never"`)
 		gpuEnv    = fs.String("gpu-env", "", `set <VENDOR>_VISIBLE_DEVICES from the slot number ("HIP" or "CUDA")`)
 		shell     = fs.Bool("shell", false, "always run commands through /bin/sh -c")
 		discard   = fs.Bool("discard-output", false, "send job stdout/stderr to /dev/null (skips output capture entirely)")
@@ -219,7 +222,10 @@ func run() int {
 	}
 
 	if *joblog != "" {
-		if *resume {
+		// Joblog-based resume is the fallback: when a WAL is configured it
+		// is the authoritative record (it also knows about in-flight jobs
+		// and input drift, which the joblog cannot).
+		if *resume && *walDir == "" {
 			if f, err := os.Open(*joblog); err == nil {
 				entries, perr := core.ParseJoblog(f)
 				f.Close()
@@ -235,7 +241,13 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "gopar:", err)
 			return 2
 		}
-		defer lf.Close()
+		// Sync before close so an orderly shutdown — including one driven
+		// by SIGINT/SIGTERM cancelling the run — leaves the joblog durable
+		// for the next --resume.
+		defer func() {
+			lf.Sync()
+			lf.Close()
+		}()
 		if info, _ := lf.Stat(); info != nil && info.Size() == 0 {
 			core.WriteJoblogHeader(lf)
 		}
@@ -279,8 +291,18 @@ func run() int {
 	// (synchronous tap) plus any streaming sinks (buffered subscription),
 	// so a slow scrape or disk can never stall dispatch.
 	var drainTelemetry func()
+	var reg *telemetry.Registry // non-nil only when telemetry is on
+	// syncClose fsyncs a streaming sink before closing it, so files like
+	// the events/spans JSONL streams survive an interrupted shutdown with
+	// everything the pump delivered on disk.
+	syncClose := func(f *os.File) func() error {
+		return func() error {
+			f.Sync()
+			return f.Close()
+		}
+	}
 	if *metrics != "" || *events != "" || *trace != "" || *spans != "" {
-		reg := telemetry.NewRegistry()
+		reg = telemetry.NewRegistry()
 		bus := telemetry.NewBus()
 		rm := telemetry.NewRunMetrics(reg, spec.Jobs)
 		bus.Tap(rm.Observe)
@@ -312,7 +334,7 @@ func run() int {
 			}
 			sink := telemetry.NewJSONLSink(f)
 			consumers = append(consumers, sink.Consume)
-			closers = append(closers, f.Close)
+			closers = append(closers, syncClose(f))
 		}
 		if *spans != "" {
 			f, cerr := os.Create(*spans)
@@ -324,7 +346,7 @@ func run() int {
 			consumers = append(consumers, rec.Consume)
 			// rec.Close flushes in-flight spans as incomplete records, so
 			// an interrupted (SIGINT/SIGTERM) run's span file still parses.
-			closers = append(closers, rec.Close, f.Close)
+			closers = append(closers, rec.Close, syncClose(f))
 		}
 		if *trace != "" {
 			f, cerr := os.Create(*trace)
@@ -334,7 +356,7 @@ func run() int {
 			}
 			lt := profile.NewLiveTrace(f)
 			consumers = append(consumers, lt.Consume)
-			closers = append(closers, lt.Close, f.Close)
+			closers = append(closers, lt.Close, syncClose(f))
 		}
 		var pumpDone sync.WaitGroup
 		if len(consumers) > 0 {
@@ -355,6 +377,55 @@ func run() int {
 		}
 	}
 
+	// Write-ahead run log: an intent record is appended before each job
+	// is handed to a slot and a completion record when its result is
+	// collected, so a SIGKILL'd run can resume exactly where it died.
+	var walLog *wal.Log
+	if *walDir != "" {
+		if *dryRun {
+			fmt.Fprintln(os.Stderr, "gopar: --wal cannot be combined with --dry-run (it would record intents for jobs that never ran)")
+			return 2
+		}
+		pol, perr := wal.ParseSyncPolicy(*walSync)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "gopar:", perr)
+			return 2
+		}
+		opts := wal.Options{Sync: pol}
+		var wm *telemetry.WalMetrics
+		if reg != nil {
+			wm = telemetry.NewWalMetrics(reg)
+			opts.FsyncObserver = wm.ObserveFsync
+		}
+		l, st, werr := wal.Open(*walDir, opts)
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "gopar:", werr)
+			return 2
+		}
+		walLog = l
+		if wm != nil {
+			wm.RecordReplay(st.Records, st.TornTails)
+		}
+		if prior := len(st.Completed) + len(st.InFlight); prior > 0 {
+			if !*resume {
+				walLog.Close()
+				fmt.Fprintf(os.Stderr, "gopar: %s already holds a run (%d jobs logged); pass --resume to continue it, or point --wal at an empty directory\n",
+					*walDir, prior)
+				return 2
+			}
+			done := st.CompletedOK()
+			fmt.Fprintf(os.Stderr, "gopar: wal resume: %d completed ok (skipped), %d failed and %d in-flight at crash (will re-run)",
+				len(done), len(st.Completed)-len(done), len(st.InFlight))
+			if st.TornTails > 0 {
+				fmt.Fprintf(os.Stderr, "; %d torn segment tail(s) repaired", st.TornTails)
+			}
+			fmt.Fprintln(os.Stderr)
+			spec.ResumeFrom = done
+			spec.WALDigests = st.Digests
+		}
+		spec.WAL = walLog
+	}
+
 	eng, err := core.NewEngine(spec, runner)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gopar:", err)
@@ -371,6 +442,14 @@ func run() int {
 	}
 	if drainTelemetry != nil {
 		drainTelemetry()
+	}
+	// Close the WAL explicitly (not deferred) so a final-flush failure
+	// can still flip the exit code: a run that "succeeded" but could not
+	// make its completions durable must not look resumable-clean.
+	if walLog != nil {
+		if cerr := walLog.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("wal close: %w", cerr)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gopar:", err)

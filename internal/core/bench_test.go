@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/args"
+	"repro/internal/wal"
 )
 
 // BenchmarkDispatchFuncRunner measures the engine's end-to-end per-job
@@ -115,6 +116,51 @@ func BenchmarkDispatchWithEvents(b *testing.B) {
 		b.Fatalf("stats=%+v err=%v", stats, err)
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkDispatchWAL measures the write-ahead log's tax on the
+// dispatch hot path at each sync policy, against the jobs=8 baseline of
+// BenchmarkDispatchFuncRunner. sync=off is that baseline re-measured in
+// the same process (the -check WAL-overhead gate divides interval by
+// off, so both sides must share a run's noise); interval is the default
+// group-commit policy the <5% budget applies to; always pays one fsync
+// per record and is expected to be dominated by the disk barrier.
+func BenchmarkDispatchWAL(b *testing.B) {
+	noop := FuncRunner(func(ctx context.Context, job *Job) ([]byte, error) {
+		return nil, nil
+	})
+	for _, mode := range []string{"off", "interval", "always"} {
+		b.Run("sync="+mode, func(b *testing.B) {
+			spec, err := NewSpec("", 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if mode != "off" {
+				pol, err := wal.ParseSyncPolicy(mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				l, _, err := wal.Open(b.TempDir(), wal.Options{Sync: pol})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer l.Close()
+				spec.WAL = l
+			}
+			eng, err := NewEngine(spec, noop)
+			if err != nil {
+				b.Fatal(err)
+			}
+			items := make([]string, b.N)
+			b.ReportAllocs()
+			b.ResetTimer()
+			stats, _, err := eng.Run(context.Background(), args.Literal(items...))
+			if err != nil || stats.Succeeded != b.N {
+				b.Fatalf("stats=%+v err=%v", stats, err)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
 }
 
 func benchName(k string, v int) string {

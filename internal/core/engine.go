@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/args"
 	"repro/internal/tmpl"
+	"repro/internal/wal"
 )
 
 // Engine executes jobs from an input source across a fixed pool of slots
@@ -93,11 +94,18 @@ type runState struct {
 	inputErr error
 	errOnce  sync.Once
 
+	walErr     error
+	walErrOnce sync.Once
+
 	tracker *progressTracker
 }
 
 func (rs *runState) setInputErr(err error) {
 	rs.errOnce.Do(func() { rs.inputErr = err })
+}
+
+func (rs *runState) setWalErr(err error) {
+	rs.walErrOnce.Do(func() { rs.walErr = err })
 }
 
 // queueDepth sizes the inter-stage buffers: deep enough that stages run
@@ -161,6 +169,8 @@ func (e *Engine) Run(ctx context.Context, src args.Source) (Stats, []Result, err
 
 	var err error
 	switch {
+	case rs.walErr != nil:
+		err = fmt.Errorf("core: write-ahead log: %w", rs.walErr)
 	case rs.inputErr != nil:
 		err = fmt.Errorf("core: input source failed: %w", rs.inputErr)
 	case ctx.Err() != nil && s.Halt.When != HaltNow:
@@ -262,9 +272,30 @@ func (rs *runState) startInput(src args.Source) {
 			if !rs.totalFinal.Load() {
 				rs.total.Add(1)
 			}
+			// Digest checks and the intent append both happen here, on
+			// the single-threaded input goroutine, before pipe mode can
+			// repurpose the record and before any slot sees the job —
+			// an intent is durable (per sync policy) by the time the
+			// job exists in the pipeline.
+			if s.WALDigests != nil {
+				if want, ok := s.WALDigests[seq]; ok && want != 0 {
+					if got := wal.ArgsDigest(rec); got != want {
+						rs.setWalErr(fmt.Errorf(
+							"seq %d: input changed under resume: args digest %016x, log recorded %016x",
+							seq, got, want))
+						return
+					}
+				}
+			}
 			if s.ResumeFrom[seq] {
 				rs.skipped.Add(1)
 				continue
+			}
+			if s.WAL != nil {
+				if werr := s.WAL.AppendIntent(seq, wal.ArgsDigest(rec)); werr != nil {
+					rs.setWalErr(werr)
+					return
+				}
 			}
 			job := getJob(seq, rec)
 			if s.Pipe {
@@ -515,6 +546,18 @@ func (rs *runState) collect(wallStart time.Time) (Stats, []Result, error) {
 		}
 		if s.Joblog != nil {
 			WriteJoblogLine(s.Joblog, res)
+		}
+		if s.WAL != nil && !res.DryRun {
+			// A failure that never produced an exit code (spawn error,
+			// kill, timeout) must not replay as success: record it as a
+			// nonzero exit so resume re-runs the job.
+			exit := res.ExitCode
+			if exit == 0 && !res.OK() {
+				exit = -1
+			}
+			if werr := s.WAL.AppendCompletion(res.Job.Seq, exit, res.Duration(), res.Host); werr != nil {
+				rs.setWalErr(werr)
+			}
 		}
 		if s.OnResult != nil {
 			s.OnResult(res)

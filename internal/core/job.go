@@ -43,6 +43,12 @@ type Result struct {
 	Err error
 	// Stdout and Stderr are the captured, grouped output.
 	Stdout, Stderr []byte
+	// StdinSent is the number of stdin bytes actually delivered to the
+	// process (the joblog Send column). It can be less than
+	// len(Job.Stdin) when the process exits without draining its input.
+	// Zero for runners that do not count (FuncRunner, pre-span dist
+	// workers); the joblog falls back to len(Job.Stdin) there.
+	StdinSent int
 	// Start and End are wall-clock bounds of the last attempt.
 	Start, End time.Time
 	// Attempts is the number of times the job ran (>1 after retries).

@@ -49,12 +49,19 @@ func WriteJoblogLine(w io.Writer, res Result) {
 	if runtime < 0 {
 		runtime = 0
 	}
+	// Send is the stdin bytes actually delivered when the runner counted
+	// them; runners that predate counting report the full input size,
+	// matching GNU Parallel's transfer accounting.
+	send := res.StdinSent
+	if send == 0 {
+		send = len(res.Job.Stdin)
+	}
 	fmt.Fprintf(w, "%d\t%s\t%.6f\t%9.6f\t%d\t%d\t%d\t%d\t%s\n",
 		res.Job.Seq,
 		host,
 		float64(res.Start.UnixMicro())/1e6,
 		runtime,
-		0, len(res.Stdout),
+		send, len(res.Stdout),
 		exitval, signal,
 		res.Job.Command)
 }
@@ -71,32 +78,39 @@ type JoblogEntry struct {
 }
 
 // ParseJoblog reads a joblog, tolerating and skipping the header line.
+// Malformed lines — a tail torn mid-write by a crash, truncated fields,
+// non-numeric columns — are skipped rather than fatal: a resume must
+// never be blocked by the very crash it is resuming from, and skipping
+// is safe because only fully parsed exit-0 entries feed CompletedSeqs
+// (an unparseable completion is re-run, not lost). Only I/O errors from
+// the reader are returned.
 func ParseJoblog(r io.Reader) ([]JoblogEntry, error) {
 	var out []JoblogEntry
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	lineno := 0
 	for sc.Scan() {
-		lineno++
 		line := sc.Text()
 		if line == "" || strings.HasPrefix(line, "Seq\t") {
 			continue
 		}
 		f := strings.SplitN(line, "\t", 9)
 		if len(f) < 8 {
-			return out, fmt.Errorf("core: joblog line %d: %d fields, want >= 8", lineno, len(f))
+			continue
 		}
 		seq, err := strconv.Atoi(f[0])
-		if err != nil {
-			return out, fmt.Errorf("core: joblog line %d: bad seq %q", lineno, f[0])
+		if err != nil || seq < 1 {
+			continue
 		}
 		start, _ := strconv.ParseFloat(strings.TrimSpace(f[2]), 64)
 		runtime, _ := strconv.ParseFloat(strings.TrimSpace(f[3]), 64)
 		exitval, err := strconv.Atoi(strings.TrimSpace(f[6]))
 		if err != nil {
-			return out, fmt.Errorf("core: joblog line %d: bad exitval %q", lineno, f[6])
+			continue
 		}
-		sig, _ := strconv.Atoi(strings.TrimSpace(f[7]))
+		sig, err := strconv.Atoi(strings.TrimSpace(f[7]))
+		if err != nil {
+			continue
+		}
 		e := JoblogEntry{
 			Seq: seq, Host: f[1], Start: start, Runtime: runtime,
 			Exitval: exitval, Signal: sig,

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"io"
 	"os"
 	"os/exec"
 	"sync"
@@ -86,6 +87,21 @@ type argvMemo struct {
 	argv    []string
 }
 
+// countingReader counts bytes drained from the job's stdin source — the
+// joblog Send column. The count is atomic because os/exec copies a
+// non-file stdin on its own goroutine, which WaitDelay may abandon
+// still running after Run returns.
+type countingReader struct {
+	r io.Reader
+	n atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
 func (r *ExecRunner) environ() []string {
 	r.envOnce.Do(func() {
 		e := os.Environ()
@@ -157,8 +173,10 @@ func (r *ExecRunner) Run(ctx context.Context, job *Job) Result {
 		cmd.Stdout = stdout
 		cmd.Stderr = stderr
 	}
+	var stdinCount *countingReader
 	if len(job.Stdin) > 0 {
-		cmd.Stdin = bytes.NewReader(job.Stdin)
+		stdinCount = &countingReader{r: bytes.NewReader(job.Stdin)}
+		cmd.Stdin = stdinCount
 	}
 	// Run the job in its own process group and, on cancellation, signal
 	// the group rather than just the direct child. WaitDelay guarantees
@@ -183,6 +201,9 @@ func (r *ExecRunner) Run(ctx context.Context, job *Job) Result {
 	}
 	if stderr != nil && stderr.Len() > 0 {
 		res.Stderr = append([]byte(nil), stderr.Bytes()...)
+	}
+	if stdinCount != nil {
+		res.StdinSent = int(stdinCount.n.Load())
 	}
 
 	switch e := err.(type) {

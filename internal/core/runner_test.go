@@ -192,17 +192,29 @@ func TestJoblogRoundTrip(t *testing.T) {
 	}
 }
 
-func TestJoblogParseErrors(t *testing.T) {
-	if _, err := ParseJoblog(strings.NewReader("notanumber\tx\t0\t0\t0\t0\t0\t0\tcmd\n")); err == nil {
-		t.Fatal("bad seq accepted")
+func TestJoblogParseLenient(t *testing.T) {
+	// Malformed lines — crash-torn tails, truncated fields, non-numeric
+	// columns — are skipped, never fatal, and never feed CompletedSeqs;
+	// intact lines around them still parse.
+	in := JoblogHeader + "\n" +
+		"notanumber\tx\t0\t0\t0\t0\t0\t0\tcmd\n" + // bad seq
+		"1\tx\tshort\n" + // too few fields
+		"2\t:\t0.0\t0.1\t0\t0\t0\t0\tok cmd\n" + // valid
+		"3\t:\t0.0\t0.1\t0\t0\tNaN\t0\tbad exitval\n" +
+		"4\t:\t0.0\t0.1\t0\t0\t0\tsig\tbad signal\n" +
+		"\n" +
+		"5\t:\t0.0\t0.1\t0\t0\t0\t0\tgood cmd\n" +
+		"6\t:\t0.0\t0." // torn mid-write, no newline
+	entries, err := ParseJoblog(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := ParseJoblog(strings.NewReader("1\tx\tshort\n")); err == nil {
-		t.Fatal("short line accepted")
+	if len(entries) != 2 || entries[0].Seq != 2 || entries[1].Seq != 5 {
+		t.Fatalf("entries = %+v", entries)
 	}
-	// Header and blank lines are skipped.
-	entries, err := ParseJoblog(strings.NewReader(JoblogHeader + "\n\n"))
-	if err != nil || len(entries) != 0 {
-		t.Fatalf("entries=%v err=%v", entries, err)
+	done := CompletedSeqs(entries)
+	if len(done) != 2 || !done[2] || !done[5] {
+		t.Fatalf("completed = %v", done)
 	}
 }
 

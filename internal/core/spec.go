@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/tmpl"
+	"repro/internal/wal"
 )
 
 // HaltWhen selects how aggressively a triggered halt policy stops the run.
@@ -176,6 +177,24 @@ type Spec struct {
 	// ResumeFrom contains seq numbers to skip (previously completed),
 	// typically from ReadJoblog.
 	ResumeFrom map[int]bool
+	// WAL, when non-nil, makes the run crash-safe: an intent record is
+	// appended (durably, per the log's sync policy) before each job is
+	// handed to the dispatch pipeline, and a completion record as each
+	// result is collected. A later run resumes exactly-once from the
+	// replayed log (wal.State.CompletedOK → ResumeFrom). The engine
+	// appends one intent per seq regardless of retries or dist-layer
+	// re-dispatch, and the log itself deduplicates replayed intents, so
+	// session retirement on a remote worker cannot double-count a job.
+	// An append failure aborts the run: a log that can no longer record
+	// is a broken durability promise, not a warning.
+	WAL *wal.Log
+	// WALDigests maps seq → the args digest recorded at intent time in
+	// a previous run's log (wal.State.Digests). When non-nil, the input
+	// goroutine verifies each record it reads against the recorded
+	// digest and fails the run on mismatch: resuming against an input
+	// file that changed out from under the log silently runs the wrong
+	// work, which at scale is worse than stopping.
+	WALDigests map[int]uint64
 	// OnResult, when non-nil, is called for each finished job (ordered
 	// if KeepOrder). It runs on the collector goroutine: keep it fast.
 	OnResult func(Result)

@@ -414,6 +414,7 @@ func (p *Pool) applyResponse(res *core.Result, resp *response) {
 	if resp.RecvNS > 0 && resp.StartNS > resp.RecvNS {
 		res.WorkerDispatch = time.Duration(resp.StartNS - resp.RecvNS)
 	}
+	res.StdinSent = resp.SentBytes
 	if resp.Err != "" {
 		res.Err = errors.New(resp.Err)
 	}

@@ -95,6 +95,10 @@ type response struct {
 	// sub-segment of the coordinator's DispatchDelay that span
 	// timelines attribute separately. Optional: old workers omit it.
 	RecvNS int64 `json:"recv_ns,omitempty"`
+	// SentBytes is how many stdin bytes the job actually consumed on
+	// the worker — the joblog Send column. Optional: old workers omit
+	// it and the coordinator falls back to the request's stdin size.
+	SentBytes int `json:"sent_bytes,omitempty"`
 	// Telemetry piggybacks the worker's current counters on every
 	// response, so the coordinator aggregates fleet state with zero
 	// extra round trips. Optional: old workers simply omit it.

@@ -267,13 +267,14 @@ func execute(ctx context.Context, runner core.Runner, wt *WorkerTelemetry, req r
 	res := runner.Run(runCtx, job)
 	wt.busy.Add(-1)
 	resp := response{
-		Seq:      res.Job.Seq,
-		ExitCode: res.ExitCode,
-		Stdout:   res.Stdout,
-		Stderr:   res.Stderr,
-		StartNS:  res.Start.UnixNano(),
-		EndNS:    res.End.UnixNano(),
-		TimedOut: res.TimedOut || (req.TimeoutNS > 0 && runCtx.Err() == context.DeadlineExceeded),
+		Seq:       res.Job.Seq,
+		ExitCode:  res.ExitCode,
+		Stdout:    res.Stdout,
+		Stderr:    res.Stderr,
+		StartNS:   res.Start.UnixNano(),
+		EndNS:     res.End.UnixNano(),
+		TimedOut:  res.TimedOut || (req.TimeoutNS > 0 && runCtx.Err() == context.DeadlineExceeded),
+		SentBytes: res.StdinSent,
 	}
 	if res.Err != nil {
 		resp.Err = res.Err.Error()

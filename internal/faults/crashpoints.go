@@ -1,0 +1,63 @@
+package faults
+
+import (
+	"sync/atomic"
+)
+
+// CrashPlan schedules one simulated process crash at a deterministic
+// point in a run: the k-th time any instrumented crash point is hit,
+// where k is drawn from the seed. Components expose named crash points
+// (e.g. internal/wal's append/sync/rotate sites) and consult the plan
+// through Hit; the hit whose ordinal matches the draw "crashes".
+//
+// Unlike Plan (per-job probability draws), a CrashPlan injects exactly
+// one fault per arming, which is what a crash soak wants: every seed
+// kills the component at a different, reproducible point along its
+// execution, sweeping coverage across the whole operation sequence as
+// seeds advance.
+type CrashPlan struct {
+	target uint64
+	hits   atomic.Uint64
+	fired  atomic.Pointer[string]
+}
+
+// NewCrashPlan draws the triggering hit ordinal from seed, uniform over
+// [1, horizon]. horizon should be sized near the expected total number
+// of crash-point hits in one run so the crash lands anywhere from the
+// first operation to the last; values < 1 clamp to 1.
+func NewCrashPlan(seed uint64, horizon int) *CrashPlan {
+	if horizon < 1 {
+		horizon = 1
+	}
+	return &CrashPlan{target: splitmix64(seed)%uint64(horizon) + 1}
+}
+
+// Hit registers one crash-point hit and reports whether the plan's
+// crash fires here. It fires at most once per plan and is safe for
+// concurrent use (hits from multiple goroutines are totally ordered by
+// the counter; which goroutine's hit matches the draw then depends on
+// scheduling, but exactly one does).
+func (p *CrashPlan) Hit(point string) bool {
+	if p == nil {
+		return false
+	}
+	if p.hits.Add(1) != p.target {
+		return false
+	}
+	p.fired.Store(&point)
+	return true
+}
+
+// Fired returns the crash point that triggered, if the plan has fired.
+func (p *CrashPlan) Fired() (point string, ok bool) {
+	if s := p.fired.Load(); s != nil {
+		return *s, true
+	}
+	return "", false
+}
+
+// Hits returns how many crash-point hits the plan has observed.
+func (p *CrashPlan) Hits() uint64 { return p.hits.Load() }
+
+// Target returns the 1-based hit ordinal at which the plan fires.
+func (p *CrashPlan) Target() uint64 { return p.target }

@@ -1,0 +1,97 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+func TestCrashPlanFiresExactlyOnce(t *testing.T) {
+	p := NewCrashPlan(42, 10)
+	if p.Target() < 1 || p.Target() > 10 {
+		t.Fatalf("target %d outside horizon", p.Target())
+	}
+	fired := 0
+	for i := 0; i < 50; i++ {
+		if p.Hit("pt") {
+			fired++
+			if uint64(i+1) != p.Target() {
+				t.Fatalf("fired at hit %d, target %d", i+1, p.Target())
+			}
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d times", fired)
+	}
+	if pt, ok := p.Fired(); !ok || pt != "pt" {
+		t.Fatalf("Fired() = %q, %v", pt, ok)
+	}
+	if p.Hits() != 50 {
+		t.Fatalf("Hits() = %d", p.Hits())
+	}
+}
+
+func TestCrashPlanDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		if NewCrashPlan(seed, 100).Target() != NewCrashPlan(seed, 100).Target() {
+			t.Fatalf("seed %d not deterministic", seed)
+		}
+	}
+	// Targets spread across the horizon rather than clustering.
+	seen := map[uint64]bool{}
+	for seed := uint64(0); seed < 64; seed++ {
+		seen[NewCrashPlan(seed, 8).Target()] = true
+	}
+	if len(seen) < 6 {
+		t.Fatalf("only %d distinct targets over 64 seeds", len(seen))
+	}
+}
+
+func TestCrashPlanNilSafe(t *testing.T) {
+	var p *CrashPlan
+	if p.Hit("x") {
+		t.Fatal("nil plan fired")
+	}
+}
+
+// TestCrashPlanDrivesWAL wires a CrashPlan into the WAL's crash hook —
+// the cross-package integration the wal package's own soak cannot test
+// without an import cycle. The plan must kill the log at a seed-chosen
+// point and the directory must replay cleanly afterwards.
+func TestCrashPlanDrivesWAL(t *testing.T) {
+	crashes := 0
+	for seed := uint64(1); seed <= 30; seed++ {
+		dir := t.TempDir()
+		plan := NewCrashPlan(seed, 40)
+		l, _, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever, CrashHook: plan.Hit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seq := 1; seq <= 15; seq++ {
+			if l.AppendIntent(seq, uint64(seq)) != nil {
+				break
+			}
+			if l.AppendCompletion(seq, 0, time.Microsecond, "") != nil {
+				break
+			}
+		}
+		l.Close()
+		if pt, ok := plan.Fired(); ok {
+			crashes++
+			switch pt {
+			case wal.PointAppendIntent, wal.PointAppendCompletion,
+				wal.PointSyncPre, wal.PointSyncMid,
+				wal.PointRotateCheckpoint, wal.PointRotateDelete:
+			default:
+				t.Fatalf("seed %d: fired at unknown point %q", seed, pt)
+			}
+		}
+		if _, err := wal.Replay(dir); err != nil {
+			t.Fatalf("seed %d: replay after crash: %v", seed, err)
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("no seed produced a crash; horizon miscalibrated")
+	}
+}

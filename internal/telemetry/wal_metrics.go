@@ -1,0 +1,46 @@
+package telemetry
+
+import "time"
+
+// WAL metric names, the durability companion to the run metrics.
+// Documented in docs/DURABILITY.md; treat them as a stable scrape
+// contract.
+const (
+	MetricWalFsync    = "gopar_wal_fsync_seconds"
+	MetricWalReplayed = "gopar_wal_replayed_total"
+	MetricWalTornTail = "gopar_wal_torn_tail_total"
+)
+
+// WalMetrics exposes the write-ahead run log's health: how much the
+// durability barrier costs (fsync latency histogram) and what opening
+// the log found on disk (records replayed, torn tails repaired).
+type WalMetrics struct {
+	fsync    *Histogram
+	replayed *Counter
+	tornTail *Counter
+}
+
+// NewWalMetrics registers the WAL metrics on reg.
+func NewWalMetrics(reg *Registry) *WalMetrics {
+	m := &WalMetrics{}
+	m.fsync = reg.Histogram(MetricWalFsync,
+		"Write-ahead log fsync latency per group commit.",
+		[]float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1})
+	m.replayed = reg.Counter(MetricWalReplayed,
+		"Log records replayed when the write-ahead log was opened.")
+	m.tornTail = reg.Counter(MetricWalTornTail,
+		"Torn segment tails truncated while replaying the write-ahead log.")
+	return m
+}
+
+// ObserveFsync records one group commit's fsync duration. Pass it to
+// wal.Options.FsyncObserver; it is called from the flusher goroutine,
+// off the dispatch path.
+func (m *WalMetrics) ObserveFsync(d time.Duration) { m.fsync.ObserveDuration(d) }
+
+// RecordReplay folds the result of the open-time replay (record count
+// and torn tails found) into the counters.
+func (m *WalMetrics) RecordReplay(records, tornTails int) {
+	m.replayed.Add(int64(records))
+	m.tornTail.Add(int64(tornTails))
+}

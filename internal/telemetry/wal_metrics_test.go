@@ -1,0 +1,40 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWalMetrics(t *testing.T) {
+	reg := NewRegistry()
+	m := NewWalMetrics(reg)
+
+	m.ObserveFsync(2 * time.Millisecond)
+	m.ObserveFsync(500 * time.Microsecond)
+	m.RecordReplay(42, 1)
+	m.RecordReplay(8, 0)
+
+	if got := m.fsync.Count(); got != 2 {
+		t.Fatalf("fsync count = %d, want 2", got)
+	}
+	if got := m.replayed.Value(); got != 50 {
+		t.Fatalf("replayed = %d, want 50", got)
+	}
+	if got := m.tornTail.Value(); got != 1 {
+		t.Fatalf("torn tails = %d, want 1", got)
+	}
+
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		MetricWalFsync + "_count 2",
+		MetricWalReplayed + " 50",
+		MetricWalTornTail + " 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape output missing %q:\n%s", want, out)
+		}
+	}
+}

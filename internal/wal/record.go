@@ -1,0 +1,355 @@
+// Package wal is a crash-safe write-ahead run log for the launcher: the
+// durable record of which jobs a run intended to execute and which it
+// finished, so a coordinator killed mid-burst resumes with exactly-once
+// semantics instead of losing or double-running work.
+//
+// The log is a directory of segment files. Each segment starts with an
+// 8-byte magic plus a version word, followed by length-prefixed,
+// CRC32C-checksummed binary records:
+//
+//	[u32le payload length][u32le CRC32C(payload)][payload]
+//
+// Four record types exist (first payload byte):
+//
+//   - intent ('I'): appended before a job is handed to an execution
+//     slot or dist worker. Carries the job's seq and a 64-bit digest of
+//     its input arguments, so a resumed run can reject a changed input
+//     set instead of silently skipping the wrong jobs.
+//   - completion ('C'): appended as the collector receives the job's
+//     result. Carries seq, exit status, runtime and host.
+//   - checkpoint ('K'): a full snapshot of the replay state, written at
+//     the head of each new segment on rotation so older segments can be
+//     deleted (compaction) without losing resume information.
+//   - batch ('B'): a concatenation of intent and completion payloads
+//     sharing one frame and one CRC, written by the group-commit
+//     flusher so the per-record framing overhead (8 bytes and a
+//     checksum call each) is paid once per commit instead of once per
+//     job. A torn batch loses all its records together — the same
+//     records a torn tail would have lost individually, since a batch
+//     is exactly one commit's worth of appends.
+//
+// Replay tolerates torn tails — a crash mid-write leaves a partial or
+// CRC-broken final record, which the replayer truncates away and counts
+// — and Open repairs the tail in place before appending. Durability is
+// governed by a sync policy: fsync on every append, group-commit on an
+// interval, or never (OS page cache only).
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"time"
+)
+
+// Record type tags (first payload byte).
+const (
+	recIntent     = 'I'
+	recCompletion = 'C'
+	recCheckpoint = 'K'
+	recBatch      = 'B'
+)
+
+// Segment framing constants.
+const (
+	segMagic   = "GOPARWAL"        // 8 bytes at the head of every segment
+	segVersion = uint32(1)         // format version word after the magic
+	headerSize = len(segMagic) + 4 // magic + u32le version
+	frameSize  = 8                 // u32le length + u32le crc per record
+
+	// maxRecord bounds a single record payload. Real records are tens of
+	// bytes (checkpoints grow with job count but stay far below this);
+	// the bound lets the replayer reject absurd lengths from corrupt
+	// frames without attempting huge allocations.
+	maxRecord = 64 << 20
+)
+
+// castagnoli is the CRC32C polynomial table (hardware-accelerated on
+// amd64/arm64), the same checksum family used by ext4 and Kafka.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ArgsDigest hashes a job's input record (its positional argument
+// strings) to the 64-bit digest stored in intent records. Arguments are
+// length-prefixed before hashing so ["ab","c"] and ["a","bc"] cannot
+// collide. The digest is FNV-1a; it detects input-set drift between a
+// crashed run and its resume, not adversarial collisions.
+func ArgsDigest(args []string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	var lb [binary.MaxVarintLen64]byte
+	for _, a := range args {
+		n := binary.PutUvarint(lb[:], uint64(len(a)))
+		for _, b := range lb[:n] {
+			h = (h ^ uint64(b)) * prime
+		}
+		for i := 0; i < len(a); i++ {
+			h = (h ^ uint64(a[i])) * prime
+		}
+	}
+	return h
+}
+
+// appendUvarint / appendZigzag are small local helpers so record
+// encoders stay allocation-free on a reused scratch buffer.
+func appendUvarint(dst []byte, v uint64) []byte {
+	var b [binary.MaxVarintLen64]byte
+	return append(dst, b[:binary.PutUvarint(b[:], v)]...)
+}
+
+func appendZigzag(dst []byte, v int64) []byte {
+	var b [binary.MaxVarintLen64]byte
+	return append(dst, b[:binary.PutVarint(b[:], v)]...)
+}
+
+// appendIntentPayload encodes an intent record payload.
+func appendIntentPayload(dst []byte, seq int, digest uint64) []byte {
+	dst = append(dst, recIntent)
+	dst = appendUvarint(dst, uint64(seq))
+	dst = binary.LittleEndian.AppendUint64(dst, digest)
+	return dst
+}
+
+// appendCompletionPayload encodes a completion record payload. Runtime
+// is stored in microseconds (matching the joblog's precision).
+func appendCompletionPayload(dst []byte, seq, exit int, runtime time.Duration, host string) []byte {
+	us := runtime.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	return appendCompletionPayloadUS(dst, seq, exit, us, host)
+}
+
+// appendCompletionPayloadUS is appendCompletionPayload with the
+// runtime already converted to microseconds (the staged form).
+func appendCompletionPayloadUS(dst []byte, seq, exit int, us int64, host string) []byte {
+	dst = append(dst, recCompletion)
+	dst = appendUvarint(dst, uint64(seq))
+	dst = appendZigzag(dst, int64(exit))
+	dst = appendUvarint(dst, uint64(us))
+	dst = appendUvarint(dst, uint64(len(host)))
+	dst = append(dst, host...)
+	return dst
+}
+
+// appendFrame wraps a payload in the on-disk frame: length, CRC32C,
+// payload.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
+}
+
+// payloadReader walks a record payload during replay.
+type payloadReader struct {
+	b   []byte
+	off int
+}
+
+func (r *payloadReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wal: truncated uvarint at payload offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *payloadReader) zigzag() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wal: truncated varint at payload offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *payloadReader) u64() (uint64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, fmt.Errorf("wal: truncated u64 at payload offset %d", r.off)
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *payloadReader) bytes(n uint64) ([]byte, error) {
+	if n > uint64(len(r.b)-r.off) {
+		return nil, fmt.Errorf("wal: truncated %d-byte field at payload offset %d", n, r.off)
+	}
+	b := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}
+
+// seqInRange rejects seq values that cannot be real job sequence
+// numbers (they are 1-based ints assigned by the engine). A CRC-valid
+// but hand-crafted payload must not make replay allocate absurd maps.
+func seqInRange(v uint64) bool { return v >= 1 && v <= math.MaxInt32 }
+
+// apply folds one record payload into the state. An error means the
+// payload is structurally invalid despite a matching CRC — the replayer
+// treats that exactly like a torn tail.
+func (st *State) apply(payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("wal: empty record payload")
+	}
+	r := &payloadReader{b: payload, off: 1}
+	switch payload[0] {
+	case recIntent:
+		return st.applyIntent(r)
+
+	case recCompletion:
+		return st.applyCompletion(r)
+
+	case recBatch:
+		// A batch is a concatenation of self-delimiting intent and
+		// completion payloads under one frame. Nested batches and
+		// checkpoints are not legal sub-records.
+		for r.off < len(r.b) {
+			typ := r.b[r.off]
+			r.off++
+			switch typ {
+			case recIntent:
+				if err := st.applyIntent(r); err != nil {
+					return err
+				}
+			case recCompletion:
+				if err := st.applyCompletion(r); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("wal: unknown batch sub-record type %q", typ)
+			}
+		}
+
+	case recCheckpoint:
+		// A checkpoint is a full snapshot: it replaces the state
+		// accumulated so far (older segments it subsumes may or may not
+		// still exist on disk).
+		nst := newState()
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if n > maxRecord {
+			return fmt.Errorf("wal: checkpoint completed count %d out of range", n)
+		}
+		seq := 0
+		for i := uint64(0); i < n; i++ {
+			d, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			exit, err := r.zigzag()
+			if err != nil {
+				return err
+			}
+			digest, err := r.u64()
+			if err != nil {
+				return err
+			}
+			seq += int(d)
+			if !seqInRange(uint64(seq)) {
+				return fmt.Errorf("wal: checkpoint completed seq %d out of range", seq)
+			}
+			nst.Completed[seq] = int(exit)
+			if digest != 0 {
+				nst.Digests[seq] = digest
+			}
+		}
+		n, err = r.uvarint()
+		if err != nil {
+			return err
+		}
+		if n > maxRecord {
+			return fmt.Errorf("wal: checkpoint pending count %d out of range", n)
+		}
+		seq = 0
+		for i := uint64(0); i < n; i++ {
+			d, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			digest, err := r.u64()
+			if err != nil {
+				return err
+			}
+			seq += int(d)
+			if !seqInRange(uint64(seq)) {
+				return fmt.Errorf("wal: checkpoint pending seq %d out of range", seq)
+			}
+			nst.InFlight[seq] = true
+			if digest != 0 {
+				nst.Digests[seq] = digest
+			}
+		}
+		st.Completed = nst.Completed
+		st.InFlight = nst.InFlight
+		st.Digests = nst.Digests
+		st.Records++
+
+	default:
+		return fmt.Errorf("wal: unknown record type %q", payload[0])
+	}
+	return nil
+}
+
+// applyIntent parses one intent payload body (type byte already
+// consumed) and folds it into the state.
+func (st *State) applyIntent(r *payloadReader) error {
+	seqU, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if !seqInRange(seqU) {
+		return fmt.Errorf("wal: intent seq %d out of range", seqU)
+	}
+	digest, err := r.u64()
+	if err != nil {
+		return err
+	}
+	seq := int(seqU)
+	st.Digests[seq] = digest
+	if _, done := st.Completed[seq]; !done {
+		st.InFlight[seq] = true
+	}
+	st.Records++
+	return nil
+}
+
+// applyCompletion parses one completion payload body (type byte
+// already consumed) and folds it into the state.
+func (st *State) applyCompletion(r *payloadReader) error {
+	seqU, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if !seqInRange(seqU) {
+		return fmt.Errorf("wal: completion seq %d out of range", seqU)
+	}
+	exit, err := r.zigzag()
+	if err != nil {
+		return err
+	}
+	if _, err := r.uvarint(); err != nil { // runtime µs (not needed for resume)
+		return err
+	}
+	hostLen, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if _, err := r.bytes(hostLen); err != nil {
+		return err
+	}
+	seq := int(seqU)
+	// Last completion wins: a resumed run's fresh outcome supersedes
+	// the crashed run's record for the same seq.
+	st.Completed[seq] = int(exit)
+	delete(st.InFlight, seq)
+	st.Records++
+	return nil
+}
