@@ -4,11 +4,11 @@
 // real-process rate) and the simulation kernel's throughput (events/s,
 // procs/s, flow tasks/s, plus one full-scale Fig 1 point), parses
 // `go test -bench` output, and writes one machine-readable JSON report
-// (BENCH_pr6.json in CI).
+// (BENCH_pr7.json in CI).
 //
 // Usage:
 //
-//	benchjson -out BENCH_pr6.json                 # run + record
+//	benchjson -out BENCH_pr7.json                 # run + record
 //	benchjson -benchtime 100x -out quick.json     # cheap smoke record
 //	benchjson -stdin -out r.json < bench.txt      # parse a saved run
 //	benchjson -out new.json -check old.json       # fail on regression
@@ -16,16 +16,22 @@
 // The -check mode compares per benchmark against a previous report and
 // exits non-zero on regression beyond -tolerance (default 25%, generous
 // because shared CI runners are noisy): ns/op may not grow beyond
-// tolerance, allocs/op may not grow at all (allocation counts are
-// deterministic), and throughput metrics (any ReportMetric unit ending
-// in "/s") may not drop beyond tolerance — wiring perf into CI as a
-// gate, not just a graph.
+// tolerance, allocs/op may not grow past a ±1-alloc/5% jitter band
+// (in-process counts are deterministic and the critical paths are also
+// pinned by AllocsPerRun tests; fork/exec benches wobble), and
+// throughput metrics (any ReportMetric unit ending in "/s") may not
+// drop beyond tolerance — wiring perf into CI as a gate, not just a
+// graph.
 //
-// -check additionally gates the write-ahead log's dispatch overhead
-// from within the new report itself: BenchmarkDispatchWAL/sync=interval
-// divided by .../sync=off must stay under the budget (<5% on multi-core
-// hosts; a relaxed bound on single-core hosts where the group-commit
-// flusher serializes with dispatch — see docs/DURABILITY.md).
+// -check additionally gates two budgets from within the new report
+// itself (so they hold even when the baseline lacks the benchmark):
+// the write-ahead log's dispatch overhead — BenchmarkDispatchWAL/
+// sync=interval divided by .../sync=off must stay under budget (<5% on
+// multi-core hosts; a relaxed bound on single-core hosts where the
+// group-commit flusher serializes with dispatch, see docs/DURABILITY.md)
+// — and the job service's submit→dispatch p99, which BenchmarkServeSubmit
+// reports from the daemon's own histogram and which must stay under an
+// absolute ceiling regardless of client count (see docs/SERVICE.md).
 package main
 
 import (
@@ -81,13 +87,23 @@ var defaultTargets = []struct{ pkg, bench, benchtime string }{
 	{"./", "BenchmarkFig3RealDispatch", ""},
 	{"./internal/sim/", "BenchmarkEngineEvents|BenchmarkSimProcs|BenchmarkFlowTasks", ""},
 	{"./internal/experiments/", "BenchmarkFig1FullScalePoint", "1x"},
+	// The job-service control plane: submit rate and submit→dispatch p99
+	// under concurrent HTTP clients against a live `gopar serve` daemon.
+	// Client count defaults to 200 (CI smoke); the committed baseline's
+	// clients=10000 entry is recorded with GOPAR_SERVE_BENCH_CLIENTS=10000,
+	// so cross-report compare skips the mismatched names and the in-report
+	// serviceGuard p99 ceiling does the gating. Pinned iteration count
+	// (a time-based benchtime would rerun the daemon-spawn warmup every
+	// sizing round, and the p99 gate needs 10k+ observations): 50000
+	// submits is ~5 per client even at the 10k-client baseline.
+	{"./cmd/gopar/", "BenchmarkServeSubmit", "50000x"},
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_pr6.json", "output JSON path (- for stdout)")
+		out       = flag.String("out", "BENCH_pr7.json", "output JSON path (- for stdout)")
 		benchtime = flag.String("benchtime", "", "passed to go test -benchtime (default: go's 1s)")
 		useStdin  = flag.Bool("stdin", false, "parse `go test -bench` output from stdin instead of running")
 		check     = flag.String("check", "", "baseline report to compare against; regressions fail")
@@ -153,6 +169,7 @@ func main() {
 		}
 		msgs := compare(base, rep, *tolerance)
 		msgs = append(msgs, walGuard(rep)...)
+		msgs = append(msgs, serviceGuard(rep)...)
 		if len(msgs) > 0 {
 			for _, m := range msgs {
 				fmt.Fprintln(os.Stderr, "REGRESSION:", m)
@@ -216,6 +233,48 @@ func walGuard(rep Report) []string {
 	return nil
 }
 
+// serviceGuard enforces the job service's submit→dispatch latency
+// budget from a single report: every BenchmarkServeSubmit entry's
+// p99_submit_dispatch_ms (the daemon's own histogram, scraped after the
+// timed burst) must stay under an absolute ceiling. An absolute bound —
+// unlike compare's relative one — holds at any client count, so the CI
+// smoke at clients=200 gates the same contract the committed
+// clients=10000 baseline documents. The ceiling is generous (500ms vs
+// measured values — 2.5ms at the CI shape of 200 clients, 500ms
+// (bucket-quantized) at the committed 10k-client single-core baseline —
+// because the p99 snaps to histogram bucket bounds (…0.25, 0.5, 1,
+// 2.5s…) and shared runners stall; it exists to catch the pathological
+// regressions — a scheduler convoy, an accidental fsync on the dispatch
+// path — where p99 jumps past the 1s bound to 2.5s or beyond.
+func serviceGuard(rep Report) []string {
+	const limitMS = 1000
+	var msgs []string
+	for _, b := range rep.Benches {
+		if !strings.HasPrefix(b.Name, "BenchmarkServeSubmit/") {
+			continue
+		}
+		p99, ok := b.Metrics["p99_submit_dispatch_ms"]
+		if !ok {
+			continue // scrape failed; the submit-rate compare still gates
+		}
+		if b.Iters < 10_000 {
+			// Too few jobs for a p99 to mean anything past warmup.
+			fmt.Fprintf(os.Stderr, "benchjson: service p99 gate skipped for %s (%d iters; needs 10000+)\n",
+				b.Name, b.Iters)
+			continue
+		}
+		if p99 > limitMS {
+			msgs = append(msgs, fmt.Sprintf(
+				"service latency: %s p99 submit→dispatch %.1f ms exceeds %d ms ceiling",
+				b.Name, p99, limitMS))
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: service p99 submit→dispatch %.1f ms (%s, limit %d ms)\n",
+				p99, b.Name, limitMS)
+		}
+	}
+	return msgs
+}
+
 // parse extracts benchmark result lines from go test output.
 func parse(s string) []Bench {
 	var out []Bench
@@ -261,12 +320,14 @@ func load(path string) (Report, error) {
 }
 
 // compare flags benchmarks whose ns/op regressed beyond tol, whose
-// allocs/op grew at all (allocation counts are deterministic, so any
-// increase is a real code change, not noise), or whose throughput
-// metrics — any ReportMetric with a unit ending in "/s" (events/s,
-// procs/s, tasks/s, jobs/s) — dropped beyond tol. Benchmarks present in
-// only one report are ignored: the harness gates known hot paths, it
-// does not force the two runs to share a benchmark set.
+// allocs/op grew past the jitter band (+1 alloc or +5%, whichever is
+// larger — in-process hot paths are deterministic and additionally
+// pinned by AllocsPerRun tests, but fork/exec and short-benchtime runs
+// wobble by an alloc or two), or whose throughput metrics — any
+// ReportMetric with a unit ending in "/s" (events/s, procs/s, tasks/s,
+// jobs/s) — dropped beyond tol. Benchmarks present in only one report
+// are ignored: the harness gates known hot paths, it does not force
+// the two runs to share a benchmark set.
 func compare(base, cur Report, tol float64) []string {
 	old := map[string]Bench{}
 	for _, b := range base.Benches {
@@ -282,7 +343,7 @@ func compare(base, cur Report, tol float64) []string {
 			msgs = append(msgs, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (+%.0f%%, tolerance %.0f%%)",
 				b.Name, b.NsPerOp, o.NsPerOp, (b.NsPerOp/o.NsPerOp-1)*100, tol*100))
 		}
-		if b.AllocsOp > o.AllocsOp {
+		if b.AllocsOp > o.AllocsOp+1 && b.AllocsOp > o.AllocsOp*1.05 {
 			msgs = append(msgs, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f",
 				b.Name, b.AllocsOp, o.AllocsOp))
 		}

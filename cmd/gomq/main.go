@@ -15,6 +15,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -69,13 +70,23 @@ func serveCmd(argv []string) int {
 	log.Printf("gomq: broker on %s, storing topics in %s (unauthenticated — trusted networks only)",
 		l.Addr(), *dir)
 	b := mq.NewBroker(*dir)
-	defer b.Close()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := b.Serve(ctx, l); err != nil {
-		fmt.Fprintln(os.Stderr, "gomq:", err)
+	// On SIGINT/SIGTERM, Serve stops accepting, expires every parked
+	// long-poll read, finishes in-flight responses, and only then
+	// returns — connected consumers see a clean broker-closed EOF
+	// rather than a mid-frame cut.
+	serveErr := b.Serve(ctx, l)
+	closeErr := b.Close()
+	if serveErr != nil {
+		fmt.Fprintln(os.Stderr, "gomq:", serveErr)
 		return 2
 	}
+	if closeErr != nil {
+		fmt.Fprintln(os.Stderr, "gomq: close:", closeErr)
+		return 2
+	}
+	log.Printf("gomq: broker stopped")
 	return 0
 }
 
@@ -126,7 +137,7 @@ func consumeCmd(argv []string) int {
 		fmt.Fprintln(os.Stderr, "gomq:", err)
 		return 2
 	}
-	defer c.Close()
+	defer func() { c.Close() }()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -134,6 +145,24 @@ func consumeCmd(argv []string) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gomq:", err)
 		return 2
+	}
+	// reconnect redials after the broker drops the connection (restart,
+	// drain). Offsets are committed after each delivered line, so the
+	// follow loop resumes from its local position without re-printing.
+	reconnect := func() bool {
+		c.Close()
+		for ctx.Err() == nil {
+			nc, err := mq.DialBroker(*broker)
+			if err == nil {
+				c = nc
+				return true
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(500 * time.Millisecond):
+			}
+		}
+		return false
 	}
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
@@ -144,6 +173,13 @@ func consumeCmd(argv []string) int {
 		}
 		msg, ok, err := c.Consume(topic, next, wait)
 		if err != nil {
+			if *follow && errors.Is(err, mq.ErrBrokerClosed) {
+				fmt.Fprintln(os.Stderr, "gomq: broker connection lost, reconnecting")
+				if reconnect() {
+					continue
+				}
+				return 0 // interrupted while redialing
+			}
 			fmt.Fprintln(os.Stderr, "gomq:", err)
 			return 2
 		}
@@ -153,11 +189,27 @@ func consumeCmd(argv []string) int {
 			}
 			return 0
 		}
+		// Flush each line before committing: if the commit (or this
+		// process) fails, the message has already reached the pipe, and
+		// the uncommitted offset redelivers it next run — at-least-once,
+		// never a swallowed line.
 		out.Write(msg)
 		out.WriteByte('\n')
-		out.Flush()
+		if err := out.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "gomq:", err)
+			return 2
+		}
 		next++
 		if err := c.Commit(topic, *group, next); err != nil {
+			if *follow && errors.Is(err, mq.ErrBrokerClosed) {
+				fmt.Fprintln(os.Stderr, "gomq: broker connection lost, reconnecting")
+				if reconnect() {
+					// The line was printed; skip re-committing until the
+					// next delivery advances the offset past it.
+					continue
+				}
+				return 0
+			}
 			fmt.Fprintln(os.Stderr, "gomq:", err)
 			return 2
 		}

@@ -1,29 +1,41 @@
 package main
 
 import (
+	"bufio"
 	"net"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
 
-func TestGomqEndToEnd(t *testing.T) {
-	dir := t.TempDir()
-	bin := filepath.Join(dir, "gomq")
+func buildGomq(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "gomq")
 	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
 		t.Fatalf("build: %v\n%s", err, out)
 	}
+	return bin
+}
 
-	// Pick a free port, then start the broker on it.
+func freeAddr(t *testing.T) string {
+	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	addr := l.Addr().String()
 	l.Close()
-	broker := exec.Command(bin, "serve", "-listen", addr, "-dir", filepath.Join(dir, "data"))
+	return addr
+}
+
+// startGomqBroker launches `gomq serve` on addr and waits for it to
+// accept connections.
+func startGomqBroker(t *testing.T, bin, addr, dataDir string) *exec.Cmd {
+	t.Helper()
+	broker := exec.Command(bin, "serve", "-listen", addr, "-dir", dataDir)
 	if err := broker.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -33,13 +45,20 @@ func TestGomqEndToEnd(t *testing.T) {
 		conn, err := net.Dial("tcp", addr)
 		if err == nil {
 			conn.Close()
-			break
+			return broker
 		}
 		if time.Now().After(deadline) {
 			t.Fatal("broker never came up")
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
+}
+
+func TestGomqEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	bin := buildGomq(t)
+	addr := freeAddr(t)
+	startGomqBroker(t, bin, addr, filepath.Join(dir, "data"))
 
 	// Produce three messages.
 	prod := exec.Command(bin, "produce", "-b", addr, "jobs")
@@ -72,5 +91,98 @@ func TestGomqEndToEnd(t *testing.T) {
 	// Usage error.
 	if err := exec.Command(bin, "bogus-op").Run(); err == nil {
 		t.Fatal("unknown op accepted")
+	}
+}
+
+// TestGomqConsumeFollowReconnect: a following consumer survives a
+// broker restart — it rides out the outage, reconnects, resumes from
+// its committed offset (no re-printed lines), and keeps delivering.
+// The broker side of the same run checks the SIGTERM drain: serve must
+// exit cleanly with its "broker stopped" line even with the follower's
+// long-poll parked on it.
+func TestGomqConsumeFollowReconnect(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data")
+	bin := buildGomq(t)
+	addr := freeAddr(t)
+	broker1 := startGomqBroker(t, bin, addr, data)
+
+	prod := exec.Command(bin, "produce", "-b", addr, "jobs")
+	prod.Stdin = strings.NewReader("m1\nm2\n")
+	if out, err := prod.CombinedOutput(); err != nil {
+		t.Fatalf("produce: %v\n%s", err, out)
+	}
+
+	cons := exec.Command(bin, "consume", "-b", addr, "-g", "g", "-follow", "jobs")
+	stdout, err := cons.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons.Stderr = nil
+	if err := cons.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cons.Process.Kill(); cons.Wait() })
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	readLine := func(want string) {
+		t.Helper()
+		select {
+		case got, ok := <-lines:
+			if !ok || got != want {
+				t.Fatalf("follower printed %q (ok=%v), want %q", got, ok, want)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("follower never printed %q", want)
+		}
+	}
+	readLine("m1")
+	readLine("m2")
+
+	// Graceful broker shutdown under the follower's parked long-poll:
+	// the drain fix means serve actually exits (and says so) instead of
+	// hanging on the idle connection.
+	if err := broker1.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- broker1.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("broker exit after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("broker did not drain after SIGTERM")
+	}
+
+	// Restart on the same address and data; the follower reconnects on
+	// its own and picks up the next message — no duplicates of m1/m2,
+	// whose offsets were committed before the outage.
+	startGomqBroker(t, bin, addr, data)
+	prod2 := exec.Command(bin, "produce", "-b", addr, "jobs")
+	prod2.Stdin = strings.NewReader("m3\n")
+	if out, err := prod2.CombinedOutput(); err != nil {
+		t.Fatalf("produce after restart: %v\n%s", err, out)
+	}
+	readLine("m3")
+
+	// SIGINT ends the follow loop cleanly.
+	cons.Process.Signal(syscall.SIGINT)
+	consDone := make(chan error, 1)
+	go func() { consDone <- cons.Wait() }()
+	select {
+	case err := <-consDone:
+		if err != nil {
+			t.Fatalf("consumer exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("consumer did not exit on SIGINT")
 	}
 }

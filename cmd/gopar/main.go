@@ -48,6 +48,8 @@ func main() {
 			os.Exit(runSem(os.Args[2:]))
 		case "report":
 			os.Exit(runReport(os.Args[2:]))
+		case "serve":
+			os.Exit(runServe(os.Args[2:]))
 		}
 	}
 	os.Exit(run())

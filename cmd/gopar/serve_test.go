@@ -1,0 +1,215 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/jobd"
+)
+
+// startServeProc launches `gopar serve` on a fresh port and returns the
+// API base URL, the daemon's stderr lines, and its process handle. The
+// bound address is parsed from the announce line.
+func startServeProc(t *testing.T, dir string, argv ...string) (string, chan string, *os.Process) {
+	t.Helper()
+	args := append([]string{"serve", "-dir", dir, "-listen", "127.0.0.1:0"}, argv...)
+	cmd := exec.Command(goparPath, args...)
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	addrCh := make(chan string, 1)
+	lines := make(chan string, 256)
+	go func() {
+		sc := bufio.NewScanner(stderrPipe)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "gopard-serve: listening on "); ok {
+				select {
+				case addrCh <- rest:
+				default:
+				}
+			}
+			select {
+			case lines <- line:
+			default:
+			}
+		}
+		close(lines)
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, lines, cmd.Process
+	case <-time.After(15 * time.Second):
+		t.Fatal("gopar serve never announced its address")
+		return "", nil, nil
+	}
+}
+
+func awaitBacklogDrained(t *testing.T, c *jobd.Client, queue string, timeout time.Duration) jobd.QueueStats {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.QueueStats(context.Background(), queue)
+		if err == nil && st.Pending == 0 && st.Running == 0 {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue %s never drained (stats %+v, err %v)", queue, st, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestServeSmoke is the service end-to-end: 50 concurrent clients
+// push 1000 real exec jobs across 5 tenant queues, everything
+// completes exactly once, and SIGTERM stops the daemon gracefully.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service smoke skipped in -short")
+	}
+	base, lines, proc := startServeProc(t, t.TempDir(),
+		"-slots", "8", "-q")
+	c := jobd.NewClient(base, nil)
+	ctx := context.Background()
+
+	const (
+		clients    = 50
+		perClient  = 20 // 50 × 20 = 1000 jobs
+		queueCount = 5
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			queue := fmt.Sprintf("tenant%d", cl%queueCount)
+			for j := 0; j < perClient; j++ {
+				if _, err := c.Submit(ctx, queue, "true"); err != nil {
+					errs <- fmt.Errorf("client %d: %w", cl, err)
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	totalOK := 0
+	for qi := 0; qi < queueCount; qi++ {
+		st := awaitBacklogDrained(t, c, fmt.Sprintf("tenant%d", qi), 120*time.Second)
+		if st.Failed != 0 || st.Cancelled != 0 {
+			t.Fatalf("queue %s has failures: %+v", st.Name, st)
+		}
+		totalOK += st.OK
+	}
+	if totalOK != clients*perClient {
+		t.Fatalf("completed %d jobs, want %d", totalOK, clients*perClient)
+	}
+
+	// Graceful SIGTERM: drains and reports a clean stop.
+	if err := proc.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("daemon exited without the stopped line")
+			}
+			if strings.Contains(line, "gopard-serve: stopped") {
+				return
+			}
+		case <-deadline:
+			t.Fatal("daemon did not stop after SIGTERM")
+		}
+	}
+}
+
+// TestServeQueuePolicyFlags: -queues pre-creates tenants with their
+// quota:weight policy, and the policy survives a daemon restart.
+func TestServeQueuePolicyFlags(t *testing.T) {
+	dir := t.TempDir()
+	base, lines, proc := startServeProc(t, dir,
+		"-slots", "4", "-q", "-queues", "fast=2:3,slow=1")
+	c := jobd.NewClient(base, nil)
+	ctx := context.Background()
+
+	qs, err := c.Queues(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 {
+		t.Fatalf("queues = %+v", qs)
+	}
+	if qs[0].Name != "fast" || qs[0].Quota != 2 || qs[0].Weight != 3 {
+		t.Fatalf("fast = %+v", qs[0])
+	}
+	if qs[1].Name != "slow" || qs[1].Quota != 1 || qs[1].Weight != 1 {
+		t.Fatalf("slow = %+v", qs[1])
+	}
+
+	// Reconfigure over the API, restart, verify persistence.
+	if _, err := c.Configure(ctx, "slow", jobd.QueueConfig{Quota: 3, Weight: 2}); err != nil {
+		t.Fatal(err)
+	}
+	proc.Signal(syscall.SIGTERM)
+	deadline := time.After(30 * time.Second)
+waitStop:
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok || strings.Contains(line, "gopard-serve: stopped") {
+				break waitStop
+			}
+		case <-deadline:
+			t.Fatal("daemon did not stop after SIGTERM")
+		}
+	}
+
+	base2, _, _ := startServeProc(t, dir, "-slots", "4", "-q")
+	c2 := jobd.NewClient(base2, nil)
+	st, err := c2.QueueStats(ctx, "slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Quota != 3 || st.Weight != 2 {
+		t.Fatalf("slow policy after restart = %+v", st)
+	}
+}
+
+// TestServeNoopRunner: -runner noop completes jobs without spawning
+// processes (the load-bench configuration).
+func TestServeNoopRunner(t *testing.T) {
+	base, _, _ := startServeProc(t, t.TempDir(), "-slots", "2", "-q", "-runner", "noop")
+	c := jobd.NewClient(base, nil)
+	ctx := context.Background()
+	seqs, err := c.Submit(ctx, "load", "this-binary-does-not-exist --at-all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Status(ctx, "load", seqs[0], 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "ok" {
+		t.Fatalf("noop job state %s, want ok", st.State)
+	}
+}

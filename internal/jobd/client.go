@@ -1,0 +1,194 @@
+package jobd
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Client is a thin Go client for the jobd HTTP API. The zero value is
+// not usable; construct with NewClient. It is safe for concurrent use
+// (the underlying http.Client pools connections).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:8080"). A nil hc uses http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// apiError is the decoded {"error": ...} body of a non-2xx response.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("jobd: HTTP %d: %s", e.Status, e.Msg)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rdr io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rdr = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rdr)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(data, &e) != nil || e.Error == "" {
+			e.Error = string(bytes.TrimSpace(data))
+		}
+		return &apiError{Status: resp.StatusCode, Msg: e.Error}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit enqueues commands on queue and returns the assigned seqs.
+func (c *Client) Submit(ctx context.Context, queue string, commands ...string) ([]int, error) {
+	var resp SubmitResponse
+	err := c.do(ctx, http.MethodPost, "/v1/queues/"+url.PathEscape(queue)+"/jobs",
+		SubmitRequest{Commands: commands}, &resp)
+	if err != nil {
+		return resp.Seqs, err
+	}
+	return resp.Seqs, nil
+}
+
+// Status fetches a job's current status. A positive wait long-polls:
+// the server holds the request until the job is terminal or wait
+// elapses, then returns whatever state it is in.
+func (c *Client) Status(ctx context.Context, queue string, seq int, wait time.Duration) (JobStatus, error) {
+	path := "/v1/jobs/" + url.PathEscape(queue) + "/" + strconv.Itoa(seq)
+	if wait > 0 {
+		path += "?wait=" + url.QueryEscape(wait.String())
+	}
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, path, nil, &st)
+	return st, err
+}
+
+// Cancel requests cancellation of a job. Cancelling an already-terminal
+// job returns its final status and an HTTP 409 apiError.
+func (c *Client) Cancel(ctx context.Context, queue string, seq int) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete,
+		"/v1/jobs/"+url.PathEscape(queue)+"/"+strconv.Itoa(seq), nil, &st)
+	return st, err
+}
+
+// Queues lists every queue's stats.
+func (c *Client) Queues(ctx context.Context) ([]QueueStats, error) {
+	var resp struct {
+		Queues []QueueStats `json:"queues"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/queues", nil, &resp)
+	return resp.Queues, err
+}
+
+// QueueStats fetches one queue's stats.
+func (c *Client) QueueStats(ctx context.Context, queue string) (QueueStats, error) {
+	var st QueueStats
+	err := c.do(ctx, http.MethodGet, "/v1/queues/"+url.PathEscape(queue), nil, &st)
+	return st, err
+}
+
+// Configure creates or reconfigures a queue's quota/weight policy.
+func (c *Client) Configure(ctx context.Context, queue string, cfg QueueConfig) (QueueStats, error) {
+	var st QueueStats
+	err := c.do(ctx, http.MethodPut, "/v1/queues/"+url.PathEscape(queue), cfg, &st)
+	return st, err
+}
+
+// Jobs lists a queue's jobs, newest first, optionally filtered by state
+// ("pending", "running", "ok", "failed", "cancelled"; "" = all).
+func (c *Client) Jobs(ctx context.Context, queue, state string, limit int) ([]JobStatus, error) {
+	var resp struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	path := "/v1/queues/" + url.PathEscape(queue) + "/jobs"
+	qv := url.Values{}
+	if state != "" {
+		qv.Set("state", state)
+	}
+	if limit > 0 {
+		qv.Set("limit", strconv.Itoa(limit))
+	}
+	if len(qv) > 0 {
+		path += "?" + qv.Encode()
+	}
+	err := c.do(ctx, http.MethodGet, path, nil, &resp)
+	return resp.Jobs, err
+}
+
+// Watch streams a queue's live events, invoking fn per event until the
+// stream ends (daemon shutdown), ctx is cancelled, or fn returns a
+// non-nil error (returned verbatim, letting callers stop early).
+func (c *Client) Watch(ctx context.Context, queue string, fn func(WatchEvent) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/queues/"+url.PathEscape(queue)+"/jobs?watch=1", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		return &apiError{Status: resp.StatusCode, Msg: string(bytes.TrimSpace(data))}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var ev WatchEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("jobd: bad watch line: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}

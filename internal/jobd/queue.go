@@ -1,0 +1,813 @@
+package jobd
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/args"
+	"repro/internal/core"
+	"repro/internal/mq"
+	"repro/internal/span"
+	"repro/internal/telemetry"
+	"repro/internal/tmpl"
+	"repro/internal/wal"
+)
+
+// jobStateCode is a job's lifecycle state in the queue's table.
+type jobStateCode uint8
+
+const (
+	statePending jobStateCode = iota
+	stateRunning
+	stateOK
+	stateFailed
+	stateCancelled
+	numStates
+)
+
+func (c jobStateCode) terminal() bool { return c >= stateOK }
+
+func (c jobStateCode) String() string {
+	switch c {
+	case statePending:
+		return "pending"
+	case stateRunning:
+		return "running"
+	case stateOK:
+		return "ok"
+	case stateFailed:
+		return "failed"
+	case stateCancelled:
+		return "cancelled"
+	}
+	return "unknown"
+}
+
+// jobEntry is one job's row in the queue table. done closes when the
+// job reaches a terminal state — the long-poll primitive behind
+// GET /v1/jobs/{q}/{seq}?wait=...
+type jobEntry struct {
+	state     jobStateCode
+	exit      int
+	cancelled bool
+	submitted time.Time // zero for jobs submitted before the last daemon start
+	started   time.Time
+	ended     time.Time
+	done      chan struct{}
+}
+
+// closedChan is the shared pre-closed done channel for entries that
+// are already terminal when created (table rebuild on daemon start).
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// queue is one named tenant queue: submit log (topic), execution log
+// (WAL), job table, event bus, and the current engine generation.
+type queue struct {
+	name string
+	dir  string
+	srv  *Server
+
+	topic *mq.Topic
+	wal   *wal.Log
+	bus   *telemetry.Bus
+	sq    *schedQueue
+	met   *queueMetrics
+
+	cancelMu sync.Mutex // serializes cancel-log appends
+	cancelF  *os.File
+
+	spanF    *os.File
+	spanW    *bufio.Writer
+	spanRec  *span.Recorder
+	spanDone chan struct{}
+
+	mu        sync.Mutex
+	cfg       QueueConfig
+	jobs      map[int]*jobEntry
+	cancelled map[int]bool // persisted cancel set (survives restart)
+	cancels   map[int]context.CancelFunc
+	submitted int // highest seq handed out (== topic length)
+	counts    [numStates]int
+	broken    error
+	closed    bool
+
+	// engMu serializes engine generations: start, quota restart, stop.
+	engMu   sync.Mutex
+	drain   chan struct{}
+	engDone chan struct{}
+}
+
+// openQueue opens (create=true: initializes) one queue directory and
+// starts its engine generation. Caller holds s.mu.
+func (s *Server) openQueue(name string, cfg QueueConfig, create bool) (*queue, error) {
+	if err := validQueueName(name); err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(s.cfg.Dir, name)
+	cfgPath := filepath.Join(dir, "queue.json")
+	if create {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		if _, err := os.Stat(cfgPath); err != nil {
+			if err := writeQueueConfig(cfgPath, cfg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	stored, err := readQueueConfig(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	cfg = stored.normalized()
+
+	topic, err := mq.OpenTopic(dir, "jobs")
+	if err != nil {
+		return nil, err
+	}
+	wl, st, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{
+		Sync:          s.cfg.WALSync,
+		FsyncObserver: s.wm.ObserveFsync,
+	})
+	if err != nil {
+		topic.Close()
+		return nil, err
+	}
+	s.wm.RecordReplay(st.Records, st.TornTails)
+	cancelled, cancelF, err := openCancelLog(dir)
+	if err != nil {
+		topic.Close()
+		wl.Close()
+		return nil, err
+	}
+
+	q := &queue{
+		name:      name,
+		dir:       dir,
+		srv:       s,
+		topic:     topic,
+		wal:       wl,
+		bus:       telemetry.NewBus(),
+		cancelF:   cancelF,
+		cfg:       cfg,
+		jobs:      map[int]*jobEntry{},
+		cancelled: cancelled,
+		cancels:   map[int]context.CancelFunc{},
+	}
+	q.met = newQueueMetrics(s.reg, q)
+	q.rebuildTable(st)
+	q.bus.Tap(q.onEvent)
+	if s.cfg.Spans {
+		f, serr := os.OpenFile(filepath.Join(dir, "spans.jsonl"),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if serr != nil {
+			q.closeFiles()
+			return nil, serr
+		}
+		q.spanF = f
+		q.spanW = bufio.NewWriter(f)
+		q.spanRec = span.NewRecorder(q.spanW, false)
+		q.spanDone = make(chan struct{})
+		sub := q.bus.Subscribe(8192)
+		go func() {
+			defer close(q.spanDone)
+			telemetry.Pump(sub, q.spanRec.Consume)
+		}()
+	}
+	q.sq = s.sched.register(cfg.Weight)
+
+	q.engMu.Lock()
+	defer q.engMu.Unlock()
+	if err := q.startEngineLocked(st); err != nil {
+		s.sched.unregister(q.sq)
+		q.closeFiles()
+		return nil, err
+	}
+	return q, nil
+}
+
+func writeQueueConfig(path string, cfg QueueConfig) error {
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func readQueueConfig(path string) (QueueConfig, error) {
+	var cfg QueueConfig
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return cfg, err
+	}
+	return cfg, json.Unmarshal(data, &cfg)
+}
+
+// openCancelLog loads the persisted cancel set (one seq per line).
+func openCancelLog(dir string) (map[int]bool, *os.File, error) {
+	path := filepath.Join(dir, "cancelled.log")
+	set := map[int]bool{}
+	if data, err := os.ReadFile(path); err == nil {
+		for _, line := range splitLines(data) {
+			if seq, perr := strconv.Atoi(line); perr == nil && seq > 0 {
+				set[seq] = true
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, f, nil
+}
+
+func splitLines(data []byte) []string {
+	var out []string
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			if i > start {
+				out = append(out, string(data[start:i]))
+			}
+			start = i + 1
+		}
+	}
+	if start < len(data) {
+		out = append(out, string(data[start:]))
+	}
+	return out
+}
+
+// rebuildTable reconstructs the job table from the durable facts at
+// open time: the topic (what was accepted), the replayed WAL (what
+// finished, with which exit), and the cancel set.
+func (q *queue) rebuildTable(st *wal.State) {
+	n := int(q.topic.Len())
+	q.submitted = n
+	for seq := 1; seq <= n; seq++ {
+		e := &jobEntry{}
+		switch exit, done := st.Completed[seq]; {
+		case q.cancelled[seq]:
+			e.state, e.cancelled = stateCancelled, true
+		case done && exit == 0:
+			e.state = stateOK
+		case done:
+			e.state, e.exit = stateFailed, exit
+		default:
+			e.state = statePending
+		}
+		if e.state.terminal() {
+			e.done = closedChan
+		} else {
+			e.done = make(chan struct{})
+		}
+		q.jobs[seq] = e
+		q.counts[e.state]++
+	}
+}
+
+func (q *queue) closeFiles() error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	keep(q.wal.Close())
+	keep(q.topic.Close())
+	q.bus.Close()
+	if q.spanDone != nil {
+		<-q.spanDone // pump ends once the bus closes its subscription
+		keep(q.spanRec.Close())
+		keep(q.spanW.Flush())
+		keep(q.spanF.Sync())
+		keep(q.spanF.Close())
+	}
+	keep(q.cancelF.Close())
+	return firstErr
+}
+
+// config returns the queue's current policy.
+func (q *queue) config() QueueConfig {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.cfg
+}
+
+// Name returns the queue name.
+func (q *queue) Name() string { return q.name }
+
+// fail marks the queue broken (a WAL append failure, an engine abort):
+// submits and cancels are refused until the operator restarts the
+// daemon — a queue that can no longer log durably must not keep
+// acking.
+func (q *queue) fail(err error) {
+	q.mu.Lock()
+	if q.broken == nil {
+		q.broken = err
+	}
+	q.mu.Unlock()
+	q.srv.logf("jobd: queue %q failed: %v", q.name, err)
+}
+
+func (q *queue) usable() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.usableLocked()
+}
+
+func (q *queue) usableLocked() error {
+	if q.closed {
+		return ErrClosed
+	}
+	if q.broken != nil {
+		return q.broken
+	}
+	return nil
+}
+
+// ensureEntryLocked returns seq's table row, creating a pending one if
+// the event/tap side observed the job before Submit's table insert
+// (the topic append wakes the engine's long-poll before Submit regains
+// the lock — benign, but the row must exist).
+func (q *queue) ensureEntryLocked(seq int) *jobEntry {
+	e := q.jobs[seq]
+	if e == nil {
+		e = &jobEntry{done: make(chan struct{})}
+		q.jobs[seq] = e
+		q.counts[statePending]++
+		if seq > q.submitted {
+			q.submitted = seq
+		}
+	}
+	return e
+}
+
+// Submit appends each command to the queue: topic append (the accept),
+// WAL intent (the durable promise to run), table row, then ack. On a
+// mid-batch error the successfully appended prefix is returned with
+// the error — those jobs are accepted and will run.
+func (q *queue) Submit(commands []string) ([]int, error) {
+	if len(commands) == 0 {
+		return nil, fmt.Errorf("jobd: empty submit")
+	}
+	if err := q.usable(); err != nil {
+		return nil, err
+	}
+	seqs := make([]int, 0, len(commands))
+	for _, cmd := range commands {
+		if cmd == "" {
+			return seqs, fmt.Errorf("jobd: empty command")
+		}
+		tseq, err := q.topic.Append([]byte(cmd))
+		if err != nil {
+			q.fail(err)
+			return seqs, err
+		}
+		seq := int(tseq) + 1
+		if err := q.wal.AppendIntent(seq, wal.ArgsDigest([]string{cmd})); err != nil {
+			q.fail(err)
+			return seqs, err
+		}
+		now := time.Now()
+		q.mu.Lock()
+		e := q.ensureEntryLocked(seq)
+		e.submitted = now
+		if seq > q.submitted {
+			q.submitted = seq
+		}
+		q.mu.Unlock()
+		q.met.submitted.Inc()
+		seqs = append(seqs, seq)
+	}
+	return seqs, nil
+}
+
+// Status returns seq's current JobStatus.
+func (q *queue) Status(seq int) (JobStatus, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e := q.jobs[seq]
+	if e == nil {
+		return JobStatus{}, fmt.Errorf("%w: job %s/%d", ErrNotFound, q.name, seq)
+	}
+	return q.statusLocked(seq, e), nil
+}
+
+// Wait blocks until seq is terminal, ctx is done, or timeout elapses,
+// then returns the current status (callers inspect State to tell which).
+func (q *queue) Wait(ctx context.Context, seq int, timeout time.Duration) (JobStatus, error) {
+	q.mu.Lock()
+	e := q.jobs[seq]
+	if e == nil {
+		q.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("%w: job %s/%d", ErrNotFound, q.name, seq)
+	}
+	done := e.done
+	q.mu.Unlock()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+	return q.Status(seq)
+}
+
+// Cancel stops seq: a pending job becomes terminal immediately (the
+// engine will later skip it), a running job's context is cancelled. The
+// decision is persisted to the cancel log before it is acted on, so a
+// restart cannot resurrect a cancelled job.
+func (q *queue) Cancel(seq int) (JobStatus, error) {
+	if err := q.usable(); err != nil {
+		return JobStatus{}, err
+	}
+	q.mu.Lock()
+	e := q.jobs[seq]
+	if e == nil {
+		q.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("%w: job %s/%d", ErrNotFound, q.name, seq)
+	}
+	if e.state.terminal() {
+		st := q.statusLocked(seq, e)
+		q.mu.Unlock()
+		return st, ErrAlreadyDone
+	}
+	already := e.cancelled
+	q.mu.Unlock()
+
+	if !already {
+		// Persist outside q.mu: the fsync must not stall submits.
+		if err := q.appendCancelLog(seq); err != nil {
+			return JobStatus{}, err
+		}
+	}
+
+	q.mu.Lock()
+	e = q.jobs[seq]
+	e.cancelled = true
+	q.cancelled[seq] = true
+	var kill context.CancelFunc
+	switch e.state {
+	case statePending:
+		q.counts[statePending]--
+		e.state = stateCancelled
+		q.counts[stateCancelled]++
+		e.ended = time.Now()
+		close(e.done)
+		q.met.completed(stateCancelled)
+	case stateRunning:
+		kill = q.cancels[seq]
+	}
+	st := q.statusLocked(seq, e)
+	q.mu.Unlock()
+	if kill != nil {
+		kill()
+	}
+	return st, nil
+}
+
+func (q *queue) appendCancelLog(seq int) error {
+	q.cancelMu.Lock()
+	defer q.cancelMu.Unlock()
+	if _, err := fmt.Fprintf(q.cancelF, "%d\n", seq); err != nil {
+		return err
+	}
+	return q.cancelF.Sync()
+}
+
+// isCancelled reports whether seq is in the cancel set.
+func (q *queue) isCancelled(seq int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.cancelled[seq]
+}
+
+// armCancel installs the kill switch for a dispatched job. When the
+// job was cancelled while waiting for its fair-share slot, it reports
+// already=true and the runner skips execution.
+func (q *queue) armCancel(ctx context.Context, seq int) (jctx context.Context, cancel context.CancelFunc, already bool, submitted time.Time) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e := q.ensureEntryLocked(seq)
+	if e.cancelled {
+		return nil, nil, true, time.Time{}
+	}
+	jctx, cancel = context.WithCancel(ctx)
+	q.cancels[seq] = cancel
+	return jctx, cancel, false, e.submitted
+}
+
+func (q *queue) disarmCancel(seq int) {
+	q.mu.Lock()
+	delete(q.cancels, seq)
+	q.mu.Unlock()
+}
+
+// onEvent is the bus tap that keeps the job table in lockstep with the
+// engine's lifecycle events. It runs inside Publish on engine
+// goroutines: table transition under the lock, metrics after.
+func (q *queue) onEvent(ev core.Event) {
+	switch ev.Type {
+	case core.EventStarted:
+		q.mu.Lock()
+		e := q.ensureEntryLocked(ev.Seq)
+		if e.state == statePending {
+			q.counts[statePending]--
+			e.state = stateRunning
+			q.counts[stateRunning]++
+			e.started = ev.Time
+		}
+		q.mu.Unlock()
+	case core.EventFinished, core.EventKilled:
+		q.mu.Lock()
+		e := q.ensureEntryLocked(ev.Seq)
+		if e.state.terminal() {
+			// Cancelled-while-pending: the runner's skip result arrives
+			// after Cancel already settled the row.
+			q.mu.Unlock()
+			return
+		}
+		q.counts[e.state]--
+		switch {
+		case e.cancelled:
+			e.state = stateCancelled
+		case ev.OK:
+			e.state = stateOK
+		default:
+			e.state = stateFailed
+		}
+		q.counts[e.state]++
+		e.exit = ev.ExitCode
+		e.ended = ev.Time
+		final := e.state
+		close(e.done)
+		q.mu.Unlock()
+		q.met.completed(final)
+		if ev.DispatchDelay > 0 {
+			q.met.dispatch.ObserveDuration(ev.DispatchDelay)
+		}
+	}
+}
+
+// source yields the topic's messages in order as engine input,
+// long-polling at the tail. drain ends the generation gracefully; ctx
+// force-cancels it.
+func (q *queue) source(ctx context.Context, drain <-chan struct{}) args.Source {
+	var next int64
+	return args.SourceFunc(func() ([]string, error) {
+		for {
+			select {
+			case <-ctx.Done():
+				return nil, io.EOF
+			case <-drain:
+				return nil, io.EOF
+			default:
+			}
+			msg, err := q.topic.Read(next)
+			if err == nil {
+				next++
+				return []string{string(msg)}, nil
+			}
+			if !errors.Is(err, mq.ErrOutOfRange) {
+				return nil, err
+			}
+			select {
+			case <-q.topic.WaitFor(next):
+			case <-ctx.Done():
+				return nil, io.EOF
+			case <-drain:
+				return nil, io.EOF
+			}
+		}
+	})
+}
+
+// jobTemplate renders each topic message (one raw command string) as
+// the job command verbatim.
+var jobTemplate = tmpl.MustParse("{}")
+
+// startEngineLocked starts a new engine generation against the current
+// WAL state. Caller holds engMu. The service's resume rule differs
+// from one-shot --resume in one deliberate way: any recorded
+// completion — success or failure — is terminal (clients resubmit
+// failures; a restart must not surprise-rerun them). Cancelled seqs
+// are folded in so a cancel outlives the generation that observed it.
+func (q *queue) startEngineLocked(st *wal.State) error {
+	q.mu.Lock()
+	resume := make(map[int]bool, len(st.Completed)+len(q.cancelled))
+	for seq := range st.Completed {
+		resume[seq] = true
+	}
+	for seq := range q.cancelled {
+		resume[seq] = true
+	}
+	quota := q.cfg.Quota
+	q.mu.Unlock()
+
+	spec := &core.Spec{
+		Jobs:       quota,
+		Template:   jobTemplate,
+		Retries:    1,
+		WAL:        q.wal,
+		WALDigests: st.Digests,
+		ResumeFrom: resume,
+		OnEvent:    q.bus.Publish,
+	}
+	if q.srv.cfg.Results {
+		spec.ResultsDir = filepath.Join(q.dir, "results")
+	}
+	eng, err := core.NewEngine(spec, &queueRunner{q: q})
+	if err != nil {
+		return err
+	}
+	drain := make(chan struct{})
+	done := make(chan struct{})
+	q.drain, q.engDone = drain, done
+	ctx := q.srv.ctx
+	go func() {
+		defer close(done)
+		_, _, runErr := eng.Run(ctx, q.source(ctx, drain))
+		if runErr != nil && ctx.Err() == nil && !errors.Is(runErr, context.Canceled) {
+			q.fail(runErr)
+		}
+	}()
+	return nil
+}
+
+// setConfig persists a policy change. Weight applies to the next
+// grant; a quota change drains the current engine generation (running
+// jobs finish) and starts a new one resuming from the WAL snapshot.
+func (q *queue) setConfig(cfg QueueConfig) error {
+	q.engMu.Lock()
+	defer q.engMu.Unlock()
+	if err := q.usable(); err != nil {
+		return err
+	}
+	q.mu.Lock()
+	old := q.cfg
+	q.cfg = cfg
+	q.mu.Unlock()
+	if err := writeQueueConfig(filepath.Join(q.dir, "queue.json"), cfg); err != nil {
+		return err
+	}
+	q.srv.sched.setWeight(q.sq, cfg.Weight)
+	if cfg.Quota == old.Quota {
+		return nil
+	}
+	close(q.drain)
+	<-q.engDone
+	if err := q.usable(); err != nil {
+		return err
+	}
+	st, err := q.wal.Snapshot()
+	if err != nil {
+		q.fail(err)
+		return err
+	}
+	q.srv.logf("jobd: queue %q quota %d -> %d (engine generation restarted)", q.name, old.Quota, cfg.Quota)
+	return q.startEngineLocked(st)
+}
+
+// beginStop closes the submit window and the engine's drain gate,
+// returning the generation's done channel for the server to await.
+func (q *queue) beginStop() <-chan struct{} {
+	q.engMu.Lock()
+	defer q.engMu.Unlock()
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	select {
+	case <-q.drain:
+	default:
+		close(q.drain)
+	}
+	return q.engDone
+}
+
+// finishClose releases the queue's resources after its engine stopped.
+func (q *queue) finishClose() error {
+	q.srv.sched.unregister(q.sq)
+	return q.closeFiles()
+}
+
+// stats snapshots the queue's aggregate counters.
+func (q *queue) stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := QueueStats{
+		Name:      q.name,
+		Quota:     q.cfg.Quota,
+		Weight:    q.cfg.Weight,
+		Submitted: q.submitted,
+		Pending:   q.counts[statePending],
+		Running:   q.counts[stateRunning],
+		OK:        q.counts[stateOK],
+		Failed:    q.counts[stateFailed],
+		Cancelled: q.counts[stateCancelled],
+	}
+	if q.broken != nil {
+		st.Error = q.broken.Error()
+	}
+	return st
+}
+
+// Jobs lists up to limit job statuses, newest first, optionally
+// filtered by state name ("" = all).
+func (q *queue) Jobs(stateFilter string, limit int) []JobStatus {
+	if limit <= 0 {
+		limit = 1000
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]JobStatus, 0, min(limit, len(q.jobs)))
+	for seq := q.submitted; seq >= 1 && len(out) < limit; seq-- {
+		e := q.jobs[seq]
+		if e == nil {
+			continue
+		}
+		if stateFilter != "" && e.state.String() != stateFilter {
+			continue
+		}
+		out = append(out, q.statusLocked(seq, e))
+	}
+	return out
+}
+
+// Watch subscribes to the queue's live event stream. The caller must
+// call the returned cancel function when done (client disconnect), or
+// the subscription would outlive them.
+func (q *queue) Watch(buf int) (*telemetry.Subscription, func()) {
+	sub := q.bus.Subscribe(buf)
+	return sub, func() { q.bus.Unsubscribe(sub) }
+}
+
+// QueueStats is the /v1/queues wire shape.
+type QueueStats struct {
+	Name      string `json:"name"`
+	Quota     int    `json:"quota"`
+	Weight    int    `json:"weight"`
+	Submitted int    `json:"submitted"`
+	Pending   int    `json:"pending"`
+	Running   int    `json:"running"`
+	OK        int    `json:"ok"`
+	Failed    int    `json:"failed"`
+	Cancelled int    `json:"cancelled"`
+	Error     string `json:"error,omitempty"`
+}
+
+// JobStatus is the per-job wire shape. ID is "<queue>/<seq>".
+type JobStatus struct {
+	ID          string `json:"id"`
+	Queue       string `json:"queue"`
+	Seq         int    `json:"seq"`
+	State       string `json:"state"`
+	Exit        int    `json:"exit"`
+	Cancelled   bool   `json:"cancelled,omitempty"`
+	SubmittedAt string `json:"submitted_at,omitempty"`
+	StartedAt   string `json:"started_at,omitempty"`
+	EndedAt     string `json:"ended_at,omitempty"`
+}
+
+func (q *queue) statusLocked(seq int, e *jobEntry) JobStatus {
+	st := JobStatus{
+		ID:        q.name + "/" + strconv.Itoa(seq),
+		Queue:     q.name,
+		Seq:       seq,
+		State:     e.state.String(),
+		Exit:      e.exit,
+		Cancelled: e.cancelled,
+	}
+	if !e.submitted.IsZero() {
+		st.SubmittedAt = e.submitted.UTC().Format(time.RFC3339Nano)
+	}
+	if !e.started.IsZero() {
+		st.StartedAt = e.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !e.ended.IsZero() {
+		st.EndedAt = e.ended.UTC().Format(time.RFC3339Nano)
+	}
+	return st
+}

@@ -1,0 +1,59 @@
+package jobd
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+)
+
+// queueRunner wraps the server's base Runner with the service's
+// per-job concerns, in order:
+//
+//  1. cancelled jobs are skipped without execution, reported as a
+//     zero-exit result so the WAL records a completion and no later
+//     generation revisits the seq (the cancel set keeps the table
+//     state "cancelled");
+//  2. the global fair-share slot is acquired — the engine slot (queue
+//     quota) is already held, so a queue's waiting jobs occupy at most
+//     quota slots' worth of scheduler queueing;
+//  3. the submit→dispatch latency histogram is fed — this is the
+//     ROADMAP's service-level metric, measured from the submit ack's
+//     table timestamp to the moment the job's process is about to
+//     start;
+//  4. a per-job cancel context is armed so DELETE /v1/jobs can kill a
+//     running job without touching its neighbors.
+//
+// Because the fair-share wait happens inside Run, the engine's
+// DispatchDelay for a daemon job includes time spent queued behind
+// other tenants — `gopar report` on a queue's span file therefore
+// attributes cross-tenant contention to the dispatch phase, which is
+// exactly where a tenant perceives it.
+type queueRunner struct {
+	q *queue
+}
+
+func (r *queueRunner) Run(ctx context.Context, job *core.Job) core.Result {
+	q := r.q
+	if q.isCancelled(job.Seq) {
+		now := time.Now()
+		return core.Result{Job: *job, Start: now, End: now}
+	}
+	if err := q.srv.sched.acquire(ctx, q.sq); err != nil {
+		now := time.Now()
+		return core.Result{Job: *job, Err: err, Start: now, End: now}
+	}
+	defer q.srv.sched.release(q.sq)
+
+	jctx, cancel, already, submitted := q.armCancel(ctx, job.Seq)
+	if already {
+		now := time.Now()
+		return core.Result{Job: *job, Start: now, End: now}
+	}
+	defer q.disarmCancel(job.Seq)
+	defer cancel()
+	if !submitted.IsZero() {
+		q.met.submitToDispatch.Observe(time.Since(submitted).Seconds())
+	}
+	return q.srv.runner.Run(jctx, job)
+}

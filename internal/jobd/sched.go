@@ -1,0 +1,170 @@
+package jobd
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// scheduler divides a fixed pool of global execution slots across
+// queues by weighted fair queueing. Each queue carries a virtual time
+// that advances by 1/weight per granted slot; whenever a slot frees,
+// the waiting queue with the smallest virtual time wins it. Over any
+// saturated window, queue i therefore receives weight_i / Σweights of
+// the slots — a backlogged tenant cannot starve another queue beyond
+// its share, which is the multi-tenant isolation property the service
+// tests pin down.
+//
+// A queue's per-tenant quota (engine Jobs) bounds how many slots it can
+// even ask for concurrently; the scheduler arbitrates the global pool
+// underneath those caps.
+type scheduler struct {
+	mu    sync.Mutex
+	slots int
+	free  int
+	qs    []*schedQueue
+}
+
+// schedQueue is one queue's standing with the scheduler.
+type schedQueue struct {
+	weight  int
+	vtime   float64
+	running int
+	// waiting is FIFO within the queue: grants close the head channel.
+	waiting []chan struct{}
+}
+
+func newScheduler(slots int) (*scheduler, error) {
+	if slots < 1 {
+		return nil, fmt.Errorf("jobd: slots must be >= 1, got %d", slots)
+	}
+	return &scheduler{slots: slots, free: slots}, nil
+}
+
+// register adds a queue with the given weight (clamped to >= 1).
+func (s *scheduler) register(weight int) *schedQueue {
+	if weight < 1 {
+		weight = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sq := &schedQueue{weight: weight, vtime: s.floorLocked()}
+	s.qs = append(s.qs, sq)
+	return sq
+}
+
+// setWeight updates a queue's fair-share weight for future grants.
+func (s *scheduler) setWeight(sq *schedQueue, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	s.mu.Lock()
+	sq.weight = weight
+	s.mu.Unlock()
+}
+
+// unregister removes a queue. Any waiters it still has are granted
+// nothing and must already be gone (the owning queue drains its engine
+// before unregistering).
+func (s *scheduler) unregister(sq *schedQueue) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, cand := range s.qs {
+		if cand == sq {
+			s.qs = append(s.qs[:i], s.qs[i+1:]...)
+			break
+		}
+	}
+}
+
+// floorLocked is the minimum virtual time among queues that are active
+// (running or waiting). A queue (re)joining contention starts at this
+// floor rather than the virtual time it left off at, so an idle tenant
+// cannot hoard "credit" and later monopolize the pool to catch up —
+// the standard WFQ virtual-start clamp.
+func (s *scheduler) floorLocked() float64 {
+	floor := 0.0
+	found := false
+	for _, q := range s.qs {
+		if q.running == 0 && len(q.waiting) == 0 {
+			continue
+		}
+		if !found || q.vtime < floor {
+			floor, found = q.vtime, true
+		}
+	}
+	return floor
+}
+
+// acquire blocks until the queue is granted a global slot or ctx is
+// done. Callers must release exactly once per successful acquire.
+func (s *scheduler) acquire(ctx context.Context, sq *schedQueue) error {
+	s.mu.Lock()
+	if sq.running == 0 && len(sq.waiting) == 0 {
+		// Idle → active transition: clamp to the active floor.
+		if f := s.floorLocked(); sq.vtime < f {
+			sq.vtime = f
+		}
+	}
+	ch := make(chan struct{})
+	sq.waiting = append(sq.waiting, ch)
+	s.grantLocked()
+	s.mu.Unlock()
+
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		granted := true
+		for i, cand := range sq.waiting {
+			if cand == ch {
+				sq.waiting = append(sq.waiting[:i], sq.waiting[i+1:]...)
+				granted = false
+				break
+			}
+		}
+		if granted {
+			// The grant raced the cancellation: the slot is ours, give
+			// it straight back.
+			sq.running--
+			s.free++
+			s.grantLocked()
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release returns a slot to the pool and hands it to the next winner.
+func (s *scheduler) release(sq *schedQueue) {
+	s.mu.Lock()
+	sq.running--
+	s.free++
+	s.grantLocked()
+	s.mu.Unlock()
+}
+
+// grantLocked hands free slots to waiting queues in virtual-time order.
+func (s *scheduler) grantLocked() {
+	for s.free > 0 {
+		var best *schedQueue
+		for _, q := range s.qs {
+			if len(q.waiting) == 0 {
+				continue
+			}
+			if best == nil || q.vtime < best.vtime {
+				best = q
+			}
+		}
+		if best == nil {
+			return
+		}
+		ch := best.waiting[0]
+		best.waiting = best.waiting[1:]
+		best.running++
+		best.vtime += 1 / float64(best.weight)
+		s.free--
+		close(ch)
+	}
+}

@@ -1,0 +1,257 @@
+package jobd
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// occupant parks a goroutine holding one slot of sq until release is
+// closed. It returns once the slot is held.
+func occupant(t *testing.T, s *scheduler, sq *schedQueue) (release func()) {
+	t.Helper()
+	held := make(chan struct{})
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := s.acquire(context.Background(), sq); err != nil {
+			t.Errorf("occupant acquire: %v", err)
+			return
+		}
+		close(held)
+		<-stop
+		s.release(sq)
+	}()
+	<-held
+	return func() { close(stop); <-done }
+}
+
+// backlog spawns n waiters on sq. Each granted waiter sends its tag on
+// grants, then immediately releases its slot, driving the next grant.
+// The caller must be holding every pool slot (via occupant) so that
+// waiters pile up instead of being granted; each registration is
+// confirmed by watching sq.waiting grow before spawning the next.
+func backlog(t *testing.T, s *scheduler, sq *schedQueue, tag string, n int, grants chan<- string, wg *sync.WaitGroup) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.acquire(context.Background(), sq); err != nil {
+				t.Errorf("backlog acquire: %v", err)
+				return
+			}
+			grants <- tag
+			s.release(sq)
+		}()
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			s.mu.Lock()
+			enqueued := len(sq.waiting) >= i+1
+			s.mu.Unlock()
+			if enqueued {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("waiter %d for %s never enqueued", i, tag)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestSchedulerWeightedShare pins the WFQ isolation property: with one
+// slot contended 3:1, the heavy queue gets 3/4 of the grants and the
+// light queue still gets its 1/4 — a saturating tenant cannot starve
+// its neighbor.
+func TestSchedulerWeightedShare(t *testing.T) {
+	s, err := newScheduler(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	control := s.register(1)
+	release := occupant(t, s, control)
+
+	heavy := s.register(3)
+	light := s.register(1)
+	grants := make(chan string, 64)
+	var wg sync.WaitGroup
+	backlog(t, s, heavy, "heavy", 30, grants, &wg)
+	backlog(t, s, light, "light", 30, grants, &wg)
+
+	release() // open the floodgates: grants now proceed one at a time
+
+	counts := map[string]int{}
+	for i := 0; i < 24; i++ {
+		select {
+		case tag := <-grants:
+			counts[tag]++
+		case <-time.After(5 * time.Second):
+			t.Fatalf("stalled after %d grants (counts %v)", i, counts)
+		}
+	}
+	// WFQ with weights 3:1 is deterministic up to ties: heavy must land
+	// within one grant of 18/24, light within one of 6/24.
+	if counts["heavy"] < 17 || counts["heavy"] > 19 {
+		t.Fatalf("heavy got %d of 24 grants, want 18±1 (light %d)", counts["heavy"], counts["light"])
+	}
+	if counts["light"] < 5 {
+		t.Fatalf("light starved: %d of 24 grants, want >= 5", counts["light"])
+	}
+
+	// Drain the remaining backlog so wg completes.
+	for counts["heavy"]+counts["light"] < 60 {
+		select {
+		case tag := <-grants:
+			counts[tag]++
+		case <-time.After(5 * time.Second):
+			t.Fatalf("drain stalled at %v", counts)
+		}
+	}
+	wg.Wait()
+}
+
+// TestSchedulerFloorClamp proves an idle tenant cannot bank virtual
+// time while inactive and later monopolize the pool: after A runs 20
+// uncontended grants, a newly active B alternates with it instead of
+// sweeping 20 consecutive slots.
+func TestSchedulerFloorClamp(t *testing.T) {
+	s, err := newScheduler(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.register(1)
+	b := s.register(1)
+
+	for i := 0; i < 20; i++ {
+		if err := s.acquire(context.Background(), a); err != nil {
+			t.Fatal(err)
+		}
+		s.release(a)
+	}
+
+	hold := occupant(t, s, a)
+	grants := make(chan string, 64)
+	var wg sync.WaitGroup
+	backlog(t, s, a, "a", 10, grants, &wg)
+	backlog(t, s, b, "b", 10, grants, &wg)
+	hold()
+
+	var order []string
+	for i := 0; i < 10; i++ {
+		select {
+		case tag := <-grants:
+			order = append(order, tag)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("stalled after %v", order)
+		}
+	}
+	bRun := 0
+	maxBRun := 0
+	for _, tag := range order {
+		if tag == "b" {
+			bRun++
+			if bRun > maxBRun {
+				maxBRun = bRun
+			}
+		} else {
+			bRun = 0
+		}
+	}
+	if maxBRun > 2 {
+		t.Fatalf("b swept %d consecutive grants after idling — floor clamp broken (order %v)", maxBRun, order)
+	}
+	for len(order) < 20 {
+		select {
+		case tag := <-grants:
+			order = append(order, tag)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("drain stalled at %v", order)
+		}
+	}
+	wg.Wait()
+}
+
+// TestSchedulerAcquireCancel: a cancelled waiter must not leak the slot
+// it never got.
+func TestSchedulerAcquireCancel(t *testing.T) {
+	s, err := newScheduler(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := s.register(1)
+	release := occupant(t, s, q)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.acquire(ctx, q) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("acquire = %v, want context.Canceled", err)
+	}
+	release()
+
+	// The pool must be whole again: an uncontended acquire succeeds.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	if err := s.acquire(ctx2, q); err != nil {
+		t.Fatalf("post-cancel acquire: %v", err)
+	}
+	s.release(q)
+}
+
+// TestSchedulerStress hammers acquire/release/cancel from many
+// goroutines and then checks the slot accounting invariant:
+// free + Σrunning == slots once everything quiesces.
+func TestSchedulerStress(t *testing.T) {
+	const slots = 4
+	s, err := newScheduler(slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []*schedQueue{s.register(1), s.register(2), s.register(5)}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				sq := qs[rng.Intn(len(qs))]
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if rng.Intn(3) == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(200))*time.Microsecond)
+				}
+				if err := s.acquire(ctx, sq); err == nil {
+					if rng.Intn(4) == 0 {
+						time.Sleep(time.Duration(rng.Intn(50)) * time.Microsecond)
+					}
+					s.release(sq)
+				}
+				cancel()
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := s.free
+	for _, q := range s.qs {
+		total += q.running
+		if q.running < 0 {
+			t.Fatalf("queue running went negative: %d", q.running)
+		}
+		if len(q.waiting) != 0 {
+			t.Fatalf("leaked waiter on quiesced queue")
+		}
+	}
+	if total != slots {
+		t.Fatalf("slot accounting broken: free %d + running = %d, want %d", s.free, total, slots)
+	}
+}

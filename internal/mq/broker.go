@@ -41,14 +41,20 @@ func (b *Broker) Topic(name string) (*Topic, error) {
 	return t, nil
 }
 
-// Close closes every open topic.
-func (b *Broker) Close() {
+// Close closes every open topic, waking their long-poll waiters, and
+// returns the first close error encountered (all topics are closed
+// regardless).
+func (b *Broker) Close() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	var first error
 	for _, t := range b.topics {
-		t.Close()
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
 	b.topics = map[string]*Topic{}
+	return first
 }
 
 type brokerReq struct {
@@ -101,6 +107,15 @@ func (b *Broker) Serve(ctx context.Context, l net.Listener) error {
 }
 
 func (b *Broker) serveConn(ctx context.Context, conn net.Conn) {
+	// Shutdown drain: an idle connection parks this goroutine inside
+	// dec.Decode with no deadline, which would wedge Serve's wg.Wait
+	// forever. When ctx is cancelled, expire the pending (and any
+	// future) read so Decode unblocks; a request already in flight
+	// still gets its response below before the loop exits.
+	stop := context.AfterFunc(ctx, func() {
+		conn.SetReadDeadline(time.Now())
+	})
+	defer stop()
 	bw := bufio.NewWriter(conn)
 	enc := json.NewEncoder(bw)
 	dec := json.NewDecoder(bufio.NewReader(conn))
@@ -115,6 +130,9 @@ func (b *Broker) serveConn(ctx context.Context, conn net.Conn) {
 		}
 		if err := bw.Flush(); err != nil {
 			return
+		}
+		if ctx.Err() != nil {
+			return // drained: last response delivered, now hang up
 		}
 	}
 }

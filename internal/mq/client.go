@@ -9,10 +9,18 @@ import (
 	"io"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/args"
 )
+
+// ErrBrokerClosed reports that the broker ended the connection — a
+// graceful shutdown (SIGTERM drain) or a broker crash, as opposed to a
+// per-request error the broker answered with. Callers that follow a
+// topic (gomq consume -follow, long-lived engine sources) match it with
+// errors.Is to decide between reconnecting and giving up.
+var ErrBrokerClosed = errors.New("mq: broker closed the connection")
 
 // Client talks to a Broker over TCP. Safe for concurrent use (requests
 // are serialized on one connection).
@@ -46,19 +54,30 @@ func (c *Client) call(req brokerReq) (brokerResp, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.enc.Encode(req); err != nil {
-		return brokerResp{}, err
+		return brokerResp{}, closedErr(err)
 	}
 	if err := c.bw.Flush(); err != nil {
-		return brokerResp{}, err
+		return brokerResp{}, closedErr(err)
 	}
 	var resp brokerResp
 	if err := c.dec.Decode(&resp); err != nil {
-		return brokerResp{}, err
+		return brokerResp{}, closedErr(err)
 	}
 	if resp.Err != "" {
 		return resp, errors.New(resp.Err)
 	}
 	return resp, nil
+}
+
+// closedErr maps transport-level connection loss onto ErrBrokerClosed
+// (wrapping the cause) and passes every other error through.
+func closedErr(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) {
+		return fmt.Errorf("%w: %v", ErrBrokerClosed, err)
+	}
+	return err
 }
 
 // Produce appends msg to topic, returning its sequence.

@@ -1,0 +1,219 @@
+package mq
+
+import (
+	"context"
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// startBrokerOn serves a broker over dir and returns its address plus a
+// stop func that performs the full shutdown sequence (cancel, wait for
+// Serve to drain, close topics) — the same path `gomq serve` takes on
+// SIGTERM.
+func startBrokerOn(t *testing.T, dir string) (addr string, stop func()) {
+	t.Helper()
+	b := NewBroker(dir)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- b.Serve(ctx, l) }()
+	var once bool
+	stop = func() {
+		if once {
+			return
+		}
+		once = true
+		cancel()
+		select {
+		case err := <-served:
+			if err != nil {
+				t.Errorf("Serve returned %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("broker Serve did not drain after cancel")
+		}
+		if err := b.Close(); err != nil {
+			t.Errorf("broker Close: %v", err)
+		}
+	}
+	t.Cleanup(stop)
+	return l.Addr().String(), stop
+}
+
+// TestBrokerServeDrainsOnShutdown: cancelling Serve's context must
+// unblock idle connections (parked in a read with no deadline) and
+// parked long-polls, answer the in-flight long-poll with a clean
+// timeout response, and return. Before the read-deadline drain fix,
+// Serve's wg.Wait hung forever on the idle connections.
+func TestBrokerServeDrainsOnShutdown(t *testing.T) {
+	addr, stop := startBrokerOn(t, t.TempDir())
+
+	// Three idle consumers: connected, one round-trip each so the
+	// server goroutines are live, then silent.
+	idle := make([]*Client, 3)
+	for i := range idle {
+		c, err := DialBroker(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.Len("drain"); err != nil {
+			t.Fatal(err)
+		}
+		idle[i] = c
+	}
+	// One consumer parked in a 30s long-poll on an empty topic.
+	parked, err := DialBroker(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parked.Close()
+	pollDone := make(chan error, 1)
+	go func() {
+		_, ok, err := parked.Consume("drain", 0, 30*time.Second)
+		if ok {
+			err = errors.New("long-poll delivered a message from an empty topic")
+		}
+		pollDone <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the long-poll park
+
+	start := time.Now()
+	stop() // fails the test itself if Serve hangs past 10s
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("drain took %v", d)
+	}
+	// The parked long-poll was answered, not cut mid-frame.
+	select {
+	case err := <-pollDone:
+		if err != nil {
+			t.Errorf("parked long-poll: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("parked long-poll never returned")
+	}
+	// Idle clients discover the shutdown as ErrBrokerClosed, the
+	// sentinel reconnect loops key off.
+	if _, err := idle[0].Len("drain"); !errors.Is(err, ErrBrokerClosed) {
+		t.Errorf("call after shutdown = %v, want ErrBrokerClosed", err)
+	}
+}
+
+// TestCommitRedeliveryAcrossBrokerRestart proves the consumer-group
+// contract over a broker restart: committed messages stay consumed,
+// the uncommitted message is redelivered to the group exactly once.
+func TestCommitRedeliveryAcrossBrokerRestart(t *testing.T) {
+	dir := t.TempDir()
+	addr, stop := startBrokerOn(t, dir)
+	c, err := DialBroker(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"m0", "m1", "m2"} {
+		if _, err := c.Produce("jobs", []byte(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Consume m0 and commit it; consume m1 but crash before the commit.
+	if msg, ok, err := c.Consume("jobs", 0, 0); err != nil || !ok || string(msg) != "m0" {
+		t.Fatalf("consume 0 = %q %v %v", msg, ok, err)
+	}
+	if err := c.Commit("jobs", "g", 1); err != nil {
+		t.Fatal(err)
+	}
+	if msg, ok, err := c.Consume("jobs", 1, 0); err != nil || !ok || string(msg) != "m1" {
+		t.Fatalf("consume 1 = %q %v %v", msg, ok, err)
+	}
+	c.Close()
+	stop()
+
+	// Restart on the same directory: the group resumes at its committed
+	// offset, so m1 — delivered but never committed — comes again.
+	addr2, stop2 := startBrokerOn(t, dir)
+	c2, err := DialBroker(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	next, err := c2.Committed("jobs", "g")
+	if err != nil || next != 1 {
+		t.Fatalf("committed after restart = %d, %v (want 1)", next, err)
+	}
+	var redelivered []string
+	for {
+		msg, ok, err := c2.Consume("jobs", next, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		redelivered = append(redelivered, string(msg))
+		next++
+		if err := c2.Commit("jobs", "g", next); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(redelivered) != 2 || redelivered[0] != "m1" || redelivered[1] != "m2" {
+		t.Fatalf("redelivered = %v, want [m1 m2]", redelivered)
+	}
+	c2.Close()
+	stop2()
+
+	// Third incarnation: everything is committed, nothing redelivers.
+	addr3, _ := startBrokerOn(t, dir)
+	c3, err := DialBroker(addr3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if n, err := c3.Committed("jobs", "g"); err != nil || n != 3 {
+		t.Fatalf("final committed = %d, %v", n, err)
+	}
+	if _, ok, err := c3.Consume("jobs", 3, 0); err != nil || ok {
+		t.Fatalf("fully-committed group got a message: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestTopicReadTruncatedPayload: a payload cut short on disk (torn
+// replica copy, external truncation) must surface as a read error —
+// the old code tolerated any io.EOF and handed back a zero-padded
+// buffer, which a consumer would print as a mangled partial line.
+func TestTopicReadTruncatedPayload(t *testing.T) {
+	dir := t.TempDir()
+	tp, err := OpenTopic(dir, "cut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp.Append([]byte("complete message"))
+	tp.Append([]byte("this payload will be truncated"))
+	// The last message ends exactly at EOF: ReadAt reports io.EOF with a
+	// full buffer, which must stay a successful read.
+	if msg, err := tp.Read(1); err != nil || string(msg) != "this payload will be truncated" {
+		t.Fatalf("read at exact EOF = %q, %v", msg, err)
+	}
+
+	// Chop 10 bytes off the final payload behind the open handle's back.
+	info, err := os.Stat(filepath.Join(dir, "cut.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(filepath.Join(dir, "cut.log"), info.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := tp.Read(1); err == nil {
+		t.Fatalf("truncated payload read succeeded with %q", msg)
+	}
+	// The intact message is unaffected.
+	if msg, err := tp.Read(0); err != nil || string(msg) != "complete message" {
+		t.Fatalf("intact read = %q, %v", msg, err)
+	}
+	tp.Close()
+}

@@ -155,8 +155,13 @@ func (t *Topic) Read(seq int64) ([]byte, error) {
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	buf := make([]byte, n)
-	if _, err := t.f.ReadAt(buf, off+4); err != nil && err != io.EOF {
-		return nil, err
+	// ReadAt returns io.EOF even on a complete read that ends exactly at
+	// the file's end — the last message always does. Tolerate EOF only
+	// then: a short read (external truncation, torn replica copy) must
+	// surface as an error, not as a silently zero-padded payload.
+	if rn, err := t.f.ReadAt(buf, off+4); err != nil && !(err == io.EOF && rn == len(buf)) {
+		return nil, fmt.Errorf("mq: topic %s message %d: read %d of %d payload bytes: %w",
+			t.name, seq, rn, len(buf), err)
 	}
 	return buf, nil
 }

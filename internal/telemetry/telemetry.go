@@ -160,6 +160,40 @@ func (b *Bus) Publish(ev core.Event) {
 	b.published.Add(1)
 }
 
+// Unsubscribe detaches one subscription and closes its channel. Needed
+// by consumers that come and go while the bus lives on — a job-service
+// watch stream whose HTTP client disconnected mid-run must not leave a
+// dead channel absorbing (and drop-counting) every later publish.
+// Unsubscribing twice, or after Close, is a no-op.
+func (b *Bus) Unsubscribe(s *Subscription) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	old := b.load()
+	if old.closed {
+		return
+	}
+	idx := -1
+	for i, cand := range old.subs {
+		if cand == s {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	subs := make([]*Subscription, 0, len(old.subs)-1)
+	subs = append(subs, old.subs[:idx]...)
+	subs = append(subs, old.subs[idx+1:]...)
+	b.state.Store(&busState{taps: old.taps, subs: subs, closed: false})
+	// Mirror Close: publishers that loaded the old snapshot may still be
+	// sending into s; wait them out before closing its channel.
+	for b.inflight.Load() > 0 {
+		runtime.Gosched()
+	}
+	close(s.c)
+}
+
 // Close marks the bus finished and closes every subscription channel.
 // Call after the engine run returns: every already-published event is
 // still buffered for consumers to drain.

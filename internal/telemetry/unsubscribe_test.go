@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	b := NewBus()
+	s1 := b.Subscribe(16)
+	s2 := b.Subscribe(16)
+
+	b.Publish(core.Event{Seq: 1})
+	b.Unsubscribe(s1)
+
+	// s1's channel is closed with the buffered event still readable.
+	ev, ok := <-s1.C
+	if !ok || ev.Seq != 1 {
+		t.Fatalf("first receive = %+v, %v", ev, ok)
+	}
+	if _, ok := <-s1.C; ok {
+		t.Fatal("unsubscribed channel not closed")
+	}
+
+	// s2 keeps receiving; s1 absorbs nothing and counts no drops.
+	b.Publish(core.Event{Seq: 2})
+	if ev := <-s2.C; ev.Seq != 1 {
+		t.Fatalf("s2 first event seq %d", ev.Seq)
+	}
+	if ev := <-s2.C; ev.Seq != 2 {
+		t.Fatalf("s2 second event seq %d", ev.Seq)
+	}
+	if d := s1.Dropped(); d != 0 {
+		t.Fatalf("unsubscribed sub counted %d drops", d)
+	}
+
+	// Double-unsubscribe and unsubscribe-after-close are no-ops.
+	b.Unsubscribe(s1)
+	b.Close()
+	b.Unsubscribe(s2)
+	if _, ok := <-s2.C; ok {
+		t.Fatal("s2 channel not closed by Close")
+	}
+}
+
+// TestUnsubscribeConcurrentWithPublish: detaching mid-stream must never
+// panic (send on closed channel) however the publishes interleave.
+func TestUnsubscribeConcurrentWithPublish(t *testing.T) {
+	b := NewBus()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					b.Publish(core.Event{Seq: i})
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		s := b.Subscribe(4)
+		// Drain a little concurrently, then detach while publishers run.
+		done := make(chan struct{})
+		go func() {
+			for range s.C {
+			}
+			close(done)
+		}()
+		b.Unsubscribe(s)
+		<-done
+	}
+	close(stop)
+	wg.Wait()
+	b.Close()
+}

@@ -1,0 +1,110 @@
+package wal
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSnapshotMatchesReplay: the live Snapshot of an open log must
+// equal the State a close-and-reopen replay would produce.
+func TestSnapshotMatchesReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, st0, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st0.Completed) != 0 || len(st0.InFlight) != 0 {
+		t.Fatalf("fresh log state not empty: %+v", st0)
+	}
+	for seq := 1; seq <= 5; seq++ {
+		if err := l.AppendIntent(seq, ArgsDigest([]string{"cmd", string(rune('a' + seq))})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.AppendCompletion(1, 0, time.Second, "h1")
+	l.AppendCompletion(3, 2, time.Second, "h1")
+
+	snap, err := l.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, replayed, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(snap.Completed) != len(replayed.Completed) {
+		t.Fatalf("completed: snapshot %v vs replay %v", snap.Completed, replayed.Completed)
+	}
+	for seq, exit := range replayed.Completed {
+		if snap.Completed[seq] != exit {
+			t.Fatalf("seq %d exit: snapshot %d vs replay %d", seq, snap.Completed[seq], exit)
+		}
+	}
+	if len(snap.InFlight) != len(replayed.InFlight) {
+		t.Fatalf("inflight: snapshot %v vs replay %v", snap.InFlight, replayed.InFlight)
+	}
+	for seq := range replayed.InFlight {
+		if !snap.InFlight[seq] {
+			t.Fatalf("seq %d in-flight in replay but not snapshot", seq)
+		}
+	}
+	if len(snap.Digests) != len(replayed.Digests) {
+		t.Fatalf("digests: snapshot %d vs replay %d entries", len(snap.Digests), len(replayed.Digests))
+	}
+	for seq, d := range replayed.Digests {
+		if snap.Digests[seq] != d {
+			t.Fatalf("seq %d digest mismatch", seq)
+		}
+	}
+	ok := snap.CompletedOK()
+	if !ok[1] || ok[3] || ok[2] {
+		t.Fatalf("CompletedOK wrong on snapshot: %+v", ok)
+	}
+}
+
+// TestSnapshotDrainsStagedWrites: appends staged asynchronously must be
+// visible in the snapshot immediately.
+func TestSnapshotDrainsStagedWrites(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncInterval, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for seq := 1; seq <= 100; seq++ {
+		if err := l.AppendIntent(seq, 0); err != nil {
+			t.Fatal(err)
+		}
+		if seq%2 == 0 {
+			if err := l.AppendCompletion(seq, 0, 0, ""); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	snap, err := l.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Completed) != 50 || len(snap.InFlight) != 50 {
+		t.Fatalf("snapshot sees %d completed, %d in-flight; want 50/50",
+			len(snap.Completed), len(snap.InFlight))
+	}
+}
+
+// TestSnapshotAfterClose fails cleanly.
+func TestSnapshotAfterClose(t *testing.T) {
+	l, _, err := Open(t.TempDir(), Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Snapshot(); err == nil {
+		t.Fatal("Snapshot on closed log succeeded")
+	}
+}

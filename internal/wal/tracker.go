@@ -138,6 +138,39 @@ func (t *tracker) completion(seq, exit int) {
 	delete(t.over.InFlight, seq)
 }
 
+// snapshotState materializes the tracker back into the map form resume
+// decisions consume (Log.Snapshot). Dense entries iterate in seq order;
+// the overflow maps copy over verbatim.
+func (t *tracker) snapshotState() *State {
+	st := newState()
+	for seq := 1; seq < len(t.seqs); seq++ {
+		s := t.seqs[seq]
+		if s.flags == 0 {
+			continue
+		}
+		if s.flags&fIntent != 0 {
+			st.Digests[seq] = s.digest
+		}
+		if s.flags&fDone != 0 {
+			st.Completed[seq] = int(s.exit)
+		} else if s.flags&fIntent != 0 {
+			st.InFlight[seq] = true
+		}
+	}
+	if t.over != nil {
+		for seq, exit := range t.over.Completed {
+			st.Completed[seq] = exit
+		}
+		for seq := range t.over.InFlight {
+			st.InFlight[seq] = true
+		}
+		for seq, d := range t.over.Digests {
+			st.Digests[seq] = d
+		}
+	}
+	return st
+}
+
 // estCheckpointBytes upper-bounds the encoded size of a checkpoint of
 // this state (dense entries are ~10 bytes each in practice; 24 covers
 // worst-case varint widths).

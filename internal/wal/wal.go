@@ -640,6 +640,29 @@ func (l *Log) flushLoop() {
 	}
 }
 
+// Snapshot drains anything staged and returns the log's current
+// replay-equivalent state: exactly what Replay would reconstruct if the
+// process died after the appends that precede this call. It is how a
+// long-lived owner (a job-service queue) restarts an embedded engine
+// run against the same log without closing and reopening it — the
+// returned state feeds Spec.ResumeFrom/WALDigests for the next
+// generation. The snapshot does not alias live state; Records,
+// TornTails and Segments are replay-time facts and stay zero.
+func (l *Log) Snapshot() (*State, error) {
+	if err := l.drainStaged(); err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return nil, l.err
+	}
+	if l.closed {
+		return nil, errClosed
+	}
+	return l.st.snapshotState(), nil
+}
+
 // Sync drains anything staged and forces a flush + fsync now,
 // regardless of policy. Appends that completed before Sync was called
 // are durable when it returns.
