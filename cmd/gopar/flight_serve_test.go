@@ -1,0 +1,135 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/flight"
+	"repro/internal/jobd"
+)
+
+// TestServeFlightSIGQUIT is the flight-recorder end-to-end: a live
+// `gopar serve` daemon runs real jobs, SIGQUIT makes it write a
+// parseable dump file while it keeps serving, and after the daemon is
+// SIGKILLed (no graceful shutdown — the black-box scenario) `gopar
+// debug` renders that dump into a loadable Chrome trace.
+func TestServeFlightSIGQUIT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short")
+	}
+	dumpDir := t.TempDir()
+	base, lines, proc := startServeProc(t, t.TempDir(),
+		"-slots", "4", "-flight-dump", dumpDir)
+	c := jobd.NewClient(base, nil)
+	ctx := context.Background()
+
+	for i := 0; i < 10; i++ {
+		if _, err := c.Submit(ctx, "box", "true"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	awaitBacklogDrained(t, c, "box", 60*time.Second)
+
+	// kill -QUIT: the daemon must write a dump and stay up.
+	if err := proc.Signal(syscall.SIGQUIT); err != nil {
+		t.Fatal(err)
+	}
+	dumpPath := awaitDumpFile(t, dumpDir, 15*time.Second)
+
+	f, err := os.Open(dumpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := flight.ReadDump(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("dump %s is not parseable: %v", dumpPath, err)
+	}
+	if d.Program != "gopar-serve" {
+		t.Fatalf("dump program = %q, want gopar-serve", d.Program)
+	}
+	// 10 jobs × started+finished at minimum; snapshots ride along.
+	if d.Events < 20 {
+		t.Fatalf("dump has %d events, want >= 20", d.Events)
+	}
+	if len(d.Records) == 0 {
+		t.Fatal("dump has no records")
+	}
+	snapshots := 0
+	for _, rec := range d.Records {
+		if rec.Kind == "snapshot" && strings.HasPrefix(rec.Source, "jobd/") {
+			snapshots++
+		}
+	}
+	if snapshots == 0 {
+		t.Fatal("dump has no jobd queue snapshots")
+	}
+
+	// Still alive after the dump: the API must answer and accept work.
+	if _, err := c.Queues(ctx); err != nil {
+		t.Fatalf("daemon stopped serving after SIGQUIT: %v", err)
+	}
+	if _, err := c.Submit(ctx, "box", "true"); err != nil {
+		t.Fatalf("daemon rejected work after SIGQUIT: %v", err)
+	}
+	awaitBacklogDrained(t, c, "box", 60*time.Second)
+
+	// Now the crash: SIGKILL, no drain, no goodbye. The dump on disk
+	// is all that's left — exactly what `gopar debug` is for.
+	if err := proc.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	for range lines { // drain until the stderr pipe closes
+	}
+
+	tracePath := filepath.Join(dumpDir, "trace.json")
+	out, err := exec.Command(goparPath, "debug",
+		"-file", dumpPath, "-trace", tracePath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("gopar debug: %v\n%s", err, out)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace is not a JSON array of events: %v", err)
+	}
+	slices := 0
+	for _, ev := range events {
+		if ev["ph"] == "X" {
+			slices++
+		}
+	}
+	if slices < 10 {
+		t.Fatalf("trace has %d job slices, want >= 10", slices)
+	}
+}
+
+// awaitDumpFile polls dir for a flight-*.json dump written by the
+// daemon's SIGQUIT handler (the write is asynchronous to the signal).
+func awaitDumpFile(t *testing.T, dir string, timeout time.Duration) string {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		matches, err := filepath.Glob(filepath.Join(dir, "flight-*.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(matches) > 0 {
+			return matches[0]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no flight-*.json appeared in %s", dir)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/args"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/flight"
 	"repro/internal/gpu"
 	"repro/internal/profile"
 	"repro/internal/span"
@@ -50,6 +51,8 @@ func main() {
 			os.Exit(runReport(os.Args[2:]))
 		case "serve":
 			os.Exit(runServe(os.Args[2:]))
+		case "debug":
+			os.Exit(runDebug(os.Args[2:]))
 		}
 	}
 	os.Exit(run())
@@ -148,6 +151,12 @@ func run() int {
 		events    = fs.String("events", "", "stream job-lifecycle events as JSON lines to this file")
 		trace     = fs.String("trace", "", "stream a Chrome trace (chrome://tracing) to this file during the run")
 		spans     = fs.String("spans", "", "stream per-job phase-timeline spans as JSON lines to this file (analyze with `gopar report`)")
+		pprofOn   = fs.Bool("pprof", false, "also serve /debug/pprof on --metrics-addr (off by default)")
+		flightBuf = fs.Int("flight-buf", 4096, "flight-recorder event ring capacity (0 disables the recorder)")
+		flightDir = fs.String("flight-dump", "", "directory for flight dump files written on SIGQUIT or panic (default $TMPDIR)")
+		flightP99 = fs.Duration("flight-p99", 0, "flight watchdog: dispatch-delay p99 ceiling that raises an anomaly (0 = off)")
+		debugAddr  = fs.String("debug-addr", "", `serve /debug/flight and /debug/pprof on this address (e.g. "127.0.0.1:0")`)
+		debugToken = fs.String("debug-token", "", "bearer token required by /debug/flight (empty = open; keep the listener on loopback)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: gopar [flags] command [::: args...] [:::: argfile]\n")
@@ -289,6 +298,58 @@ func run() int {
 		}
 	}
 
+	// Flight recorder: the always-on black box. Fixed memory, zero
+	// allocations per event; records every lifecycle event plus periodic
+	// engine/pool/runtime snapshots, dumped on SIGQUIT, panic, anomaly,
+	// or GET /debug/flight (--debug-addr). `gopar debug` renders dumps.
+	var rec *flight.Recorder
+	if *flightBuf > 0 {
+		rec = flight.New(flight.Options{
+			EventBuf: *flightBuf,
+			Program:  "gopar",
+			Watchdog: flight.WatchdogConfig{
+				DispatchP99: *flightP99,
+				DropStats:   []string{"pool.live"},
+			},
+			OnDiag: func(name, detail string) {
+				fmt.Fprintf(os.Stderr, "gopar: flight anomaly [%s]: %s\n", name, detail)
+			},
+		})
+		rec.AddSource("engine", rec.EngineStats)
+		if pool != nil {
+			p := pool
+			rec.AddSource("pool", func(buf []flight.Stat) []flight.Stat {
+				h := p.Health()
+				return append(buf,
+					flight.Stat{Name: "live", V: float64(h.Live)},
+					flight.Stat{Name: "total", V: float64(h.Total)},
+					flight.Stat{Name: "redialing", V: float64(h.Redialing)},
+					flight.Stat{Name: "lost", V: float64(h.Lost)},
+				)
+			})
+		}
+		rec.Start()
+		defer rec.Stop()
+		logf := func(format string, fargs ...any) {
+			fmt.Fprintf(os.Stderr, "gopar: "+format+"\n", fargs...)
+		}
+		stopSig := flight.NotifySignal(rec, *flightDir, logf)
+		defer stopSig()
+		defer flight.DumpOnPanic(rec, *flightDir, logf)
+		if *debugAddr != "" {
+			bound, closeDebug, derr := flight.Serve(*debugAddr, rec, *debugToken)
+			if derr != nil {
+				fmt.Fprintln(os.Stderr, "gopar:", derr)
+				return 2
+			}
+			fmt.Fprintf(os.Stderr, "gopar: serving debug endpoints on http://%s/debug/flight\n", bound)
+			defer closeDebug()
+		}
+	} else if *debugAddr != "" {
+		fmt.Fprintln(os.Stderr, "gopar: --debug-addr requires the flight recorder (--flight-buf > 0)")
+		return 2
+	}
+
 	// Telemetry: a non-blocking bus feeds the in-process metrics registry
 	// (synchronous tap) plus any streaming sinks (buffered subscription),
 	// so a slow scrape or disk can never stall dispatch.
@@ -308,6 +369,12 @@ func run() int {
 		bus := telemetry.NewBus()
 		rm := telemetry.NewRunMetrics(reg, spec.Jobs)
 		bus.Tap(rm.Observe)
+		if rec != nil {
+			bus.Tap(rec.RecordEvent)
+		}
+		reg.CounterFunc("gopar_events_dropped_total",
+			"events dropped by saturated bus subscribers (events/spans/trace sinks)",
+			func() float64 { return float64(bus.Dropped()) })
 		telemetry.RegisterBuildInfo(reg, "gopar", time.Now())
 		if pool != nil {
 			pool.RegisterMetrics(reg)
@@ -320,7 +387,11 @@ func run() int {
 		// nothing below may fail after the endpoint is live without the
 		// announcement having been made.
 		if *metrics != "" {
-			bound, closeFn, serr := telemetry.Serve(*metrics, reg)
+			var srvOpts []telemetry.ServeOption
+			if *pprofOn {
+				srvOpts = append(srvOpts, telemetry.WithPprof())
+			}
+			bound, closeFn, serr := telemetry.Serve(*metrics, reg, srvOpts...)
 			if serr != nil {
 				fmt.Fprintln(os.Stderr, "gopar:", serr)
 				return 2
@@ -378,6 +449,11 @@ func run() int {
 			}
 		}
 	}
+	if rec != nil && spec.OnEvent == nil {
+		// No telemetry bus in play: hook the recorder straight into the
+		// engine's event callback (same zero-alloc budget).
+		spec.OnEvent = rec.RecordEvent
+	}
 
 	// Write-ahead run log: an intent record is appended before each job
 	// is handed to a slot and a completion record when its result is
@@ -426,6 +502,22 @@ func run() int {
 			spec.WALDigests = st.Digests
 		}
 		spec.WAL = walLog
+		if rec != nil {
+			rec.AddSource("wal", func(buf []flight.Stat) []flight.Stat {
+				ws := walLog.Stats()
+				lagMS := -1.0
+				if !ws.LastSync.IsZero() {
+					lagMS = float64(time.Since(ws.LastSync)) / float64(time.Millisecond)
+				}
+				return append(buf,
+					flight.Stat{Name: "appended", V: float64(ws.Appended)},
+					flight.Stat{Name: "staged", V: float64(ws.Staged)},
+					flight.Stat{Name: "syncs", V: float64(ws.Syncs)},
+					flight.Stat{Name: "sync_lag_ms", V: lagMS},
+					flight.Stat{Name: "seg_bytes", V: float64(ws.SegBytes)},
+				)
+			})
+		}
 	}
 
 	eng, err := core.NewEngine(spec, runner)

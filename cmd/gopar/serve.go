@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/jobd"
 	"repro/internal/telemetry"
 	"repro/internal/wal"
@@ -51,6 +52,12 @@ func runServe(argv []string) int {
 		results     = fs.Bool("results", false, "save job output under <dir>/<queue>/results/")
 		drainGrace  = fs.Duration("drain-grace", 10*time.Second, "graceful-shutdown window for running jobs")
 		quiet       = fs.Bool("q", false, "suppress operational log lines")
+		pprofOn     = fs.Bool("pprof", false, "also serve /debug/pprof on -metrics-addr (off by default)")
+		flightBuf   = fs.Int("flight-buf", 8192, "flight-recorder event ring capacity (0 disables the recorder)")
+		flightDir   = fs.String("flight-dump", "", "directory for flight dump files written on SIGQUIT or panic (default <dir>)")
+		flightP99   = fs.Duration("flight-p99", 0, "flight watchdog: dispatch-delay p99 ceiling that raises an anomaly (0 = off)")
+		debugAddr   = fs.String("debug-addr", "", `serve /debug/flight and /debug/pprof on this address (e.g. "127.0.0.1:0")`)
+		debugToken  = fs.String("debug-token", "", "bearer token required by /debug/flight (empty = open; keep the listener on loopback)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: gopar serve -dir DIR [-listen ADDR] [-slots N] [flags]\n")
@@ -102,9 +109,51 @@ func runServe(argv []string) int {
 		return fail(fmt.Errorf("bad -runner %q (want exec|noop)", *runnerKind))
 	}
 
+	// Flight recorder: always on for the daemon (a long-lived process
+	// is exactly what the black box exists for). Dumps land in the
+	// state directory by default so they survive with the queues.
+	var rec *flight.Recorder
+	if *flightBuf > 0 {
+		if *flightDir == "" {
+			*flightDir = *dir
+		}
+		rec = flight.New(flight.Options{
+			EventBuf: *flightBuf,
+			Program:  "gopar-serve",
+			Watchdog: flight.WatchdogConfig{DispatchP99: *flightP99},
+			OnDiag: func(name, detail string) {
+				fmt.Fprintf(os.Stderr, "gopard-serve: flight anomaly [%s]: %s\n", name, detail)
+			},
+		})
+		rec.AddSource("engine", rec.EngineStats)
+		rec.Start()
+		defer rec.Stop()
+		logf := func(format string, fargs ...any) {
+			fmt.Fprintf(os.Stderr, "gopard-serve: "+format+"\n", fargs...)
+		}
+		stopSig := flight.NotifySignal(rec, *flightDir, logf)
+		defer stopSig()
+		defer flight.DumpOnPanic(rec, *flightDir, logf)
+		cfg.Flight = rec
+		cfg.FlightDir = *flightDir
+	} else if *debugAddr != "" {
+		return fail(fmt.Errorf("-debug-addr requires the flight recorder (-flight-buf > 0)"))
+	}
+
 	srv, err := jobd.New(cfg)
 	if err != nil {
 		return fail(err)
+	}
+
+	var debugClose func() error
+	if *debugAddr != "" {
+		bound, closeFn, derr := flight.Serve(*debugAddr, rec, *debugToken)
+		if derr != nil {
+			srv.Close()
+			return fail(derr)
+		}
+		debugClose = closeFn
+		fmt.Fprintf(os.Stderr, "gopard-serve: debug on %s\n", bound)
 	}
 
 	for _, spec := range strings.Split(*queues, ",") {
@@ -131,7 +180,11 @@ func runServe(argv []string) int {
 
 	var metricsClose func() error
 	if *metricsAddr != "" {
-		bound, closeFn, merr := telemetry.Serve(*metricsAddr, srv.Registry())
+		var srvOpts []telemetry.ServeOption
+		if *pprofOn {
+			srvOpts = append(srvOpts, telemetry.WithPprof())
+		}
+		bound, closeFn, merr := telemetry.Serve(*metricsAddr, srv.Registry(), srvOpts...)
 		if merr != nil {
 			ln.Close()
 			srv.Close()
@@ -169,6 +222,9 @@ func runServe(argv []string) int {
 	}
 	if metricsClose != nil {
 		metricsClose()
+	}
+	if debugClose != nil {
+		debugClose()
 	}
 	fmt.Fprintln(os.Stderr, "gopard-serve: stopped")
 	return exit

@@ -25,8 +25,37 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/flight"
 	"repro/internal/telemetry"
 )
+
+// flightRunner wraps the worker's runner so every job execution lands
+// in the flight recorder's ring as started/finished events — gopard
+// has no engine (jobs arrive over the wire), so the runner boundary is
+// its event stream.
+type flightRunner struct {
+	inner core.Runner
+	rec   *flight.Recorder
+}
+
+func (r *flightRunner) Run(ctx context.Context, job *core.Job) core.Result {
+	r.rec.RecordEvent(core.Event{
+		Type: core.EventStarted, Seq: job.Seq, Slot: job.Slot,
+		Attempt: 1, Time: time.Now(), Command: job.Command,
+	})
+	res := r.inner.Run(ctx, job)
+	end := res.End
+	if end.IsZero() {
+		end = time.Now()
+	}
+	r.rec.RecordEvent(core.Event{
+		Type: core.EventFinished, Seq: job.Seq, Slot: job.Slot,
+		Attempt: 1, Time: end, Command: job.Command,
+		OK: res.Err == nil && res.ExitCode == 0, ExitCode: res.ExitCode,
+		Duration: end.Sub(res.Start),
+	})
+	return res
+}
 
 func main() {
 	var (
@@ -36,6 +65,11 @@ func main() {
 		dir         = flag.String("dir", "", "working directory for jobs")
 		shell       = flag.Bool("shell", false, "always run commands through /bin/sh -c")
 		metricsAddr = flag.String("metrics-addr", "", `serve Prometheus metrics on this address (e.g. ":9101"; ":0" picks a free port)`)
+		pprofOn     = flag.Bool("pprof", false, "also serve /debug/pprof on -metrics-addr (off by default)")
+		flightBuf   = flag.Int("flight-buf", 4096, "flight-recorder event ring capacity (0 disables the recorder)")
+		flightDir   = flag.String("flight-dump", "", "directory for flight dump files written on SIGQUIT or panic (default $TMPDIR)")
+		debugAddr   = flag.String("debug-addr", "", `serve /debug/flight and /debug/pprof on this address (e.g. "127.0.0.1:0")`)
+		debugToken  = flag.String("debug-token", "", "bearer token required by /debug/flight (empty = open; keep the listener on loopback)")
 	)
 	flag.Parse()
 
@@ -60,7 +94,11 @@ func main() {
 		reg := telemetry.NewRegistry()
 		wt.Register(reg)
 		telemetry.RegisterBuildInfo(reg, "gopard", time.Now())
-		bound, closeMetrics, merr := telemetry.Serve(*metricsAddr, reg)
+		var srvOpts []telemetry.ServeOption
+		if *pprofOn {
+			srvOpts = append(srvOpts, telemetry.WithPprof())
+		}
+		bound, closeMetrics, merr := telemetry.Serve(*metricsAddr, reg, srvOpts...)
 		if merr != nil {
 			fmt.Fprintln(os.Stderr, "gopard:", merr)
 			os.Exit(2)
@@ -69,12 +107,52 @@ func main() {
 		log.Printf("gopard: serving metrics on http://%s/metrics", bound)
 	}
 
+	var runner core.Runner = &core.ExecRunner{Dir: *dir, ForceShell: *shell}
+	var rec *flight.Recorder
+	if *flightBuf > 0 {
+		rec = flight.New(flight.Options{
+			EventBuf: *flightBuf,
+			Program:  "gopard",
+			OnDiag: func(n, detail string) {
+				log.Printf("gopard: flight anomaly [%s]: %s", n, detail)
+			},
+		})
+		rec.AddSource("engine", rec.EngineStats)
+		rec.AddSource("worker", func(buf []flight.Stat) []flight.Stat {
+			s := wt.Snapshot()
+			return append(buf,
+				flight.Stat{Name: "busy", V: float64(s.Busy)},
+				flight.Stat{Name: "started", V: float64(s.Started)},
+				flight.Stat{Name: "ok", V: float64(s.OK)},
+				flight.Stat{Name: "failed", V: float64(s.Failed)},
+			)
+		})
+		rec.Start()
+		defer rec.Stop()
+		stopSig := flight.NotifySignal(rec, *flightDir, log.Printf)
+		defer stopSig()
+		defer flight.DumpOnPanic(rec, *flightDir, log.Printf)
+		runner = &flightRunner{inner: runner, rec: rec}
+		if *debugAddr != "" {
+			bound, closeDebug, derr := flight.Serve(*debugAddr, rec, *debugToken)
+			if derr != nil {
+				fmt.Fprintln(os.Stderr, "gopard:", derr)
+				os.Exit(2)
+			}
+			defer closeDebug()
+			log.Printf("gopard: serving debug endpoints on http://%s/debug/flight", bound)
+		}
+	} else if *debugAddr != "" {
+		fmt.Fprintln(os.Stderr, "gopard: -debug-addr requires the flight recorder (-flight-buf > 0)")
+		os.Exit(2)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	err = dist.Serve(ctx, l, dist.WorkerConfig{
 		Name:      wname,
 		Slots:     *slots,
-		Runner:    &core.ExecRunner{Dir: *dir, ForceShell: *shell},
+		Runner:    runner,
 		Logf:      log.Printf,
 		Telemetry: wt,
 	})

@@ -1,0 +1,344 @@
+package flight
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func sampleEvent(seq int, typ core.EventType) core.Event {
+	ev := core.Event{
+		Type:    typ,
+		Seq:     seq,
+		Slot:    1 + seq%8,
+		Attempt: 1,
+		Time:    time.Now(),
+		Command: "payload --input file.dat",
+	}
+	if typ == core.EventFinished {
+		ev.OK = true
+		ev.Duration = 12 * time.Millisecond
+		ev.DispatchDelay = 40 * time.Microsecond
+	}
+	return ev
+}
+
+// TestRecordEventZeroAllocs pins the acceptance criterion: the record
+// path allocates nothing in steady state, whatever the event type.
+func TestRecordEventZeroAllocs(t *testing.T) {
+	r := New(Options{EventBuf: 256})
+	types := []core.EventType{core.EventQueued, core.EventStarted, core.EventFinished}
+	seq := 0
+	for _, typ := range types {
+		typ := typ
+		allocs := testing.AllocsPerRun(1000, func() {
+			seq++
+			r.RecordEvent(sampleEvent(seq, typ))
+		})
+		if allocs != 0 {
+			t.Fatalf("RecordEvent(%v) allocates %.1f/op, want 0", typ, allocs)
+		}
+	}
+}
+
+// TestDumpRetainsAndOrders drives events and control records through
+// a tiny ring, then checks the dump merges everything in global
+// order, reports the overwritten count, and carries the gauges.
+func TestDumpRetainsAndOrders(t *testing.T) {
+	r := New(Options{EventBuf: 64, CtrlBuf: 16})
+	const jobs = 200
+	for i := 1; i <= jobs; i++ {
+		r.RecordEvent(sampleEvent(i, core.EventQueued))
+		r.RecordEvent(sampleEvent(i, core.EventStarted))
+		if i%10 == 0 {
+			r.Diag("test-mark", fmt.Sprintf("mark at job %d", i))
+		}
+		r.RecordEvent(sampleEvent(i, core.EventFinished))
+	}
+	d := r.Dump()
+	if d.Events != 3*jobs {
+		t.Fatalf("Events = %d, want %d", d.Events, 3*jobs)
+	}
+	if d.EventsLost == 0 {
+		t.Fatalf("expected overwrites with a 64-entry ring and %d events", 3*jobs)
+	}
+	if d.Running != 0 || d.Finished != int64(jobs) {
+		t.Fatalf("gauges: running=%d finished=%d, want 0/%d", d.Running, d.Finished, jobs)
+	}
+	if d.Anomalies != jobs/10 {
+		t.Fatalf("Anomalies = %d, want %d", d.Anomalies, jobs/10)
+	}
+	var lastSeq uint64
+	var events, diags int
+	for _, rec := range d.Records {
+		if rec.Seq <= lastSeq {
+			t.Fatalf("records out of order: seq %d after %d", rec.Seq, lastSeq)
+		}
+		lastSeq = rec.Seq
+		switch rec.Kind {
+		case "event":
+			events++
+		case "anomaly":
+			diags++
+		}
+	}
+	if events == 0 || diags == 0 {
+		t.Fatalf("dump lost a record kind: %d events, %d diags", events, diags)
+	}
+	// The retained tail must be the newest events: the last event
+	// record is job `jobs` finishing.
+	for i := len(d.Records) - 1; i >= 0; i-- {
+		if d.Records[i].Kind == "event" {
+			if got := d.Records[i].Event; got.Seq != jobs || got.Type != "finished" {
+				t.Fatalf("newest retained event = %+v, want finished seq %d", got, jobs)
+			}
+			break
+		}
+	}
+}
+
+// TestDumpJSONRoundTrip writes a dump and reads it back.
+func TestDumpJSONRoundTrip(t *testing.T) {
+	r := New(Options{EventBuf: 64, Program: "testprog"})
+	for i := 1; i <= 5; i++ {
+		r.RecordEvent(sampleEvent(i, core.EventQueued))
+		r.RecordEvent(sampleEvent(i, core.EventStarted))
+		r.RecordEvent(sampleEvent(i, core.EventFinished))
+	}
+	r.Tick() // one snapshot pass so the dump carries control records
+	d := r.Dump()
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Program != "testprog" || len(got.Records) != len(d.Records) {
+		t.Fatalf("round trip: program=%q records=%d, want %q/%d",
+			got.Program, len(got.Records), d.Program, len(d.Records))
+	}
+	var table bytes.Buffer
+	if err := got.WriteTable(&table); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"testprog", "snapshot", "goroutines", "finished"} {
+		if !strings.Contains(table.String(), want) {
+			t.Fatalf("table render missing %q:\n%s", want, table.String())
+		}
+	}
+}
+
+// TestDumpToFile verifies the file trigger writes a parseable dump.
+func TestDumpToFile(t *testing.T) {
+	r := New(Options{EventBuf: 64})
+	r.RecordEvent(sampleEvent(1, core.EventQueued))
+	dir := t.TempDir()
+	path, err := DumpToFile(r, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := ReadDump(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Events != 1 {
+		t.Fatalf("Events = %d, want 1", d.Events)
+	}
+}
+
+// TestConcurrentRecordAndDump hammers the recorder from many
+// goroutines while dumping, to give the race detector something to
+// chew on and to check no dump observes torn ordering.
+func TestConcurrentRecordAndDump(t *testing.T) {
+	r := New(Options{EventBuf: 256, CtrlBuf: 32})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i++
+				seq := g*1_000_000 + i
+				r.RecordEvent(sampleEvent(seq, core.EventStarted))
+				r.RecordEvent(sampleEvent(seq, core.EventFinished))
+			}
+		}(g)
+	}
+	for i := 0; i < 20; i++ {
+		d := r.Dump()
+		var last uint64
+		for _, rec := range d.Records {
+			if rec.Seq <= last {
+				t.Errorf("dump %d out of order: %d after %d", i, rec.Seq, last)
+				break
+			}
+			last = rec.Seq
+		}
+		r.Tick()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestOpenJobTable exercises straggler tracking insert/delete across
+// wrap and overflow.
+func TestOpenJobTable(t *testing.T) {
+	r := New(Options{EventBuf: 64, MaxTrackedJobs: 4})
+	now := time.Now().UnixNano()
+	for i := 1; i <= 4; i++ {
+		r.trackStart(int64(i), now)
+	}
+	if r.openLive != 4 {
+		t.Fatalf("live = %d, want 4", r.openLive)
+	}
+	r.trackStart(5, now) // over capacity
+	if r.openOverflow.Load() != 1 {
+		t.Fatalf("overflow = %d, want 1", r.openOverflow.Load())
+	}
+	r.trackEnd(2)
+	r.trackEnd(2) // double-end is a no-op
+	if r.openLive != 3 {
+		t.Fatalf("live after end = %d, want 3", r.openLive)
+	}
+	r.trackStart(6, now) // reuses the tombstone
+	if r.openLive != 4 || r.openOverflow.Load() != 1 {
+		t.Fatalf("live=%d overflow=%d after tombstone reuse", r.openLive, r.openOverflow.Load())
+	}
+	for _, seq := range []int64{1, 3, 4, 6} {
+		r.trackEnd(seq)
+	}
+	if r.openLive != 0 {
+		t.Fatalf("live = %d after draining, want 0", r.openLive)
+	}
+}
+
+// TestHandlerAuth pins the token gate on /debug/flight.
+func TestHandlerAuth(t *testing.T) {
+	r := New(Options{EventBuf: 64})
+	r.RecordEvent(sampleEvent(1, core.EventQueued))
+	srv := httptest.NewServer(Handler(r, "s3cret"))
+	defer srv.Close()
+
+	get := func(path, bearer string) int {
+		req := httptest.NewRequest("GET", path, nil)
+		req.RequestURI = ""
+		req.URL, _ = req.URL.Parse(srv.URL + path)
+		if bearer != "" {
+			req.Header.Set("Authorization", "Bearer "+bearer)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/debug/flight", ""); code != 403 {
+		t.Fatalf("no token: status %d, want 403", code)
+	}
+	if code := get("/debug/flight", "wrong"); code != 403 {
+		t.Fatalf("wrong token: status %d, want 403", code)
+	}
+	if code := get("/debug/flight", "s3cret"); code != 200 {
+		t.Fatalf("bearer token: status %d, want 200", code)
+	}
+	if code := get("/debug/flight?token=s3cret&format=table", ""); code != 200 {
+		t.Fatalf("query token: status %d, want 200", code)
+	}
+	if code := get("/debug/flight?token=s3cret&format=nope", ""); code != 400 {
+		t.Fatalf("bad format: status %d, want 400", code)
+	}
+}
+
+// TestDebugMuxServesPprof checks the combined debug surface mounts
+// both the dump and the stdlib profiler.
+func TestDebugMuxServesPprof(t *testing.T) {
+	r := New(Options{EventBuf: 64})
+	srv := httptest.NewServer(DebugMux(r, ""))
+	defer srv.Close()
+	for _, path := range []string{"/debug/flight", "/debug/pprof/"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestStartStop exercises the sampler lifecycle.
+func TestStartStop(t *testing.T) {
+	r := New(Options{EventBuf: 64, SnapshotInterval: time.Millisecond})
+	r.Start()
+	r.Start() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		d := r.Dump()
+		found := false
+		for _, rec := range d.Records {
+			if rec.Kind == "snapshot" && rec.Source == "runtime" {
+				found = true
+				break
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sampler never produced a runtime snapshot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.Stop()
+	r.Stop() // idempotent
+}
+
+// TestSourceAddRemove checks source replacement and removal.
+func TestSourceAddRemove(t *testing.T) {
+	r := New(Options{EventBuf: 64})
+	r.AddSource("q", func(buf []Stat) []Stat { return append(buf, Stat{"depth", 7}) })
+	r.Tick()
+	d := r.Dump()
+	var got float64 = -1
+	for _, rec := range d.Records {
+		if rec.Kind == "snapshot" && rec.Source == "q" {
+			got = rec.Stats["depth"]
+		}
+	}
+	if got != 7 {
+		t.Fatalf("source stat = %v, want 7", got)
+	}
+	r.AddSource("q", func(buf []Stat) []Stat { return append(buf, Stat{"depth", 9}) })
+	r.RemoveSource("q")
+	r.RemoveSource("q") // absent: no-op
+	before := len(r.Dump().Records)
+	r.Tick()
+	for _, rec := range r.Dump().Records[before:] {
+		if rec.Source == "q" {
+			t.Fatal("removed source still sampled")
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package flight
+
+import (
+	"crypto/subtle"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Logf is the operational-logging hook the trigger surfaces use.
+type Logf func(format string, args ...any)
+
+// Handler serves the recorder's dump at any path (conventionally
+// mounted at /debug/flight):
+//
+//	GET /debug/flight              JSON dump (the wire format ReadDump parses)
+//	GET /debug/flight?format=table human-readable timeline
+//
+// When token is non-empty the request must present it, either as
+// "Authorization: Bearer <token>" or ?token=<token>; a mismatch is a
+// 403. An empty token leaves the endpoint open — only acceptable on a
+// loopback debug listener.
+func Handler(r *Recorder, token string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if !authorized(req, token) {
+			http.Error(w, "flight: bad or missing debug token", http.StatusForbidden)
+			return
+		}
+		d := r.Dump()
+		switch req.URL.Query().Get("format") {
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json")
+			d.WriteJSON(w)
+		case "table":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			d.WriteTable(w)
+		default:
+			http.Error(w, "flight: unknown format (want json or table)", http.StatusBadRequest)
+		}
+	})
+}
+
+func authorized(req *http.Request, token string) bool {
+	if token == "" {
+		return true
+	}
+	got := req.URL.Query().Get("token")
+	if h := req.Header.Get("Authorization"); len(h) > 7 && h[:7] == "Bearer " {
+		got = h[7:]
+	}
+	return subtle.ConstantTimeCompare([]byte(got), []byte(token)) == 1
+}
+
+// DebugMux builds the standard debug listener surface: the flight
+// dump at /debug/flight and the stdlib pprof handlers under
+// /debug/pprof/. This is what --debug-addr serves in gopar,
+// `gopar serve` and gopard.
+func DebugMux(r *Recorder, token string) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/flight", Handler(r, token))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintln(w, "see /debug/flight and /debug/pprof/")
+	})
+	return mux
+}
+
+// Serve starts the DebugMux on addr in the background and returns the
+// bound address (useful with ":0") and a closer — the --debug-addr
+// implementation shared by gopar, `gopar serve` and gopard.
+func Serve(addr string, r *Recorder, token string) (bound string, closeFn func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("flight: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: DebugMux(r, token), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// NotifySignal arms a SIGQUIT handler that writes a dump file into
+// dir (os.TempDir() when empty) each time the signal arrives, then
+// keeps running — the classic kill -QUIT black-box trigger, without
+// the Go runtime's default die-with-stacks behavior. Returns a stop
+// function that disarms the handler.
+func NotifySignal(r *Recorder, dir string, logf Logf) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				path, err := DumpToFile(r, dir)
+				if err != nil {
+					if logf != nil {
+						logf("flight: SIGQUIT dump failed: %v", err)
+					}
+					continue
+				}
+				if logf != nil {
+					logf("flight: dump written to %s", path)
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}
+
+// DumpOnPanic is a deferred black-box trigger: when the surrounding
+// goroutine is unwinding from a panic it stamps a "panic" diagnostic,
+// writes a dump file into dir, and re-panics so the process still
+// dies loudly with the original value. Use as:
+//
+//	defer flight.DumpOnPanic(rec, dir, logf)
+func DumpOnPanic(r *Recorder, dir string, logf Logf) {
+	v := recover()
+	if v == nil {
+		return
+	}
+	r.Diag("panic", fmt.Sprint(v))
+	if path, err := DumpToFile(r, dir); err == nil {
+		if logf != nil {
+			logf("flight: panic dump written to %s", path)
+		}
+	} else if logf != nil {
+		logf("flight: panic dump failed: %v", err)
+	}
+	panic(v)
+}

@@ -1,0 +1,104 @@
+package flight
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/args"
+	"repro/internal/core"
+)
+
+// runNoop drives the real engine through n no-op jobs with onEvent as
+// the lifecycle hook (nil = recording off) and returns the wall time —
+// the telemetry overhead harness, pointed at the flight recorder.
+func runNoop(tb testing.TB, n int, onEvent func(core.Event)) time.Duration {
+	tb.Helper()
+	spec, err := core.NewSpec("", 16)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	spec.OnEvent = onEvent
+	noop := core.FuncRunner(func(ctx context.Context, job *core.Job) ([]byte, error) {
+		return nil, nil
+	})
+	eng, err := core.NewEngine(spec, noop)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	items := make([]string, n)
+	start := time.Now()
+	stats, _, err := eng.Run(context.Background(), args.Literal(items...))
+	if err != nil || stats.Succeeded != n {
+		tb.Fatalf("stats=%+v err=%v", stats, err)
+	}
+	return time.Since(start)
+}
+
+// BenchmarkDispatchFlight measures engine dispatch throughput with
+// the flight recorder off vs recording every event — the always-on
+// budget the package doc promises.
+func BenchmarkDispatchFlight(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		d := runNoop(b, b.N, nil)
+		b.ReportMetric(float64(b.N)/d.Seconds(), "jobs/s")
+	})
+	b.Run("on", func(b *testing.B) {
+		r := New(Options{})
+		d := runNoop(b, b.N, r.RecordEvent)
+		b.ReportMetric(float64(b.N)/d.Seconds(), "jobs/s")
+	})
+}
+
+// BenchmarkRecordEvent is the isolated record-path cost (the number
+// the <5%-of-dispatch budget is paid out of).
+func BenchmarkRecordEvent(b *testing.B) {
+	r := New(Options{})
+	ev := sampleEvent(1, core.EventFinished)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			ev.Seq = i
+			r.RecordEvent(ev)
+		}
+	})
+}
+
+// TestFlightOverheadBound is the committed regression guard for the
+// <5% dispatch-overhead target with the recorder always on, in the
+// style of telemetry's TestDispatchOverheadBound. The CI bound is
+// deliberately generous (shared runners are noisy): it fails only
+// when recording costs both >50% relative AND >5µs/job absolute —
+// locally the recorder lands well under the 5% target.
+func TestFlightOverheadBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	const n = 10000
+	best := func(f func() time.Duration) time.Duration {
+		b := f()
+		for i := 0; i < 2; i++ {
+			if d := f(); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	off := best(func() time.Duration { return runNoop(t, n, nil) })
+	rec := New(Options{})
+	on := best(func() time.Duration { return runNoop(t, n, rec.RecordEvent) })
+	extra := on - off
+	perJob := extra / n
+	t.Logf("dispatch %d no-op jobs: off=%v on=%v (delta %v, %v/job)", n, off, on, extra, perJob)
+	if rec.Events() != 3*n*int64(3) { // 3 runs × (queued+started+finished) per job
+		t.Fatalf("recorder saw %d events, want %d", rec.Events(), 9*n)
+	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation dominates the measured overhead; bound not meaningful")
+	}
+	if on > off*3/2 && perJob > 5*time.Microsecond {
+		t.Fatalf("flight overhead too high: off=%v on=%v (delta %v, %v/job)", off, on, extra, perJob)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package flight
+
+// raceEnabled lets timing-sensitive tests skip hard bounds when the
+// race detector's instrumentation dominates the overhead being
+// measured.
+const raceEnabled = true

@@ -1,0 +1,163 @@
+package flight
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// watchdogState is the between-tick memory behind the anomaly rules.
+// All fields are guarded by Recorder.wdMu (one tick runs at a time).
+type watchdogState struct {
+	scratch []Stat // snapshot buffer reused across sources
+
+	lastFired map[string]time.Time // anomaly kind → last raise (cooldown)
+	lastVals  map[string]float64   // "source.stat" → previous value (drop rule)
+
+	// queue-stuck rule memory.
+	stuckTicks int
+	prevDepth  int64
+	prevDone   int64
+
+	delayScratch []int64 // p99 sort buffer
+	elapsed      []int64 // straggler median buffer
+}
+
+// raise records an anomaly unless the same kind fired within the
+// cooldown window. Returns whether it fired.
+func (r *Recorder) raise(kind, detail string) bool {
+	now := time.Now()
+	if last, ok := r.wd.lastFired[kind]; ok && now.Sub(last) < r.opt.Watchdog.Cooldown {
+		return false
+	}
+	r.wd.lastFired[kind] = now
+	r.Diag(kind, detail)
+	return true
+}
+
+// watchDispatch checks the p99 of the recent dispatch-delay samples
+// against the configured ceiling.
+func (r *Recorder) watchDispatch() {
+	ceiling := r.opt.Watchdog.DispatchP99
+	if ceiling <= 0 {
+		return
+	}
+	n := r.delayN.Load()
+	if n == 0 {
+		return
+	}
+	have := int(n)
+	if have > delayRingSize {
+		have = delayRingSize
+	}
+	buf := r.wd.delayScratch[:0]
+	for i := 0; i < have; i++ {
+		if v := r.delays[i].Load(); v > 0 {
+			buf = append(buf, v)
+		}
+	}
+	r.wd.delayScratch = buf
+	if len(buf) < 10 {
+		return // too few samples for a meaningful tail
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	p99 := time.Duration(buf[(len(buf)*99)/100-1])
+	if p99 > ceiling {
+		r.raise("dispatch-p99", fmt.Sprintf(
+			"dispatch p99 %v exceeds ceiling %v over last %d samples", p99, ceiling, len(buf)))
+	}
+}
+
+// watchStuck fires when the queue depth stays positive and
+// non-decreasing with zero new completions for StuckTicks consecutive
+// ticks — the signature of a stalled dispatcher or a wedged runner,
+// as opposed to a merely deep backlog (which completes work).
+func (r *Recorder) watchStuck() {
+	ticks := r.opt.Watchdog.StuckTicks
+	if ticks <= 0 {
+		return
+	}
+	depth, _, finished, killed := r.gauges()
+	done := finished + killed
+	if depth > 0 && depth >= r.wd.prevDepth && done == r.wd.prevDone {
+		r.wd.stuckTicks++
+	} else {
+		r.wd.stuckTicks = 0
+	}
+	r.wd.prevDepth, r.wd.prevDone = depth, done
+	if r.wd.stuckTicks >= ticks {
+		r.wd.stuckTicks = 0
+		r.raise("queue-stuck", fmt.Sprintf(
+			"queue depth %d with no completions for %d consecutive ticks", depth, ticks))
+	}
+}
+
+// watchStragglers flags running jobs whose elapsed time exceeds K×
+// the median elapsed of all currently running jobs. Keyed by job seq:
+// in a multi-queue daemon two tenants' jobs can share a seq, so a
+// collision may hide (never invent) a straggler — acceptable for a
+// diagnostic.
+func (r *Recorder) watchStragglers() {
+	k := r.opt.Watchdog.StragglerK
+	if k <= 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	buf := r.wd.elapsed[:0]
+	var worstSeq, worstElapsed int64
+	r.openMu.Lock()
+	for i, s := range r.openSeqs {
+		if s <= 0 {
+			continue
+		}
+		el := now - r.openStarts[i]
+		buf = append(buf, el)
+		if el > worstElapsed {
+			worstElapsed, worstSeq = el, s
+		}
+	}
+	r.openMu.Unlock()
+	r.wd.elapsed = buf
+	if len(buf) < 2 {
+		return // a lone job has no peer group to straggle behind
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	median := buf[len(buf)/2]
+	threshold := int64(float64(median) * k)
+	if min := int64(r.opt.Watchdog.StragglerMin); threshold < min {
+		threshold = min
+	}
+	if worstElapsed > threshold {
+		r.raise("straggler", fmt.Sprintf(
+			"job seq %d running %v, %.1fx the running median %v (%d running)",
+			worstSeq, time.Duration(worstElapsed).Round(time.Millisecond),
+			float64(worstElapsed)/float64(median),
+			time.Duration(median).Round(time.Millisecond), len(buf)))
+	}
+}
+
+// watchDrops compares this tick's stats against the previous tick for
+// every configured "source.stat" key and raises "gauge-drop" when one
+// decreased — the pool-health rule (a worker lost capacity).
+func (r *Recorder) watchDrops(src string, stats []Stat) {
+	if len(r.opt.Watchdog.DropStats) == 0 {
+		return
+	}
+	for _, st := range stats {
+		key := src + "." + st.Name
+		watched := false
+		for _, want := range r.opt.Watchdog.DropStats {
+			if want == key {
+				watched = true
+				break
+			}
+		}
+		if !watched {
+			continue
+		}
+		if prev, ok := r.wd.lastVals[key]; ok && st.V < prev {
+			r.raise("gauge-drop", fmt.Sprintf("%s dropped %v -> %v", key, prev, st.V))
+		}
+		r.wd.lastVals[key] = st.V
+	}
+}

@@ -1,0 +1,167 @@
+package flight
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// diagLog collects OnDiag callbacks for assertions.
+type diagLog struct{ kinds, details []string }
+
+func (d *diagLog) hook(name, detail string) {
+	d.kinds = append(d.kinds, name)
+	d.details = append(d.details, detail)
+}
+
+func (d *diagLog) has(kind string) bool {
+	for _, k := range d.kinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// TestWatchdogDispatchP99 feeds slow dispatch samples and checks the
+// ceiling rule fires, once, until the cooldown expires.
+func TestWatchdogDispatchP99(t *testing.T) {
+	var log diagLog
+	r := New(Options{
+		EventBuf: 64,
+		OnDiag:   log.hook,
+		Watchdog: WatchdogConfig{DispatchP99: time.Millisecond, Cooldown: time.Hour},
+	})
+	for i := 1; i <= 50; i++ {
+		ev := sampleEvent(i, core.EventFinished)
+		ev.DispatchDelay = 10 * time.Millisecond
+		r.RecordEvent(ev)
+	}
+	r.Tick()
+	if !log.has("dispatch-p99") {
+		t.Fatalf("dispatch-p99 never fired; diags = %v", log.kinds)
+	}
+	if !strings.Contains(log.details[0], "ceiling 1ms") {
+		t.Fatalf("detail missing ceiling: %q", log.details[0])
+	}
+	fired := len(log.kinds)
+	r.Tick() // within cooldown: silent
+	if len(log.kinds) != fired {
+		t.Fatalf("anomaly re-fired within cooldown: %v", log.kinds)
+	}
+}
+
+// TestWatchdogQueueStuck builds a backlog that never completes and
+// checks the monotone-stuck rule fires after the configured ticks —
+// and does not fire while completions are flowing.
+func TestWatchdogQueueStuck(t *testing.T) {
+	var log diagLog
+	r := New(Options{
+		EventBuf: 256,
+		OnDiag:   log.hook,
+		Watchdog: WatchdogConfig{StuckTicks: 3, Cooldown: time.Hour},
+	})
+	// Healthy phase: queue and complete.
+	for i := 1; i <= 5; i++ {
+		r.RecordEvent(sampleEvent(i, core.EventQueued))
+		r.RecordEvent(sampleEvent(i, core.EventStarted))
+		r.RecordEvent(sampleEvent(i, core.EventFinished))
+		r.Tick()
+	}
+	if log.has("queue-stuck") {
+		t.Fatalf("queue-stuck fired on a healthy queue: %v", log.kinds)
+	}
+	// Stall: depth grows, nothing completes.
+	for i := 6; i <= 10; i++ {
+		r.RecordEvent(sampleEvent(i, core.EventQueued))
+	}
+	for i := 0; i < 3; i++ {
+		r.Tick()
+	}
+	if !log.has("queue-stuck") {
+		t.Fatalf("queue-stuck never fired on a stalled queue: %v", log.kinds)
+	}
+}
+
+// TestWatchdogStraggler starts a peer group, finishes most of it, and
+// checks the k-times-median rule flags the survivor.
+func TestWatchdogStraggler(t *testing.T) {
+	var log diagLog
+	r := New(Options{
+		EventBuf: 256,
+		OnDiag:   log.hook,
+		Watchdog: WatchdogConfig{StragglerK: 3, StragglerMin: time.Millisecond, Cooldown: time.Hour},
+	})
+	now := time.Now()
+	// Nine peers started just now, one straggler started long ago.
+	for i := 1; i <= 9; i++ {
+		ev := sampleEvent(i, core.EventStarted)
+		ev.Time = now
+		r.RecordEvent(ev)
+	}
+	old := sampleEvent(10, core.EventStarted)
+	old.Time = now.Add(-time.Minute)
+	r.RecordEvent(old)
+	r.Tick()
+	if !log.has("straggler") {
+		t.Fatalf("straggler never fired: %v", log.kinds)
+	}
+	if !strings.Contains(log.details[len(log.details)-1], "seq 10") {
+		t.Fatalf("straggler detail names the wrong job: %q", log.details[len(log.details)-1])
+	}
+}
+
+// TestWatchdogGaugeDrop drives a pool-health-shaped source through a
+// capacity drop and checks the drop rule fires on decrease only.
+func TestWatchdogGaugeDrop(t *testing.T) {
+	var log diagLog
+	r := New(Options{
+		EventBuf: 64,
+		OnDiag:   log.hook,
+		Watchdog: WatchdogConfig{DropStats: []string{"pool.live"}, Cooldown: time.Hour},
+	})
+	live := 16.0
+	r.AddSource("pool", func(buf []Stat) []Stat {
+		return append(buf, Stat{"live", live}, Stat{"total", 16})
+	})
+	r.Tick()
+	r.Tick() // steady: no anomaly
+	if log.has("gauge-drop") {
+		t.Fatalf("gauge-drop fired without a drop: %v", log.kinds)
+	}
+	live = 12
+	r.Tick()
+	if !log.has("gauge-drop") {
+		t.Fatalf("gauge-drop never fired after capacity loss: %v", log.kinds)
+	}
+	if !strings.Contains(log.details[len(log.details)-1], "pool.live dropped 16 -> 12") {
+		t.Fatalf("drop detail = %q", log.details[len(log.details)-1])
+	}
+}
+
+// TestWatchdogAnomalyRecorded checks anomalies land in the ring as
+// records a dump surfaces.
+func TestWatchdogAnomalyRecorded(t *testing.T) {
+	r := New(Options{
+		EventBuf: 64,
+		Watchdog: WatchdogConfig{DispatchP99: time.Microsecond, Cooldown: time.Hour},
+	})
+	for i := 1; i <= 20; i++ {
+		ev := sampleEvent(i, core.EventFinished)
+		ev.DispatchDelay = time.Millisecond
+		r.RecordEvent(ev)
+	}
+	r.Tick()
+	d := r.Dump()
+	found := false
+	for _, rec := range d.Records {
+		if rec.Kind == "anomaly" && rec.Source == "dispatch-p99" {
+			found = true
+		}
+	}
+	if !found || d.Anomalies != 1 {
+		t.Fatalf("anomaly not in dump (found=%v, count=%d)", found, d.Anomalies)
+	}
+}

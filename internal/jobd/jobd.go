@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/telemetry"
 	"repro/internal/wal"
 )
@@ -104,6 +105,15 @@ type Config struct {
 	DrainGrace time.Duration
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// Flight, when non-nil, is the daemon's flight recorder: every
+	// queue's event bus is tapped into it and each queue registers a
+	// "jobd/<queue>" snapshot source (depth, running, scheduler vtime,
+	// WAL pipeline stats). The recorder is owned by the binary — jobd
+	// neither Starts nor Stops it.
+	Flight *flight.Recorder
+	// FlightDir is where panic dumps land when an engine goroutine
+	// unwinds (os.TempDir() when empty). Only meaningful with Flight.
+	FlightDir string
 }
 
 // Server is the persistent job service: queue registry, shared

@@ -51,6 +51,9 @@ func newQueueMetrics(reg *telemetry.Registry, q *queue) *queueMetrics {
 			defer q.mu.Unlock()
 			return float64(q.counts[stateRunning])
 		}, l)
+	reg.CounterFunc("jobd_events_dropped_total",
+		"events dropped by saturated bus subscribers (watch streams, span mirrors)",
+		func() float64 { return float64(q.bus.Dropped()) }, l)
 	return m
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/args"
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/mq"
 	"repro/internal/span"
 	"repro/internal/telemetry"
@@ -170,6 +171,9 @@ func (s *Server) openQueue(name string, cfg QueueConfig, create bool) (*queue, e
 	q.met = newQueueMetrics(s.reg, q)
 	q.rebuildTable(st)
 	q.bus.Tap(q.onEvent)
+	if s.cfg.Flight != nil {
+		q.bus.Tap(s.cfg.Flight.RecordEvent)
+	}
 	if s.cfg.Spans {
 		f, serr := os.OpenFile(filepath.Join(dir, "spans.jsonl"),
 			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -188,15 +192,54 @@ func (s *Server) openQueue(name string, cfg QueueConfig, create bool) (*queue, e
 		}()
 	}
 	q.sq = s.sched.register(cfg.Weight)
+	if s.cfg.Flight != nil {
+		q.registerFlightSource()
+	}
 
 	q.engMu.Lock()
 	defer q.engMu.Unlock()
 	if err := q.startEngineLocked(st); err != nil {
 		s.sched.unregister(q.sq)
+		if s.cfg.Flight != nil {
+			s.cfg.Flight.RemoveSource(q.flightSourceName())
+		}
 		q.closeFiles()
 		return nil, err
 	}
 	return q, nil
+}
+
+func (q *queue) flightSourceName() string { return "jobd/" + q.name }
+
+// registerFlightSource adds this queue's component snapshot to the
+// daemon's flight recorder: scheduler standing, job-table gauges, WAL
+// pipeline depth and sync recency. Sampled once per snapshot interval
+// on the recorder's goroutine, so the brief locks are off every hot
+// path.
+func (q *queue) registerFlightSource() {
+	rec := q.srv.cfg.Flight
+	rec.AddSource(q.flightSourceName(), func(buf []flight.Stat) []flight.Stat {
+		q.mu.Lock()
+		depth := q.counts[statePending]
+		running := q.counts[stateRunning]
+		q.mu.Unlock()
+		st := q.srv.sched.standing(q.sq)
+		ws := q.wal.Stats()
+		syncLagMS := -1.0 // no fsync yet
+		if !ws.LastSync.IsZero() {
+			syncLagMS = float64(time.Since(ws.LastSync)) / float64(time.Millisecond)
+		}
+		return append(buf,
+			flight.Stat{Name: "depth", V: float64(depth)},
+			flight.Stat{Name: "running", V: float64(running)},
+			flight.Stat{Name: "sched_vtime", V: st.vtime},
+			flight.Stat{Name: "sched_waiting", V: float64(st.waiting)},
+			flight.Stat{Name: "wal_appended", V: float64(ws.Appended)},
+			flight.Stat{Name: "wal_staged", V: float64(ws.Staged)},
+			flight.Stat{Name: "wal_sync_lag_ms", V: syncLagMS},
+			flight.Stat{Name: "events_dropped", V: float64(q.bus.Dropped())},
+		)
+	})
 }
 
 func writeQueueConfig(path string, cfg QueueConfig) error {
@@ -649,6 +692,11 @@ func (q *queue) startEngineLocked(st *wal.State) error {
 	ctx := q.srv.ctx
 	go func() {
 		defer close(done)
+		if rec := q.srv.cfg.Flight; rec != nil {
+			// A panicking engine still kills the daemon (DumpOnPanic
+			// re-panics), but the black box hits the disk first.
+			defer flight.DumpOnPanic(rec, q.srv.cfg.FlightDir, q.srv.logf)
+		}
 		_, _, runErr := eng.Run(ctx, q.source(ctx, drain))
 		if runErr != nil && ctx.Err() == nil && !errors.Is(runErr, context.Canceled) {
 			q.fail(runErr)
@@ -710,6 +758,9 @@ func (q *queue) beginStop() <-chan struct{} {
 // finishClose releases the queue's resources after its engine stopped.
 func (q *queue) finishClose() error {
 	q.srv.sched.unregister(q.sq)
+	if q.srv.cfg.Flight != nil {
+		q.srv.cfg.Flight.RemoveSource(q.flightSourceName())
+	}
 	return q.closeFiles()
 }
 

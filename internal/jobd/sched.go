@@ -96,6 +96,21 @@ func (s *scheduler) floorLocked() float64 {
 	return floor
 }
 
+// queueStanding is one queue's instantaneous scheduler view, exposed
+// for introspection (the flight recorder's per-queue snapshot source).
+type queueStanding struct {
+	vtime   float64
+	running int
+	waiting int
+}
+
+// standing snapshots sq's fair-share state.
+func (s *scheduler) standing(sq *schedQueue) queueStanding {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return queueStanding{vtime: sq.vtime, running: sq.running, waiting: len(sq.waiting)}
+}
+
 // acquire blocks until the queue is granted a global slot or ctx is
 // done. Callers must release exactly once per successful acquire.
 func (s *scheduler) acquire(ctx context.Context, sq *schedQueue) error {

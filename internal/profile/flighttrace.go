@@ -1,0 +1,163 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/flight"
+)
+
+// FlightTrace renders a flight-recorder dump as a Chrome/Perfetto
+// trace (chrome://tracing JSON array format), the `gopar debug
+// -trace` backend:
+//
+//   - job executions become complete ("X") slices on their slot lane,
+//     paired started→finished/killed by job seq; a job still running
+//     at dump time becomes a slice open until the dump instant;
+//   - component snapshots become counter ("C") series, one per
+//     source, so queue depth, WAL lag and pool health plot as stacked
+//     charts under the slices;
+//   - anomalies and other diagnostics become instant ("i") events on
+//     their own lane, so a p99 breach lines up visually with the jobs
+//     that caused it.
+//
+// Terminal events carry only the final attempt's Duration, so for a
+// retried job the rendered slice covers the last attempt — consistent
+// with LiveTrace.
+func FlightTrace(w io.Writer, d *flight.Dump) error {
+	if len(d.Records) == 0 {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	t0 := d.Records[0].Time
+	for _, rec := range d.Records {
+		if rec.Time.Before(t0) {
+			t0 = rec.Time
+		}
+	}
+	us := func(t time.Time) float64 { return float64(t.Sub(t0)) / float64(time.Microsecond) }
+
+	var events []map[string]any
+	meta := func(pid int, name string) {
+		events = append(events, map[string]any{
+			"name": "process_name", "ph": "M", "pid": pid,
+			"args": map[string]any{"name": name},
+		})
+	}
+	meta(1, fmt.Sprintf("%s jobs (pid %d)", orDump(d.Program), d.PID))
+	meta(2, "flight diagnostics")
+
+	// started-event times by job seq, for pairing with terminals. A
+	// terminal without a retained start still renders (End-Duration
+	// reconstructs the attempt start); a start without a terminal is
+	// open at dump time.
+	type open struct {
+		t    time.Time
+		slot int
+		cmd  string
+	}
+	started := map[int]open{}
+	for _, rec := range d.Records {
+		switch rec.Kind {
+		case "event":
+			e := rec.Event
+			if e == nil {
+				continue
+			}
+			switch e.Type {
+			case "started":
+				started[e.Seq] = open{t: rec.Time, slot: e.Slot, cmd: e.Command}
+			case "finished", "killed":
+				st, ok := started[e.Seq]
+				delete(started, e.Seq)
+				end := rec.Time
+				var start time.Time
+				switch {
+				case ok:
+					start = st.t
+				case e.DurationMS > 0:
+					start = end.Add(-time.Duration(e.DurationMS * float64(time.Millisecond)))
+				default:
+					start = end
+				}
+				events = append(events, map[string]any{
+					"name": sliceName(e.Command, e.Seq),
+					"ph":   "X",
+					"ts":   us(start),
+					"dur":  us(end) - us(start),
+					"pid":  1,
+					"tid":  laneFor(e.Slot, st.slot),
+					"args": map[string]any{
+						"seq": e.Seq, "ok": e.OK, "exitval": e.Exit,
+						"host": e.Host, "killed": e.Type == "killed",
+					},
+				})
+			}
+		case "snapshot":
+			if len(rec.Stats) == 0 {
+				continue
+			}
+			events = append(events, map[string]any{
+				"name": rec.Source,
+				"ph":   "C",
+				"ts":   us(rec.Time),
+				"pid":  2,
+				"args": rec.Stats,
+			})
+		case "anomaly":
+			events = append(events, map[string]any{
+				"name": rec.Source,
+				"ph":   "i",
+				"s":    "g", // global scope: draw the flag across all lanes
+				"ts":   us(rec.Time),
+				"pid":  2,
+				"tid":  1,
+				"args": map[string]any{"detail": rec.Detail},
+			})
+		}
+	}
+	// Jobs still running at dump time: open slices to the dump instant.
+	for seq, st := range started {
+		events = append(events, map[string]any{
+			"name": sliceName(st.cmd, seq) + " (running at dump)",
+			"ph":   "X",
+			"ts":   us(st.t),
+			"dur":  us(d.Time) - us(st.t),
+			"pid":  1,
+			"tid":  laneFor(st.slot, 0),
+			"args": map[string]any{"seq": seq, "open": true},
+		})
+	}
+	return json.NewEncoder(w).Encode(events)
+}
+
+func orDump(s string) string {
+	if s == "" {
+		return "flight"
+	}
+	return s
+}
+
+// laneFor prefers the terminal event's slot, falling back to the
+// start event's, then lane 0 (events that never carried one).
+func laneFor(a, b int) int {
+	if a > 0 {
+		return a
+	}
+	if b > 0 {
+		return b
+	}
+	return 0
+}
+
+func sliceName(cmd string, seq int) string {
+	if cmd == "" {
+		return fmt.Sprintf("job %d", seq)
+	}
+	if len(cmd) > 80 {
+		cmd = cmd[:77] + "..."
+	}
+	return cmd
+}

@@ -1,0 +1,89 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flight"
+)
+
+// TestFlightTrace renders a recorder dump and checks the output is a
+// loadable Chrome trace: a JSON array of events with complete slices
+// for finished jobs, an open slice for the job still running at dump
+// time, counter series for snapshots, and an instant for the anomaly.
+func TestFlightTrace(t *testing.T) {
+	r := flight.New(flight.Options{EventBuf: 256, Program: "traceprog"})
+	now := time.Now()
+	ev := func(seq int, typ core.EventType) core.Event {
+		e := core.Event{Type: typ, Seq: seq, Slot: 1 + seq%4, Time: now.Add(time.Duration(seq) * time.Millisecond), Command: "work --n"}
+		if typ == core.EventFinished {
+			e.OK = true
+			e.Duration = 5 * time.Millisecond
+		}
+		return e
+	}
+	for i := 1; i <= 5; i++ {
+		r.RecordEvent(ev(i, core.EventQueued))
+		r.RecordEvent(ev(i, core.EventStarted))
+		if i < 5 { // job 5 stays running at dump time
+			r.RecordEvent(ev(i, core.EventFinished))
+		}
+	}
+	r.Diag("dispatch-p99", "p99 2ms exceeds ceiling 1ms")
+	r.Tick()
+	d := r.Dump()
+
+	var buf bytes.Buffer
+	if err := FlightTrace(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v\n%s", err, buf.String())
+	}
+	counts := map[string]int{}
+	open := 0
+	for _, e := range events {
+		ph, _ := e["ph"].(string)
+		counts[ph]++
+		if args, ok := e["args"].(map[string]any); ok && args["open"] == true {
+			open++
+		}
+		if ph == "X" {
+			if _, ok := e["dur"].(float64); !ok {
+				t.Fatalf("X slice without dur: %v", e)
+			}
+		}
+	}
+	if counts["X"] != 5 { // 4 finished + 1 open
+		t.Fatalf("slices = %d, want 5 (events %v)", counts["X"], counts)
+	}
+	if open != 1 {
+		t.Fatalf("open-at-dump slices = %d, want 1", open)
+	}
+	if counts["C"] == 0 {
+		t.Fatalf("no counter events for snapshots: %v", counts)
+	}
+	if counts["i"] != 1 {
+		t.Fatalf("instant events = %d, want 1 anomaly flag", counts["i"])
+	}
+	if counts["M"] < 2 {
+		t.Fatalf("metadata events = %d, want >= 2", counts["M"])
+	}
+}
+
+// TestFlightTraceEmpty checks an empty dump renders an empty, valid
+// array rather than erroring.
+func TestFlightTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FlightTrace(&buf, &flight.Dump{Version: flight.DumpVersion}); err != nil {
+		t.Fatal(err)
+	}
+	var events []any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil || len(events) != 0 {
+		t.Fatalf("empty dump trace = %q (err %v), want []", buf.String(), err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
@@ -16,16 +17,63 @@ func Handler(reg *Registry) http.Handler {
 	})
 }
 
+// ServeOption customizes Serve's listener surface.
+type ServeOption func(*serveConfig)
+
+type serveConfig struct {
+	pprof bool
+	extra map[string]http.Handler
+}
+
+// WithPprof mounts the stdlib net/http/pprof handlers under
+// /debug/pprof/ on the metrics listener. Off by default: profiling
+// endpoints expose goroutine stacks (command lines, hostnames), so
+// they are opt-in via each binary's -pprof flag.
+func WithPprof() ServeOption {
+	return func(c *serveConfig) { c.pprof = true }
+}
+
+// WithHandler mounts h at pattern on the metrics listener (e.g. a
+// flight-recorder dump endpoint riding the existing port).
+func WithHandler(pattern string, h http.Handler) ServeOption {
+	return func(c *serveConfig) {
+		if c.extra == nil {
+			c.extra = map[string]http.Handler{}
+		}
+		c.extra[pattern] = h
+	}
+}
+
+// MountPprof adds the stdlib pprof handlers to mux under /debug/pprof/.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
 // Serve starts a metrics HTTP server on addr in the background and
 // returns the bound address (useful with ":0") and a closer. The
-// endpoint is GET /metrics; / serves a pointer to it.
-func Serve(addr string, reg *Registry) (bound string, closeFn func() error, err error) {
+// endpoint is GET /metrics; / serves a pointer to it. Options add
+// opt-in surfaces (WithPprof, WithHandler).
+func Serve(addr string, reg *Registry, opts ...ServeOption) (bound string, closeFn func() error, err error) {
+	var cfg serveConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(reg))
+	if cfg.pprof {
+		MountPprof(mux)
+	}
+	for pattern, h := range cfg.extra {
+		mux.Handle(pattern, h)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "see /metrics")
 	})

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+// TestServeDefaultHasNoPprof pins the opt-in: without WithPprof the
+// metrics listener must not expose profiling endpoints.
+func TestServeDefaultHasNoPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("t_total", "h").Inc()
+	bound, closeFn, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+	if code, body := get(t, "http://"+bound+"/metrics"); code != 200 || !strings.Contains(body, "t_total 1") {
+		t.Fatalf("/metrics: code %d body %q", code, body)
+	}
+	// The "/" pointer handler catches unknown paths, so the probe
+	// checks the body: pprof's index would mention goroutine profiles.
+	if _, body := get(t, "http://"+bound+"/debug/pprof/"); !strings.Contains(body, "see /metrics") {
+		t.Fatalf("/debug/pprof/ served without WithPprof: %q", body)
+	}
+}
+
+// TestServeWithPprof checks the opt-in mounts the stdlib profiler.
+func TestServeWithPprof(t *testing.T) {
+	bound, closeFn, err := Serve("127.0.0.1:0", NewRegistry(), WithPprof())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+	code, body := get(t, "http://"+bound+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: code %d body %q", code, body)
+	}
+}
+
+// TestServeWithHandler checks extra handlers ride the metrics port.
+func TestServeWithHandler(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "flight here")
+	})
+	bound, closeFn, err := Serve("127.0.0.1:0", NewRegistry(), WithHandler("/debug/flight", h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+	if code, body := get(t, "http://"+bound+"/debug/flight"); code != 200 || body != "flight here" {
+		t.Fatalf("/debug/flight: code %d body %q", code, body)
+	}
+}

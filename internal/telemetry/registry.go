@@ -163,6 +163,15 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 		func(w io.Writer, n, l string) { writeSample(w, n, l, fn()) })
 }
 
+// CounterFunc registers a counter whose value is read at scrape time —
+// for monotone counts a component already maintains (Bus.Dropped,
+// wal.Stats().Appended) that would be wasteful to mirror into a
+// second atomic.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, "counter", formatLabels(labels), nil,
+		func(w io.Writer, n, l string) { writeSample(w, n, l, fn()) })
+}
+
 // Histogram registers a histogram with the given bucket upper bounds
 // (ascending; nil selects DefBuckets).
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {

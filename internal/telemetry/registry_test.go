@@ -68,6 +68,62 @@ func TestRegistryLabelEscaping(t *testing.T) {
 	}
 }
 
+// TestRegistryLabelEscapingClasses pins each exposition-format escape
+// class on its own, plus the pathological combinations command-line
+// label values actually produce (quoted args, Windows paths, embedded
+// scripts with trailing newlines).
+func TestRegistryLabelEscapingClasses(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // escaped form between the quotes
+	}{
+		{"plain", "hello", `hello`},
+		{"double_quote", `a"b`, `a\"b`},
+		{"only_quotes", `""`, `\"\"`},
+		{"backslash", `C:\jobs\run`, `C:\\jobs\\run`},
+		{"trailing_backslash", `dir\`, `dir\\`},
+		{"newline", "line1\nline2", `line1\nline2`},
+		{"trailing_newline", "cmd\n", `cmd\n`},
+		{"backslash_n_literal", `a\nb`, `a\\nb`}, // literal backslash-n must not collapse into a newline escape
+		{"quote_backslash_newline", "x=\"a\\b\"\n", `x=\"a\\b\"\n`},
+		{"empty", "", ``},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := NewRegistry()
+			reg.Counter("esc_total", "h", L("v", tc.in)).Inc()
+			var sb strings.Builder
+			reg.WriteText(&sb)
+			want := fmt.Sprintf("esc_total{v=\"%s\"} 1\n", tc.want)
+			if !strings.Contains(sb.String(), want) {
+				t.Fatalf("escaping %q:\nwant line %q\ngot:\n%s", tc.in, want, sb.String())
+			}
+			// The rendered sample must stay a single line (plus the two
+			// header lines): an unescaped newline would tear the format.
+			if got := strings.Count(sb.String(), "\n"); got != 3 {
+				t.Fatalf("exposition for %q spans %d lines, want 3:\n%q", tc.in, got, sb.String())
+			}
+		})
+	}
+}
+
+// TestCounterFunc checks scrape-time counters render with counter
+// type and read their source at write time.
+func TestCounterFunc(t *testing.T) {
+	reg := NewRegistry()
+	n := 41.0
+	reg.CounterFunc("fn_total", "h", func() float64 { return n }, L("src", "bus"))
+	n++
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	for _, want := range []string{"# TYPE fn_total counter", `fn_total{src="bus"} 42`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("missing %q in:\n%s", want, sb.String())
+		}
+	}
+}
+
 func TestHistogramBucketsAndSum(t *testing.T) {
 	reg := NewRegistry()
 	h := reg.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})

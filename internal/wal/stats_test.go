@@ -1,0 +1,64 @@
+package wal
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStats checks the introspection counters track appends and syncs
+// across the synchronous policy.
+func TestStats(t *testing.T) {
+	l, _, err := Open(t.TempDir(), Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if s := l.Stats(); s.Appended != 0 || s.Staged != 0 {
+		t.Fatalf("fresh log stats = %+v", s)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := l.AppendIntent(i, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.AppendCompletion(i, 0, time.Millisecond, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := l.Stats()
+	if s.Appended != 10 {
+		t.Fatalf("Appended = %d, want 10", s.Appended)
+	}
+	if s.Syncs < 10 {
+		t.Fatalf("Syncs = %d, want >= 10 under SyncAlways", s.Syncs)
+	}
+	if s.LastSync.IsZero() || time.Since(s.LastSync) > time.Minute {
+		t.Fatalf("LastSync = %v", s.LastSync)
+	}
+	if s.SegIndex < 1 || s.SegBytes <= 0 {
+		t.Fatalf("segment stats = %+v", s)
+	}
+}
+
+// TestStatsAsyncStaged checks staged records are visible before the
+// flusher drains them.
+func TestStatsAsyncStaged(t *testing.T) {
+	l, _, err := Open(t.TempDir(), Options{Sync: SyncInterval, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 1; i <= 3; i++ {
+		if err := l.AppendIntent(i, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := l.Stats(); s.Staged != 3 || s.Appended != 3 {
+		t.Fatalf("stats before drain = %+v, want Staged=3 Appended=3", s)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if s := l.Stats(); s.Staged != 0 {
+		t.Fatalf("Staged = %d after Sync, want 0", s.Staged)
+	}
+}

@@ -170,6 +170,13 @@ type Log struct {
 
 	stopFlush chan struct{}
 	flushDone chan struct{}
+
+	// Introspection counters (Stats). Atomics so the accessor never
+	// adds contention to the append hot path beyond one uncontended
+	// atomic add per append.
+	nAppended  atomic.Int64
+	nSyncs     atomic.Int64
+	lastSyncNS atomic.Int64
 }
 
 // stagedRec is one append waiting for the flusher, kept small because
@@ -310,8 +317,10 @@ func (l *Log) AppendIntent(seq int, digest uint64) error {
 			return *ep
 		}
 		l.intents.add(int32(seq), 0, 0, digest, "")
+		l.nAppended.Add(1)
 		return nil
 	}
+	l.nAppended.Add(1)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.checkLocked(PointAppendIntent); err != nil {
@@ -334,8 +343,10 @@ func (l *Log) AppendCompletion(seq, exit int, runtime time.Duration, host string
 			us = 0
 		}
 		l.compls.add(int32(seq), clampExit(exit), us, 0, host)
+		l.nAppended.Add(1)
 		return nil
 	}
+	l.nAppended.Add(1)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.checkLocked(PointAppendCompletion); err != nil {
@@ -559,6 +570,8 @@ func (l *Log) syncLocked() error {
 		l.opt.FsyncObserver(time.Since(start))
 	}
 	l.dirty = false
+	l.nSyncs.Add(1)
+	l.lastSyncNS.Store(time.Now().UnixNano())
 	return nil
 }
 
