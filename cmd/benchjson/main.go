@@ -1,14 +1,15 @@
 // Command benchjson is the perf-regression harness. It runs the
 // microbenchmarks that guard the launcher's per-job cost (template
-// render, engine dispatch, remote pool round-trip, the paper's Fig. 3
-// real-process rate) and the simulation kernel's throughput (events/s,
-// procs/s, flow tasks/s, plus one full-scale Fig 1 point), parses
+// render, engine dispatch, remote pool round-trip, the protocol v3
+// wire codec and loopback data plane, the paper's Fig. 3 real-process
+// rate) and the simulation kernel's throughput (events/s, procs/s,
+// flow tasks/s, plus one full-scale Fig 1 point), parses
 // `go test -bench` output, and writes one machine-readable JSON report
-// (BENCH_pr7.json in CI).
+// (BENCH_pr9.json in CI).
 //
 // Usage:
 //
-//	benchjson -out BENCH_pr7.json                 # run + record
+//	benchjson -out BENCH_pr9.json                 # run + record
 //	benchjson -benchtime 100x -out quick.json     # cheap smoke record
 //	benchjson -stdin -out r.json < bench.txt      # parse a saved run
 //	benchjson -out new.json -check old.json       # fail on regression
@@ -31,7 +32,10 @@
 // group-commit flusher serializes with dispatch, see docs/DURABILITY.md)
 // — and the job service's submit→dispatch p99, which BenchmarkServeSubmit
 // reports from the daemon's own histogram and which must stay under an
-// absolute ceiling regardless of client count (see docs/SERVICE.md).
+// absolute ceiling regardless of client count (see docs/SERVICE.md) —
+// and the v3 wire data plane's budgets: the binary codec must stay
+// allocation-free and the loopback dispatch rate above an absolute
+// jobs/s floor (see DESIGN.md's protocol v3 section).
 package main
 
 import (
@@ -84,6 +88,13 @@ var defaultTargets = []struct{ pkg, bench, benchtime string }{
 	// WAL-overhead gate in -check mode.
 	{"./internal/core/", "BenchmarkDispatch", ""},
 	{"./internal/dist/", "BenchmarkPoolDispatch", ""},
+	// The v3 wire data plane: pure codec cost (must stay 0 allocs/op)
+	// and the end-to-end loopback dispatch rate for v2 vs v3. Pinned
+	// iteration counts: the wireGuard alloc/floor gates need enough
+	// iterations to amortize session setup, so a time-based CI smoke
+	// (100x) must not starve them.
+	{"./internal/dist/", "BenchmarkWireCodecV3", "100000x"},
+	{"./internal/dist/", "BenchmarkWireLoopback", "20000x"},
 	{"./", "BenchmarkFig3RealDispatch", ""},
 	{"./internal/sim/", "BenchmarkEngineEvents|BenchmarkSimProcs|BenchmarkFlowTasks", ""},
 	{"./internal/experiments/", "BenchmarkFig1FullScalePoint", "1x"},
@@ -103,7 +114,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_pr7.json", "output JSON path (- for stdout)")
+		out       = flag.String("out", "BENCH_pr9.json", "output JSON path (- for stdout)")
 		benchtime = flag.String("benchtime", "", "passed to go test -benchtime (default: go's 1s)")
 		useStdin  = flag.Bool("stdin", false, "parse `go test -bench` output from stdin instead of running")
 		check     = flag.String("check", "", "baseline report to compare against; regressions fail")
@@ -170,6 +181,7 @@ func main() {
 		msgs := compare(base, rep, *tolerance)
 		msgs = append(msgs, walGuard(rep)...)
 		msgs = append(msgs, serviceGuard(rep)...)
+		msgs = append(msgs, wireGuard(rep)...)
 		if len(msgs) > 0 {
 			for _, m := range msgs {
 				fmt.Fprintln(os.Stderr, "REGRESSION:", m)
@@ -270,6 +282,62 @@ func serviceGuard(rep Report) []string {
 		} else {
 			fmt.Fprintf(os.Stderr, "benchjson: service p99 submit→dispatch %.1f ms (%s, limit %d ms)\n",
 				p99, b.Name, limitMS)
+		}
+	}
+	return msgs
+}
+
+// wireGuard enforces the protocol v3 data plane's budgets from a
+// single report. Two independent bounds:
+//
+//   - BenchmarkWireCodecV3 (encode+decode of a full jobs/results frame
+//     pair, no I/O) must report exactly 0 allocs/op. The codec is
+//     deterministic and fully pooled, so any nonzero count is a leak of
+//     the pooling discipline, not jitter — the same property
+//     TestWireCodecV3ZeroAlloc pins with AllocsPerRun, re-checked here
+//     so the committed perf report can't drift from the test.
+//   - BenchmarkWireLoopback/proto=v3 (real TCP loopback, multiplexed
+//     sessions, full dispatch round trip) must stay above an absolute
+//     jobs/s floor. The floor is far below healthy numbers — 390k/s
+//     measured on a 1-vCPU host, see EXPERIMENTS.md — because shared
+//     runners stall; it exists to catch the pathological regressions
+//     (batch coalescing broken, a flush per job) that cut throughput
+//     by 3x or more, while compare gates the relative 25% against the
+//     committed baseline.
+func wireGuard(rep Report) []string {
+	const floorJobsPerSec = 100_000
+	var msgs []string
+	for _, b := range rep.Benches {
+		if strings.HasPrefix(b.Name, "BenchmarkWireCodecV3") {
+			if b.Iters < 10_000 {
+				fmt.Fprintf(os.Stderr, "benchjson: wire codec alloc gate skipped (%d iters; needs 10000+)\n", b.Iters)
+				continue
+			}
+			if b.AllocsOp != 0 {
+				msgs = append(msgs, fmt.Sprintf(
+					"wire codec: %s reports %.0f allocs/op, want 0 (pooled codec must not allocate)",
+					b.Name, b.AllocsOp))
+			} else {
+				fmt.Fprintf(os.Stderr, "benchjson: wire codec 0 allocs/op (%s)\n", b.Name)
+			}
+		}
+		if strings.HasPrefix(b.Name, "BenchmarkWireLoopback/proto=v3") {
+			rate, ok := b.Metrics["jobs/s"]
+			if !ok {
+				continue
+			}
+			if b.Iters < 10_000 {
+				fmt.Fprintf(os.Stderr, "benchjson: wire loopback floor skipped (%d iters; needs 10000+ to amortize session setup)\n", b.Iters)
+				continue
+			}
+			if rate < floorJobsPerSec {
+				msgs = append(msgs, fmt.Sprintf(
+					"wire loopback: %s %.0f jobs/s below %d floor",
+					b.Name, rate, floorJobsPerSec))
+			} else {
+				fmt.Fprintf(os.Stderr, "benchjson: wire loopback %.0f jobs/s (%s, floor %d)\n",
+					rate, b.Name, floorJobsPerSec)
+			}
 		}
 	}
 	return msgs

@@ -142,6 +142,7 @@ func run() int {
 		pipe      = fs.Bool("pipe", false, "split stdin into blocks fed to each job's stdin (--pipe mode)")
 		block     = fs.Int("block", 1<<20, "target block size in bytes for --pipe")
 		workers   = fs.String("S", "", `run jobs on gopard workers: "[slots/]host:port,..." (e.g. 8/n1:7547,8/n2:7547)`)
+		deflateMin = fs.Int("deflate-threshold", 0, "compress v3 wire payloads larger than this many bytes (0 = default 4096, negative = never)")
 		progress  = fs.Bool("progress", false, "show a live progress/ETA line on stderr")
 		colsep    = fs.String("colsep", "", "split input records into columns on this separator ({1}, {2}, ...)")
 		shuf      = fs.Bool("shuf", false, "process inputs in random order")
@@ -276,14 +277,15 @@ func run() int {
 		// Warn once, the moment the pool first loses capacity; the final
 		// summary reports the closing health gauge.
 		var degradedOnce sync.Once
-		p, derr := dist.Dial(specs, dist.WithHealthNotify(func(h dist.Health) {
-			if h.Degraded() {
-				degradedOnce.Do(func() {
-					fmt.Fprintf(os.Stderr, "gopar: worker pool degraded: %d/%d slots live (%d redialing, %d lost)\n",
-						h.Live, h.Total, h.Redialing, h.Lost)
-				})
-			}
-		}))
+		p, derr := dist.Dial(specs, dist.WithDeflateThreshold(*deflateMin),
+			dist.WithHealthNotify(func(h dist.Health) {
+				if h.Degraded() {
+					degradedOnce.Do(func() {
+						fmt.Fprintf(os.Stderr, "gopar: worker pool degraded: %d/%d slots live (%d redialing, %d lost)\n",
+							h.Live, h.Total, h.Redialing, h.Lost)
+					})
+				}
+			}))
 		if derr != nil {
 			fmt.Fprintln(os.Stderr, "gopar:", derr)
 			return 2
@@ -325,6 +327,16 @@ func run() int {
 					flight.Stat{Name: "total", V: float64(h.Total)},
 					flight.Stat{Name: "redialing", V: float64(h.Redialing)},
 					flight.Stat{Name: "lost", V: float64(h.Lost)},
+				)
+			})
+			rec.AddSource("wire", func(buf []flight.Stat) []flight.Stat {
+				w := p.Wire()
+				return append(buf,
+					flight.Stat{Name: "bytes_sent", V: float64(w.BytesSent())},
+					flight.Stat{Name: "bytes_received", V: float64(w.BytesReceived())},
+					flight.Stat{Name: "frames_sent", V: float64(w.FramesSent())},
+					flight.Stat{Name: "frames_received", V: float64(w.FramesReceived())},
+					flight.Stat{Name: "deflate_ratio", V: w.DeflateRatio()},
 				)
 			})
 		}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/flight"
 	"repro/internal/jobd"
 	"repro/internal/telemetry"
@@ -47,6 +48,8 @@ func runServe(argv []string) int {
 		defWeight   = fs.Int("default-weight", 1, "fair-share weight for auto-created queues")
 		queues      = fs.String("queues", "", "pre-create queues: name=quota:weight[,name=quota:weight...]")
 		runnerKind  = fs.String("runner", "exec", "job runner: exec (shell commands) | noop (load testing)")
+		workersList = fs.String("workers", "", `dispatch jobs to gopard workers: "[slots/]host:port,..." (default: run jobs locally)`)
+		deflateMin  = fs.Int("deflate-threshold", 0, "compress v3 wire payloads larger than this many bytes (0 = default 4096, negative = never)")
 		metricsAddr = fs.String("metrics-addr", "", "extra Prometheus listener (metrics are always on the API listener at /metrics)")
 		spans       = fs.Bool("spans", false, "record per-queue span timelines for `gopar report`")
 		results     = fs.Bool("results", false, "save job output under <dir>/<queue>/results/")
@@ -109,6 +112,38 @@ func runServe(argv []string) int {
 		return fail(fmt.Errorf("bad -runner %q (want exec|noop)", *runnerKind))
 	}
 
+	// -workers turns the daemon into a distributed coordinator: jobs
+	// dispatch over the v3 wire protocol to gopard workers instead of
+	// fork/exec on this host. The pool is the runner; the service's
+	// slot count follows the pool's aggregate capacity unless -slots
+	// was given explicitly.
+	var pool *dist.Pool
+	if *workersList != "" {
+		if *runnerKind == "noop" {
+			return fail(fmt.Errorf("-workers and -runner noop are mutually exclusive"))
+		}
+		specs, perr := parseWorkers(*workersList)
+		if perr != nil {
+			return fail(perr)
+		}
+		p, derr := dist.Dial(specs, dist.WithDeflateThreshold(*deflateMin))
+		if derr != nil {
+			return fail(derr)
+		}
+		pool = p
+		defer pool.Close()
+		cfg.Runner = pool
+		slotsSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "slots" {
+				slotsSet = true
+			}
+		})
+		if !slotsSet {
+			cfg.Slots = pool.Slots()
+		}
+	}
+
 	// Flight recorder: always on for the daemon (a long-lived process
 	// is exactly what the black box exists for). Dumps land in the
 	// state directory by default so they survive with the queues.
@@ -126,6 +161,28 @@ func runServe(argv []string) int {
 			},
 		})
 		rec.AddSource("engine", rec.EngineStats)
+		if pool != nil {
+			p := pool
+			rec.AddSource("pool", func(buf []flight.Stat) []flight.Stat {
+				h := p.Health()
+				return append(buf,
+					flight.Stat{Name: "live", V: float64(h.Live)},
+					flight.Stat{Name: "total", V: float64(h.Total)},
+					flight.Stat{Name: "redialing", V: float64(h.Redialing)},
+					flight.Stat{Name: "lost", V: float64(h.Lost)},
+				)
+			})
+			rec.AddSource("wire", func(buf []flight.Stat) []flight.Stat {
+				w := p.Wire()
+				return append(buf,
+					flight.Stat{Name: "bytes_sent", V: float64(w.BytesSent())},
+					flight.Stat{Name: "bytes_received", V: float64(w.BytesReceived())},
+					flight.Stat{Name: "frames_sent", V: float64(w.FramesSent())},
+					flight.Stat{Name: "frames_received", V: float64(w.FramesReceived())},
+					flight.Stat{Name: "deflate_ratio", V: w.DeflateRatio()},
+				)
+			})
+		}
 		rec.Start()
 		defer rec.Stop()
 		logf := func(format string, fargs ...any) {
@@ -143,6 +200,11 @@ func runServe(argv []string) int {
 	srv, err := jobd.New(cfg)
 	if err != nil {
 		return fail(err)
+	}
+	if pool != nil {
+		// Pool health, per-worker negotiated protocol, and wire traffic
+		// land on the same registry the API listener serves at /metrics.
+		pool.RegisterMetrics(srv.Registry())
 	}
 
 	var debugClose func() error

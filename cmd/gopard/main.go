@@ -70,6 +70,7 @@ func main() {
 		flightDir   = flag.String("flight-dump", "", "directory for flight dump files written on SIGQUIT or panic (default $TMPDIR)")
 		debugAddr   = flag.String("debug-addr", "", `serve /debug/flight and /debug/pprof on this address (e.g. "127.0.0.1:0")`)
 		debugToken  = flag.String("debug-token", "", "bearer token required by /debug/flight (empty = open; keep the listener on loopback)")
+		deflateMin  = flag.Int("deflate-threshold", 0, "compress v3 result payloads larger than this many bytes (0 = default 4096, negative = never)")
 	)
 	flag.Parse()
 
@@ -90,9 +91,13 @@ func main() {
 	// The same counter set backs both the /metrics endpoint and the
 	// snapshots piggybacked on every job response to the coordinator.
 	wt := dist.NewWorkerTelemetry()
+	// wire counts this worker's protocol traffic (bytes, frames,
+	// compression ratio) across every coordinator connection.
+	var wire dist.WireStats
 	if *metricsAddr != "" {
 		reg := telemetry.NewRegistry()
 		wt.Register(reg)
+		wire.Register(reg, "gopard_dist")
 		telemetry.RegisterBuildInfo(reg, "gopard", time.Now())
 		var srvOpts []telemetry.ServeOption
 		if *pprofOn {
@@ -118,6 +123,15 @@ func main() {
 			},
 		})
 		rec.AddSource("engine", rec.EngineStats)
+		rec.AddSource("wire", func(buf []flight.Stat) []flight.Stat {
+			return append(buf,
+				flight.Stat{Name: "bytes_sent", V: float64(wire.BytesSent())},
+				flight.Stat{Name: "bytes_received", V: float64(wire.BytesReceived())},
+				flight.Stat{Name: "frames_sent", V: float64(wire.FramesSent())},
+				flight.Stat{Name: "frames_received", V: float64(wire.FramesReceived())},
+				flight.Stat{Name: "deflate_ratio", V: wire.DeflateRatio()},
+			)
+		})
 		rec.AddSource("worker", func(buf []flight.Stat) []flight.Stat {
 			s := wt.Snapshot()
 			return append(buf,
@@ -150,11 +164,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	err = dist.Serve(ctx, l, dist.WorkerConfig{
-		Name:      wname,
-		Slots:     *slots,
-		Runner:    runner,
-		Logf:      log.Printf,
-		Telemetry: wt,
+		Name:             wname,
+		Slots:            *slots,
+		Runner:           runner,
+		Logf:             log.Printf,
+		Telemetry:        wt,
+		Wire:             &wire,
+		DeflateThreshold: *deflateMin,
 	})
 	if err != nil {
 		log.Fatal("gopard: ", err)

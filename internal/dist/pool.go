@@ -46,8 +46,14 @@ type Pool struct {
 	// maxProtocol caps the protocol version the pool negotiates
 	// (0 = the highest this build speaks).
 	maxProtocol int
-	redialing   atomic.Int64
-	lost        atomic.Int64
+	// deflateThreshold is the v3 payload size above which stdin ships
+	// deflated (0 = DefaultDeflateThreshold, negative = off).
+	deflateThreshold int
+	// wire counts framed traffic (v2/v3) across all the pool's
+	// sessions.
+	wire      WireStats
+	redialing atomic.Int64
+	lost      atomic.Int64
 
 	// onHealth, when non-nil, is invoked with the current Health after
 	// every capacity change (connection retired, redial succeeded,
@@ -85,6 +91,13 @@ func WithMaxProtocol(v int) Option {
 	return func(p *Pool) { p.maxProtocol = v }
 }
 
+// WithDeflateThreshold sets the v3 payload size (bytes) above which the
+// coordinator ships stdin deflated. 0 keeps DefaultDeflateThreshold;
+// negative disables compression entirely.
+func WithDeflateThreshold(n int) Option {
+	return func(p *Pool) { p.deflateThreshold = n }
+}
+
 // WithHealthNotify registers fn to receive the pool's Health after
 // every capacity change — the hook the CLI uses to warn the moment a
 // pool first degrades instead of degrading silently. fn runs on pool
@@ -106,6 +119,12 @@ type Health struct {
 	// Lost slots exhausted their redial budget; the pool's capacity is
 	// permanently reduced by this many until Close.
 	Lost int
+	// Protocols maps each currently-connected worker name to its
+	// negotiated protocol version, so mixed-fleet rollouts are
+	// observable after the handshake (satellite: version was previously
+	// invisible once Dial returned). Workers whose connections are all
+	// down are absent until a redial restores them.
+	Protocols map[string]int
 }
 
 // Degraded reports whether any capacity is currently missing.
@@ -115,26 +134,44 @@ func (h Health) Degraded() bool { return h.Live < h.Total }
 func (p *Pool) Health() Health {
 	p.mu.Lock()
 	live := len(p.conns)
+	protos := make(map[string]int, 4)
+	for c := range p.conns {
+		protos[c.name] = c.proto
+	}
 	p.mu.Unlock()
 	return Health{
 		Total:     p.total,
 		Live:      live,
 		Redialing: int(p.redialing.Load()),
 		Lost:      int(p.lost.Load()),
+		Protocols: protos,
 	}
 }
 
+// Wire exposes the pool's framed-traffic counters (bytes, frames,
+// compression ratio across its v2/v3 sessions).
+func (p *Pool) Wire() *WireStats { return &p.wire }
+
+// storeSnap files the latest telemetry snapshot piggybacked by a
+// worker (per response on v2, per result frame on v3).
+func (p *Pool) storeSnap(s telemetry.Snapshot) {
+	p.snapMu.Lock()
+	p.snaps[s.Worker] = s
+	p.snapMu.Unlock()
+}
+
 // wconn is one slot token. For protocol v1 it owns a dedicated TCP
-// connection (c is its codec, sess is nil). For protocol v2 it is a
+// connection (c is its codec, sess is nil). For protocols v2/v3 it is a
 // virtual slot of a multiplexed session: slots-many tokens share one
 // sess (and its nc), and c is nil — capacity control still flows
 // through the same free channel either way.
 type wconn struct {
-	name string
-	addr string
-	nc   net.Conn
-	c    *codec
-	sess *v2session
+	name  string
+	addr  string
+	proto int // negotiated protocol version for this slot's connection
+	nc    net.Conn
+	c     *codec
+	sess  *session
 }
 
 // Dial connects to every worker and returns the pool. It fails if any
@@ -156,7 +193,7 @@ func Dial(specs []WorkerSpec, opts ...Option) (*Pool, error) {
 		p.maxProtocol = protocolMax
 	}
 	var all []*wconn
-	var sessions []*v2session
+	var sessions []*session
 	for _, spec := range specs {
 		first, sess, h, err := p.dialAny(spec.Addr)
 		if err != nil {
@@ -173,7 +210,7 @@ func Dial(specs []WorkerSpec, opts ...Option) (*Pool, error) {
 			sess.slots = slots
 			sessions = append(sessions, sess)
 			for i := 0; i < slots; i++ {
-				all = append(all, &wconn{name: h.Name, addr: spec.Addr, nc: sess.nc, sess: sess})
+				all = append(all, &wconn{name: h.Name, addr: spec.Addr, proto: sess.proto, nc: sess.nc, sess: sess})
 			}
 			continue
 		}
@@ -203,10 +240,10 @@ func Dial(specs []WorkerSpec, opts ...Option) (*Pool, error) {
 }
 
 // dialAny connects to addr and negotiates the best protocol both sides
-// speak. A v2-capable worker (hello.max_version >= 2, and the pool not
-// pinned lower) yields a multiplexed session; everything else yields a
-// plain v1 connection exactly as before.
-func (p *Pool) dialAny(addr string) (*wconn, *v2session, hello, error) {
+// speak: min(worker's hello.max_version, the pool's cap). Version 2 or
+// 3 yields a multiplexed session (JSON frames vs binary frames);
+// everything else yields a plain v1 connection exactly as before.
+func (p *Pool) dialAny(addr string) (*wconn, *session, hello, error) {
 	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
 	if err != nil {
 		return nil, nil, hello{}, fmt.Errorf("dist: dialing %s: %w", addr, err)
@@ -226,16 +263,31 @@ func (p *Pool) dialAny(addr string) (*wconn, *v2session, hello, error) {
 		return nil, nil, hello{}, err
 	}
 	if h.MaxVersion >= 2 && p.maxProtocol >= 2 {
-		if err := c.send(upgrade{Upgrade: 2}); err != nil {
+		ver := h.MaxVersion
+		if p.maxProtocol < ver {
+			ver = p.maxProtocol
+		}
+		if protocolMax < ver {
+			ver = protocolMax
+		}
+		if err := c.send(upgrade{Upgrade: ver}); err != nil {
 			nc.Close()
 			return nil, nil, hello{}, fmt.Errorf("dist: upgrading %s: %w", addr, err)
 		}
 		// The JSON decoder may have buffered bytes past the hello; the
-		// frame reader must see them first.
+		// frame reader must see them first. v3 gets deep buffers so a
+		// full coalesced frame moves in one syscall each way (the
+		// handshake flushed bw, so a fresh writer on nc is safe).
 		fr := bufio.NewReader(io.MultiReader(c.leftover(), br))
-		return nil, newV2Session(h.Name, addr, nc, fr, bw), h, nil
+		sw := bw
+		if ver >= 3 {
+			fr = bufio.NewReaderSize(io.MultiReader(c.leftover(), br), v3BufSize)
+			sw = bufio.NewWriterSize(nc, v3BufSize)
+		}
+		deflateMin := resolveDeflateMin(p.deflateThreshold)
+		return nil, newSession(h.Name, addr, nc, fr, sw, ver, deflateMin, &p.wire, p.storeSnap), h, nil
 	}
-	return &wconn{name: h.Name, addr: addr, nc: nc, c: c}, nil, h, nil
+	return &wconn{name: h.Name, addr: addr, proto: 1, nc: nc, c: c}, nil, h, nil
 }
 
 // dialWorker opens one plain v1 connection (no upgrade offer). Used for
@@ -257,7 +309,7 @@ func dialWorker(addr string) (*wconn, hello, error) {
 		nc.Close()
 		return nil, hello{}, err
 	}
-	return &wconn{name: h.Name, addr: addr, nc: nc, c: c}, h, nil
+	return &wconn{name: h.Name, addr: addr, proto: 1, nc: nc, c: c}, h, nil
 }
 
 func closeAll(conns []*wconn) {
@@ -326,7 +378,7 @@ func (p *Pool) Run(ctx context.Context, job *core.Job) core.Result {
 	}
 
 	if conn.sess != nil {
-		return p.runV2(ctx, conn, req, res)
+		return p.runSession(ctx, conn, req, res)
 	}
 
 	// Unblock the connection read if ctx is cancelled mid-job.
@@ -365,10 +417,10 @@ func (p *Pool) Run(ctx context.Context, job *core.Job) core.Result {
 	return res
 }
 
-// runV2 ships one job over a multiplexed v2 session. A context
+// runSession ships one job over a multiplexed v2/v3 session. A context
 // cancellation abandons the job but keeps the session (and its token)
 // alive; only transport failures retire the whole session.
-func (p *Pool) runV2(ctx context.Context, conn *wconn, req request, res core.Result) core.Result {
+func (p *Pool) runSession(ctx context.Context, conn *wconn, req request, res core.Result) core.Result {
 	resp, err := conn.sess.roundTrip(ctx, req)
 	res.End = time.Now()
 	if err != nil {
@@ -391,12 +443,12 @@ func (p *Pool) runV2(ctx context.Context, conn *wconn, req request, res core.Res
 }
 
 // applyResponse maps a wire response onto a core.Result and files the
-// piggybacked telemetry snapshot. Shared by both protocol dialects.
+// piggybacked telemetry snapshot. Shared by all protocol dialects (v3
+// responses carry no per-response snapshot — the session files one per
+// frame through storeSnap instead).
 func (p *Pool) applyResponse(res *core.Result, resp *response) {
 	if resp.Telemetry != nil {
-		p.snapMu.Lock()
-		p.snaps[resp.Telemetry.Worker] = *resp.Telemetry
-		p.snapMu.Unlock()
+		p.storeSnap(*resp.Telemetry)
 	}
 	res.ExitCode = resp.ExitCode
 	res.Stdout = resp.Stdout
@@ -478,13 +530,13 @@ func (p *Pool) redialLoop(addr string) bool {
 	return false
 }
 
-// retireSession tears down a failed v2 session: every virtual token is
+// retireSession tears down a failed v2/v3 session: every virtual token is
 // withdrawn (the free channel is swept; tokens held by in-flight Runs
 // are simply never returned), the full slot count moves to Redialing,
 // and one background redialer tries to restore the worker. sync.Once
 // makes the accounting single-shot even though every in-flight Run on
 // the session reports the same failure.
-func (p *Pool) retireSession(s *v2session) {
+func (p *Pool) retireSession(s *session) {
 	s.retired.Do(func() {
 		s.fail()
 		select {
@@ -570,7 +622,7 @@ func (p *Pool) restoreWorker(addr string, slots int) (int, bool) {
 		}
 		sess.slots = n
 		for i := 0; i < n; i++ {
-			conns = append(conns, &wconn{name: h.Name, addr: addr, nc: sess.nc, sess: sess})
+			conns = append(conns, &wconn{name: h.Name, addr: addr, proto: sess.proto, nc: sess.nc, sess: sess})
 		}
 	} else {
 		conns = append(conns, w1)
@@ -643,9 +695,27 @@ func (p *Pool) RegisterMetrics(reg *telemetry.Registry) {
 	reg.GaugeFunc("gopar_pool_slots", "Worker pool capacity, by slot state.",
 		healthGauge(func(h Health) int { return h.Lost }), telemetry.L("state", "lost"))
 
+	// Wire-path traffic: bytes/frames shipped over framed dialects and
+	// the achieved compression ratio.
+	p.wire.Register(reg, "gopar_dist")
+
 	// Per-worker series: the worker set is dynamic (snapshots arrive
-	// with responses), so emit them as a raw exposition block.
+	// with responses, protocol versions change across redials), so emit
+	// them as a raw exposition block.
 	reg.RegisterText(func(w io.Writer) {
+		h := p.Health()
+		if len(h.Protocols) > 0 {
+			names := make([]string, 0, len(h.Protocols))
+			for name := range h.Protocols {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			fmt.Fprintln(w, "# HELP gopar_pool_worker_protocol Negotiated dist protocol version per connected worker.")
+			fmt.Fprintln(w, "# TYPE gopar_pool_worker_protocol gauge")
+			for _, name := range names {
+				fmt.Fprintf(w, "gopar_pool_worker_protocol{worker=%q} %d\n", name, h.Protocols[name])
+			}
+		}
 		snaps := p.WorkerSnapshots()
 		if len(snaps) == 0 {
 			return

@@ -14,12 +14,12 @@ import (
 	"repro/internal/core"
 )
 
-// poolSessions counts how many distinct v2 sessions back the pool's
-// slot tokens (0 = pure v1 pool).
+// poolSessions counts how many distinct multiplexed (v2/v3) sessions
+// back the pool's slot tokens (0 = pure v1 pool).
 func poolSessions(p *Pool) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	seen := map[*v2session]bool{}
+	seen := map[*session]bool{}
 	for c := range p.conns {
 		if c.sess != nil {
 			seen[c.sess] = true
@@ -28,18 +28,23 @@ func poolSessions(p *Pool) int {
 	return len(seen)
 }
 
-// TestPoolNegotiatesV2 pins that two current-version peers actually end
-// up on the batched dialect — without this, a negotiation regression
-// would silently fall back to v1 and every other test would still pass.
+// TestPoolNegotiatesV2 pins that a coordinator capped at protocol 2
+// still lands on the batched JSON dialect against a newer worker —
+// without this, a negotiation regression would silently fall back to v1
+// and every other test would still pass. (Uncapped peers negotiate v3;
+// see TestPoolNegotiatesV3.)
 func TestPoolNegotiatesV2(t *testing.T) {
 	addr := startWorker(t, "w2", 4, echoRunner("w2"))
-	pool, err := Dial([]WorkerSpec{{Addr: addr}})
+	pool, err := Dial([]WorkerSpec{{Addr: addr}}, WithMaxProtocol(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer pool.Close()
 	if n := poolSessions(pool); n != 1 {
 		t.Fatalf("pool uses %d v2 sessions, want 1", n)
+	}
+	if v := pool.Health().Protocols["w2"]; v != 2 {
+		t.Fatalf("negotiated protocol %d, want 2", v)
 	}
 	if pool.Slots() != 4 {
 		t.Fatalf("slots = %d, want 4 virtual tokens on one session", pool.Slots())
@@ -245,7 +250,7 @@ func FuzzFrameDecoder(f *testing.F) {
 	seed := func(b batch) []byte {
 		var buf bytes.Buffer
 		bw := bufio.NewWriter(&buf)
-		if err := writeBatch(bw, &b); err != nil {
+		if err := writeBatch(bw, &b, nil); err != nil {
 			f.Fatal(err)
 		}
 		bw.Flush()
@@ -260,7 +265,7 @@ func FuzzFrameDecoder(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		br := bufio.NewReader(bytes.NewReader(data))
 		for i := 0; i < 4; i++ { // a stream may hold several frames
-			b, err := readBatch(br)
+			b, err := readBatch(br, nil)
 			if err != nil {
 				return
 			}
@@ -281,11 +286,11 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Seq: 1, Command: "a", Env: []string{"K=V"}},
 		{Seq: 2, Command: "b", Stdin: []byte{0, 1, 2}},
 	}}
-	if err := writeBatch(bw, &in); err != nil {
+	if err := writeBatch(bw, &in, nil); err != nil {
 		t.Fatal(err)
 	}
 	bw.Flush()
-	out, err := readBatch(bufio.NewReader(&buf))
+	out, err := readBatch(bufio.NewReader(&buf), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,18 +307,18 @@ func TestFrameRoundTrip(t *testing.T) {
 		ch <- request{Seq: i}
 	}
 	close(ch)
-	if err := batchWriter(bw, ch, nil, func(rs []request) batch { return batch{Jobs: rs} }); err != nil {
+	if err := batchWriter(bw, ch, nil, nil, func(rs []request) batch { return batch{Jobs: rs} }); err != nil {
 		t.Fatal(err)
 	}
 	br := bufio.NewReader(&buf)
-	b, err := readBatch(br)
+	b, err := readBatch(br, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(b.Jobs) != 50 {
 		t.Fatalf("first frame carries %d jobs, want all 50 coalesced", len(b.Jobs))
 	}
-	if _, err := readBatch(br); err == nil {
+	if _, err := readBatch(br, nil); err == nil {
 		t.Fatal("unexpected extra frame after coalesced burst")
 	}
 }

@@ -6,24 +6,44 @@ import (
 	"errors"
 	"net"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
-// errSessionDead reports a v2 session whose connection already failed.
+// errSessionDead reports a multiplexed session whose connection already
+// failed.
 var errSessionDead = errors.New("dist: worker session lost")
 
-// v2session multiplexes one worker's whole slot pool over a single
-// protocol-v2 connection. Run calls enqueue requests on sendq (a writer
-// goroutine coalesces them into frames), park on a per-seq channel, and
-// are woken by the reader goroutine when their response arrives in some
-// result frame. Concurrency is bounded outside the session by the
-// pool's virtual slot tokens, and worker-side by its own semaphore.
-type v2session struct {
+// respChanPool recycles the per-round-trip wake channels. A channel is
+// returned to the pool only after its response has been received, so a
+// pooled channel is always empty; abandoned round trips (context
+// cancellation) let their channel go to the garbage collector instead,
+// because the reader may still be about to deliver into it.
+var respChanPool = sync.Pool{New: func() any { return make(chan response, 1) }}
+
+// session multiplexes one worker's whole slot pool over a single
+// protocol v2 or v3 connection. Run calls enqueue requests on sendq (a
+// writer goroutine coalesces them into frames), park on a per-seq
+// channel, and are woken by the reader goroutine when their response
+// arrives in some result frame. Concurrency is bounded outside the
+// session by the pool's virtual slot tokens, and worker-side by its own
+// slot workers.
+type session struct {
 	name  string
 	addr  string
 	slots int
+	proto int // negotiated protocol version (2 or 3)
 	nc    net.Conn
 
 	sendq chan request
+
+	// deflateMin and wire are inherited from the pool: the stdin
+	// compression threshold and the shared traffic counters.
+	deflateMin int
+	wire       *WireStats
+	// onSnap receives the telemetry snapshot piggybacked on v3 result
+	// frames (v2 carries it per response instead).
+	onSnap func(telemetry.Snapshot)
 
 	mu      sync.Mutex
 	pending map[int]chan response
@@ -39,29 +59,46 @@ type v2session struct {
 	retired sync.Once
 }
 
-func newV2Session(name, addr string, nc net.Conn, br *bufio.Reader, bw *bufio.Writer) *v2session {
-	s := &v2session{
-		name:    name,
-		addr:    addr,
-		nc:      nc,
-		sendq:   make(chan request, maxBatchItems),
-		pending: map[int]chan response{},
-		dead:    make(chan struct{}),
+func newSession(name, addr string, nc net.Conn, br *bufio.Reader, bw *bufio.Writer, proto, deflateMin int, wire *WireStats, onSnap func(telemetry.Snapshot)) *session {
+	qcap := maxBatchItems
+	if proto >= 3 {
+		qcap = maxBatchItemsV3
 	}
-	go s.readLoop(br)
-	go func() {
-		if err := batchWriter(bw, s.sendq, s.dead, func(reqs []request) batch {
-			return batch{Jobs: reqs}
-		}); err != nil {
-			s.fail()
-		}
-	}()
+	s := &session{
+		name:       name,
+		addr:       addr,
+		proto:      proto,
+		nc:         nc,
+		sendq:      make(chan request, qcap),
+		deflateMin: deflateMin,
+		wire:       wire,
+		onSnap:     onSnap,
+		pending:    map[int]chan response{},
+		dead:       make(chan struct{}),
+	}
+	if proto >= 3 {
+		go s.readLoopV3(br)
+		go func() {
+			if err := v3JobsLoop(bw, s.sendq, s.dead, deflateMin, wire); err != nil {
+				s.fail()
+			}
+		}()
+	} else {
+		go s.readLoopV2(br)
+		go func() {
+			if err := batchWriter(bw, s.sendq, s.dead, wire, func(reqs []request) batch {
+				return batch{Jobs: reqs}
+			}); err != nil {
+				s.fail()
+			}
+		}()
+	}
 	return s
 }
 
 // fail marks the session dead and tears down the connection; all parked
 // round-trips unblock through the dead channel.
-func (s *v2session) fail() {
+func (s *session) fail() {
 	s.failOnce.Do(func() {
 		close(s.dead)
 		s.nc.Close()
@@ -77,7 +114,7 @@ func (s *v2session) fail() {
 // setOnFail installs the death notification hook. The session's reader
 // starts before the pool registers its tokens, so the hook arrives
 // late; if the session already died in that window, fire immediately.
-func (s *v2session) setOnFail(fn func()) {
+func (s *session) setOnFail(fn func()) {
 	s.mu.Lock()
 	s.onFail = fn
 	s.mu.Unlock()
@@ -86,7 +123,7 @@ func (s *v2session) setOnFail(fn func()) {
 	}
 }
 
-func (s *v2session) isDead() bool {
+func (s *session) isDead() bool {
 	select {
 	case <-s.dead:
 		return true
@@ -95,22 +132,55 @@ func (s *v2session) isDead() bool {
 	}
 }
 
-func (s *v2session) readLoop(br *bufio.Reader) {
+// deliver hands one response to whichever round trip is parked on its
+// seq; responses for abandoned jobs are dropped.
+func (s *session) deliver(resp response) {
+	s.mu.Lock()
+	ch := s.pending[resp.Seq]
+	delete(s.pending, resp.Seq)
+	s.mu.Unlock()
+	if ch != nil {
+		ch <- resp // buffered; never blocks the reader
+	}
+}
+
+func (s *session) readLoopV2(br *bufio.Reader) {
 	for {
-		b, err := readBatch(br)
+		b, err := readBatch(br, s.wire)
 		if err != nil {
 			s.fail()
 			return
 		}
 		for i := range b.Results {
-			resp := b.Results[i]
-			s.mu.Lock()
-			ch := s.pending[resp.Seq]
-			delete(s.pending, resp.Seq)
-			s.mu.Unlock()
-			if ch != nil {
-				ch <- resp // buffered; never blocks the reader
-			}
+			s.deliver(b.Results[i])
+		}
+	}
+}
+
+// readLoopV3 decodes binary result frames. The frame buffer and
+// response scratch are reused across frames; result payloads were
+// copied out by the decoder, so recycling is safe the moment delivery
+// finishes.
+func (s *session) readLoopV3(br *bufio.Reader) {
+	var buf []byte
+	var resps []response
+	for {
+		typ, body, err := readFrameV3(br, &buf, s.wire)
+		if err != nil || typ != frameResultsV3 {
+			s.fail()
+			return
+		}
+		rs, snap, hasSnap, derr := decodeResultsV3(body, resps, s.name)
+		resps = rs
+		if derr != nil {
+			s.fail()
+			return
+		}
+		for i := range resps {
+			s.deliver(resps[i])
+		}
+		if hasSnap && s.onSnap != nil {
+			s.onSnap(snap)
 		}
 	}
 }
@@ -119,8 +189,8 @@ func (s *v2session) readLoop(br *bufio.Reader) {
 // cancellation abandons the job (its eventual response is discarded on
 // arrival) but leaves the session healthy — one cancelled job must not
 // tear down a multiplexed connection carrying its neighbors.
-func (s *v2session) roundTrip(ctx context.Context, req request) (response, error) {
-	ch := make(chan response, 1)
+func (s *session) roundTrip(ctx context.Context, req request) (response, error) {
+	ch := respChanPool.Get().(chan response)
 	s.mu.Lock()
 	s.pending[req.Seq] = ch
 	s.mu.Unlock()
@@ -128,6 +198,8 @@ func (s *v2session) roundTrip(ctx context.Context, req request) (response, error
 		s.mu.Lock()
 		delete(s.pending, req.Seq)
 		s.mu.Unlock()
+		// The channel is NOT pooled: the reader may have looked it up
+		// before the delete and be about to send.
 	}
 	select {
 	case s.sendq <- req:
@@ -140,6 +212,7 @@ func (s *v2session) roundTrip(ctx context.Context, req request) (response, error
 	}
 	select {
 	case resp := <-ch:
+		respChanPool.Put(ch)
 		return resp, nil
 	case <-ctx.Done():
 		abandon()

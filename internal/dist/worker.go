@@ -77,9 +77,29 @@ type WorkerConfig struct {
 	// internal one — responses always carry telemetry either way.
 	Telemetry *WorkerTelemetry
 	// MaxProtocol caps the protocol version this worker negotiates
-	// (0 = the highest this build speaks). Tests pin it to 1 to
-	// exercise interop with pre-batching coordinators and workers.
+	// (0 = the highest this build speaks). Tests pin it to 1 or 2 to
+	// exercise interop with older coordinators and workers.
 	MaxProtocol int
+	// DeflateThreshold is the v3 payload size (bytes) above which stdout
+	// and stderr are shipped deflated. 0 means DefaultDeflateThreshold;
+	// negative disables compression.
+	DeflateThreshold int
+	// Wire, when non-nil, accumulates framed-traffic counters (bytes,
+	// frames, compression ratio) for this worker's connections.
+	Wire *WireStats
+}
+
+// resolveDeflateMin maps the user-facing threshold convention (0 =
+// default, negative = off) onto the codec's (0 = off).
+func resolveDeflateMin(n int) int {
+	switch {
+	case n == 0:
+		return DefaultDeflateThreshold
+	case n < 0:
+		return 0
+	default:
+		return n
+	}
 }
 
 // Serve accepts coordinator connections on l and executes their jobs
@@ -162,15 +182,22 @@ func serveConn(ctx context.Context, conn net.Conn, cfg WorkerConfig) error {
 	}
 
 	// The first coordinator message decides the dialect: an upgrade
-	// switches to v2 frames, anything else is a v1 request from an
-	// old coordinator.
+	// switches to framed protocol (v3 binary or v2 JSON, whichever both
+	// sides speak), anything else is a v1 request from an old
+	// coordinator.
 	var first firstMsg
 	if err := c.recv(&first); err != nil {
 		return eofAsNil(err)
 	}
 	if first.Upgrade >= 2 && maxProto >= 2 {
 		// The JSON decoder may have read ahead past the upgrade line;
-		// hand its leftover back to the frame reader.
+		// hand its leftover back to the frame reader. v3 gets deep
+		// buffers so full coalesced frames move in single syscalls (the
+		// hello send flushed bw, so a fresh writer on conn is safe).
+		if first.Upgrade >= 3 && maxProto >= 3 {
+			fr := bufio.NewReaderSize(io.MultiReader(c.leftover(), br), v3BufSize)
+			return serveConnV3(ctx, cfg, fr, bufio.NewWriterSize(conn, v3BufSize))
+		}
 		fr := bufio.NewReader(io.MultiReader(c.leftover(), br))
 		return serveConnV2(ctx, cfg, fr, bw)
 	}
@@ -206,7 +233,7 @@ func serveConnV2(ctx context.Context, cfg WorkerConfig, br *bufio.Reader, bw *bu
 	respq := make(chan response, 4*cfg.Slots)
 	writeErr := make(chan error, 1)
 	go func() {
-		writeErr <- batchWriter(bw, respq, nil, func(rs []response) batch {
+		writeErr <- batchWriter(bw, respq, nil, cfg.Wire, func(rs []response) batch {
 			return batch{Results: rs}
 		})
 	}()
@@ -216,7 +243,7 @@ func serveConnV2(ctx context.Context, cfg WorkerConfig, br *bufio.Reader, bw *bu
 	var readErr error
 recvLoop:
 	for {
-		b, err := readBatch(br)
+		b, err := readBatch(br, cfg.Wire)
 		if err != nil {
 			readErr = err
 			break
@@ -245,6 +272,140 @@ recvLoop:
 		return werr
 	}
 	return eofAsNil(readErr)
+}
+
+// jobItemV3 points one slot worker at one request inside a decoded
+// (refcounted) jobs frame.
+type jobItemV3 struct {
+	fr  *jobsFrame
+	idx int
+}
+
+// serveConnV3 is the binary dialect: requests arrive in CRC-checked
+// binary frames and are decoded zero-copy into pooled frame buffers; a
+// fixed pool of cfg.Slots goroutines executes them with one reused
+// core.Job each, and responses leave through a coalescing writer that
+// piggybacks one telemetry snapshot per frame. The steady-state path
+// allocates nothing per job.
+func serveConnV3(ctx context.Context, cfg WorkerConfig, br *bufio.Reader, bw *bufio.Writer) error {
+	deflateMin := resolveDeflateMin(cfg.DeflateThreshold)
+	respq := make(chan response, 4*cfg.Slots)
+	writeErr := make(chan error, 1)
+	go func() {
+		writeErr <- v3ResultsLoop(bw, respq, cfg.Telemetry, deflateMin, cfg.Wire)
+	}()
+
+	jobq := make(chan jobItemV3, cfg.Slots)
+	var jobs sync.WaitGroup
+	for i := 0; i < cfg.Slots; i++ {
+		jobs.Add(1)
+		go func() {
+			defer jobs.Done()
+			// One Job struct per slot goroutine, fully overwritten per
+			// dispatch (core.Job is exactly the six wire fields).
+			var job core.Job
+			for it := range jobq {
+				req := &it.fr.reqs[it.idx]
+				resp := executeV3(ctx, cfg.Runner, cfg.Telemetry, &job, req, it.fr.recvNS)
+				// The runner has returned, so nothing aliases the frame
+				// any more (Runner contract: inputs are only valid
+				// during Run); drop our reference before queueing the
+				// response so the frame can recycle immediately.
+				it.fr.release()
+				respq <- resp // buffered ≥ 4×slots, ≤ slots in flight
+			}
+		}()
+	}
+
+	var readErr error
+recvLoop:
+	for {
+		// Each frame is read into its own pooled buffer: the decoded
+		// requests alias it until their jobs finish, so the reader must
+		// not reuse it for the next frame.
+		fr := getJobsFrame()
+		typ, body, err := readFrameV3(br, &fr.buf, cfg.Wire)
+		if err != nil || typ != frameJobsV3 {
+			putJobsFrame(fr)
+			if err == nil {
+				err = errUnexpectedFrame
+			}
+			readErr = err
+			break
+		}
+		if err := decodeJobsV3(body, fr); err != nil {
+			putJobsFrame(fr)
+			readErr = err
+			break
+		}
+		if len(fr.reqs) == 0 {
+			putJobsFrame(fr)
+			continue
+		}
+		fr.recvNS = time.Now().UnixNano()
+		fr.refs.Store(int32(len(fr.reqs)))
+		for i := range fr.reqs {
+			select {
+			case jobq <- jobItemV3{fr: fr, idx: i}:
+			case <-ctx.Done():
+				// Drop this job's and all later undelivered refs so the
+				// frame still recycles once in-flight jobs drain.
+				fr.refs.Add(int32(i - len(fr.reqs)))
+				readErr = ctx.Err()
+				break recvLoop
+			}
+		}
+	}
+	close(jobq)
+	jobs.Wait()
+	close(respq)
+	if werr := <-writeErr; werr != nil && eofAsNil(readErr) == nil {
+		return werr
+	}
+	return eofAsNil(readErr)
+}
+
+// executeV3 runs one zero-copy decoded request. Unlike execute it fills
+// a caller-owned Job and never attaches a per-response telemetry
+// snapshot (v3 piggybacks one per frame in the writer instead), keeping
+// the per-job path allocation-free.
+func executeV3(ctx context.Context, runner core.Runner, wt *WorkerTelemetry, job *core.Job, req *request, recvNS int64) response {
+	job.Seq = req.Seq
+	job.Slot = req.Slot
+	job.Command = req.Command
+	job.Args = req.Args
+	job.Env = req.Env
+	job.Stdin = req.Stdin
+	runCtx := ctx
+	if req.TimeoutNS > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutNS))
+		defer cancel()
+	}
+	wt.started.Add(1)
+	wt.busy.Add(1)
+	res := runner.Run(runCtx, job)
+	wt.busy.Add(-1)
+	resp := response{
+		Seq:       res.Job.Seq,
+		ExitCode:  res.ExitCode,
+		Stdout:    res.Stdout,
+		Stderr:    res.Stderr,
+		StartNS:   res.Start.UnixNano(),
+		EndNS:     res.End.UnixNano(),
+		RecvNS:    recvNS,
+		TimedOut:  res.TimedOut || (req.TimeoutNS > 0 && runCtx.Err() == context.DeadlineExceeded),
+		SentBytes: res.StdinSent,
+	}
+	if res.Err != nil {
+		resp.Err = res.Err.Error()
+	}
+	if res.OK() && !resp.TimedOut {
+		wt.ok.Add(1)
+	} else {
+		wt.failed.Add(1)
+	}
+	return resp
 }
 
 func execute(ctx context.Context, runner core.Runner, wt *WorkerTelemetry, req request) response {
