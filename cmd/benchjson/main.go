@@ -3,13 +3,14 @@
 // render, engine dispatch, remote pool round-trip, the protocol v3
 // wire codec and loopback data plane, the paper's Fig. 3 real-process
 // rate) and the simulation kernel's throughput (events/s, procs/s,
-// flow tasks/s, plus one full-scale Fig 1 point), parses
+// flow tasks/s, the sharded-kernel events benchmark, plus one
+// full-scale Fig 1 point in serial and 4-shard modes), parses
 // `go test -bench` output, and writes one machine-readable JSON report
-// (BENCH_pr9.json in CI).
+// (BENCH_pr10.json in CI).
 //
 // Usage:
 //
-//	benchjson -out BENCH_pr9.json                 # run + record
+//	benchjson -out BENCH_pr10.json                # run + record
 //	benchjson -benchtime 100x -out quick.json     # cheap smoke record
 //	benchjson -stdin -out r.json < bench.txt      # parse a saved run
 //	benchjson -out new.json -check old.json       # fail on regression
@@ -35,7 +36,11 @@
 // absolute ceiling regardless of client count (see docs/SERVICE.md) —
 // and the v3 wire data plane's budgets: the binary codec must stay
 // allocation-free and the loopback dispatch rate above an absolute
-// jobs/s floor (see DESIGN.md's protocol v3 section).
+// jobs/s floor (see DESIGN.md's protocol v3 section) — and the sharded
+// DES kernel's budget: the 4-shard full-scale Fig 1 run must beat the
+// serial kernel by the host-shape floor (3x on 6+ CPUs, 2.5x on 4-5)
+// or, on smaller hosts, stay within a 1.25x overhead ceiling (see
+// DESIGN.md's parallel-kernel section).
 package main
 
 import (
@@ -96,8 +101,15 @@ var defaultTargets = []struct{ pkg, bench, benchtime string }{
 	{"./internal/dist/", "BenchmarkWireCodecV3", "100000x"},
 	{"./internal/dist/", "BenchmarkWireLoopback", "20000x"},
 	{"./", "BenchmarkFig3RealDispatch", ""},
-	{"./internal/sim/", "BenchmarkEngineEvents|BenchmarkSimProcs|BenchmarkFlowTasks", ""},
+	// BenchmarkShardedEvents runs the synthetic sharded-kernel workload
+	// at shards=0 (serial oracle) and shards=4; its events/s metrics are
+	// gated relatively by compare and the serial entry doubles as the
+	// kernel's no-regression guard for the oracle path.
+	{"./internal/sim/", "BenchmarkEngineEvents|BenchmarkSimProcs|BenchmarkFlowTasks|BenchmarkShardedEvents", ""},
 	{"./internal/experiments/", "BenchmarkFig1FullScalePoint", "1x"},
+	// The serial-vs-4-shard pair of the paper's largest point; one full
+	// simulation per mode (1x), feeding the shardGuard gate in -check.
+	{"./internal/experiments/", "BenchmarkFig1Sharded", "1x"},
 	// The job-service control plane: submit rate and submit→dispatch p99
 	// under concurrent HTTP clients against a live `gopar serve` daemon.
 	// Client count defaults to 200 (CI smoke); the committed baseline's
@@ -114,7 +126,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_pr9.json", "output JSON path (- for stdout)")
+		out       = flag.String("out", "BENCH_pr10.json", "output JSON path (- for stdout)")
 		benchtime = flag.String("benchtime", "", "passed to go test -benchtime (default: go's 1s)")
 		useStdin  = flag.Bool("stdin", false, "parse `go test -bench` output from stdin instead of running")
 		check     = flag.String("check", "", "baseline report to compare against; regressions fail")
@@ -182,6 +194,7 @@ func main() {
 		msgs = append(msgs, walGuard(rep)...)
 		msgs = append(msgs, serviceGuard(rep)...)
 		msgs = append(msgs, wireGuard(rep)...)
+		msgs = append(msgs, shardGuard(rep)...)
 		if len(msgs) > 0 {
 			for _, m := range msgs {
 				fmt.Fprintln(os.Stderr, "REGRESSION:", m)
@@ -341,6 +354,70 @@ func wireGuard(rep Report) []string {
 		}
 	}
 	return msgs
+}
+
+// shardGuard enforces the sharded DES kernel's wall-clock budget from a
+// single report: BenchmarkFig1Sharded/mode=shards4 against mode=serial,
+// one full 9,000-node Fig 1 simulation each (pinned -benchtime=1x),
+// measured back-to-back in one process. The two modes produce
+// bit-identical rows — the digest matrix test proves it — so the pair
+// isolates pure kernel cost. The bound is host-shape-conditional, in
+// the walGuard tradition:
+//
+//   - 6+ CPUs: four shards must deliver >=3x the serial wall clock.
+//     The model partitions into 64 node groups with cross-group traffic
+//     only at the final staging flush, so near-linear scaling to 4
+//     shards is the healthy state; under 3x means the epoch barrier or
+//     mailbox path got expensive.
+//   - 4-5 CPUs: >=2.5x — the coordinator, GC, and OS share the shards'
+//     cores, which taxes every barrier.
+//   - Under 4 CPUs parallel speedup is unmeasurable, so the gate flips
+//     to an overhead ceiling: shards4 may cost at most 1.25x serial.
+//     Measured on a 1-vCPU host the 4-shard run is in fact ~1.1x
+//     FASTER than serial (sixty-four small per-group event heaps beat
+//     one 9,000-node heap; heap ops are O(log n)), so even single-core
+//     CI catches a regression that makes windows or barriers costly.
+func shardGuard(rep Report) []string {
+	find := func(sub string) (Bench, bool) {
+		for _, b := range rep.Benches {
+			// Names carry a -GOMAXPROCS suffix (e.g. .../mode=serial-4).
+			if strings.HasPrefix(b.Name, "BenchmarkFig1Sharded/"+sub) {
+				return b, true
+			}
+		}
+		return Bench{}, false
+	}
+	serial, okS := find("mode=serial")
+	sharded, okP := find("mode=shards4")
+	if !okS || !okP || serial.NsPerOp <= 0 || sharded.NsPerOp <= 0 {
+		// The sharded pair wasn't part of this run (e.g. -stdin with a
+		// partial capture); nothing to gate.
+		return nil
+	}
+	speedup := serial.NsPerOp / sharded.NsPerOp
+	switch {
+	case rep.NumCPU >= 6:
+		if speedup < 3.0 {
+			return []string{fmt.Sprintf(
+				"sharded kernel: 4-shard Fig 1 speedup %.2fx below 3x floor (serial %.2fs, shards4 %.2fs, %d CPUs)",
+				speedup, serial.NsPerOp/1e9, sharded.NsPerOp/1e9, rep.NumCPU)}
+		}
+	case rep.NumCPU >= 4:
+		if speedup < 2.5 {
+			return []string{fmt.Sprintf(
+				"sharded kernel: 4-shard Fig 1 speedup %.2fx below 2.5x floor (serial %.2fs, shards4 %.2fs, %d CPUs)",
+				speedup, serial.NsPerOp/1e9, sharded.NsPerOp/1e9, rep.NumCPU)}
+		}
+	default:
+		if sharded.NsPerOp > serial.NsPerOp*1.25 {
+			return []string{fmt.Sprintf(
+				"sharded kernel: shards4 %.2fs is %.2fx serial %.2fs (limit 1.25x, single-core overhead bound)",
+				sharded.NsPerOp/1e9, sharded.NsPerOp/serial.NsPerOp, serial.NsPerOp/1e9)}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: sharded kernel %.2fx vs serial on %d CPUs (serial %.2fs, shards4 %.2fs)\n",
+		speedup, rep.NumCPU, serial.NsPerOp/1e9, sharded.NsPerOp/1e9)
+	return nil
 }
 
 // parse extracts benchmark result lines from go test output.

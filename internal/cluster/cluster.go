@@ -24,6 +24,9 @@ type Node struct {
 	NVMe *storage.FS
 	// RNG is the node's private random stream.
 	RNG *sim.RNG
+	// Group is the logical DES group hosting this node (0 when the
+	// cluster was built on a plain engine with New).
+	Group int
 
 	// down marks the node crashed; failEpoch counts crashes so work
 	// that was running when one struck can detect it at completion
@@ -60,11 +63,17 @@ func (n *Node) FailEpoch() int { return n.failEpoch }
 
 // Cluster is a set of identical nodes sharing a parallel filesystem.
 type Cluster struct {
+	// Eng is the engine hosting cluster-shared services: the sole engine
+	// for New, group 0's engine for NewSharded.
 	Eng     *sim.Engine
 	Profile Profile
 	Nodes   []*Node
 	// Lustre is the shared parallel filesystem (nil if not configured).
+	// Under NewSharded it lives on group 0; nodes reach it with
+	// cross-group posts bounded by Profile.StageLookahead.
 	Lustre *storage.FS
+	// Sharded is the sharded DES hosting this cluster (nil under New).
+	Sharded *sim.ShardedEngine
 }
 
 // Option configures cluster construction.
@@ -73,6 +82,7 @@ type Option func(*options)
 type options struct {
 	lustre  *storage.Config
 	noLocal bool
+	base    *sim.RNG
 }
 
 // WithLustre attaches a shared filesystem with the given profile.
@@ -86,32 +96,84 @@ func WithoutNVMe() Option {
 	return func(o *options) { o.noLocal = true }
 }
 
+// WithRand derives every node and filesystem stream from base instead of
+// the engine's RNG tree. Passing e.RNG() is a no-op (the default); a
+// sharded model passes its own base so stream derivation is identical
+// whether nodes land on one shared oracle engine or on per-group
+// engines with unrelated seeds.
+func WithRand(base *sim.RNG) Option {
+	return func(o *options) { o.base = base }
+}
+
 // New builds a cluster of n nodes with the given profile on engine e.
 func New(e *sim.Engine, p Profile, n int, opts ...Option) *Cluster {
 	var o options
 	for _, fn := range opts {
 		fn(&o)
 	}
+	base := o.base
+	if base == nil {
+		base = e.RNG()
+	}
 	c := &Cluster{Eng: e, Profile: p}
 	if o.lustre != nil {
-		c.Lustre = storage.New(e, *o.lustre)
+		c.Lustre = storage.NewWithRand(e, *o.lustre, base.Split("storage/"+o.lustre.Name))
 	}
 	for i := 0; i < n; i++ {
-		node := &Node{
-			ID:      i,
-			Profile: p,
-			Eng:     e,
-			Cores:   sim.NewResource(e, p.Cores),
-			Launch:  sim.NewResource(e, p.LaunchCapacity),
-			RNG:     e.RNG().Split(fmt.Sprintf("node/%d", i)),
-		}
-		if p.GPUs > 0 {
-			node.GPUs = gpu.NewSet(e, p.GPUs)
-		}
-		if !o.noLocal && p.NVMe != nil {
-			node.NVMe = storage.New(e, p.NVMe(i))
-		}
-		c.Nodes = append(c.Nodes, node)
+		c.Nodes = append(c.Nodes, newNode(e, p, i, 0, base, &o))
+	}
+	return c
+}
+
+// newNode builds one node on engine e in DES group g, deriving its
+// streams from base by node id only — never by group or engine — so a
+// node's behavior is a pure function of (base seed, id).
+func newNode(e *sim.Engine, p Profile, id, g int, base *sim.RNG, o *options) *Node {
+	node := &Node{
+		ID:      id,
+		Profile: p,
+		Eng:     e,
+		Group:   g,
+		Cores:   sim.NewResource(e, p.Cores),
+		Launch:  sim.NewResource(e, p.LaunchCapacity),
+		RNG:     base.Split(fmt.Sprintf("node/%d", id)),
+	}
+	if p.GPUs > 0 {
+		node.GPUs = gpu.NewSet(e, p.GPUs)
+	}
+	if !o.noLocal && p.NVMe != nil {
+		cfg := p.NVMe(id)
+		node.NVMe = storage.NewWithRand(e, cfg, base.Split("storage/"+cfg.Name))
+	}
+	return node
+}
+
+// NewSharded builds a cluster whose nodes live on the group engines of a
+// sharded DES. Group 0 is reserved for cluster-shared services (the
+// Lustre filesystem, schedulers); node i lands on group 1 + i mod
+// (groups-1), so the node population balances across groups — and
+// therefore shards — regardless of the node count. Cluster.Eng is group
+// 0's engine. Every random stream derives from base, which is what keeps
+// digests identical between the serial oracle and any shard count.
+func NewSharded(se *sim.ShardedEngine, p Profile, n int, base *sim.RNG, opts ...Option) *Cluster {
+	if se.NumGroups() < 2 {
+		panic("cluster: NewSharded needs >= 2 groups (group 0 hosts shared services)")
+	}
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.base != nil {
+		base = o.base
+	}
+	c := &Cluster{Eng: se.Engine(0), Profile: p, Sharded: se}
+	if o.lustre != nil {
+		c.Lustre = storage.NewWithRand(se.Engine(0), *o.lustre, base.Split("storage/"+o.lustre.Name))
+	}
+	ngroups := se.NumGroups() - 1
+	for i := 0; i < n; i++ {
+		g := 1 + i%ngroups
+		c.Nodes = append(c.Nodes, newNode(se.Engine(g), p, i, g, base, &o))
 	}
 	return c
 }

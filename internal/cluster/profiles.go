@@ -23,6 +23,16 @@ const (
 	// progress concurrently. Fig 3: many instances together reach
 	// ~6,400 procs/s; 6,400/s × 2.128 ms ≈ 13.6 → 14.
 	LaunchCapacity = 14
+
+	// StageLookahead is the floor on any node↔shared-service virtual
+	// latency: reaching Lustre or a cluster-wide coordinator costs at
+	// least one fabric round-trip plus service dispatch (~tens of ms on
+	// production interconnect + VFS + RPC stacks at load). It is the
+	// conservative-synchronization window of the sharded DES: no
+	// cross-group message may be timestamped closer than this, so all
+	// groups can run StageLookahead-wide epochs with no mid-window
+	// synchronization at all.
+	StageLookahead = 25 * time.Millisecond
 )
 
 // Profile describes a node architecture.
@@ -37,6 +47,11 @@ type Profile struct {
 	// DispatchCost is the default per-task dispatch cost of one
 	// parallel instance on this node.
 	DispatchCost time.Duration
+	// StageLookahead is the declared minimum latency for cross-group
+	// interactions (shared-storage staging, coordinator RPCs) from
+	// nodes of this profile — the lookahead bound handed to the
+	// sharded DES scheduler.
+	StageLookahead time.Duration
 	// NVMe returns the node-local storage profile for node id.
 	NVMe func(node int) storage.Config
 }
@@ -50,6 +65,7 @@ func Frontier() Profile {
 		GPUs:           8,
 		LaunchCapacity: LaunchCapacity,
 		DispatchCost:   DispatchCost,
+		StageLookahead: StageLookahead,
 		NVMe:           storage.NVMeProfile,
 	}
 }
@@ -63,6 +79,7 @@ func PerlmutterCPU() Profile {
 		GPUs:           0,
 		LaunchCapacity: LaunchCapacity,
 		DispatchCost:   DispatchCost,
+		StageLookahead: StageLookahead,
 		NVMe:           storage.NVMeProfile,
 	}
 }
@@ -77,6 +94,7 @@ func DTN() Profile {
 		GPUs:           0,
 		LaunchCapacity: LaunchCapacity,
 		DispatchCost:   DispatchCost,
+		StageLookahead: StageLookahead,
 		NVMe:           storage.NVMeProfile,
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"repro/internal/metrics"
+	"repro/internal/sim"
 )
 
 // Options tune experiment scale.
@@ -24,6 +25,17 @@ type Options struct {
 	// results are bit-identical at any worker count — parallelism is
 	// purely a wall-clock lever.
 	Workers int
+	// Shards is the worker count of the sharded DES kernel for
+	// experiments built on it (fig1 weak scaling, weakscale,
+	// straggler). 0 runs the serial oracle — every group on one shared
+	// engine, the reference event order. Like Workers, it is purely a
+	// wall-clock lever: results are bit-identical at every value.
+	Shards int
+	// OnSharded, when non-nil, observes each sharded engine an
+	// experiment constructs, just before its simulation runs. label
+	// identifies the scenario point (e.g. "fig1/9000"). cmd/benchall
+	// uses this to wire flight-recorder gauges to the live kernel.
+	OnSharded func(label string, se *sim.ShardedEngine)
 }
 
 // DefaultOptions is the full-scale deterministic configuration.

@@ -28,6 +28,13 @@ var fig1NodeCounts = []int{1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000}
 // fig1QuickNodeCounts preserve the shape at 1/10 the node count.
 var fig1QuickNodeCounts = []int{100, 300, 500, 700, 900}
 
+// fig1NodeGroups caps how many logical node groups a weak-scaling point
+// is partitioned into. The group count is part of the model definition
+// (it fixes the event order), so it must not depend on Options.Shards;
+// 64 groups keep every shard count up to 64 load-balanced while leaving
+// per-group event heaps small.
+const fig1NodeGroups = 64
+
 // Fig1WeakScaling reproduces Fig 1: per-node GNU-Parallel instances each
 // launching 128 trivial hostname+timestamp tasks that write stdout to
 // node-local NVMe, with the aggregate flushed to Lustre at the end. Tail
@@ -51,81 +58,126 @@ func Fig1WeakScaling(opts Options) []Fig1Row {
 func Fig1Point(opts Options, nodes int) Fig1Row { return fig1Run(opts, nodes) }
 
 func fig1Run(opts Options, nodes int) Fig1Row {
-	e := sim.NewEngine(opts.Seed + uint64(nodes))
-	c := cluster.New(e, cluster.Frontier(), nodes, cluster.WithLustre(storage.LustreProfile()))
+	row, _, _ := fig1Sim(opts, nodes, fig1TasksPerNode, fmt.Sprintf("fig1/%d", nodes))
+	return row
+}
+
+// fig1Sim builds one weak-scaling point on the sharded DES and runs it
+// to completion, returning the row, the engine (for kernel-progress
+// inspection), and the final virtual time (the point's makespan).
+//
+// The model is group-partitioned: group 0 hosts cluster-shared services
+// (Lustre), groups 1..N host the nodes. Every random stream derives
+// from a base RNG by stable identity — per-node substreams, never
+// shared draw sequences — and the only cross-group coupling is the
+// final stdout flush to Lustre, posted with StageLookahead latency. The
+// row is therefore a pure function of (seed, nodes, tasksPerNode),
+// bit-identical at every Options.Shards value.
+func fig1Sim(opts Options, nodes, tasksPerNode int, label string) (Fig1Row, *sim.ShardedEngine, sim.Time) {
+	seed := opts.Seed + uint64(nodes)
+	ngroups := fig1NodeGroups
+	if ngroups > nodes {
+		ngroups = nodes
+	}
+	prof := cluster.Frontier()
+	se := sim.NewSharded(seed, 1+ngroups, opts.Shards)
+	se.SetLookahead(prof.StageLookahead)
+	base := sim.NewRNG(seed)
+	c := cluster.NewSharded(se, prof, nodes, base, cluster.WithLustre(storage.LustreProfile()))
+	if opts.OnSharded != nil {
+		opts.OnSharded(label, se)
+	}
 
 	schedCfg := slurm.DefaultConfig()
 	schedCfg.AllocTailProb = 0.002
 	schedCfg.AllocTailScale = 40 * time.Second
-	sched := slurm.NewScheduler(e, schedCfg)
+	// The allocation plan — the same draws Allocate makes — is
+	// precomputed at build time, so each node can be scheduled directly
+	// on its group engine at its ready time instead of being fanned out
+	// by a scheduler process living on one engine.
+	_, ready := slurm.PlanReady(base.Split("slurm"), schedCfg, nodes, 0)
+
+	look := prof.StageLookahead
+	// Per-group completion samples, merged in group order after the
+	// run: groups share no mutable state while the simulation runs.
+	groupEnds := make([]metrics.Sample, 1+ngroups)
+	for i, node := range c.Nodes {
+		node := node
+		e := node.Eng
+		g := node.Group
+		ends := &groupEnds[g]
+		nvmeRNG := base.Substream("fig1/nvme", uint64(i))
+		payloadRNG := base.Substream("fig1/payload", uint64(i))
+		e.SpawnAt(ready[i], node.Hostname(), func(np *sim.Proc) {
+			// NVMe availability delay (mount/format of the
+			// node-local drive), with a rare long tail.
+			// Heavy-tailed (Pareto) so the observed maximum
+			// grows with node count: more nodes sample the
+			// tail more often — the paper's 7,000+-node
+			// outlier effect.
+			setup := nvmeRNG.Jitter(8*time.Second, 0.6)
+			if nvmeRNG.Bernoulli(0.003) {
+				// Truncated: a node stuck longer than ~9min
+				// would be drained by the facility.
+				tail := sim.Dur(nvmeRNG.Pareto(25, 1.1))
+				if tail > 520*time.Second {
+					tail = 520 * time.Second
+				}
+				setup += tail
+			}
+			np.Sleep(setup)
+
+			tasks := make([]cluster.Task, tasksPerNode)
+			for t := range tasks {
+				d := time.Duration(payloadRNG.LogNormal(-1.6, 0.5) * float64(time.Second))
+				// Flow payload: the million-task hot loop runs with
+				// no goroutine per task (see sim.Flow).
+				tasks[t] = cluster.Task{FlowPayload: func(fl *sim.Flow, tc cluster.TaskContext) {
+					fl.Sleep(d) // the hostname+date one-liner
+					tc.Node.NVMe.FlowCreateAndWrite(fl, 256)
+				}}
+			}
+			node.RunParallel(np, cluster.InstanceConfig{
+				Jobs: tasksPerNode,
+				OnResult: func(r cluster.TaskResult) {
+					ends.Add(r.End.Seconds())
+				},
+			}, tasks)
+			// Flush the aggregated stdout to Lustre (the
+			// best-practice final copy): a staging RPC to the
+			// shared-storage group, acknowledged with a reply post —
+			// both legs carry the declared StageLookahead latency.
+			flushed := sim.NewCounter(e, 1)
+			se.Post(g, 0, look, func() {
+				c.Eng.Spawn("lustre-flush", func(lp *sim.Proc) {
+					c.Lustre.CreateAndWrite(lp, 1<<20)
+					se.Post(0, g, look, flushed.Done)
+				})
+			})
+			flushed.Wait(np)
+		})
+	}
+	end := se.Run()
+	if n := se.LiveProcs(); n != 0 {
+		panic(fmt.Sprintf("fig1: %d processes still live after run (lost reply?)", n))
+	}
 
 	var ends metrics.Sample
-	payloadRNG := e.RNG().Split("fig1/payload")
-	nvmeRNG := e.RNG().Split("fig1/nvme")
-
-	e.Spawn("sbatch", func(p *sim.Proc) {
-		alloc, err := sched.Allocate(p, c, nodes)
-		if err != nil {
-			panic(err)
+	for gi := range groupEnds {
+		for _, v := range groupEnds[gi].Values() {
+			ends.Add(v)
 		}
-		wg := sim.NewCounter(e, nodes)
-		for i, node := range alloc.Nodes {
-			node := node
-			ready := alloc.ReadyAt[i]
-			e.SpawnAt(ready, node.Hostname(), func(np *sim.Proc) {
-				// NVMe availability delay (mount/format of the
-				// node-local drive), with a rare long tail.
-				// Heavy-tailed (Pareto) so the observed maximum
-				// grows with node count: more nodes sample the
-				// tail more often — the paper's 7,000+-node
-				// outlier effect.
-				setup := nvmeRNG.Jitter(8*time.Second, 0.6)
-				if nvmeRNG.Bernoulli(0.003) {
-					// Truncated: a node stuck longer than ~9min
-					// would be drained by the facility.
-					tail := sim.Dur(nvmeRNG.Pareto(25, 1.1))
-					if tail > 520*time.Second {
-						tail = 520 * time.Second
-					}
-					setup += tail
-				}
-				np.Sleep(setup)
-
-				tasks := make([]cluster.Task, fig1TasksPerNode)
-				for t := range tasks {
-					d := time.Duration(payloadRNG.LogNormal(-1.6, 0.5) * float64(time.Second))
-					// Flow payload: the million-task hot loop runs with
-					// no goroutine per task (see sim.Flow).
-					tasks[t] = cluster.Task{FlowPayload: func(fl *sim.Flow, tc cluster.TaskContext) {
-						fl.Sleep(d) // the hostname+date one-liner
-						tc.Node.NVMe.FlowCreateAndWrite(fl, 256)
-					}}
-				}
-				node.RunParallel(np, cluster.InstanceConfig{
-					Jobs: fig1TasksPerNode,
-					OnResult: func(r cluster.TaskResult) {
-						ends.Add(r.End.Seconds())
-					},
-				}, tasks)
-				// Flush the aggregated stdout to Lustre (the
-				// best-practice final copy).
-				c.Lustre.CreateAndWrite(np, 1<<20)
-				wg.Done()
-			})
-		}
-		wg.Wait(p)
-	})
-	e.Run()
-
-	return Fig1Row{
+	}
+	row := Fig1Row{
 		Nodes:  nodes,
-		Tasks:  nodes * fig1TasksPerNode,
+		Tasks:  nodes * tasksPerNode,
 		P25:    ends.Percentile(25),
 		Median: ends.Median(),
 		P75:    ends.Percentile(75),
 		P90:    ends.Percentile(90),
 		Max:    ends.Max(),
 	}
+	return row, se, end
 }
 
 func fig1Table(opts Options) *metrics.Table {

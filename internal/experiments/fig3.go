@@ -21,17 +21,22 @@ type RateRow struct {
 	Failures  int
 }
 
-// launchRateRun measures aggregate launch throughput of `instances`
-// parallel instances each dispatching `perInstance` null tasks with -j
-// jobs, optionally under a container runtime.
-func launchRateRun(seed uint64, instances, jobs, perInstance int, mkRuntime func(*sim.Engine) *container.Runtime) RateRow {
-	e := sim.NewEngine(seed)
-	c := cluster.New(e, cluster.PerlmutterCPU(), 1)
+// launchRateStart schedules one launch-rate point on engine e, drawing
+// every model stream from base. The returned row is filled in when the
+// point completes: a join process wakes at the instant the last
+// instance finishes — the same virtual time e.Run() would return for an
+// engine hosting only this point — and computes the rate then. That
+// factoring lets several points share one engine, or live on separate
+// group engines of a sharded DES, without changing a single row byte.
+func launchRateStart(e *sim.Engine, base *sim.RNG, instances, jobs, perInstance int, mkRuntime func(*sim.Engine) *container.Runtime) *RateRow {
+	c := cluster.New(e, cluster.PerlmutterCPU(), 1, cluster.WithRand(base))
 	node := c.Nodes[0]
 	var rt *container.Runtime
 	if mkRuntime != nil {
 		rt = mkRuntime(e)
 	}
+	total := instances * perInstance
+	row := &RateRow{Instances: instances, Jobs: jobs, Tasks: total}
 	wg := sim.NewCounter(e, instances)
 	for i := 0; i < instances; i++ {
 		e.Spawn(fmt.Sprintf("inst%d", i), func(p *sim.Proc) {
@@ -40,20 +45,28 @@ func launchRateRun(seed uint64, instances, jobs, perInstance int, mkRuntime func
 			wg.Done()
 		})
 	}
-	end := e.Run()
-	total := instances * perInstance
-	rate := metrics.Rate(total, end)
-	row := RateRow{
-		Instances: instances, Jobs: jobs, Tasks: total,
-		RateProcsPerSec: rate,
-	}
-	if rate > 0 {
-		row.MinTaskMS = 256 / rate * 1000
-	}
-	if rt != nil {
-		row.Failures = rt.TotalFailures()
-	}
+	e.Spawn("join", func(p *sim.Proc) {
+		wg.Wait(p)
+		rate := metrics.Rate(total, p.Now())
+		row.RateProcsPerSec = rate
+		if rate > 0 {
+			row.MinTaskMS = 256 / rate * 1000
+		}
+		if rt != nil {
+			row.Failures = rt.TotalFailures()
+		}
+	})
 	return row
+}
+
+// launchRateRun measures aggregate launch throughput of `instances`
+// parallel instances each dispatching `perInstance` null tasks with -j
+// jobs, optionally under a container runtime.
+func launchRateRun(seed uint64, instances, jobs, perInstance int, mkRuntime func(*sim.Engine) *container.Runtime) RateRow {
+	e := sim.NewEngine(seed)
+	row := launchRateStart(e, sim.NewRNG(seed), instances, jobs, perInstance, mkRuntime)
+	e.Run()
+	return *row
 }
 
 func fig3Table(opts Options) *metrics.Table {

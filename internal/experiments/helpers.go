@@ -1,6 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/cluster"
 	"repro/internal/container"
 	"repro/internal/sim"
@@ -36,6 +41,13 @@ var (
 // its own output slot); callers write results by index so the output
 // order — and, with per-point seeding, the bytes — never depend on the
 // worker count. workers <= 1 degrades to a plain sequential loop.
+//
+// A panic inside fn is caught on the worker, the remaining points are
+// abandoned, and after all workers join the first panic is re-raised on
+// the caller with the failing point index and the original stack. (A
+// naive worker pool would instead kill the worker goroutine without its
+// done-send and deadlock the caller — and a sweep point's panic would
+// name a random goroutine, not the point.)
 func sweep(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
@@ -48,19 +60,47 @@ func sweep(n, workers int, fn func(i int)) {
 	}
 	idx := make(chan int)
 	done := make(chan struct{})
+	var failed atomic.Bool
+	var firstPanic sync.Once
+	var panicIdx int
+	var panicVal any
+	var panicStack []byte
+	runPoint := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				firstPanic.Do(func() {
+					panicIdx, panicVal = i, r
+					panicStack = debug.Stack()
+				})
+				failed.Store(true)
+			}
+		}()
+		fn(i)
+	}
 	for w := 0; w < workers; w++ {
 		go func() {
+			// Always drain idx, even after a failure: the feeder may
+			// already have queued indices, and an exiting worker must
+			// not strand them on the channel.
 			for i := range idx {
-				fn(i)
+				if !failed.Load() {
+					runPoint(i)
+				}
 			}
 			done <- struct{}{}
 		}()
 	}
 	for i := 0; i < n; i++ {
+		if failed.Load() {
+			break
+		}
 		idx <- i
 	}
 	close(idx)
 	for w := 0; w < workers; w++ {
 		<-done
+	}
+	if panicVal != nil {
+		panic(fmt.Sprintf("experiments: sweep point %d panicked: %v\n%s", panicIdx, panicVal, panicStack))
 	}
 }

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// digestFig3Sharded reproduces digestFig3's four points on one sharded
+// DES — one point per group, no cross-group traffic — and must produce
+// the very same digest as the per-engine serial runs: each point's join
+// process records its own group-local completion time, so sharing an
+// engine (oracle) or splitting across group engines (sharded) cannot
+// change a row byte.
+func digestFig3Sharded(opts Options, shards int) string {
+	insts := []int{1, 2, 4, 8}
+	se := sim.NewSharded(opts.Seed, len(insts), shards)
+	se.SetLookahead(cluster.StageLookahead)
+	rows := make([]*RateRow, len(insts))
+	for idx, inst := range insts {
+		rows[idx] = launchRateStart(se.Engine(idx), sim.NewRNG(opts.Seed+uint64(inst)),
+			inst, 16, 400, nil)
+	}
+	se.Run()
+	h := sha256.New()
+	for _, r := range rows {
+		fmt.Fprintf(h, "%d %d %d %.9f %.9f %d\n",
+			r.Instances, r.Jobs, r.Tasks, r.RateProcsPerSec, r.MinTaskMS, r.Failures)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestShardedDigestMatrix is the PR's acceptance matrix: the committed
+// goldens must come out bit-identical from the parallel kernel at every
+// shard count and GOMAXPROCS — determinism by construction, not by luck
+// of goroutine scheduling.
+func TestShardedDigestMatrix(t *testing.T) {
+	shardCounts := []int{1, 2, 4, 8}
+	gomax := []int{1, 4}
+	if testing.Short() {
+		shardCounts = []int{4}
+		gomax = []int{4}
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, gmp := range gomax {
+		runtime.GOMAXPROCS(gmp)
+		for _, shards := range shardCounts {
+			if got := digestFig1(Options{Seed: 2024, Quick: true, Shards: shards}); got != goldenFig1Quick {
+				t.Errorf("GOMAXPROCS=%d shards=%d: fig1 quick digest\n got  %s\n want %s",
+					gmp, shards, got, goldenFig1Quick)
+			}
+			if got := digestFig3Sharded(Options{Seed: 2024}, shards); got != goldenFig3 {
+				t.Errorf("GOMAXPROCS=%d shards=%d: fig3 digest\n got  %s\n want %s",
+					gmp, shards, got, goldenFig3)
+			}
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+	// The serial-oracle placement of fig3 — four points on ONE shared
+	// engine — must match too: interleaving independent points on one
+	// event heap is invisible to each point's row.
+	if got := digestFig3Sharded(Options{Seed: 2024}, 0); got != goldenFig3 {
+		t.Errorf("oracle fig3 digest\n got  %s\n want %s", got, goldenFig3)
+	}
+}
+
+func digestStraggler(opts Options) string {
+	r := stragglerRun(opts, 240, 16)
+	h := sha256.New()
+	fmt.Fprintf(h, "%d %d %d %d %d %.9f %.9f %.9f %.9f\n",
+		r.Nodes, r.Tasks, r.Stragglers, r.Preempted, r.Failed, r.P50, r.P90, r.P99, r.Max)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestStragglerShardInvariant drives the Fail/Recover preemption path —
+// control posts crossing group boundaries mid-run — through the digest
+// contract, and checks the scenario actually bites (nodes preempted,
+// tasks lost).
+func TestStragglerShardInvariant(t *testing.T) {
+	want := digestStraggler(Options{Seed: 2024, Shards: 0})
+	for _, shards := range []int{1, 3, 8} {
+		if got := digestStraggler(Options{Seed: 2024, Shards: shards}); got != want {
+			t.Errorf("shards=%d: straggler digest\n got  %s\n want oracle %s", shards, got, want)
+		}
+	}
+	r := stragglerRun(Options{Seed: 2024}, 240, 16)
+	if r.Stragglers == 0 || r.Preempted == 0 {
+		t.Errorf("scenario did not engage: %d stragglers, %d preempted", r.Stragglers, r.Preempted)
+	}
+	if r.Failed == 0 || r.Failed >= r.Tasks {
+		t.Errorf("failed count %d out of range for %d tasks with %d preempted nodes",
+			r.Failed, r.Tasks, r.Preempted)
+	}
+}
+
+// TestWeakScaleShardInvariant pins the deterministic columns of a
+// weak-scaling point across the oracle and the parallel kernel.
+func TestWeakScaleShardInvariant(t *testing.T) {
+	a := WeakScalePoint(Options{Seed: 2024, Shards: 0}, 500, 4)
+	b := WeakScalePoint(Options{Seed: 2024, Shards: 4}, 500, 4)
+	if a.MakespanS != b.MakespanS {
+		t.Errorf("makespan differs: oracle %.9f, shards=4 %.9f", a.MakespanS, b.MakespanS)
+	}
+	if a.Tasks != b.Tasks || a.Tasks != 500*4 {
+		t.Errorf("task counts: oracle %d, shards=4 %d, want %d", a.Tasks, b.Tasks, 500*4)
+	}
+	if b.Epochs == 0 {
+		t.Errorf("sharded run reported zero epochs")
+	}
+}
+
+// TestSweepPanicPropagates pins the worker-pool failure contract: a
+// panicking sweep point must surface on the caller — tagged with the
+// point index and carrying the original stack — not strand the feeder
+// in a deadlock against a dead worker.
+func TestSweepPanicPropagates(t *testing.T) {
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		sweep(16, 4, func(i int) {
+			if i == 5 {
+				panic("boom")
+			}
+		})
+	}()
+	var got any
+	select {
+	case got = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep deadlocked after a panicking point")
+	}
+	if got == nil {
+		t.Fatal("sweep swallowed the panic")
+	}
+	msg := fmt.Sprint(got)
+	if !strings.Contains(msg, "sweep point 5") || !strings.Contains(msg, "boom") {
+		t.Fatalf("panic missing point index or cause: %q", msg)
+	}
+	if !strings.Contains(msg, "goroutine") {
+		t.Fatalf("panic missing original stack: %q", msg)
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// WeakScaleRow is one extreme-scale weak-scaling point: the Fig-1-shaped
+// workload pushed to node counts the serial kernel alone could not
+// turn around interactively. Virtual columns (Tasks, MakespanS) are
+// deterministic; WallS/EventsPerSec measure the host and vary run to run.
+type WeakScaleRow struct {
+	Nodes, Shards, Tasks int
+	// MakespanS is the final virtual time of the point, seconds.
+	MakespanS float64
+	// Events counts DES events executed; Epochs counts conservative
+	// synchronization windows the coordinator ran.
+	Events, Epochs uint64
+	// WallS is the measured wall-clock of the point; EventsPerSec is
+	// Events/WallS — the kernel's raw event throughput on this host.
+	WallS, EventsPerSec float64
+}
+
+// weakScaleCounts are the extreme-scale x-axis points: up to 100,000
+// nodes, an order of magnitude past the paper's largest physical run.
+var weakScaleCounts = []int{25000, 50000, 100000}
+
+// weakScaleQuickCounts preserve the shape at 1/10 the node count.
+var weakScaleQuickCounts = []int{2500, 5000, 10000}
+
+// weakScaleTasksPerNode trades per-node task count down (vs Fig 1's 128)
+// so the 100k-node point stays within a CI smoke budget while the
+// node-level machinery — allocation stagger, NVMe setup tails, staging
+// flushes — runs at full population.
+const weakScaleTasksPerNode = 16
+
+// WeakScalePoint runs one extreme-scale point and reports both the
+// deterministic virtual outcome and measured kernel throughput.
+func WeakScalePoint(opts Options, nodes, tasksPerNode int) WeakScaleRow {
+	start := time.Now()
+	_, se, end := fig1Sim(opts, nodes, tasksPerNode, fmt.Sprintf("weakscale/%d", nodes))
+	wall := time.Since(start)
+
+	row := WeakScaleRow{
+		Nodes:     nodes,
+		Shards:    se.NumShards(),
+		Tasks:     nodes * tasksPerNode,
+		MakespanS: end.Seconds(),
+		WallS:     wall.Seconds(),
+	}
+	for _, st := range se.Snapshot() {
+		row.Events += st.Events
+		if st.Epochs > row.Epochs {
+			row.Epochs = st.Epochs
+		}
+	}
+	if row.WallS > 0 {
+		row.EventsPerSec = float64(row.Events) / row.WallS
+	}
+	return row
+}
+
+func weakScaleTable(opts Options) *metrics.Table {
+	counts := weakScaleCounts
+	tasksPer := weakScaleTasksPerNode
+	if opts.Quick {
+		counts = weakScaleQuickCounts
+		tasksPer = tasksPer / 2
+	}
+	t := metrics.NewTable("Weak scaling at extreme scale: sharded DES kernel (100k-node class)",
+		"nodes", "tasks", "shards", "makespan_s", "events", "epochs", "wall_s", "events_per_s")
+	for _, n := range counts {
+		r := WeakScalePoint(opts, n, tasksPer)
+		t.AddRow(r.Nodes, r.Tasks, r.Shards,
+			fmt.Sprintf("%.1f", r.MakespanS), r.Events, r.Epochs,
+			fmt.Sprintf("%.2f", r.WallS), fmt.Sprintf("%.3g", r.EventsPerSec))
+	}
+	t.AddNote("makespan/events/epochs are seed-deterministic at every shard count; wall_s and events_per_s measure this host")
+	t.AddNote("shards=0 is the serial oracle; set Options.Shards (benchall -shards) to engage the parallel kernel")
+	return t
+}
+
+func init() {
+	register(Experiment{
+		ID:    "weakscale",
+		Paper: "Beyond the paper: 25k-100k node weak scaling on the sharded conservative-lookahead DES kernel",
+		Run:   weakScaleTable,
+	})
+}

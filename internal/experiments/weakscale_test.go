@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// weakScaleBudget is the wall-clock ceiling for the 100,000-node smoke
+// point in CI. At 16 tasks per node it simulates 1.6M tasks across
+// 100k node models; the budget leaves headroom for slow CI hosts while
+// still catching kernel-throughput or memory-blowup regressions at the
+// scale the sharded kernel exists for.
+const weakScaleBudget = 180 * time.Second
+
+// TestWeakScale100kPoint runs the 100,000-node weak-scaling point on
+// the parallel kernel end to end — the "100k-node / 100M-task class"
+// scale target, budgeted for CI.
+func TestWeakScale100kPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-node point skipped in -short mode")
+	}
+	if raceEnabled {
+		// Same reasoning as the full-scale Fig 1 smoke: race
+		// instrumentation multiplies wall time; the sharded kernel's
+		// race coverage comes from the quick-scale digest matrix that
+		// does run under -race.
+		t.Skip("100k-node point skipped under -race")
+	}
+	opts := DefaultOptions()
+	opts.Shards = 4
+	start := time.Now()
+	r := WeakScalePoint(opts, 100000, weakScaleTasksPerNode)
+	wall := time.Since(start)
+	t.Logf("100k nodes: %d tasks, makespan %.1fs virtual, %d events over %d epochs, wall %.1fs (%.3g events/s)",
+		r.Tasks, r.MakespanS, r.Events, r.Epochs, wall.Seconds(), r.EventsPerSec)
+
+	if r.Tasks != 100000*weakScaleTasksPerNode {
+		t.Fatalf("task count = %d, want %d", r.Tasks, 100000*weakScaleTasksPerNode)
+	}
+	// The point must finish in bounded virtual time: every node's tail
+	// is capped (~9 min NVMe tail + allocation stagger + payloads), so
+	// a makespan beyond an hour means lost replies or runaway models.
+	if r.MakespanS <= 0 || r.MakespanS > 3600 {
+		t.Errorf("makespan %.1fs out of range", r.MakespanS)
+	}
+	if r.Events < uint64(r.Tasks) {
+		t.Errorf("only %d events for %d tasks — kernel undercounting", r.Events, r.Tasks)
+	}
+	if r.Epochs == 0 {
+		t.Errorf("sharded run reported zero epochs")
+	}
+	if wall > weakScaleBudget {
+		t.Errorf("100k-node point took %.1fs, budget %.0fs", wall.Seconds(), weakScaleBudget.Seconds())
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+import "fmt"
+
+// Conservative synchronization needs one model-provided fact: a lower
+// bound on how far in the future any cross-group message lands. If every
+// message from group s to group d is timestamped at least L(s, d) after
+// the moment it is sent, then once every group has reached virtual time
+// T, no message timestamped before T+W (W = min over declared L) can
+// ever be produced — so all groups may execute the window [T, T+W)
+// without hearing from each other at all. No null messages, no rollback:
+// the window is an epoch barrier, and the lookahead is the physics of
+// the model (dispatch RPC latency, container start floors, storage
+// fabric round-trips all give natural lower bounds).
+//
+// lookaheads holds the declared bounds: a default for every pair plus
+// optional per-link overrides. Post validates each send against the
+// declared bound, so a model that under-declares fails loudly instead of
+// silently producing shard-count-dependent results.
+type lookaheads struct {
+	def   Time
+	links map[[2]int]Time
+	// win caches min(def, all links); 0 means "recompute".
+	win Time
+}
+
+// set declares the default lookahead.
+func (l *lookaheads) set(d Time) {
+	if d <= 0 {
+		panic("sim: lookahead must be positive")
+	}
+	l.def = d
+	l.win = 0
+}
+
+// setLink declares a per-link override for messages src→dst.
+func (l *lookaheads) setLink(src, dst int, d Time) {
+	if d <= 0 {
+		panic("sim: lookahead must be positive")
+	}
+	if l.links == nil {
+		l.links = make(map[[2]int]Time)
+	}
+	l.links[[2]int{src, dst}] = d
+	l.win = 0
+}
+
+// get returns the declared bound for src→dst.
+func (l *lookaheads) get(src, dst int) Time {
+	if l.links != nil {
+		if d, ok := l.links[[2]int{src, dst}]; ok {
+			return d
+		}
+	}
+	if l.def <= 0 {
+		panic(fmt.Sprintf("sim: no lookahead declared for link %d->%d (call SetLookahead before Post)", src, dst))
+	}
+	return l.def
+}
+
+// window returns W, the epoch width: the minimum declared bound across
+// the default and every link override.
+func (l *lookaheads) window() Time {
+	if l.win > 0 {
+		return l.win
+	}
+	if l.def <= 0 {
+		panic("sim: no lookahead declared (call SetLookahead before Run)")
+	}
+	w := l.def
+	for _, d := range l.links {
+		if d < w {
+			w = d
+		}
+	}
+	l.win = w
+	return w
+}

@@ -30,6 +30,22 @@ func (g *RNG) Split(name string) *RNG {
 	return NewRNG(g.seed ^ splitmix64(h.Sum64()))
 }
 
+// Substream derives the i-th member of a named family of independent
+// child streams. Unlike chaining Split with a formatted name, the
+// derivation is purely arithmetic in (seed, name, i) — no per-call
+// string formatting — and it is the stream contract sharded models rely
+// on: every entity (node, group, instance) draws from Substream(name, i)
+// of one base RNG, so the streams an entity sees depend only on its
+// index, never on how entities are partitioned across shards or in what
+// order other entities draw. Substream(name, i) is distinct from
+// Split(name) for every i.
+func (g *RNG) Substream(name string, i uint64) *RNG {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	family := splitmix64(g.seed ^ splitmix64(h.Sum64()))
+	return NewRNG(family + splitmix64(i^0xd1b54a32d192ed03))
+}
+
 // splitmix64 is the standard seed-scrambling finalizer.
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15

@@ -1,0 +1,73 @@
+package sim
+
+import "testing"
+
+// TestSubstreamIndependence pins the stream contract sharded models rely
+// on: Substream(name, i) is a pure function of (seed, name, i) —
+// reproducible across RNG instances, independent across indices and
+// names, and distinct from Split(name) — so no draw made by one entity
+// can ever perturb another entity's stream, regardless of shard count or
+// execution interleaving.
+func TestSubstreamIndependence(t *testing.T) {
+	base := NewRNG(7)
+	a := base.Substream("node", 3)
+	b := base.Substream("node", 4)
+	c := base.Substream("payload", 3)
+	a2 := NewRNG(7).Substream("node", 3)
+	split := NewRNG(7).Split("node")
+
+	same, diffIdx, diffName, diffSplit := 0, 0, 0, 0
+	for i := 0; i < 200; i++ {
+		va, vb, vc, va2, vs := a.Float64(), b.Float64(), c.Float64(), a2.Float64(), split.Float64()
+		if va == va2 {
+			same++
+		}
+		if va != vb {
+			diffIdx++
+		}
+		if va != vc {
+			diffName++
+		}
+		if va != vs {
+			diffSplit++
+		}
+	}
+	if same != 200 {
+		t.Errorf("same (seed, name, index) substreams diverged: %d/200 equal", same)
+	}
+	if diffIdx < 195 {
+		t.Errorf("adjacent-index substreams too correlated: %d/200 differ", diffIdx)
+	}
+	if diffName < 195 {
+		t.Errorf("different-name substreams too correlated: %d/200 differ", diffName)
+	}
+	if diffSplit < 195 {
+		t.Errorf("Substream(name, 0-ish) collides with Split(name): %d/200 differ", diffSplit)
+	}
+}
+
+// TestSubstreamUnperturbedByInterleaving is the regression the satellite
+// asks for: draining arbitrary amounts from sibling streams (as another
+// shard's entities would) must not change a stream's sequence.
+func TestSubstreamUnperturbedByInterleaving(t *testing.T) {
+	clean := NewRNG(11).Substream("node", 5)
+	var want [32]float64
+	for i := range want {
+		want[i] = clean.Float64()
+	}
+
+	base := NewRNG(11)
+	noisy := base.Substream("node", 5)
+	for i := uint64(0); i < 64; i++ {
+		sib := base.Substream("node", i*2)
+		for j := 0; j < 17; j++ {
+			sib.Float64()
+		}
+		base.Substream("other", i).Float64()
+	}
+	for i := range want {
+		if got := noisy.Float64(); got != want[i] {
+			t.Fatalf("draw %d perturbed by sibling streams: got %v want %v", i, got, want[i])
+		}
+	}
+}

@@ -1,0 +1,480 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ring"
+)
+
+// ShardedEngine runs one simulation partitioned into fixed logical
+// groups, executing the groups either on a single shared Engine (the
+// serial oracle, shards == 0) or on shards parallel workers, each
+// driving a private Engine per group. Synchronization is conservative:
+// the coordinator advances all groups in lockstep epochs of width W (the
+// minimum declared cross-group lookahead), and cross-group work travels
+// as timestamped messages (Post) through per-shard-pair SPSC ring
+// mailboxes that are drained only at epoch barriers.
+//
+// The determinism contract — the whole point of the design — is that a
+// model built on the group/Post discipline produces bit-identical
+// results at every shard count, including the serial oracle:
+//
+//   - The group count is fixed by the model, never derived from the
+//     shard count; shards only multiplex groups (group g runs on worker
+//     g % shards).
+//   - Groups share no mutable state. All coupling goes through Post,
+//     whose deliveries are merged in the total order (time, source
+//     group, per-source sequence) — a key independent of wall-clock
+//     interleaving — and executed in the back band (Engine.AtBack), so a
+//     delivery never overtakes the destination's own work at the same
+//     timestamp in either mode.
+//   - Model randomness comes from an explicit base RNG via
+//     RNG.Substream(name, i), never from group engine RNGs (each group
+//     engine has a distinct seed, and the serial oracle has only one).
+//
+// Under those rules the serial oracle runs the identical event sequence
+// per group, so golden digests captured serially verify every sharded
+// configuration.
+type ShardedEngine struct {
+	groups []*group
+	look   lookaheads
+
+	// serialEng is the one shared engine in oracle mode (shards == 0).
+	serialEng *Engine
+
+	// Sharded mode: worker goroutines, per-pair mailboxes, atomics-only
+	// stats (readable concurrently by flight-recorder sources).
+	nshards     int
+	workers     []*shardWorker
+	mail        [][]ring.Ring[message] // [srcShard][dstShard]
+	stats       []shardStats
+	epochs      atomic.Uint64
+	epochWallNs atomic.Int64
+}
+
+// message is one cross-group event in flight: fn runs on the destination
+// group's engine at virtual time at. The (at, src, seq) triple is the
+// deterministic merge key; seq is a per-source counter, so the key never
+// depends on how groups are packed onto shards.
+type message struct {
+	at       Time
+	src, dst int32
+	seq      uint64
+	fn       func()
+}
+
+func msgBefore(a, b *message) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// msgHeap is a binary min-heap of messages in msgBefore order — the
+// per-destination pending queue that realizes the deterministic merge.
+type msgHeap struct{ h []message }
+
+func (q *msgHeap) len() int      { return len(q.h) }
+func (q *msgHeap) min() *message { return &q.h[0] }
+
+func (q *msgHeap) push(m message) {
+	h := append(q.h, m)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !msgBefore(&m, &h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = m
+	q.h = h
+}
+
+func (q *msgHeap) pop() message {
+	h := q.h
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = message{}
+	h = h[:n]
+	q.h = h
+	if n > 0 {
+		i := 0
+		for {
+			child := 2*i + 1
+			if child >= n {
+				break
+			}
+			if child+1 < n && msgBefore(&h[child+1], &h[child]) {
+				child++
+			}
+			if !msgBefore(&h[child], &last) {
+				break
+			}
+			h[i] = h[child]
+			i = child
+		}
+		h[i] = last
+	}
+	return root
+}
+
+// group is one logical partition of the model: its engine, its pending
+// (routed but undelivered) messages, and its outbound message counter.
+type group struct {
+	id      int
+	eng     *Engine
+	pending msgHeap
+	postSeq uint64
+	// flushFn delivers this group's earliest pending message; it is the
+	// back-band event the serial oracle schedules once per Post.
+	flushFn func()
+}
+
+// shardStats are per-shard counters maintained with atomics so a flight
+// recorder source can snapshot a live run from another goroutine.
+type shardStats struct {
+	posted      atomic.Uint64
+	delivered   atomic.Uint64
+	backlog     atomic.Int64
+	backlogPeak atomic.Int64
+	events      atomic.Uint64
+	busyNs      atomic.Int64
+}
+
+// ShardStat is a point-in-time snapshot of one shard's progress, for
+// stalled-shard diagnosis: a shard with low Events and high StallNs is
+// starved; one with high Backlog is the bottleneck destination.
+type ShardStat struct {
+	Shard  int
+	Groups int
+	// Epochs is the number of lockstep windows completed (engine-wide).
+	Epochs uint64
+	// Events counts events scheduled across the shard's group engines.
+	Events uint64
+	// Posted / Delivered count cross-group messages sent by / delivered
+	// to this shard's groups; Backlog is routed-but-undelivered depth.
+	Posted      uint64
+	Delivered   uint64
+	Backlog     int64
+	BacklogPeak int64
+	// StallNs is wall time this shard spent waiting at epoch barriers
+	// for slower shards (total barrier wall minus this shard's busy
+	// time).
+	StallNs int64
+}
+
+// shardWorker drives the engines of the groups assigned to one shard.
+// Each engine is only ever touched by its worker goroutine (or, between
+// start/done barrier handoffs, by the coordinator), so the model needs
+// no locks and the race detector sees clean happens-before edges.
+type shardWorker struct {
+	owner  *ShardedEngine
+	id     int
+	groups []*group
+	bound  Time
+	start  chan struct{}
+	done   chan struct{}
+}
+
+// NewSharded builds a sharded simulation of the given number of logical
+// groups. shards == 0 selects the serial oracle: every group on one
+// shared Engine, same Post semantics, zero goroutines. shards > groups
+// is clamped (a shard with no groups would only burn barrier time).
+func NewSharded(seed uint64, groups, shards int) *ShardedEngine {
+	if groups < 1 {
+		panic("sim: NewSharded needs >= 1 group")
+	}
+	if shards < 0 {
+		shards = 0
+	}
+	if shards > groups {
+		shards = groups
+	}
+	s := &ShardedEngine{nshards: shards}
+	if shards == 0 {
+		eng := NewEngine(seed)
+		s.serialEng = eng
+		s.stats = make([]shardStats, 1)
+		for i := 0; i < groups; i++ {
+			g := &group{id: i, eng: eng}
+			g.flushFn = func() { s.flushSerial(g) }
+			s.groups = append(s.groups, g)
+		}
+		return s
+	}
+	s.stats = make([]shardStats, shards)
+	s.mail = make([][]ring.Ring[message], shards)
+	for i := range s.mail {
+		s.mail[i] = make([]ring.Ring[message], shards)
+	}
+	for i := 0; i < groups; i++ {
+		// Group engines get distinct derived seeds, but models following
+		// the determinism contract never draw from them: an engine RNG
+		// cannot be identical between oracle and sharded modes.
+		s.groups = append(s.groups, &group{id: i, eng: NewEngine(splitmix64(seed) + uint64(i))})
+	}
+	return s
+}
+
+// NumGroups returns the fixed logical group count.
+func (s *ShardedEngine) NumGroups() int { return len(s.groups) }
+
+// NumShards returns the worker count; 0 means the serial oracle.
+func (s *ShardedEngine) NumShards() int { return s.nshards }
+
+// Engine returns group g's engine. In oracle mode every group shares one
+// engine.
+func (s *ShardedEngine) Engine(g int) *Engine { return s.groups[g].eng }
+
+// SetLookahead declares the default minimum cross-group message delay.
+// Must be called before Post or Run.
+func (s *ShardedEngine) SetLookahead(d Time) { s.look.set(d) }
+
+// SetLink declares a per-link lookahead override for messages src→dst.
+// The epoch width is the minimum over the default and all overrides, so
+// a short link narrows every window — declare overrides only where the
+// model really has a shorter bound.
+func (s *ShardedEngine) SetLink(src, dst int, d Time) { s.look.setLink(src, dst, d) }
+
+// Post sends fn to run on group dst's engine at the sender's current
+// time plus delay. delay must be at least the declared lookahead for the
+// link — that bound is what lets whole windows run without
+// synchronization — and src must be the group whose event is currently
+// executing (Post is called from model code running inside group src).
+// Same-group scheduling should use the group engine's At/After directly.
+func (s *ShardedEngine) Post(src, dst int, delay Time, fn func()) {
+	if src == dst {
+		panic("sim: Post within one group; use the group engine's At/After")
+	}
+	look := s.look.get(src, dst)
+	if delay < look {
+		panic(fmt.Sprintf("sim: Post %d->%d delay %v below declared lookahead %v", src, dst, delay, look))
+	}
+	sg := s.groups[src]
+	sg.postSeq++
+	m := message{at: sg.eng.now + delay, src: int32(src), dst: int32(dst), seq: sg.postSeq, fn: fn}
+	if s.nshards == 0 {
+		// Oracle: route immediately and schedule one back-band flush at
+		// the delivery time. Each flush pops the heap minimum, so k
+		// same-time deliveries execute in (at, src, seq) order no matter
+		// the order the k Posts happened — exactly the barrier merge.
+		s.groups[dst].pending.push(m)
+		st := &s.stats[0]
+		st.posted.Add(1)
+		if b := st.backlog.Add(1); b > st.backlogPeak.Load() {
+			st.backlogPeak.Store(b)
+		}
+		sg.eng.AtBack(m.at, s.groups[dst].flushFn)
+		return
+	}
+	s.stats[src%s.nshards].posted.Add(1)
+	// SPSC: only src's worker pushes this ring; only the coordinator
+	// (between barriers) pops it.
+	s.mail[src%s.nshards][dst%s.nshards].Push(m)
+}
+
+// flushSerial delivers group g's earliest pending message in oracle mode.
+func (s *ShardedEngine) flushSerial(g *group) {
+	m := g.pending.pop()
+	if m.at != g.eng.now {
+		panic(fmt.Sprintf("sim: oracle flush at %v found message for %v", g.eng.now, m.at))
+	}
+	st := &s.stats[0]
+	st.delivered.Add(1)
+	st.backlog.Add(-1)
+	m.fn()
+}
+
+// Run executes the simulation to completion and returns the final
+// virtual time (the max across groups). In sharded mode it is the epoch
+// coordinator: drain mailboxes, route to pending heaps, compute the next
+// window [M, M+W) from the global minimum next-event time M (skip-ahead:
+// idle stretches cost one barrier, not one barrier per W), then release
+// all workers and wait at the barrier.
+func (s *ShardedEngine) Run() Time {
+	if s.nshards == 0 {
+		end := s.serialEng.Run()
+		s.stats[0].events.Store(s.serialEng.EventsScheduled())
+		return end
+	}
+	w := s.look.window()
+	s.startWorkers()
+	defer s.stopWorkers()
+	for {
+		s.drainMail()
+		m, ok := s.minNext()
+		if !ok {
+			break
+		}
+		bound := m + w
+		if bound <= m { // overflow: nothing after m can be bounded, run it all
+			bound = Forever
+		}
+		for _, wk := range s.workers {
+			wk.bound = bound
+		}
+		t0 := time.Now()
+		for _, wk := range s.workers {
+			wk.start <- struct{}{}
+		}
+		for _, wk := range s.workers {
+			<-wk.done
+		}
+		s.epochWallNs.Add(time.Since(t0).Nanoseconds())
+		s.epochs.Add(1)
+	}
+	var end Time
+	for _, g := range s.groups {
+		if g.eng.now > end {
+			end = g.eng.now
+		}
+	}
+	return end
+}
+
+// drainMail routes every mailbox message to its destination group's
+// pending heap. Coordinator-only, between barriers.
+func (s *ShardedEngine) drainMail() {
+	for si := range s.mail {
+		for di := range s.mail[si] {
+			q := &s.mail[si][di]
+			n := q.Len()
+			if n == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				m := q.Pop()
+				s.groups[m.dst].pending.push(m)
+			}
+			st := &s.stats[di]
+			if b := st.backlog.Add(int64(n)); b > st.backlogPeak.Load() {
+				st.backlogPeak.Store(b)
+			}
+		}
+	}
+}
+
+// minNext returns the earliest pending virtual time across all group
+// engines and routed-but-undelivered messages.
+func (s *ShardedEngine) minNext() (Time, bool) {
+	var m Time
+	ok := false
+	for _, g := range s.groups {
+		if t, have := g.eng.NextEventTime(); have && (!ok || t < m) {
+			m, ok = t, true
+		}
+		if g.pending.len() > 0 {
+			if t := g.pending.min().at; !ok || t < m {
+				m, ok = t, true
+			}
+		}
+	}
+	return m, ok
+}
+
+func (s *ShardedEngine) startWorkers() {
+	s.workers = make([]*shardWorker, s.nshards)
+	for i := range s.workers {
+		wk := &shardWorker{owner: s, id: i, start: make(chan struct{}), done: make(chan struct{})}
+		for gi := i; gi < len(s.groups); gi += s.nshards {
+			wk.groups = append(wk.groups, s.groups[gi])
+		}
+		s.workers[i] = wk
+		go wk.loop()
+	}
+}
+
+func (s *ShardedEngine) stopWorkers() {
+	for _, wk := range s.workers {
+		close(wk.start)
+	}
+	s.workers = nil
+}
+
+// loop is the worker body: once per epoch, deliver each owned group's
+// due messages in merge order into the back band, then run the group's
+// events strictly before the window bound.
+func (w *shardWorker) loop() {
+	st := &w.owner.stats[w.id]
+	for range w.start {
+		t0 := time.Now()
+		for _, g := range w.groups {
+			nd := 0
+			for g.pending.len() > 0 && g.pending.min().at < w.bound {
+				m := g.pending.pop()
+				g.eng.AtBack(m.at, m.fn)
+				nd++
+			}
+			if nd > 0 {
+				st.delivered.Add(uint64(nd))
+				st.backlog.Add(int64(-nd))
+			}
+			g.eng.RunBefore(w.bound)
+		}
+		var ev uint64
+		for _, g := range w.groups {
+			ev += g.eng.EventsScheduled()
+		}
+		st.events.Store(ev)
+		st.busyNs.Add(time.Since(t0).Nanoseconds())
+		w.done <- struct{}{}
+	}
+}
+
+// LiveProcs reports spawned-but-unfinished processes and flows across
+// all groups — nonzero after Run usually means deadlocked model code
+// (e.g. waiting on a reply that was never posted). Call after Run.
+func (s *ShardedEngine) LiveProcs() int {
+	if s.nshards == 0 {
+		return s.serialEng.LiveProcs()
+	}
+	n := 0
+	for _, g := range s.groups {
+		n += g.eng.LiveProcs()
+	}
+	return n
+}
+
+// Snapshot returns per-shard progress counters. Safe to call from any
+// goroutine at any time (counters are atomics); in oracle mode it
+// returns one pseudo-shard whose event count is updated when Run
+// returns.
+func (s *ShardedEngine) Snapshot() []ShardStat {
+	epochs := s.epochs.Load()
+	wall := s.epochWallNs.Load()
+	out := make([]ShardStat, len(s.stats))
+	for i := range s.stats {
+		st := &s.stats[i]
+		busy := st.busyNs.Load()
+		stall := wall - busy
+		if stall < 0 {
+			stall = 0
+		}
+		ngroups := 0
+		if s.nshards == 0 {
+			ngroups = len(s.groups)
+		} else {
+			ngroups = (len(s.groups) - i + s.nshards - 1) / s.nshards
+		}
+		out[i] = ShardStat{
+			Shard:       i,
+			Groups:      ngroups,
+			Epochs:      epochs,
+			Events:      st.events.Load(),
+			Posted:      st.posted.Load(),
+			Delivered:   st.delivered.Load(),
+			Backlog:     st.backlog.Load(),
+			BacklogPeak: st.backlogPeak.Load(),
+			StallNs:     stall,
+		}
+	}
+	return out
+}

@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fifoLog runs a model where three source groups each post two messages
+// that all land on group 0 at exactly t=50ms — the same timestamp as the
+// destination's own local event — and the first delivery schedules a new
+// normal event at that same instant. The returned log is the execution
+// order group 0 observed.
+func fifoLog(shards int) []string {
+	se := NewSharded(7, 4, shards)
+	se.SetLookahead(10 * time.Millisecond)
+	var log []string
+	de := se.Engine(0)
+	de.At(50*time.Millisecond, func() { log = append(log, "local@50") })
+	for src := 3; src >= 1; src-- { // build in reverse: order must come from the merge key, not construction
+		src := src
+		e := se.Engine(src)
+		e.At(40*time.Millisecond, func() {
+			for k := 0; k < 2; k++ {
+				k := k
+				se.Post(src, 0, 10*time.Millisecond, func() {
+					log = append(log, fmt.Sprintf("msg src%d #%d", src, k))
+					if src == 1 && k == 0 {
+						// A delivery scheduling normal work at its own
+						// timestamp: that work must run before the
+						// remaining same-time deliveries (back band).
+						de.At(de.Now(), func() { log = append(log, "spawned@50") })
+					}
+				})
+			}
+		})
+	}
+	se.Run()
+	return log
+}
+
+// TestShardedSameTimestampFIFO pins the cross-shard ordering contract:
+// same-timestamp deliveries run after the destination's own events, in
+// (source group, per-source sequence) order, and normal events scheduled
+// by a delivery still precede the remaining deliveries — identically in
+// the serial oracle and at every shard count.
+func TestShardedSameTimestampFIFO(t *testing.T) {
+	want := []string{
+		"local@50",
+		"msg src1 #0",
+		"spawned@50",
+		"msg src1 #1",
+		"msg src2 #0",
+		"msg src2 #1",
+		"msg src3 #0",
+		"msg src3 #1",
+	}
+	for _, shards := range []int{0, 1, 2, 4} {
+		got := fifoLog(shards)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d entries, want %d: %v", shards, len(got), len(want), got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("shards=%d: order[%d] = %q, want %q (full: %v)", shards, i, got[i], want[i], got)
+				break
+			}
+		}
+	}
+}
+
+// relayDigest runs a randomized token-relay model across 8 groups —
+// procs, resources, substream draws, and cross-group posts all in play —
+// and digests every group's observation log plus the final clock.
+func relayDigest(seed uint64, shards int) string {
+	const (
+		G      = 8
+		tokens = 16
+		hops   = 6
+	)
+	look := time.Millisecond
+	se := NewSharded(seed, G, shards)
+	se.SetLookahead(look)
+	base := NewRNG(seed)
+	logs := make([]*strings.Builder, G)
+	rngs := make([]*RNG, G)
+	res := make([]*Resource, G)
+	for g := 0; g < G; g++ {
+		logs[g] = &strings.Builder{}
+		rngs[g] = base.Substream("relay", uint64(g))
+		res[g] = NewResource(se.Engine(g), 2)
+	}
+	var deliver func(dst, hop int)
+	deliver = func(dst, hop int) {
+		e := se.Engine(dst)
+		fmt.Fprintf(logs[dst], "%d@%d;", hop, e.Now())
+		if hop == 0 {
+			return
+		}
+		e.Spawn("relay", func(p *Proc) {
+			res[dst].Acquire(p, 1)
+			p.Sleep(Dur(rngs[dst].Exponential(0.002)))
+			res[dst].Release(1)
+			next := rngs[dst].IntN(G - 1)
+			if next >= dst {
+				next++
+			}
+			delay := look + Dur(rngs[dst].Exponential(0.001))
+			se.Post(dst, next, delay, func() { deliver(next, hop-1) })
+		})
+	}
+	for g := 0; g < G; g++ {
+		g := g
+		e := se.Engine(g)
+		for i := 0; i < tokens; i++ {
+			e.At(Dur(rngs[g].Exponential(0.005)), func() { deliver(g, hops) })
+		}
+	}
+	end := se.Run()
+	if n := se.LiveProcs(); n != 0 {
+		panic(fmt.Sprintf("relay model leaked %d procs at shards=%d", n, shards))
+	}
+	h := sha256.New()
+	for g := 0; g < G; g++ {
+		fmt.Fprintf(h, "g%d:%s\n", g, logs[g].String())
+	}
+	fmt.Fprintf(h, "end=%d", end)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestShardedDeterminismMatrix is the kernel-level digest-equality
+// matrix: the relay model must produce one digest across the serial
+// oracle and shard counts 1/2/4/8, at GOMAXPROCS 1 and 4.
+func TestShardedDeterminismMatrix(t *testing.T) {
+	want := relayDigest(1234, 0)
+	for _, gmp := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(gmp)
+		for _, shards := range []int{1, 2, 4, 8} {
+			if got := relayDigest(1234, shards); got != want {
+				runtime.GOMAXPROCS(prev)
+				t.Fatalf("digest diverged at shards=%d GOMAXPROCS=%d:\n got  %s\n want %s", shards, gmp, got, want)
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+	// Different seeds must actually change results (the digest is not a
+	// constant).
+	if other := relayDigest(99, 0); other == want {
+		t.Fatalf("digest insensitive to seed")
+	}
+}
+
+// TestShardedSkipAhead verifies idle stretches cost one barrier, not one
+// barrier per lookahead window: events 100 virtual seconds apart under a
+// 1ms window must not take ~100k epochs.
+func TestShardedSkipAhead(t *testing.T) {
+	se := NewSharded(1, 2, 2)
+	se.SetLookahead(time.Millisecond)
+	hits := 0
+	var chain func()
+	e := se.Engine(0)
+	chain = func() {
+		hits++
+		if hits < 4 {
+			e.After(100*time.Second, chain)
+		}
+	}
+	e.After(0, chain)
+	se.Engine(1).After(350*time.Second, func() { hits++ })
+	se.Run()
+	if hits != 5 {
+		t.Fatalf("hits = %d, want 5", hits)
+	}
+	if ep := se.Snapshot()[0].Epochs; ep > 16 {
+		t.Fatalf("epochs = %d; skip-ahead broken (expected a handful)", ep)
+	}
+}
+
+// TestShardedStatsAccounting checks the message counters balance.
+func TestShardedStatsAccounting(t *testing.T) {
+	for _, shards := range []int{0, 2} {
+		se := NewSharded(5, 4, shards)
+		se.SetLookahead(time.Millisecond)
+		got := 0
+		for src := 1; src < 4; src++ {
+			src := src
+			se.Engine(src).After(0, func() {
+				se.Post(src, 0, time.Millisecond, func() { got++ })
+			})
+		}
+		se.Run()
+		if got != 3 {
+			t.Fatalf("shards=%d: delivered %d messages, want 3", shards, got)
+		}
+		var posted, delivered uint64
+		var backlog int64
+		for _, st := range se.Snapshot() {
+			posted += st.Posted
+			delivered += st.Delivered
+			backlog += st.Backlog
+		}
+		if posted != 3 || delivered != 3 || backlog != 0 {
+			t.Fatalf("shards=%d: posted=%d delivered=%d backlog=%d, want 3/3/0", shards, posted, delivered, backlog)
+		}
+	}
+}
+
+// TestPostValidation pins the fail-loud contracts: posting below the
+// declared lookahead, posting to yourself, and posting with no declared
+// lookahead all panic.
+func TestPostValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	se := NewSharded(1, 2, 0)
+	se.SetLookahead(10 * time.Millisecond)
+	mustPanic("below lookahead", func() { se.Post(0, 1, time.Millisecond, func() {}) })
+	mustPanic("self post", func() { se.Post(0, 0, time.Second, func() {}) })
+	undeclared := NewSharded(1, 2, 0)
+	mustPanic("no lookahead", func() { undeclared.Post(0, 1, time.Second, func() {}) })
+}
+
+// TestAtBackOrdering pins the engine-level band rule in isolation.
+func TestAtBackOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.AtBack(time.Second, func() { order = append(order, "back1") })
+	e.At(time.Second, func() {
+		order = append(order, "front")
+		e.AtBack(time.Second, func() { order = append(order, "back2") })
+	})
+	e.Run()
+	want := []string{"front", "back1", "back2"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+// TestRunBefore pins the window primitive: strictly-before execution,
+// clock not advanced to the bound.
+func TestRunBefore(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.At(time.Second, func() { ran++ })
+	e.At(2*time.Second, func() { ran++ })
+	e.RunBefore(2 * time.Second)
+	if ran != 1 {
+		t.Fatalf("ran %d events before bound, want 1", ran)
+	}
+	if e.Now() != time.Second {
+		t.Fatalf("clock advanced to %v, want 1s", e.Now())
+	}
+	if at, ok := e.NextEventTime(); !ok || at != 2*time.Second {
+		t.Fatalf("NextEventTime = %v/%v, want 2s/true", at, ok)
+	}
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("ran = %d after Run, want 2", ran)
+	}
+}
+
+// shardedChainWorkload builds G groups each running a local event chain
+// with a cross-group post every postEvery events — the synthetic load
+// behind BenchmarkShardedEvents.
+func shardedChainWorkload(shards, groups, perGroup, postEvery int) *ShardedEngine {
+	se := NewSharded(1, groups, shards)
+	se.SetLookahead(time.Millisecond)
+	for g := 0; g < groups; g++ {
+		g := g
+		e := se.Engine(g)
+		n := perGroup
+		var fn func()
+		fn = func() {
+			if n <= 0 {
+				return
+			}
+			n--
+			if postEvery > 0 && n%postEvery == 0 {
+				dst := (g + 1) % groups
+				se.Post(g, dst, time.Millisecond, func() {})
+			}
+			e.After(time.Microsecond, fn)
+		}
+		e.After(time.Microsecond, fn)
+	}
+	return se
+}
+
+// BenchmarkShardedEvents measures event throughput of the sharded
+// scheduler against the serial oracle on the same 8-group workload
+// (events/s; cross-group post every 256 events). On multi-core hosts the
+// sharded variant should scale; on one core it measures pure epoch
+// overhead.
+func BenchmarkShardedEvents(b *testing.B) {
+	for _, shards := range []int{0, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			const groups = 8
+			per := b.N / groups
+			if per < 1 {
+				per = 1
+			}
+			se := shardedChainWorkload(shards, groups, per, 256)
+			b.ReportAllocs()
+			b.ResetTimer()
+			se.Run()
+			b.ReportMetric(float64(per*groups)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}

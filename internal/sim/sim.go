@@ -69,6 +69,12 @@ const heapArity = 4
 type Engine struct {
 	now Time
 	seq uint64
+	// backSeq numbers back-band events (AtBack): cross-shard message
+	// deliveries that must run after every normal event at the same
+	// timestamp. Back events carry seq = backBand|backSeq, so the
+	// ordinary (at, seq) comparison already places them last — the hot
+	// path pays nothing for the second band.
+	backSeq uint64
 	// events is a heapArity-ary min-heap of event values ordered by
 	// (at, seq). Index 0 is the root. No element holds its own index:
 	// the kernel never removes from the middle, so events are
@@ -112,6 +118,27 @@ func (e *Engine) At(t Time, fn func()) {
 	}
 	e.seq++
 	e.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// backBand is the seq-space bit that places an event after every normal
+// event at the same timestamp. Normal seq values are counters (an engine
+// would need ~9e18 events to reach it), so the two bands cannot collide.
+const backBand uint64 = 1 << 63
+
+// AtBack schedules fn at virtual time t in the back band: it runs after
+// every normal event at t, including ones scheduled later (even from
+// within back-band callbacks). Back-band events order FIFO among
+// themselves. This is the delivery slot for cross-shard messages: a
+// message timestamped t must not overtake the destination's own work at
+// t, and that rule must hold identically whether the destination runs on
+// a private sharded engine or interleaved with every other group on the
+// serial oracle engine.
+func (e *Engine) AtBack(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling back event at %v before now %v", t, e.now))
+	}
+	e.backSeq++
+	e.push(event{at: t, seq: backBand | e.backSeq, fn: fn})
 }
 
 // After schedules fn to run d after the current virtual time. Negative d is
@@ -212,6 +239,33 @@ func (e *Engine) RunUntil(t Time) {
 		e.now = t
 	}
 }
+
+// RunBefore executes events with timestamps strictly < t and returns,
+// leaving the clock at the last executed event. It is the window
+// primitive of the sharded scheduler: a shard may safely run everything
+// before the epoch bound, because conservative lookahead guarantees no
+// other shard can still send it a message timestamped earlier. Unlike
+// RunUntil the clock is not advanced to t, so messages timestamped
+// exactly at the bound can still be delivered before the next window.
+func (e *Engine) RunBefore(t Time) {
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 && e.events[0].at < t {
+		e.Step()
+	}
+}
+
+// NextEventTime reports the timestamp of the earliest pending event.
+func (e *Engine) NextEventTime() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
+// EventsScheduled reports how many events this engine has ever scheduled
+// across both bands — a cheap progress meter for per-shard gauges.
+func (e *Engine) EventsScheduled() uint64 { return e.seq + e.backSeq }
 
 // Pending reports the number of scheduled, not-yet-fired events.
 func (e *Engine) Pending() int { return len(e.events) }

@@ -99,6 +99,28 @@ func (a *Allocation) Env(i int) []string {
 	}
 }
 
+// PlanReady computes the readiness schedule of an n-node allocation
+// submitted at time start: the base allocation delay, then each node's
+// prolog stagger and rare tail delay, drawn from rng in node order. It
+// is a pure function of (rng state, cfg, n, start) — exactly the draws
+// Allocate makes, factored out so sharded models can precompute node
+// placement at build time instead of running a scheduler process.
+func PlanReady(rng *sim.RNG, cfg Config, n int, start sim.Time) (base time.Duration, ready []sim.Time) {
+	base = rng.Jitter(cfg.AllocBase, 0.2)
+	// One up-front allocation: a 9,000-node ReadyAt slice should not be
+	// built by append-growth.
+	ready = make([]sim.Time, n)
+	granted := start + base
+	for i := 0; i < n; i++ {
+		r := granted + sim.Time(i)*cfg.AllocPerNode
+		if cfg.AllocTailProb > 0 && rng.Bernoulli(cfg.AllocTailProb) {
+			r += rng.DurExp(cfg.AllocTailScale)
+		}
+		ready[i] = r
+	}
+	return base, ready
+}
+
 // Allocate grants nodes[0:n] from c to the calling process, blocking it
 // for the allocation delay. Per-node readiness times model prolog stagger
 // and rare tail delays; callers launching per-node work should delay each
@@ -109,21 +131,9 @@ func (s *Scheduler) Allocate(p *sim.Proc, c *cluster.Cluster, n int) (*Allocatio
 	}
 	s.jobID++
 	s.Allocations++
-	base := s.rng.Jitter(s.cfg.AllocBase, 0.2)
+	base, ready := PlanReady(s.rng, s.cfg, n, p.Now())
 	p.Sleep(base)
-
-	// One up-front allocation: a 9,000-node ReadyAt slice should not be
-	// built by append-growth.
-	a := &Allocation{JobID: s.jobID, Nodes: c.Nodes[:n], ReadyAt: make([]sim.Time, n)}
-	now := p.Now()
-	for i := 0; i < n; i++ {
-		ready := now + sim.Time(i)*s.cfg.AllocPerNode
-		if s.cfg.AllocTailProb > 0 && s.rng.Bernoulli(s.cfg.AllocTailProb) {
-			ready += s.rng.DurExp(s.cfg.AllocTailScale)
-		}
-		a.ReadyAt[i] = ready
-	}
-	return a, nil
+	return &Allocation{JobID: s.jobID, Nodes: c.Nodes[:n], ReadyAt: ready}, nil
 }
 
 // SrunStep launches one task as a Slurm job step: the calling process

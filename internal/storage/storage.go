@@ -59,8 +59,17 @@ type Stats struct {
 	Reads, Writes, MetaOps  int64
 }
 
-// New creates a filesystem on engine e from cfg.
+// New creates a filesystem on engine e from cfg, with jitter draws from
+// the engine's own RNG tree.
 func New(e *sim.Engine, cfg Config) *FS {
+	return NewWithRand(e, cfg, e.RNG().Split("storage/"+cfg.Name))
+}
+
+// NewWithRand is New with an explicit random stream. Sharded models need
+// it: group engines carry distinct RNG seeds (and the serial oracle has
+// only one engine), so digest-stable filesystems must draw from a stream
+// derived from the model's base RNG, not from whatever engine hosts them.
+func NewWithRand(e *sim.Engine, cfg Config, rng *sim.RNG) *FS {
 	if cfg.StreamBW <= 0 || cfg.AggregateBW <= 0 {
 		panic(fmt.Sprintf("storage: %s: bandwidths must be positive", cfg.Name))
 	}
@@ -76,7 +85,7 @@ func New(e *sim.Engine, cfg Config) *FS {
 		cfg:  cfg,
 		data: sim.NewResource(e, slots),
 		meta: sim.NewResource(e, metaSlots),
-		rng:  e.RNG().Split("storage/" + cfg.Name),
+		rng:  rng,
 	}
 	f.metaDurFn = f.metaDur
 	f.transferFn = f.transferTime

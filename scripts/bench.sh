@@ -5,23 +5,25 @@
 # the WAL-overhead pair that gates the write-ahead log's dispatch tax
 # and the protocol v3 wire codec + loopback pair that gates the binary
 # data plane's 0-alloc and jobs/s budgets) plus the simulation-kernel
-# suite (events/s, procs/s, flow tasks/s, one full-scale Fig 1 point)
-# and writes BENCH_pr9.json. With a baseline
+# suite (events/s, procs/s, flow tasks/s, the sharded-kernel events
+# benchmark, and the full-scale Fig 1 point in serial and 4-shard modes
+# — the pair behind the shardGuard speedup/overhead gate) and writes
+# BENCH_pr10.json. With a baseline
 # report as $1, also fails on regression (ns/op growth, allocs/op
 # growth, or any */s throughput drop beyond tolerance):
 #
-#   scripts/bench.sh                      # record BENCH_pr9.json
+#   scripts/bench.sh                      # record BENCH_pr10.json
 #   scripts/bench.sh BENCH_baseline.json  # record + gate vs baseline
 #
 # Env:
-#   BENCH_OUT       output path        (default BENCH_pr9.json)
-#   BENCH_TIME      go -benchtime      (default: go's 1s; CI uses 100x;
-#                   the full-scale Fig 1 point is always pinned to 1x)
+#   BENCH_OUT       output path        (default BENCH_pr10.json)
+#   BENCH_TIME      go -benchtime      (default: go's 1s; CI uses 1000x;
+#                   the full-scale Fig 1 points are always pinned to 1x)
 #   BENCH_TOLERANCE fractional slack in gate mode (default 0.25)
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_pr9.json}"
+OUT="${BENCH_OUT:-BENCH_pr10.json}"
 ARGS="-out $OUT"
 [ -n "${BENCH_TIME:-}" ] && ARGS="$ARGS -benchtime $BENCH_TIME"
 [ $# -ge 1 ] && ARGS="$ARGS -check $1 -tolerance ${BENCH_TOLERANCE:-0.25}"
